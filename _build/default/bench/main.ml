@@ -1,0 +1,558 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Tables I-III, Figures 1, 4, 5), plus the ablations listed
+   in DESIGN.md and Bechamel micro-benchmarks of each experiment kernel.
+
+   Wall-clock hours are modelled by a virtual-time budget: one "hour" is
+   PBSE_HOUR work units (default 120_000; see DESIGN.md "Virtual time
+   model"). Absolute numbers therefore differ from the paper; the shapes
+   (who wins, by what factor, where coverage plateaus) are the
+   reproduction target. *)
+
+module Registry = Pbse_targets.Registry
+module Driver = Pbse.Driver
+module Klee = Pbse.Klee
+module Executor = Pbse_exec.Executor
+module Coverage = Pbse_exec.Coverage
+module Searcher = Pbse_exec.Searcher
+module Bug = Pbse_exec.Bug
+module Concolic = Pbse_concolic.Concolic
+module Trace = Pbse_concolic.Trace
+module Phase = Pbse_phase.Phase
+module Vclock = Pbse_util.Vclock
+module Rng = Pbse_util.Rng
+module Tablefmt = Pbse_util.Tablefmt
+
+let hour =
+  match Sys.getenv_opt "PBSE_HOUR" with
+  | Some v -> (try int_of_string v with Failure _ -> 120_000)
+  | None -> 120_000
+
+let ten_hours = 10 * hour
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Unix.mkdir results_dir 0o755
+
+let write_file path contents =
+  ensure_results_dir ();
+  let oc = open_out (Filename.concat results_dir path) in
+  output_string oc contents;
+  close_out oc
+
+let target name =
+  match Registry.by_name name with
+  | Some t -> t
+  | None -> failwith ("unknown target " ^ name)
+
+let heading title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* --- Table I ----------------------------------------------------------------- *)
+
+(* KLEE with one searcher on readelf; returns (cov@1h, cov@10h). *)
+let klee_cell prog searcher sym_size =
+  let r =
+    Klee.run prog ~searcher ~input:(Bytes.make sym_size '\000')
+      ~checkpoints:[ hour; ten_hours ]
+  in
+  (List.assoc hour r.Klee.checkpoints, List.assoc ten_hours r.Klee.checkpoints)
+
+let pbse_row prog seed =
+  let report = Driver.run prog ~seed ~deadline:ten_hours in
+  let cov1 = Driver.coverage_at report hour in
+  let cov10 = Coverage.count (Executor.coverage report.Driver.executor) in
+  (report, cov1, cov10)
+
+let table1 () =
+  heading "Table I: basic blocks covered on readelf, per searcher";
+  Printf.printf "(1h = %d virtual time units; symbolic file sizes as in the paper)\n" hour;
+  let t = target "readelf" in
+  let prog = Registry.program t in
+  let sizes = [ 10; 100; 1000; 10000 ] in
+  let table =
+    Tablefmt.create
+      ([ "searcher" ]
+      @ List.concat_map
+          (fun s -> [ Printf.sprintf "sym-%d 1h" s; Printf.sprintf "sym-%d 10h" s ])
+          sizes)
+  in
+  List.iter
+    (fun searcher ->
+      let cells =
+        List.concat_map
+          (fun size ->
+            let c1, c10 = klee_cell prog searcher size in
+            [ string_of_int c1; string_of_int c10 ])
+          sizes
+      in
+      Tablefmt.add_row table (searcher :: cells);
+      Printf.printf "  ... %s done\n%!" searcher)
+    Searcher.names;
+  Tablefmt.print table;
+  (* pbSE rows: a small and a large seed, as in the paper (576 / 7981 B) *)
+  let pbse_table =
+    Tablefmt.create [ "pbSE"; "c-time"; "p-time"; "1h"; "10h" ]
+  in
+  List.iter
+    (fun label ->
+      let seed = Registry.seed t label in
+      let report, cov1, cov10 = pbse_row prog seed in
+      Tablefmt.add_row pbse_table
+        [
+          Printf.sprintf "seed(%d)" (Bytes.length seed);
+          string_of_int report.Driver.c_time;
+          string_of_int report.Driver.p_time;
+          string_of_int cov1;
+          string_of_int cov10;
+        ])
+    [ "small"; "large" ];
+  Tablefmt.print pbse_table
+
+(* --- Table II ---------------------------------------------------------------- *)
+
+let table2 () =
+  heading "Table II: basic blocks covered on readelf/gif2tiff/pngtest/dwarfdump";
+  let sizes = [ 10; 100; 1000; 10000 ] in
+  let table =
+    Tablefmt.create
+      ([ "program" ]
+      @ List.concat_map
+          (fun searcher ->
+            List.concat_map
+              (fun s ->
+                [
+                  Printf.sprintf "%s sym-%d 1h" searcher s;
+                  Printf.sprintf "%s sym-%d 10h" searcher s;
+                ])
+              sizes)
+          [ "rp"; "cn" ]
+      @ [ "pbSE 1h"; "pbSE 10h"; "inc" ])
+  in
+  List.iter
+    (fun name ->
+      let t = target name in
+      let prog = Registry.program t in
+      let best = ref 0 in
+      let klee_cells =
+        List.concat_map
+          (fun searcher ->
+            List.concat_map
+              (fun size ->
+                let c1, c10 = klee_cell prog searcher size in
+                best := max !best (max c1 c10);
+                [ string_of_int c1; string_of_int c10 ])
+              sizes)
+          [ "random-path"; "covnew" ]
+      in
+      let _, cov1, cov10 = pbse_row prog (Registry.default_seed t) in
+      let inc =
+        if !best = 0 then "n/a"
+        else Printf.sprintf "%d%%" (100 * (cov10 - !best) / !best)
+      in
+      Tablefmt.add_row table
+        ((t.Registry.package ^ " " ^ name)
+        :: (klee_cells @ [ string_of_int cov1; string_of_int cov10; inc ]));
+      Printf.printf "  ... %s done\n%!" name)
+    [ "readelf"; "gif2tiff"; "pngtest"; "dwarfdump" ];
+  Tablefmt.print table
+
+(* --- Table III --------------------------------------------------------------- *)
+
+(* Planted-bug label for a report: the faulting function plus the fault
+   kind identify the label (declaration order breaks the rare ties, e.g.
+   the two line-program overflows in dwarfdump). *)
+let bug_label_table =
+  [
+    ("readelf", "read_name", "oob-read", "strtab-name-oob-read");
+    ("readelf", "process_symbols", "oob-write", "symbol-version-oob-write");
+    ("readelf", "process_dynamic", "oob-read", "dynamic-strtab-oob-read");
+    ("readelf", "process_note", "oob-write", "note-alloc-overflow");
+    ("pngtest", "handle_time", "oob-read", "time-month-oob-read");
+    ("pngtest", "check_keyword", "oob-read", "keyword-trim-underflow");
+    ("gif2tiff", "write_tiff", "oob-read", "colormap-oob-read");
+    ("gif2tiff", "lzw_decode_block", "oob-write", "lzw-stack-oob-write");
+    ("tiff2rgba", "put_cielab", "oob-read", "cielab-oob-read");
+    ("tiff2bw", "average_samples", "oob-read", "spp-oob-read");
+    ("tiff2bw", "invert_min_is_white", "oob-write", "invert-row-oob-write");
+    (* parse_die carries two oob-reads: the abbrev lookup faults in an
+       earlier block than the sibling reference; table3 assigns the labels
+       in block order *)
+    ("dwarfdump", "parse_die", "oob-read", "abbrev-code-oob-read");
+    ("dwarfdump", "parse_die", "oob-read", "sibling-ref-oob-read");
+    ("dwarfdump", "parse_die", "null-deref", "null-abbrev-table-deref");
+    ("dwarfdump", "main", "oob-read", "cu-name-oob-read");
+    ("dwarfdump", "read_str", "oob-read", "form-string-oob-read");
+    ("dwarfdump", "parse_line_program", "oob-read", "line-file-index-oob-read");
+    ("dwarfdump", "parse_line_program", "oob-write", "line-ftable-alloc-overflow");
+  ]
+
+(* [nth_match] distinguishes multiple same-kind bugs in one function; the
+   caller passes the bug's rank among its (function, kind) group, ordered
+   by faulting block. *)
+let bug_label target (bug : Bug.t) ~nth_match =
+  let func =
+    match String.index_opt bug.Bug.location '/' with
+    | Some i -> String.sub bug.Bug.location 0 i
+    | None -> bug.Bug.location
+  in
+  let candidates =
+    List.filter_map
+      (fun (t, f, k, label) ->
+        if t = target && f = func && k = bug.Bug.kind then Some label else None)
+      bug_label_table
+  in
+  List.nth_opt candidates (min nth_match (max 0 (List.length candidates - 1)))
+
+let table3 () =
+  heading "Table III: bugs found by pbSE";
+  let table =
+    Tablefmt.create [ "package"; "test-driver"; "s-size"; "t-p"; "b-p"; "kind"; "CVE ID" ]
+  in
+  let total = ref 0 in
+  let distinct : (string * int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (name, seed_labels) ->
+      let t = target name in
+      let prog = Registry.program t in
+      List.iter
+        (fun label ->
+          let seed = Registry.seed t label in
+          let report = Driver.run prog ~seed ~deadline:ten_hours in
+          let traps = report.Driver.division.Phase.trap_count in
+          (* rank same-(function, kind) bugs by faulting block so labels
+             with shared functions resolve deterministically *)
+          let sorted =
+            List.sort
+              (fun ((a : Bug.t), _) ((b : Bug.t), _) -> Int.compare a.Bug.gid b.Bug.gid)
+              report.Driver.bugs
+          in
+          List.iter
+            (fun ((bug : Bug.t), phase_ordinal) ->
+              incr total;
+              Hashtbl.replace distinct (name, bug.Bug.gid, bug.Bug.kind) ();
+              let func =
+                match String.index_opt bug.Bug.location '/' with
+                | Some i -> String.sub bug.Bug.location 0 i
+                | None -> bug.Bug.location
+              in
+              let rank =
+                List.length
+                  (List.filter
+                     (fun ((b : Bug.t), _) ->
+                       b.Bug.gid < bug.Bug.gid
+                       && b.Bug.kind = bug.Bug.kind
+                       &&
+                       let f =
+                         match String.index_opt b.Bug.location '/' with
+                         | Some j -> String.sub b.Bug.location 0 j
+                         | None -> b.Bug.location
+                       in
+                       f = func)
+                     sorted)
+              in
+              let cve =
+                match bug_label name bug ~nth_match:rank with
+                | Some label -> (
+                  match List.assoc_opt label t.Registry.cves with
+                  | Some cve -> cve
+                  | None -> "N")
+                | None -> "N"
+              in
+              Tablefmt.add_row table
+                [
+                  t.Registry.package;
+                  name;
+                  string_of_int (Bytes.length seed);
+                  string_of_int traps;
+                  string_of_int phase_ordinal;
+                  bug.Bug.kind;
+                  cve;
+                ])
+            sorted;
+          Printf.printf "  ... %s/%s done (%d reports so far)\n%!" name label !total)
+        seed_labels)
+    [
+      ("pngtest", [ "small" ]);
+      ("gif2tiff", [ "small"; "large" ]);
+      ("tiff2rgba", [ "small" ]);
+      ("tiff2bw", [ "small" ]);
+      ("dwarfdump", [ "small"; "mid"; "wide" ]);
+      ("readelf", [ "small"; "medium" ]);
+      ("tcpdump", [ "small" ]);
+    ];
+  Tablefmt.print table;
+  Printf.printf "%d reports over the seed pool; %d distinct bugs (19 planted; paper found 21)\n"
+    !total (Hashtbl.length distinct)
+
+(* --- Fig 1: block distribution, concrete vs symbolic ------------------------- *)
+
+let ascii_scatter ~width ~height points =
+  (* points: (x, y); normalise into a width x height grid *)
+  match points with
+  | [] -> "(no points)\n"
+  | _ ->
+    let max_x = List.fold_left (fun acc (x, _) -> max acc x) 1 points in
+    let max_y = List.fold_left (fun acc (_, y) -> max acc y) 1 points in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun (x, y) ->
+        let gx = min (width - 1) (x * width / (max_x + 1)) in
+        let gy = min (height - 1) (y * height / (max_y + 1)) in
+        grid.(height - 1 - gy).(gx) <- '*')
+      points;
+    let buf = Buffer.create (width * height) in
+    Buffer.add_string buf
+      (Printf.sprintf "  y: bb index 0..%d, x: virtual time 0..%d\n" max_y max_x);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.contents buf
+
+let trace_points trace = List.map (fun p -> (p.Trace.vtime, p.Trace.bb)) (Trace.points trace)
+
+let fig1_one name =
+  let t = target name in
+  let prog = Registry.program t in
+  let seed = Registry.default_seed t in
+  (* concrete execution trace (paper Fig 1 a/c/e) *)
+  let ix = Trace.indexer () in
+  let clock = Vclock.create () in
+  let exec = Executor.create ~clock prog ~input:seed in
+  let concolic = Concolic.run exec ix in
+  let concrete_points = trace_points concolic.Concolic.trace in
+  (* symbolic execution trace with the default searcher (Fig 1 b/d/f),
+     reusing the indexer so block numbering matches the paper's method *)
+  let clock2 = Vclock.create () in
+  let exec2 = Executor.create ~clock:clock2 prog ~input:(Bytes.make 100 '\000') in
+  let symbolic_trace = Trace.create ix in
+  Executor.set_trace exec2
+    (Some (fun gid -> Trace.record symbolic_trace ~vtime:(Vclock.now clock2) ~gid));
+  let searcher = Searcher.default (Rng.create 1) (Executor.cfg exec2) (Executor.coverage exec2) in
+  searcher.Searcher.add (Executor.initial_state exec2);
+  Executor.explore exec2 searcher ~deadline:hour;
+  let symbolic_points = trace_points symbolic_trace in
+  Printf.printf "\nFig 1 (%s): concrete execution, %d block entries, %d distinct blocks\n"
+    name (List.length concrete_points) (Trace.assigned ix);
+  print_string (ascii_scatter ~width:64 ~height:16 concrete_points);
+  Printf.printf "Fig 1 (%s): symbolic execution (default searcher, 1h)\n" name;
+  print_string (ascii_scatter ~width:64 ~height:16 symbolic_points);
+  let concrete_max = List.fold_left (fun acc (_, y) -> max acc y) 0 concrete_points in
+  let symbolic_max = List.fold_left (fun acc (_, y) -> max acc y) 0 symbolic_points in
+  Printf.printf
+    "highest concrete bb index: %d; highest symbolic bb index within 1h: %d\n"
+    concrete_max symbolic_max;
+  write_file (Printf.sprintf "fig1_%s_concrete.csv" name)
+    (Trace.to_csv concolic.Concolic.trace);
+  write_file (Printf.sprintf "fig1_%s_symbolic.csv" name) (Trace.to_csv symbolic_trace)
+
+let fig1 () =
+  heading "Fig 1: basic-block distribution, concrete vs symbolic";
+  List.iter fig1_one [ "readelf"; "gif2tiff"; "pngtest" ]
+
+(* --- Fig 4: phase division with and without the coverage element ------------- *)
+
+let fig4 () =
+  heading "Fig 4: gif2tiff phase division, BBV-only vs BBV+coverage";
+  let t = target "gif2tiff" in
+  let prog = Registry.program t in
+  let seed = Registry.default_seed t in
+  let ix = Trace.indexer () in
+  let clock = Vclock.create () in
+  let exec = Executor.create ~clock prog ~input:seed in
+  let probe = Pbse_exec.Concrete.run prog ~input:seed in
+  let interval_length = max 50 (probe.Pbse_exec.Concrete.steps / 120) in
+  let concolic = Concolic.run ~interval_length exec ix in
+  let bbvs = concolic.Concolic.bbvs in
+  let show label mode =
+    let division = Phase.divide ~mode (Rng.create 1) bbvs in
+    Printf.printf "%s: k=%d, %d trap phases\n  strip: %s\n" label division.Phase.k
+      division.Phase.trap_count (Phase.render_strip division);
+    division.Phase.trap_count
+  in
+  let plain = show "(a) BBVs only          " Phase.Bbv_only in
+  let augmented = show "(b) BBVs + coverage    " Phase.Bbv_with_coverage in
+  Printf.printf
+    "coverage-augmented vectors identified %s trap phases (paper: 2 vs 4)\n"
+    (if augmented > plain then "more"
+     else if augmented = plain then "as many"
+     else "fewer")
+
+(* --- Fig 5: tiff2rgba, normal vs buggy seed ----------------------------------- *)
+
+let fig5 () =
+  heading "Fig 5: tiff2rgba concrete block distribution, normal vs buggy seed";
+  let t = target "tiff2rgba" in
+  let prog = Registry.program t in
+  let run_seed label seed =
+    let ix = Trace.indexer () in
+    let clock = Vclock.create () in
+    let exec = Executor.create ~clock prog ~input:seed in
+    let probe = Pbse_exec.Concrete.run prog ~input:seed in
+    let interval_length = max 20 (probe.Pbse_exec.Concrete.steps / 60) in
+    let concolic = Concolic.run ~interval_length exec ix in
+    Printf.printf "\n(%s seed, %d bytes): %s\n" label (Bytes.length seed)
+      (match concolic.Concolic.outcome with
+       | Concolic.Exited _ -> "ran to completion"
+       | Concolic.Stopped reason -> "stopped: " ^ reason
+       | Concolic.Deadline -> "deadline");
+    print_string (ascii_scatter ~width:64 ~height:12 (trace_points concolic.Concolic.trace));
+    write_file (Printf.sprintf "fig5_%s.csv" label) (Trace.to_csv concolic.Concolic.trace);
+    concolic.Concolic.bbvs
+  in
+  let bbvs = run_seed "normal" (Registry.seed t "large") in
+  let division = Phase.divide (Rng.create 1) bbvs in
+  Printf.printf "phases of the normal run (top strip of Fig 5a): %s (%d traps)\n"
+    (Phase.render_strip division) division.Phase.trap_count;
+  ignore (run_seed "buggy" (Registry.seed t "buggy-cielab"));
+  (* the case study: pbSE finds the CIELab bug; KLEE's default searcher
+     does not, even in 10x the budget *)
+  let report = Driver.run prog ~seed:(Registry.seed t "small") ~deadline:ten_hours in
+  let pbse_found =
+    List.filter (fun ((b : Bug.t), _) -> b.Bug.kind = "oob-read") report.Driver.bugs
+  in
+  let klee =
+    Klee.run prog ~searcher:"default" ~input:(Bytes.make 100 '\000')
+      ~checkpoints:[ ten_hours ]
+  in
+  Printf.printf
+    "case study: pbSE found %d oob-read bug(s)%s; KLEE default found %d bug(s) in 10h\n"
+    (List.length pbse_found)
+    (match pbse_found with
+     | ((b : Bug.t), phase) :: _ ->
+       Printf.sprintf " (first in phase %d at t=%d: %s)" phase b.Bug.vtime b.Bug.location
+     | [] -> "")
+    (List.length klee.Klee.bugs)
+
+(* --- Ablations ----------------------------------------------------------------- *)
+
+let ablate () =
+  heading "Ablations (DESIGN.md): pbSE design choices on dwarfdump";
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seed = Registry.default_seed t in
+  let table = Tablefmt.create [ "variant"; "traps"; "cov 1h"; "cov 10h"; "bugs" ] in
+  let run label config =
+    let report = Driver.run ~config prog ~seed ~deadline:ten_hours in
+    Tablefmt.add_row table
+      [
+        label;
+        string_of_int report.Driver.division.Phase.trap_count;
+        string_of_int (Driver.coverage_at report hour);
+        string_of_int (Coverage.count (Executor.coverage report.Driver.executor));
+        string_of_int (List.length report.Driver.bugs);
+      ];
+    Printf.printf "  ... %s done\n%!" label
+  in
+  run "pbSE (default)" Driver.default_config;
+  run "BBV-only vectors" { Driver.default_config with Driver.mode = Phase.Bbv_only };
+  run "no seedState dedup" { Driver.default_config with Driver.dedup_seed_states = false };
+  run "sequential phases" { Driver.default_config with Driver.round_robin = false };
+  run "fixed k = 4" { Driver.default_config with Driver.max_k = 4 };
+  Tablefmt.print table
+
+(* --- Bechamel micro-benchmarks -------------------------------------------------- *)
+
+let bechamel () =
+  heading "Bechamel micro-benchmarks (one kernel per table/figure)";
+  let open Bechamel in
+  let small = max 2_000 (hour / 60) in
+  let t1_kernel () =
+    let prog = Registry.program (target "readelf") in
+    ignore
+      (Klee.run prog ~searcher:"random-path" ~input:(Bytes.make 100 '\000')
+         ~checkpoints:[ small ])
+  in
+  let t2_kernel () =
+    let t = target "gif2tiff" in
+    ignore (Driver.run (Registry.program t) ~seed:(Registry.default_seed t) ~deadline:small)
+  in
+  let t3_kernel () =
+    let t = target "tiff2bw" in
+    ignore (Driver.run (Registry.program t) ~seed:(Registry.default_seed t) ~deadline:small)
+  in
+  let fig1_kernel () =
+    let t = target "pngtest" in
+    let prog = Registry.program t in
+    let clock = Vclock.create () in
+    let exec = Executor.create ~clock prog ~input:(Registry.default_seed t) in
+    ignore (Concolic.run exec (Trace.indexer ()))
+  in
+  let fig4_kernel () =
+    let t = target "gif2tiff" in
+    let prog = Registry.program t in
+    let clock = Vclock.create () in
+    let exec = Executor.create ~clock prog ~input:(Registry.default_seed t) in
+    let concolic = Concolic.run ~interval_length:60 exec (Trace.indexer ()) in
+    ignore (Phase.divide (Rng.create 1) concolic.Concolic.bbvs)
+  in
+  let fig5_kernel () =
+    let t = target "tiff2rgba" in
+    let prog = Registry.program t in
+    ignore (Pbse_exec.Concrete.run prog ~input:(Registry.seed t "buggy-cielab"))
+  in
+  let tests =
+    [
+      Test.make ~name:"table1: KLEE random-path on readelf" (Staged.stage t1_kernel);
+      Test.make ~name:"table2: pbSE end-to-end on gif2tiff" (Staged.stage t2_kernel);
+      Test.make ~name:"table3: pbSE bug hunt on tiff2bw" (Staged.stage t3_kernel);
+      Test.make ~name:"fig1: concolic trace of pngtest" (Staged.stage fig1_kernel);
+      Test.make ~name:"fig4: phase division of gif2tiff" (Staged.stage fig4_kernel);
+      Test.make ~name:"fig5: buggy-seed replay of tiff2rgba" (Staged.stage fig5_kernel);
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 1.0) ~kde:(Some 8) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      let analysis = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        analysis)
+    tests
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Printf.printf "pbSE benchmark harness: 1h = %d virtual time units (PBSE_HOUR)\n" hour;
+  match what with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "table3" -> table3 ()
+  | "fig1" -> fig1 ()
+  | "fig4" -> fig4 ()
+  | "fig5" -> fig5 ()
+  | "ablate" -> ablate ()
+  | "bechamel" -> bechamel ()
+  | "all" ->
+    table1 ();
+    table2 ();
+    table3 ();
+    fig1 ();
+    fig4 ();
+    fig5 ();
+    ablate ();
+    bechamel ()
+  | other ->
+    Printf.eprintf
+      "unknown benchmark %s (try table1|table2|table3|fig1|fig4|fig5|ablate|bechamel|all)\n"
+      other;
+    exit 1

@@ -1,0 +1,339 @@
+(* pbse — command-line front end.
+
+   Subcommands:
+     targets            list bundled target programs
+     run TARGET         phase-based symbolic execution (the paper's system)
+     klee TARGET        baseline run with one KLEE-style searcher
+     phases TARGET      concolic execution + phase division only
+     bugs TARGET        bug hunt, printing each witness as a hex dump
+     compile FILE       compile a MiniC source file and print its IR
+     exec FILE          run a MiniC source file concretely on an input *)
+
+open Cmdliner
+module Registry = Pbse_targets.Registry
+module Driver = Pbse.Driver
+module Klee = Pbse.Klee
+module Executor = Pbse_exec.Executor
+module Coverage = Pbse_exec.Coverage
+module Bug = Pbse_exec.Bug
+module Phase = Pbse_phase.Phase
+
+let default_hour = 120_000
+
+let lookup_target name =
+  match Registry.by_name name with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown target %s (try: %s)" name
+         (String.concat ", " (List.map (fun t -> t.Registry.name) Registry.all)))
+
+let lookup_seed t label =
+  match Registry.seed t label with
+  | seed -> Ok seed
+  | exception Not_found ->
+    let labels = List.map fst (t.Registry.seeds @ t.Registry.buggy_seeds) in
+    Error (Printf.sprintf "unknown seed %s (available: %s)" label (String.concat ", " labels))
+
+(* --- shared arguments -------------------------------------------------------- *)
+
+let target_arg =
+  let doc = "Target program (see `pbse targets')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let seed_arg =
+  let doc = "Seed label from the target's pool." in
+  Arg.(value & opt string "small" & info [ "seed" ] ~docv:"LABEL" ~doc)
+
+let hours_arg =
+  let doc = "Virtual-time budget in paper-hours (one hour = 120k work units)." in
+  Arg.(value & opt float 1.0 & info [ "hours" ] ~docv:"H" ~doc)
+
+let deadline_of_hours h = int_of_float (h *. float_of_int default_hour)
+
+(* --- targets ------------------------------------------------------------------ *)
+
+let targets_cmd =
+  let run () =
+    let table = Pbse_util.Tablefmt.create [ "name"; "package"; "blocks"; "seeds"; "planted bugs" ] in
+    List.iter
+      (fun t ->
+        let prog = Registry.program t in
+        Pbse_util.Tablefmt.add_row table
+          [
+            t.Registry.name;
+            t.Registry.package;
+            string_of_int (Pbse_ir.Types.block_count prog);
+            String.concat " "
+              (List.map
+                 (fun (l, s) -> Printf.sprintf "%s(%dB)" l (Bytes.length s))
+                 t.Registry.seeds);
+            string_of_int (List.length t.Registry.planted_bugs);
+          ])
+      Registry.all;
+    Pbse_util.Tablefmt.print table;
+    0
+  in
+  Cmd.v (Cmd.info "targets" ~doc:"List bundled target programs")
+    Term.(const run $ const ())
+
+(* --- run (pbSE) ---------------------------------------------------------------- *)
+
+let print_report (report : Driver.report) =
+  Printf.printf "seed: %d bytes; BBV interval: %d units\n" report.Driver.seed_size
+    report.Driver.interval_length;
+  Printf.printf "concolic time (c-time): %d; phase analysis (p-time): %d\n"
+    report.Driver.c_time report.Driver.p_time;
+  let division = report.Driver.division in
+  Printf.printf "phases: k=%d, %d trap phase(s); strip: %s\n" division.Phase.k
+    division.Phase.trap_count
+    (Phase.render_strip division);
+  Printf.printf "seedStates scheduled: %d\n" report.Driver.seed_state_count;
+  Printf.printf "blocks covered: %d\n"
+    (Coverage.count (Executor.coverage report.Driver.executor));
+  match report.Driver.bugs with
+  | [] -> print_endline "no bugs found"
+  | bugs ->
+    Printf.printf "%d bug(s):\n" (List.length bugs);
+    List.iter
+      (fun ((bug : Bug.t), phase) ->
+        Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
+      bugs
+
+let run_cmd =
+  let pool_arg =
+    let doc = "Run the whole benign seed pool (Algorithm 1's outer loop)." in
+    Arg.(value & flag & info [ "pool" ] ~doc)
+  in
+  let run name seed_label hours pool =
+    match lookup_target name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok t ->
+      if pool then begin
+        let report =
+          Driver.run_pool (Registry.program t)
+            ~seeds:(List.map snd t.Registry.seeds)
+            ~deadline:(deadline_of_hours hours)
+        in
+        Printf.printf "%d seed(s) run; merged coverage: %d blocks\n"
+          (List.length report.Driver.runs)
+          report.Driver.merged_coverage;
+        List.iter
+          (fun ((bug : Bug.t), phase) ->
+            Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
+          report.Driver.merged_bugs;
+        0
+      end
+      else begin
+        match lookup_seed t seed_label with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok seed ->
+          let report =
+            Driver.run (Registry.program t) ~seed ~deadline:(deadline_of_hours hours)
+          in
+          print_report report;
+          0
+      end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
+    Term.(const run $ target_arg $ seed_arg $ hours_arg $ pool_arg)
+
+(* --- klee ----------------------------------------------------------------------- *)
+
+let klee_cmd =
+  let searcher_arg =
+    let doc = "Searcher: default, random-path, random-state, covnew, md2u, dfs, bfs." in
+    Arg.(value & opt string "default" & info [ "searcher" ] ~docv:"NAME" ~doc)
+  in
+  let sym_size_arg =
+    let doc = "Symbolic file size in bytes." in
+    Arg.(value & opt int 100 & info [ "sym-size" ] ~docv:"N" ~doc)
+  in
+  let run name searcher sym_size hours =
+    match lookup_target name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok t -> (
+      let deadline = deadline_of_hours hours in
+      match
+        Klee.run (Registry.program t) ~searcher ~input:(Bytes.make sym_size '\000')
+          ~checkpoints:[ deadline ]
+      with
+      | r ->
+        Printf.printf "searcher %s, sym-%d, %.1fh: %d blocks covered, %d fork(s)\n"
+          searcher sym_size hours
+          (List.assoc deadline r.Klee.checkpoints)
+          r.Klee.forks;
+        List.iter (fun bug -> print_endline ("  " ^ Bug.to_string bug)) r.Klee.bugs;
+        0
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "klee" ~doc:"Baseline symbolic execution with one searcher")
+    Term.(const run $ target_arg $ searcher_arg $ sym_size_arg $ hours_arg)
+
+(* --- phases ---------------------------------------------------------------------- *)
+
+let phases_cmd =
+  let run name seed_label =
+    match lookup_target name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok t -> (
+      match lookup_seed t seed_label with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok seed ->
+        let prog = Registry.program t in
+        let clock = Pbse_util.Vclock.create () in
+        let exec = Executor.create ~clock prog ~input:seed in
+        let probe = Pbse_exec.Concrete.run prog ~input:seed in
+        let interval_length = max 50 (probe.Pbse_exec.Concrete.steps / 120) in
+        let concolic =
+          Pbse_concolic.Concolic.run ~interval_length exec
+            (Pbse_concolic.Trace.indexer ())
+        in
+        let division =
+          Phase.divide (Pbse_util.Rng.create 1) concolic.Pbse_concolic.Concolic.bbvs
+        in
+        Printf.printf "concolic run: %d virtual time units, %d BBVs, %d seedStates\n"
+          concolic.Pbse_concolic.Concolic.c_time
+          (List.length concolic.Pbse_concolic.Concolic.bbvs)
+          (List.length concolic.Pbse_concolic.Concolic.seed_states);
+        Printf.printf "division: k=%d, %d trap phase(s)\n" division.Phase.k
+          division.Phase.trap_count;
+        Printf.printf "strip: %s\n" (Phase.render_strip division);
+        List.iter
+          (fun (p : Phase.phase) ->
+            Printf.printf "  phase %d: %d interval(s), longest run %d%s, first seen t=%d\n"
+              p.Phase.pid (Array.length p.Phase.intervals) p.Phase.longest_run
+              (if p.Phase.trap then " (TRAP)" else "")
+              p.Phase.first_vtime)
+          division.Phase.phases;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Concolic execution and phase division only")
+    Term.(const run $ target_arg $ seed_arg)
+
+(* --- bugs ------------------------------------------------------------------------- *)
+
+let hexdump bytes =
+  let buf = Buffer.create 256 in
+  Bytes.iteri
+    (fun i c ->
+      if i mod 16 = 0 then Buffer.add_string buf (Printf.sprintf "\n    %04x: " i);
+      Buffer.add_string buf (Printf.sprintf "%02x " (Char.code c)))
+    bytes;
+  Buffer.contents buf
+
+let bugs_cmd =
+  let run name seed_label hours =
+    match lookup_target name with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok t -> (
+      match lookup_seed t seed_label with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok seed ->
+        let report =
+          Driver.run (Registry.program t) ~seed ~deadline:(deadline_of_hours hours)
+        in
+        (match report.Driver.bugs with
+         | [] -> print_endline "no bugs found"
+         | bugs ->
+           List.iter
+             (fun ((bug : Bug.t), phase) ->
+               Printf.printf "phase %d: %s\n" phase (Bug.to_string bug);
+               Printf.printf "  witness:%s\n" (hexdump bug.Bug.witness))
+             bugs);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "bugs" ~doc:"Hunt bugs with pbSE and print witness inputs")
+    Term.(const run $ target_arg $ seed_arg $ hours_arg)
+
+(* --- compile / exec ------------------------------------------------------------------ *)
+
+let file_arg =
+  let doc = "MiniC source file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_cmd =
+  let run path =
+    match Pbse_lang.Frontend.compile_result (read_file path) with
+    | Ok prog ->
+      print_string (Pbse_ir.Printer.program_to_string prog);
+      0
+    | Error msg ->
+      prerr_endline msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a MiniC file and print its IR")
+    Term.(const run $ file_arg)
+
+let exec_cmd =
+  let input_arg =
+    let doc = "Input file fed to the in()/in_size() intrinsics." in
+    Arg.(value & opt (some file) None & info [ "input" ] ~docv:"FILE" ~doc)
+  in
+  let run path input =
+    match Pbse_lang.Frontend.compile_result (read_file path) with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok prog ->
+      let input =
+        match input with Some f -> Bytes.of_string (read_file f) | None -> Bytes.empty
+      in
+      let r = Pbse_exec.Concrete.run prog ~input in
+      List.iter (fun v -> Printf.printf "out: %Ld\n" v) r.Pbse_exec.Concrete.output;
+      (match r.Pbse_exec.Concrete.outcome with
+       | Pbse_exec.Concrete.Exit code ->
+         Printf.printf "exit %Ld (%d steps)\n" code r.Pbse_exec.Concrete.steps;
+         Int64.to_int code land 0xFF
+       | Pbse_exec.Concrete.Fault { kind; detail; _ } ->
+         Printf.printf "fault: %s (%s)\n" kind detail;
+         2
+       | Pbse_exec.Concrete.Halted { message; _ } ->
+         Printf.printf "halted: %s\n" message;
+         3
+       | Pbse_exec.Concrete.Out_of_fuel ->
+         print_endline "out of fuel";
+         4)
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a MiniC file concretely")
+    Term.(const run $ file_arg $ input_arg)
+
+let () =
+  let info =
+    Cmd.info "pbse" ~version:"1.0.0"
+      ~doc:"Phase-based symbolic execution (DSN 2017 reproduction)"
+  in
+  let group =
+    Cmd.group info
+      [ targets_cmd; run_cmd; klee_cmd; phases_cmd; bugs_cmd; compile_cmd; exec_cmd ]
+  in
+  exit (Cmd.eval' group)

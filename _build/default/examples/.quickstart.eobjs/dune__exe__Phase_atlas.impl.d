@@ -1,0 +1,1 @@
+examples/phase_atlas.ml: Array Bytes List Pbse_concolic Pbse_exec Pbse_ir Pbse_phase Pbse_targets Pbse_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char List Pbse Pbse_exec Pbse_lang Pbse_phase Printf

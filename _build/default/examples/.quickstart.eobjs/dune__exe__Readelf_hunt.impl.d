@@ -1,0 +1,1 @@
+examples/readelf_hunt.ml: Bytes List Option Pbse Pbse_exec Pbse_phase Pbse_targets Printf

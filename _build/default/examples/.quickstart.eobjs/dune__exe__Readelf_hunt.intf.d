@@ -1,0 +1,1 @@
+examples/readelf_hunt.mli:

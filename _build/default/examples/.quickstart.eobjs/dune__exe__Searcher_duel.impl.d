@@ -1,0 +1,1 @@
+examples/searcher_duel.ml: Array Bytes List Pbse Pbse_exec Pbse_targets Pbse_util Printf Sys

@@ -1,0 +1,1 @@
+examples/searcher_duel.mli:

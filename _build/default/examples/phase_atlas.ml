@@ -1,0 +1,36 @@
+(* Phase atlas: concolic execution + phase division for every bundled
+   target, printing the paper's Fig-4-style strips side by side.
+
+     dune exec examples/phase_atlas.exe
+
+   A strip has one letter per BBV interval (a cluster each); uppercase
+   letters mark trap phases — the input-bounded loops that trap symbolic
+   execution. Compare readelf (two big table loops) against tcpdump
+   (shallow packet printing). *)
+
+module Registry = Pbse_targets.Registry
+module Concolic = Pbse_concolic.Concolic
+module Phase = Pbse_phase.Phase
+
+let atlas_for (t : Registry.t) =
+  let prog = Registry.program t in
+  let seed = Registry.default_seed t in
+  let probe = Pbse_exec.Concrete.run prog ~input:seed in
+  let interval_length = max 50 (probe.Pbse_exec.Concrete.steps / 100) in
+  let clock = Pbse_util.Vclock.create () in
+  let exec = Pbse_exec.Executor.create ~clock prog ~input:seed in
+  let concolic = Concolic.run ~interval_length exec (Pbse_concolic.Trace.indexer ()) in
+  let division = Phase.divide (Pbse_util.Rng.create 1) concolic.Concolic.bbvs in
+  Printf.printf "%-10s (%4d blocks, seed %4dB)  k=%-2d traps=%d\n" t.Registry.name
+    (Pbse_ir.Types.block_count prog)
+    (Bytes.length seed) division.Phase.k division.Phase.trap_count;
+  Printf.printf "  %s\n" (Phase.render_strip division);
+  List.iter
+    (fun (p : Phase.phase) ->
+      if p.Phase.trap then
+        Printf.printf "  trap phase %d: %d intervals, longest run %d, enters at t=%d\n"
+          p.Phase.pid (Array.length p.Phase.intervals) p.Phase.longest_run
+          p.Phase.first_vtime)
+    division.Phase.phases
+
+let () = List.iter atlas_for Registry.all

@@ -1,0 +1,1 @@
+lib/concolic/bbv.ml: Array Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/concolic/concolic.ml: Bbv List Pbse_exec Pbse_util Trace

@@ -1,0 +1,1 @@
+lib/concolic/concolic.mli: Bbv Pbse_exec Trace

@@ -1,0 +1,1 @@
+lib/concolic/trace.ml: Buffer Hashtbl List Printf

@@ -1,0 +1,78 @@
+module Executor = Pbse_exec.Executor
+module Coverage = Pbse_exec.Coverage
+module State = Pbse_exec.State
+module Vclock = Pbse_util.Vclock
+
+type seed_state = {
+  state : Pbse_exec.State.t;
+  fork_vtime : int;
+  fork_gid : int;
+}
+
+type outcome =
+  | Exited of int64
+  | Stopped of string
+  | Deadline
+
+type result = {
+  bbvs : Bbv.t list;
+  seed_states : seed_state list;
+  trace : Trace.t;
+  outcome : outcome;
+  c_time : int;
+  blocks_entered : int;
+}
+
+let default_interval_length = 2000
+
+let run ?(interval_length = default_interval_length) ?(deadline = 5_000_000) exec ix =
+  let clock = Executor.clock exec in
+  let t0 = Vclock.now clock in
+  let builder = Bbv.builder ~interval_length in
+  Bbv.set_coverage_probe builder (fun () -> Coverage.count (Executor.coverage exec));
+  let trace = Trace.create ix in
+  let entered = ref 0 in
+  Executor.set_trace exec
+    (Some
+       (fun gid ->
+         incr entered;
+         let vtime = Vclock.now clock in
+         Bbv.record builder ~vtime ~gid;
+         Trace.record trace ~vtime ~gid));
+  Executor.set_lazy_fork exec true;
+  let st = Executor.initial_state exec in
+  let seeds = ref [] in
+  let rec loop () =
+    if Vclock.now clock - t0 >= deadline then Deadline
+    else
+      match Executor.run_slice exec st with
+      | Executor.Running -> loop ()
+      | Executor.Forked children ->
+        List.iter
+          (fun (child : Pbse_exec.State.t) ->
+            seeds :=
+              { state = child; fork_vtime = child.State.born; fork_gid = child.State.fork_gid }
+              :: !seeds)
+          children;
+        loop ()
+      | Executor.Finished reason -> (
+        match reason with
+        | Executor.Exited code -> Exited code
+        | Executor.Buggy bug -> Stopped ("bug: " ^ bug.Pbse_exec.Bug.kind)
+        | Executor.Infeasible -> Stopped "infeasible"
+        | Executor.Aborted msg -> Stopped msg)
+  in
+  let outcome = loop () in
+  Executor.set_lazy_fork exec false;
+  Executor.set_trace exec None;
+  Bbv.flush builder
+    ~coverage_at:(fun () -> Coverage.count (Executor.coverage exec))
+    ~vtime:(Vclock.now clock);
+  {
+    bbvs = Bbv.bbvs builder;
+    seed_states = List.rev !seeds;
+    trace;
+    outcome;
+    c_time = Vclock.now clock - t0;
+    blocks_entered = !entered;
+  }

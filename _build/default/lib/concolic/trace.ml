@@ -1,0 +1,41 @@
+type indexer = {
+  mutable next : int;
+  map : (int, int) Hashtbl.t;
+}
+
+let indexer () = { next = 0; map = Hashtbl.create 512 }
+
+let index_of ix gid =
+  match Hashtbl.find_opt ix.map gid with
+  | Some i -> i
+  | None ->
+    let i = ix.next in
+    ix.next <- i + 1;
+    Hashtbl.replace ix.map gid i;
+    i
+
+let assigned ix = ix.next
+
+type point = {
+  vtime : int;
+  bb : int;
+}
+
+type t = {
+  ix : indexer;
+  mutable points : point list; (* reversed *)
+}
+
+let create ix = { ix; points = [] }
+
+let record t ~vtime ~gid = t.points <- { vtime; bb = index_of t.ix gid } :: t.points
+
+let points t = List.rev t.points
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "vtime,bb\n";
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" p.vtime p.bb))
+    (points t);
+  Buffer.contents buf

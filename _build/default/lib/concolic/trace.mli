@@ -1,0 +1,32 @@
+(** Block-entry traces with the paper's Fig. 1 numbering.
+
+    Blocks are labelled in order of first execution during the concrete
+    run; a block first seen later (e.g. only by symbolic execution) gets
+    the next free label. Plotting label against entry time reproduces the
+    paper's basic-block distribution scatter plots. *)
+
+type indexer
+
+val indexer : unit -> indexer
+
+val index_of : indexer -> int -> int
+(** [index_of ix gid] returns the stable plot index for a global block
+    id, assigning the next fresh index on first sight. *)
+
+val assigned : indexer -> int
+(** Number of distinct blocks seen. *)
+
+type point = {
+  vtime : int;
+  bb : int; (* plot index *)
+}
+
+type t
+
+val create : indexer -> t
+val record : t -> vtime:int -> gid:int -> unit
+val points : t -> point list
+(** Chronological. *)
+
+val to_csv : t -> string
+(** "vtime,bb" lines, with header. *)

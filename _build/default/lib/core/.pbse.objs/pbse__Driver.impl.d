@@ -1,0 +1,1 @@
+lib/core/driver.ml: Bytes Hashtbl Int List Option Pbse_concolic Pbse_exec Pbse_phase Pbse_util

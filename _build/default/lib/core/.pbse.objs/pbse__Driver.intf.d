@@ -1,0 +1,1 @@
+lib/core/driver.mli: Pbse_concolic Pbse_exec Pbse_ir Pbse_phase

@@ -1,0 +1,1 @@
+lib/core/klee.ml: Int List Pbse_exec Pbse_util

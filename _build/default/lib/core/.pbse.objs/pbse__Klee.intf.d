@@ -1,0 +1,1 @@
+lib/core/klee.mli: Pbse_exec Pbse_ir

@@ -1,0 +1,321 @@
+module Executor = Pbse_exec.Executor
+module Searcher = Pbse_exec.Searcher
+module Coverage = Pbse_exec.Coverage
+module State = Pbse_exec.State
+module Bug = Pbse_exec.Bug
+module Concolic = Pbse_concolic.Concolic
+module Bbv = Pbse_concolic.Bbv
+module Trace = Pbse_concolic.Trace
+module Phase = Pbse_phase.Phase
+module Vclock = Pbse_util.Vclock
+module Rng = Pbse_util.Rng
+
+type config = {
+  interval_length : int option; (* None: size from a concrete pre-run *)
+  intervals_target : int; (* BBVs aimed for when auto-sizing *)
+  time_period : int;
+  phase_searcher : string;
+  mode : Phase.mode;
+  dedup_seed_states : bool;
+  round_robin : bool;
+  max_k : int;
+  rng_seed : int;
+  max_live : int;
+  solver_budget : int;
+  confirm_bugs : bool;
+}
+
+let default_config =
+  {
+    interval_length = None;
+    intervals_target = 120;
+    time_period = 10_000;
+    phase_searcher = "default";
+    mode = Phase.Bbv_with_coverage;
+    dedup_seed_states = true;
+    round_robin = true;
+    max_k = 20;
+    rng_seed = 1;
+    max_live = 8192;
+    solver_budget = 60_000;
+    confirm_bugs = true;
+  }
+
+type report = {
+  config : config;
+  seed_size : int;
+  c_time : int;
+  p_time : int;
+  division : Phase.division;
+  bbvs : Bbv.t list;
+  trace : Trace.t;
+  seed_state_count : int;
+  interval_length : int;
+  coverage_samples : (int * int) list;
+  bugs : (Bug.t * int) list;
+  executor : Executor.t;
+}
+
+let coverage_at report t =
+  let rec scan best = function
+    | [] -> best
+    | (vt, cov) :: rest -> if vt <= t then scan cov rest else best
+  in
+  scan 0 report.coverage_samples
+
+(* One schedulable phase: its searcher plus bookkeeping. *)
+type phase_queue = {
+  ordinal : int; (* 1-based position in first-appearance order *)
+  pid : int;
+  searcher : Searcher.t;
+}
+
+let make_phase_searcher config rng exec =
+  match Searcher.by_name config.phase_searcher with
+  | Some make -> make (Rng.split rng) (Executor.cfg exec) (Executor.coverage exec)
+  | None -> invalid_arg ("Driver: unknown phase searcher " ^ config.phase_searcher)
+
+let map_seed_states config ~interval_length division bbvs
+    (seed_states : Concolic.seed_state list) =
+  (* phase id for each seedState via its fork interval *)
+  let tagged =
+    List.filter_map
+      (fun (ss : Concolic.seed_state) ->
+        let interval = ss.Concolic.fork_vtime / interval_length in
+        match Phase.phase_of_interval division bbvs interval with
+        | Some pid ->
+          ss.Concolic.state.State.phase <- pid;
+          Some ss
+        | None -> None)
+      seed_states
+  in
+  if not config.dedup_seed_states then tagged
+  else begin
+    (* keep the earliest seedState per (phase, fork location) *)
+    let seen = Hashtbl.create 256 in
+    List.filter
+      (fun (ss : Concolic.seed_state) ->
+        let key = (ss.Concolic.state.State.phase, ss.Concolic.fork_gid) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      tagged
+  end
+
+let run ?(config = default_config) prog ~seed ~deadline =
+  let clock = Vclock.create () in
+  let exec =
+    Executor.create ~max_live:config.max_live ~solver_budget:config.solver_budget
+      ~confirm_bugs:config.confirm_bugs ~clock prog ~input:seed
+  in
+  let rng = Rng.create config.rng_seed in
+  (* step 1: concolic execution. The BBV interval is sized from a cheap
+     concrete pre-run so every seed yields a comparable number of BBVs
+     (the paper gathers over wall-clock intervals; runs lasting longer
+     simply produce more vectors). *)
+  let interval_length =
+    match config.interval_length with
+    | Some l -> l
+    | None ->
+      let probe = Pbse_exec.Concrete.run prog ~input:seed ~fuel:20_000_000 in
+      max 50 (probe.Pbse_exec.Concrete.steps / config.intervals_target)
+  in
+  let indexer = Trace.indexer () in
+  let concolic = Concolic.run ~interval_length ~deadline exec indexer in
+  let c_time = concolic.Concolic.c_time in
+  (* step 2: phase analysis; charge virtual time proportional to the work *)
+  let p_start = Vclock.now clock in
+  let division =
+    Phase.divide ~mode:config.mode ~max_k:config.max_k (Rng.split rng)
+      concolic.Concolic.bbvs
+  in
+  Vclock.advance clock (50 * List.length concolic.Concolic.bbvs * config.max_k / 20);
+  let p_time = Vclock.now clock - p_start + 1 in
+  (* step 3: map seedStates into phases. Feasibility is checked lazily,
+     when a seedState is first scheduled — exactly the paper's "lazy pass
+     through": the concolic step recorded fork points without exploring
+     or deciding them. *)
+  let seed_states =
+    map_seed_states config ~interval_length division concolic.Concolic.bbvs
+      concolic.Concolic.seed_states
+  in
+  (* build phase queues in first-appearance order *)
+  let queues =
+    List.mapi
+      (fun i (p : Phase.phase) ->
+        let searcher = make_phase_searcher config rng exec in
+        { ordinal = i + 1; pid = p.Phase.pid; searcher })
+      division.Phase.phases
+  in
+  List.iter
+    (fun (ss : Concolic.seed_state) ->
+      match List.find_opt (fun q -> q.pid = ss.Concolic.state.State.phase) queues with
+      | Some q -> q.searcher.Searcher.add ss.Concolic.state
+      | None -> ())
+    seed_states;
+  let queues = ref (List.filter (fun q -> q.searcher.Searcher.size () > 0) queues) in
+  Executor.set_live_counter exec (fun () ->
+      List.fold_left (fun acc q -> acc + q.searcher.Searcher.size ()) 0 !queues);
+  (* bookkeeping for coverage samples and bug-to-phase attribution *)
+  let samples = ref [ (Vclock.now clock, Coverage.count (Executor.coverage exec)) ] in
+  let last_cov = ref (Coverage.count (Executor.coverage exec)) in
+  let bug_phases : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
+  let known_bugs = ref 0 in
+  let note_progress current_ordinal =
+    let cov = Coverage.count (Executor.coverage exec) in
+    if cov <> !last_cov then begin
+      last_cov := cov;
+      samples := (Vclock.now clock, cov) :: !samples
+    end;
+    let bugs = Executor.bugs exec in
+    let n = List.length bugs in
+    if n > !known_bugs then begin
+      List.iteri
+        (fun i bug ->
+          if i >= !known_bugs then
+            Hashtbl.replace bug_phases (Bug.dedup_key bug) current_ordinal)
+        bugs;
+      known_bugs := n
+    end
+  in
+  note_progress 0;
+  (* Algorithm 3: round-robin with growing turn budgets *)
+  let rotation = ref 0 in
+  let rec schedule i =
+    if Vclock.now clock >= deadline || !queues = [] then ()
+    else begin
+      let n = List.length !queues in
+      let idx = if config.round_robin then i mod n else 0 in
+      let turn = (if config.round_robin then i / n else !rotation) + 1 in
+      let q = List.nth !queues idx in
+      let turn_budget = turn * config.time_period in
+      let turn_start = Vclock.now clock in
+      let rec drain () =
+        if Vclock.now clock >= deadline then ()
+        else
+          match q.searcher.Searcher.select () with
+          | None -> ()
+          | Some st when st.State.needs_verify && not (Executor.verify exec st) ->
+            (* lazily discovered infeasible (or undecidable) seedState *)
+            q.searcher.Searcher.remove st;
+            drain ()
+          | Some st -> (
+            let slice = Executor.run_slice exec st in
+            let covered_new = st.State.fresh_cover in
+            (match slice with
+             | Executor.Running -> ()
+             | Executor.Forked children ->
+               List.iter
+                 (fun (child : State.t) ->
+                   child.State.phase <- q.pid;
+                   q.searcher.Searcher.fork ~parent:st child)
+                 children
+             | Executor.Finished _ -> q.searcher.Searcher.remove st);
+            note_progress q.ordinal;
+            (* stay in the phase while under budget or still covering new code *)
+            if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ())
+      in
+      drain ();
+      if q.searcher.Searcher.size () = 0 then begin
+        queues := List.filter (fun q' -> q'.pid <> q.pid) !queues;
+        if not config.round_robin then incr rotation
+      end;
+      schedule (i + 1)
+    end
+  in
+  schedule 0;
+  let bugs =
+    List.map
+      (fun bug ->
+        let ordinal =
+          match Hashtbl.find_opt bug_phases (Bug.dedup_key bug) with
+          | Some o -> o
+          | None -> 0
+        in
+        (bug, ordinal))
+      (Executor.bugs exec)
+  in
+  {
+    config;
+    seed_size = Bytes.length seed;
+    c_time;
+    p_time;
+    division;
+    bbvs = concolic.Concolic.bbvs;
+    trace = concolic.Concolic.trace;
+    seed_state_count = List.length seed_states;
+    interval_length;
+    coverage_samples = List.rev !samples;
+    bugs;
+    executor = exec;
+  }
+
+type pool_report = {
+  runs : (bytes * report) list;
+  merged_coverage : int;
+  merged_bugs : (Bug.t * int) list;
+}
+
+(* Algorithm 1's outer loop: pop seeds (smallest first, the paper's
+   heuristic bias), giving each remaining seed an equal share of the
+   remaining budget. Coverage is merged as a union of global block ids;
+   bugs are deduplicated across runs on (location, kind). *)
+let run_pool ?(config = default_config) prog ~seeds ~deadline =
+  let ordered =
+    List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
+  in
+  let merged = Hashtbl.create 1024 in
+  let bug_keys = Hashtbl.create 32 in
+  let runs = ref [] in
+  let bugs = ref [] in
+  let spent = ref 0 in
+  let remaining_seeds = ref (List.length ordered) in
+  List.iter
+    (fun seed ->
+      let budget = (deadline - !spent) / max 1 !remaining_seeds in
+      decr remaining_seeds;
+      if budget > 0 then begin
+        let report = run ~config prog ~seed ~deadline:budget in
+        spent := !spent + Vclock.now (Executor.clock report.executor);
+        runs := (seed, report) :: !runs;
+        List.iter
+          (fun gid -> Hashtbl.replace merged gid ())
+          (Coverage.covered_ids (Executor.coverage report.executor));
+        List.iter
+          (fun ((bug : Bug.t), phase) ->
+            let key = Bug.dedup_key bug in
+            if not (Hashtbl.mem bug_keys key) then begin
+              Hashtbl.replace bug_keys key ();
+              bugs := (bug, phase) :: !bugs
+            end)
+          report.bugs
+      end)
+    ordered;
+  {
+    runs = List.rev !runs;
+    merged_coverage = Hashtbl.length merged;
+    merged_bugs = List.rev !bugs;
+  }
+
+let select_seed seeds ~coverage_of =
+  match seeds with
+  | [] -> None
+  | _ ->
+    let by_size =
+      List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
+    in
+    let smallest =
+      List.filteri (fun i _ -> i < 10) by_size
+    in
+    let best =
+      List.fold_left
+        (fun acc seed ->
+          let cov = coverage_of seed in
+          match acc with
+          | Some (_, best_cov) when best_cov >= cov -> acc
+          | _ -> Some (seed, cov))
+        None smallest
+    in
+    Option.map fst best

@@ -1,0 +1,78 @@
+(** The pbSE driver — the paper's contribution (Algorithms 1 and 3).
+
+    Pipeline: concolic execution of the seed (gathering BBVs and
+    seedStates), phase division with trap identification, then
+    phase-scheduled symbolic execution:
+
+    - seedStates are mapped to the phase of the interval in which their
+      fork point was reached, deduplicated per fork location (keeping the
+      earliest, §III-B3);
+    - phases are visited round-robin in order of first appearance; the
+      turn budget grows with each full rotation ([turn * time_period]);
+    - a phase's turn ends when it exhausts its budget and its latest
+      slice covered no new code; empty phases leave the rotation. *)
+
+type config = {
+  interval_length : int option; (* BBV interval; None sizes it from a
+                                   concrete pre-run of the seed *)
+  intervals_target : int; (* BBVs aimed for when auto-sizing (default 120) *)
+  time_period : int; (* Algorithm 3's TimePeriod *)
+  phase_searcher : string; (* searcher used inside each phase *)
+  mode : Pbse_phase.Phase.mode; (* BBV-only or coverage-augmented vectors *)
+  dedup_seed_states : bool; (* keep earliest per fork point (paper) *)
+  round_robin : bool; (* false: drain phases sequentially (ablation) *)
+  max_k : int; (* k-means upper bound (paper: 20) *)
+  rng_seed : int;
+  max_live : int;
+  solver_budget : int;
+  confirm_bugs : bool;
+}
+
+val default_config : config
+
+type report = {
+  config : config;
+  seed_size : int;
+  c_time : int; (* virtual time of the concolic step *)
+  p_time : int; (* virtual time charged for phase analysis *)
+  division : Pbse_phase.Phase.division;
+  bbvs : Pbse_concolic.Bbv.t list;
+  trace : Pbse_concolic.Trace.t; (* concrete block-entry trace *)
+  seed_state_count : int; (* after mapping, dedup and verification *)
+  interval_length : int; (* BBV interval actually used *)
+  coverage_samples : (int * int) list; (* (virtual time, blocks covered) *)
+  bugs : (Pbse_exec.Bug.t * int) list; (* bug, 1-based phase ordinal (0 = concolic) *)
+  executor : Pbse_exec.Executor.t; (* for stats and coverage queries *)
+}
+
+val coverage_at : report -> int -> int
+(** [coverage_at report t] — blocks covered by virtual time [t]
+    (monotone interpolation of the samples). *)
+
+val run :
+  ?config:config ->
+  Pbse_ir.Types.program ->
+  seed:bytes ->
+  deadline:int ->
+  report
+(** End-to-end pbSE on one seed. The deadline is in virtual time and
+    includes the concolic and analysis steps. *)
+
+val select_seed : bytes list -> coverage_of:(bytes -> int) -> bytes option
+(** The paper's seed-selection heuristic (§III-B4): consider the 10
+    smallest seeds, pick the one with the best coverage. *)
+
+type pool_report = {
+  runs : (bytes * report) list; (* in execution order *)
+  merged_coverage : int; (* union of covered blocks across runs *)
+  merged_bugs : (Pbse_exec.Bug.t * int) list; (* deduplicated *)
+}
+
+val run_pool :
+  ?config:config ->
+  Pbse_ir.Types.program ->
+  seeds:bytes list ->
+  deadline:int ->
+  pool_report
+(** Algorithm 1's outer loop over a seed pool: seeds run smallest-first,
+    each receiving an equal share of the remaining budget. *)

@@ -1,0 +1,1 @@
+lib/exec/concrete.ml: Array Bytes Char Hashtbl Int64 List Mem Pbse_ir Pbse_smt

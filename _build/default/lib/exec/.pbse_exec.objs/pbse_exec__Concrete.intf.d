@@ -1,0 +1,1 @@
+lib/exec/concrete.mli: Mem Pbse_ir

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Bug Bytes Concrete Coverage Hashtbl Int64 List Mem Pbse_ir Pbse_smt Pbse_util Printf Searcher State

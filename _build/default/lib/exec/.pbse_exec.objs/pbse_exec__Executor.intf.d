@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Bug Coverage Pbse_ir Pbse_smt Pbse_util Searcher State

@@ -1,0 +1,1 @@
+lib/exec/mem.ml: Bytes Char Int Int64 Map Pbse_ir Pbse_smt Printf

@@ -1,0 +1,1 @@
+lib/exec/mem.mli: Pbse_ir Pbse_smt

@@ -1,0 +1,1 @@
+lib/exec/searcher.ml: Array Coverage Hashtbl List Pbse_ir Pbse_util State

@@ -1,0 +1,1 @@
+lib/exec/searcher.mli: Coverage Pbse_ir Pbse_util State

@@ -1,0 +1,1 @@
+lib/exec/state.ml: Array List Mem Pbse_smt

@@ -1,0 +1,1 @@
+lib/exec/state.mli: Mem Pbse_smt

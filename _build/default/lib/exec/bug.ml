@@ -1,0 +1,19 @@
+type t = {
+  kind : string;
+  gid : int;
+  location : string;
+  detail : string;
+  witness : bytes;
+  vtime : int;
+  state_id : int;
+  confirmed : bool;
+}
+
+let dedup_key t = (t.gid, t.kind)
+
+let to_string t =
+  Printf.sprintf "[%s] %s at %s (t=%d, witness %d bytes%s): %s" t.kind
+    (if t.confirmed then "confirmed" else "unconfirmed")
+    t.location t.vtime (Bytes.length t.witness)
+    (if t.confirmed then ", replayed" else "")
+    t.detail

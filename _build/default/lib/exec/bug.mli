@@ -1,0 +1,22 @@
+(** Bug reports produced by the symbolic executor's oracles.
+
+    A report carries the fault class, the faulting location, the witness
+    input generated from the solver model, and whether replaying that
+    input through the concrete interpreter reproduced a fault of the same
+    class (KLEE's "test case" made self-checking). Reports are deduplicated
+    on (location, kind). *)
+
+type t = {
+  kind : string; (* "oob-read", "oob-write", "div-by-zero", ... *)
+  gid : int; (* global block id of the faulting instruction *)
+  location : string; (* human-readable, e.g. "parse_header/.4" *)
+  detail : string;
+  witness : bytes; (* input file triggering the bug *)
+  vtime : int; (* virtual time of discovery *)
+  state_id : int;
+  confirmed : bool; (* concrete replay reproduced the fault class *)
+}
+
+val dedup_key : t -> int * string
+
+val to_string : t -> string

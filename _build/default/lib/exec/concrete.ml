@@ -1,0 +1,299 @@
+open Pbse_ir.Types
+module Semantics = Pbse_smt.Semantics
+
+type outcome =
+  | Exit of int64
+  | Fault of {
+      fault : Mem.fault option;
+      kind : string;
+      fidx : int;
+      bidx : int;
+      detail : string;
+    }
+  | Halted of { message : string; fidx : int; bidx : int }
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  blocks_entered : int;
+  output : int64 list;
+}
+
+let fault_class = function
+  | Mem.Out_of_bounds { write; _ } | Mem.Unallocated { write; _ } ->
+    if write then "oob-write" else "oob-read"
+  | Mem.Null_access { write } -> if write then "null-deref" else "null-deref"
+  | Mem.Use_after_free _ -> "use-after-free"
+  | Mem.Bad_free _ -> "bad-free"
+
+(* Concrete heap: dense object table addressed by the Ptr codec. *)
+type cobj = {
+  size : int;
+  data : bytes;
+  mutable freed : bool;
+}
+
+type heap = {
+  mutable objects : cobj option array;
+  mutable count : int;
+}
+
+let heap_create () = { objects = Array.make 64 None; count = 0 }
+
+let heap_alloc heap ~size =
+  if size < 0 || size > Mem.max_object_size then Mem.Ptr.null
+  else begin
+    if heap.count >= Array.length heap.objects then begin
+      let bigger = Array.make (2 * Array.length heap.objects) None in
+      Array.blit heap.objects 0 bigger 0 heap.count;
+      heap.objects <- bigger
+    end;
+    heap.objects.(heap.count) <- Some { size; data = Bytes.make size '\000'; freed = false };
+    heap.count <- heap.count + 1;
+    Mem.Ptr.make heap.count 0 (* ids start at 1 *)
+  end
+
+let heap_find heap id =
+  if id >= 1 && id <= heap.count then heap.objects.(id - 1) else None
+
+let heap_locate heap ptr ~len ~write =
+  if Mem.Ptr.is_null ptr then Error (Mem.Null_access { write })
+  else
+    let id = Mem.Ptr.obj ptr and off = Mem.Ptr.off ptr in
+    match heap_find heap id with
+    | None -> Error (Mem.Unallocated { obj = id; write })
+    | Some o ->
+      if o.freed then Error (Mem.Use_after_free { obj = id })
+      else if off < 0 || off + len > o.size then
+        Error (Mem.Out_of_bounds { obj = id; off; size = o.size; write })
+      else Ok o
+
+let heap_load heap ptr width =
+  let len = bytes_of_width width in
+  match heap_locate heap ptr ~len ~write:false with
+  | Error f -> Error f
+  | Ok o ->
+    let off = Mem.Ptr.off ptr in
+    let rec combine k acc =
+      if k < 0 then acc
+      else
+        combine (k - 1)
+          (Int64.logor (Int64.shift_left acc 8)
+             (Int64.of_int (Char.code (Bytes.get o.data (off + k)))))
+    in
+    Ok (combine (len - 1) 0L)
+
+let heap_store heap ptr width v =
+  let len = bytes_of_width width in
+  match heap_locate heap ptr ~len ~write:true with
+  | Error f -> Error f
+  | Ok o ->
+    let off = Mem.Ptr.off ptr in
+    for k = 0 to len - 1 do
+      Bytes.set o.data (off + k)
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+    done;
+    Ok ()
+
+let heap_free heap ptr =
+  if ptr = Mem.Ptr.null then Ok ()
+  else
+    match heap_find heap (Mem.Ptr.obj ptr) with
+    | None -> Error (Mem.Bad_free { addr = ptr })
+    | Some o ->
+      if o.freed || Mem.Ptr.off ptr <> 0 then Error (Mem.Bad_free { addr = ptr })
+      else begin
+        o.freed <- true;
+        Ok ()
+      end
+
+(* --- interpreter ---------------------------------------------------------- *)
+
+type frame = {
+  regs : int64 array;
+  ret_reg : int option;
+  ret_to : (int * int * int) option; (* fidx, bidx, next inst index *)
+}
+
+exception Stop of outcome
+
+let max_call_depth = 512
+
+let run ?(fuel = 50_000_000) ?(on_block = fun _ _ -> ()) program ~input =
+  let index = func_index program in
+  let heap = heap_create () in
+  let steps = ref 0 in
+  let blocks = ref 0 in
+  let output = ref [] in
+  let fidx = ref program.main in
+  let bidx = ref 0 in
+  let iidx = ref 0 in
+  let stack = ref [] in
+  let regs = ref (Array.make (program.funcs.(program.main)).nregs 0L) in
+  let depth = ref 0 in
+  let enter_block f b =
+    incr blocks;
+    on_block f b
+  in
+  let fault f =
+    raise
+      (Stop
+         (Fault
+            {
+              fault = Some f;
+              kind = fault_class f;
+              fidx = !fidx;
+              bidx = !bidx;
+              detail = Mem.fault_to_string f;
+            }))
+  in
+  let div_fault () =
+    raise
+      (Stop
+         (Fault
+            { fault = None; kind = "div-by-zero"; fidx = !fidx; bidx = !bidx; detail = "division by zero" }))
+  in
+  let operand = function
+    | Const c -> c
+    | Reg r -> !regs.(r)
+  in
+  let spend () =
+    incr steps;
+    if !steps > fuel then raise (Stop Out_of_fuel)
+  in
+  let do_call dst name args =
+    if is_intrinsic name then begin
+      (match (name, args) with
+      | "in_byte", [ a ] ->
+        let i = Int64.to_int (operand a) in
+        let v =
+          if Int64.unsigned_compare (operand a) (Int64.of_int (Bytes.length input)) < 0
+          then Int64.of_int (Char.code (Bytes.get input i))
+          else 0L
+        in
+        (match dst with Some d -> !regs.(d) <- v | None -> ())
+      | "in_size", [] ->
+        let v = Int64.of_int (Bytes.length input) in
+        (match dst with Some d -> !regs.(d) <- v | None -> ())
+      | "out", [ a ] ->
+        output := operand a :: !output;
+        (match dst with Some d -> !regs.(d) <- 0L | None -> ())
+      | ("in_byte" | "in_size" | "out"), _ ->
+        raise
+          (Stop
+             (Halted
+                { message = "intrinsic arity error: " ^ name; fidx = !fidx; bidx = !bidx }))
+      | _ -> assert false);
+      iidx := !iidx + 1
+    end
+    else begin
+      if !depth >= max_call_depth then
+        raise (Stop (Halted { message = "call stack overflow"; fidx = !fidx; bidx = !bidx }));
+      let callee =
+        match Hashtbl.find_opt index name with
+        | Some i -> i
+        | None ->
+          raise (Stop (Halted { message = "unknown function " ^ name; fidx = !fidx; bidx = !bidx }))
+      in
+      let f = program.funcs.(callee) in
+      let new_regs = Array.make f.nregs 0L in
+      List.iteri (fun i a -> if i < f.nparams then new_regs.(i) <- operand a) args;
+      stack := { regs = !regs; ret_reg = dst; ret_to = Some (!fidx, !bidx, !iidx + 1) } :: !stack;
+      incr depth;
+      regs := new_regs;
+      fidx := callee;
+      bidx := 0;
+      iidx := 0;
+      enter_block callee 0
+    end
+  in
+  let do_ret v =
+    match !stack with
+    | [] -> raise (Stop (Exit (match v with Some o -> operand o | None -> 0L)))
+    | frame :: rest ->
+      let value = match v with Some o -> operand o | None -> 0L in
+      stack := rest;
+      decr depth;
+      let saved_regs = frame.regs in
+      (match frame.ret_reg with Some d -> saved_regs.(d) <- value | None -> ());
+      regs := saved_regs;
+      (match frame.ret_to with
+       | Some (f, b, i) ->
+         fidx := f;
+         bidx := b;
+         iidx := i
+       | None -> assert false)
+  in
+  let exec_inst inst =
+    match inst with
+    | Bin (dst, op, a, b) ->
+      let va = operand a and vb = operand b in
+      (match op with
+       | Udiv | Sdiv | Urem | Srem when vb = 0L -> div_fault ()
+       | _ -> ());
+      !regs.(dst) <- Semantics.binop op va vb;
+      iidx := !iidx + 1
+    | Un (dst, op, a) ->
+      !regs.(dst) <- Semantics.unop op (operand a);
+      iidx := !iidx + 1
+    | Load (dst, addr, w) ->
+      (match heap_load heap (operand addr) w with
+       | Ok v ->
+         !regs.(dst) <- v;
+         iidx := !iidx + 1
+       | Error f -> fault f)
+    | Store (addr, v, w) ->
+      (match heap_store heap (operand addr) w (operand v) with
+       | Ok () -> iidx := !iidx + 1
+       | Error f -> fault f)
+    | Alloc (dst, size) ->
+      !regs.(dst) <- heap_alloc heap ~size:(Int64.to_int (operand size));
+      iidx := !iidx + 1
+    | Free p ->
+      (match heap_free heap (operand p) with
+       | Ok () -> iidx := !iidx + 1
+       | Error f -> fault f)
+    | Call (dst, name, args) -> do_call dst name args
+    | Select (dst, c, a, b) ->
+      !regs.(dst) <- (if Semantics.truthy (operand c) then operand a else operand b);
+      iidx := !iidx + 1
+  in
+  let exec_term term =
+    let goto b =
+      bidx := b;
+      iidx := 0;
+      enter_block !fidx b
+    in
+    match term with
+    | Jmp b -> goto b
+    | Br (c, t, e) -> goto (if Semantics.truthy (operand c) then t else e)
+    | Switch (scrut, cases, default) ->
+      let v = operand scrut in
+      let rec pick = function
+        | [] -> default
+        | (case_v, target) :: rest -> if v = case_v then target else pick rest
+      in
+      goto (pick cases)
+    | Ret v -> do_ret v
+    | Halt message -> raise (Stop (Halted { message; fidx = !fidx; bidx = !bidx }))
+  in
+  let finish outcome =
+    { outcome; steps = !steps; blocks_entered = !blocks; output = List.rev !output }
+  in
+  try
+    enter_block !fidx 0;
+    while true do
+      let f = program.funcs.(!fidx) in
+      let block = f.blocks.(!bidx) in
+      if !iidx < Array.length block.insts then begin
+        spend ();
+        exec_inst block.insts.(!iidx)
+      end
+      else begin
+        spend ();
+        exec_term block.term
+      end
+    done;
+    assert false
+  with Stop outcome -> finish outcome

@@ -1,0 +1,42 @@
+(** Fast concrete interpreter.
+
+    Executes an IR program on a concrete input file. It is the "concrete
+    executor" half of concolic execution, the replayer that confirms
+    generated bug test cases, and the reference the symbolic executor is
+    property-tested against. Semantics (including memory faults) match the
+    symbolic executor exactly; scalar operations come from
+    {!Pbse_smt.Semantics}. *)
+
+type outcome =
+  | Exit of int64 (* main returned *)
+  | Fault of {
+      fault : Mem.fault option; (* None for non-memory faults *)
+      kind : string; (* stable fault class, e.g. "oob-read" *)
+      fidx : int;
+      bidx : int;
+      detail : string;
+    }
+  | Halted of { message : string; fidx : int; bidx : int }
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  steps : int; (* instructions executed, terminators included *)
+  blocks_entered : int;
+  output : int64 list; (* values passed to the [out] intrinsic, in order *)
+}
+
+val fault_class : Mem.fault -> string
+(** Stable class string for a memory fault ("oob-read", "oob-write",
+    "null-deref", "use-after-free", "bad-free"). *)
+
+val run :
+  ?fuel:int ->
+  ?on_block:(int -> int -> unit) ->
+  Pbse_ir.Types.program ->
+  input:bytes ->
+  result
+(** [run program ~input] executes [main] (no arguments) until it returns,
+    faults or exhausts [fuel] (default 50 million steps). [on_block] is
+    invoked on every basic-block entry with function and block index —
+    the hook BBV gathering and trace recording attach to. *)

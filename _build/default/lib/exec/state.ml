@@ -1,0 +1,73 @@
+type frame = {
+  regs : Pbse_smt.Expr.t array;
+  ret_reg : int option;
+  ret_to : (int * int * int) option;
+}
+
+type t = {
+  id : int;
+  mutable frames : frame list;
+  mutable mem : Mem.t;
+  mutable path : Pbse_smt.Expr.t list;
+  mutable model : Pbse_smt.Model.t;
+  mutable fidx : int;
+  mutable bidx : int;
+  mutable iidx : int;
+  mutable depth : int;
+  mutable steps : int;
+  mutable fresh_cover : bool;
+  born : int;
+  fork_gid : int;
+  mutable phase : int;
+  mutable needs_verify : bool;
+  mutable entered : bool;
+}
+
+let create ~id ~nregs ~mem ~model ~fidx ~born =
+  {
+    id;
+    frames = [ { regs = Array.make nregs Pbse_smt.Expr.zero; ret_reg = None; ret_to = None } ];
+    mem;
+    path = [];
+    model;
+    fidx;
+    bidx = 0;
+    iidx = 0;
+    depth = 0;
+    steps = 0;
+    fresh_cover = false;
+    born;
+    fork_gid = -1;
+    phase = -1;
+    needs_verify = false;
+    entered = false;
+  }
+
+let fork t ~id ~born ~fork_gid =
+  {
+    id;
+    frames = List.map (fun f -> { f with regs = Array.copy f.regs }) t.frames;
+    mem = t.mem;
+    path = t.path;
+    model = t.model;
+    fidx = t.fidx;
+    bidx = t.bidx;
+    iidx = t.iidx;
+    depth = t.depth + 1;
+    steps = t.steps;
+    fresh_cover = false;
+    born;
+    fork_gid;
+    phase = t.phase;
+    needs_verify = false;
+    entered = false;
+  }
+
+let current_regs t =
+  match t.frames with
+  | frame :: _ -> frame.regs
+  | [] -> invalid_arg "State.current_regs: no frames"
+
+let assume t c = t.path <- c :: t.path
+
+let path_conditions t = List.rev t.path

@@ -1,0 +1,55 @@
+(** Symbolic execution state, the unit the searchers schedule.
+
+    A state is a program counter, a call stack of symbolic register
+    frames, a persistent symbolic heap, the path condition collected so
+    far, and a concrete model witnessing that condition (KLEE keeps the
+    same invariant implicitly via its solver; we keep the witness inline
+    so taken-branch queries are free). *)
+
+type frame = {
+  regs : Pbse_smt.Expr.t array;
+  ret_reg : int option;
+  ret_to : (int * int * int) option; (* fidx, bidx, next instruction *)
+}
+
+type t = {
+  id : int;
+  mutable frames : frame list; (* innermost first; never empty while live *)
+  mutable mem : Mem.t;
+  mutable path : Pbse_smt.Expr.t list; (* newest first *)
+  mutable model : Pbse_smt.Model.t; (* always satisfies [path] *)
+  mutable fidx : int;
+  mutable bidx : int;
+  mutable iidx : int;
+  mutable depth : int; (* number of forks on this path *)
+  mutable steps : int;
+  mutable fresh_cover : bool; (* covered new code on its last slice *)
+  born : int; (* virtual time of creation *)
+  fork_gid : int; (* global block id of the fork that created it, -1 for roots *)
+  mutable phase : int; (* pbSE phase tag; -1 when unassigned *)
+  mutable needs_verify : bool;
+  (* created by a lazy fork: the newest path constraint has not been
+     checked for satisfiability and [model] may violate it *)
+  mutable entered : bool;
+  (* whether the current block's entry has been counted; false for fresh
+     roots and forked children until their first slice actually runs *)
+}
+
+val create :
+  id:int -> nregs:int -> mem:Mem.t -> model:Pbse_smt.Model.t -> fidx:int -> born:int -> t
+(** Root state at block 0, instruction 0 of function [fidx]. *)
+
+val fork : t -> id:int -> born:int -> fork_gid:int -> t
+(** Deep-copies the register frames; shares the persistent heap and path
+    (the caller then diverges the copies). *)
+
+val current_regs : t -> Pbse_smt.Expr.t array
+(** Registers of the innermost frame. Raises [Invalid_argument] on a
+    state with no frames. *)
+
+val assume : t -> Pbse_smt.Expr.t -> unit
+(** Appends a constraint to the path condition (no feasibility check;
+    callers are responsible for keeping [model] consistent). *)
+
+val path_conditions : t -> Pbse_smt.Expr.t list
+(** Oldest first. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Hashtbl List Printf Types Validate

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Int64 List Printf String Types

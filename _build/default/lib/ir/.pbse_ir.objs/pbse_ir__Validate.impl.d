@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Hashtbl List Printf String Types

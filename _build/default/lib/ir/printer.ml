@@ -1,0 +1,94 @@
+open Types
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Sdiv -> "sdiv"
+  | Urem -> "urem"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Slt -> "slt"
+  | Sle -> "sle"
+
+let unop_to_string = function
+  | Neg -> "neg"
+  | Not -> "not"
+  | Sext8 -> "sext8"
+  | Sext16 -> "sext16"
+  | Sext32 -> "sext32"
+  | Trunc8 -> "trunc8"
+  | Trunc16 -> "trunc16"
+  | Trunc32 -> "trunc32"
+
+let operand_to_string = function
+  | Const c -> Int64.to_string c
+  | Reg r -> Printf.sprintf "r%d" r
+
+let width_to_string = function
+  | W1 -> "w1"
+  | W2 -> "w2"
+  | W4 -> "w4"
+  | W8 -> "w8"
+
+let inst_to_string inst =
+  let op = operand_to_string in
+  match inst with
+  | Bin (dst, bop, a, b) ->
+    Printf.sprintf "r%d = %s %s, %s" dst (binop_to_string bop) (op a) (op b)
+  | Un (dst, uop, a) -> Printf.sprintf "r%d = %s %s" dst (unop_to_string uop) (op a)
+  | Load (dst, addr, w) ->
+    Printf.sprintf "r%d = load.%s [%s]" dst (width_to_string w) (op addr)
+  | Store (addr, v, w) ->
+    Printf.sprintf "store.%s [%s], %s" (width_to_string w) (op addr) (op v)
+  | Alloc (dst, size) -> Printf.sprintf "r%d = alloc %s" dst (op size)
+  | Free p -> Printf.sprintf "free %s" (op p)
+  | Call (dst, name, args) ->
+    let args = String.concat ", " (List.map op args) in
+    (match dst with
+     | Some d -> Printf.sprintf "r%d = call %s(%s)" d name args
+     | None -> Printf.sprintf "call %s(%s)" name args)
+  | Select (dst, c, a, b) ->
+    Printf.sprintf "r%d = select %s, %s, %s" dst (op c) (op a) (op b)
+
+let terminator_to_string term =
+  let op = operand_to_string in
+  match term with
+  | Jmp b -> Printf.sprintf "jmp .%d" b
+  | Br (c, t, e) -> Printf.sprintf "br %s, .%d, .%d" (op c) t e
+  | Switch (scrut, cases, default) ->
+    let case (v, b) = Printf.sprintf "%Ld -> .%d" v b in
+    Printf.sprintf "switch %s [%s] default .%d" (op scrut)
+      (String.concat "; " (List.map case cases))
+      default
+  | Ret None -> "ret"
+  | Ret (Some v) -> Printf.sprintf "ret %s" (op v)
+  | Halt msg -> Printf.sprintf "halt %S" msg
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "fn %s(params=%d, regs=%d) {\n" f.fname f.nparams f.nregs);
+  Array.iteri
+    (fun i block ->
+      Buffer.add_string buf (Printf.sprintf ".%d (%s):\n" i block.label);
+      Array.iter
+        (fun inst -> Buffer.add_string buf ("  " ^ inst_to_string inst ^ "\n"))
+        block.insts;
+      Buffer.add_string buf ("  " ^ terminator_to_string block.term ^ "\n"))
+    f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let program_to_string program =
+  String.concat "\n" (Array.to_list (Array.map func_to_string program.funcs))

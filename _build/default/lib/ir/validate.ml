@@ -1,0 +1,102 @@
+open Types
+
+type error = {
+  func : string;
+  block : int;
+  message : string;
+}
+
+let error_to_string e = Printf.sprintf "%s/.%d: %s" e.func e.block e.message
+
+let check_func ~known f =
+  let errors = ref [] in
+  let err block fmt =
+    Printf.ksprintf (fun message -> errors := { func = f.fname; block; message } :: !errors) fmt
+  in
+  if f.nparams < 0 || f.nparams > f.nregs then
+    err (-1) "nparams (%d) out of range for %d registers" f.nparams f.nregs;
+  if Array.length f.blocks = 0 then err (-1) "function has no blocks";
+  let nblocks = Array.length f.blocks in
+  let check_target b target =
+    if target < 0 || target >= nblocks then err b "branch target .%d out of range" target
+  in
+  let check_reg b r = if r < 0 || r >= f.nregs then err b "register r%d out of range" r in
+  let check_operand b = function
+    | Const _ -> ()
+    | Reg r -> check_reg b r
+  in
+  let check_inst b inst =
+    match inst with
+    | Bin (dst, _, a, b') ->
+      check_reg b dst;
+      check_operand b a;
+      check_operand b b'
+    | Un (dst, _, a) ->
+      check_reg b dst;
+      check_operand b a
+    | Load (dst, addr, _) ->
+      check_reg b dst;
+      check_operand b addr
+    | Store (addr, v, _) ->
+      check_operand b addr;
+      check_operand b v
+    | Alloc (dst, size) ->
+      check_reg b dst;
+      check_operand b size
+    | Free p -> check_operand b p
+    | Call (dst, name, args) ->
+      (match dst with Some d -> check_reg b d | None -> ());
+      List.iter (check_operand b) args;
+      if not (known name) then err b "unknown callee %s" name
+    | Select (dst, c, x, y) ->
+      check_reg b dst;
+      check_operand b c;
+      check_operand b x;
+      check_operand b y
+  in
+  let check_term b term =
+    match term with
+    | Jmp t -> check_target b t
+    | Br (c, t, e) ->
+      check_operand b c;
+      check_target b t;
+      check_target b e
+    | Switch (scrut, cases, default) ->
+      check_operand b scrut;
+      List.iter (fun (_, t) -> check_target b t) cases;
+      check_target b default
+    | Ret None -> ()
+    | Ret (Some v) -> check_operand b v
+    | Halt _ -> ()
+  in
+  Array.iteri
+    (fun b block ->
+      Array.iter (check_inst b) block.insts;
+      check_term b block.term)
+    f.blocks;
+  List.rev !errors
+
+let check_program program =
+  let errors = ref [] in
+  let err message = errors := { func = "<program>"; block = -1; message } :: !errors in
+  if program.main < 0 || program.main >= Array.length program.funcs then
+    err (Printf.sprintf "main index %d out of range" program.main);
+  let names = Hashtbl.create 16 in
+  Array.iter
+    (fun f ->
+      if Hashtbl.mem names f.fname then
+        err (Printf.sprintf "duplicate function name %s" f.fname)
+      else Hashtbl.replace names f.fname ())
+    program.funcs;
+  let known name = Hashtbl.mem names name || is_intrinsic name in
+  let func_errors =
+    Array.to_list program.funcs |> List.concat_map (check_func ~known)
+  in
+  List.rev !errors @ func_errors
+
+let check_exn program =
+  match check_program program with
+  | [] -> ()
+  | errors ->
+    invalid_arg
+      ("Ir.Validate: " ^ String.concat "; " (List.map error_to_string errors))

@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Ast Lexer Lower Parser Printf

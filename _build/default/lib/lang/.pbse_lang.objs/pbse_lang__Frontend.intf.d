@@ -1,0 +1,1 @@
+lib/lang/frontend.mli: Pbse_ir

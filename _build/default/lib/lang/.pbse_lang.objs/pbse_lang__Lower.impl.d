@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Hashtbl List Option Pbse_ir Printf

@@ -1,0 +1,86 @@
+(* Abstract syntax of MiniC, the small C-like language the target programs
+   are written in (the role C-compiled-to-LLVM-bitcode plays for KLEE).
+
+   All values are 64-bit integers; pointers are integers carrying the
+   Mem.Ptr encoding; [base[index]] reads or writes one byte. Wider memory
+   accesses, truncations, sign extensions and the input intrinsics are
+   builtin functions resolved during lowering. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+type unary_op =
+  | Uneg
+  | Ulognot (* !e: 1 when e = 0 *)
+  | Ubitnot
+
+type binary_op =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv (* unsigned; use the sdiv builtin for signed division *)
+  | Brem (* unsigned *)
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr (* logical *)
+  | Bashr
+  | Blt (* signed comparisons *)
+  | Ble
+  | Bgt
+  | Bge
+  | Bult (* unsigned comparisons *)
+  | Bule
+  | Bugt
+  | Buge
+  | Beq
+  | Bne
+  | Bland (* short-circuit *)
+  | Blor
+
+type expr = {
+  e : expr_node;
+  epos : pos;
+}
+
+and expr_node =
+  | Int of int64
+  | Var of string
+  | Call of string * expr list
+  | Index of expr * expr (* byte load at base + index *)
+  | Unary of unary_op * expr
+  | Binary of binary_op * expr * expr
+
+type stmt = {
+  s : stmt_node;
+  spos : pos;
+}
+
+and stmt_node =
+  | Svar of string * expr
+  | Sassign of string * expr
+  | Sstore of expr * expr * expr (* base, index, value: one byte *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sswitch of expr * (int64 * stmt list) list * stmt list
+    (* scrutinee, (constant, body) arms, default body *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Shalt of string
+  | Sexpr of expr
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type program = func list
+
+let pos_to_string p = Printf.sprintf "line %d, column %d" p.line p.col

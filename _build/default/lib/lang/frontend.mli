@@ -1,0 +1,11 @@
+(** One-call MiniC compilation pipeline: lex, parse, check, lower,
+    validate. *)
+
+exception Error of string
+(** Carries a rendered message including the source position. *)
+
+val compile : ?main:string -> string -> Pbse_ir.Types.program
+(** [compile src] compiles a MiniC source string whose entry function is
+    [main] (default ["main"]). Raises {!Error}. *)
+
+val compile_result : ?main:string -> string -> (Pbse_ir.Types.program, string) result

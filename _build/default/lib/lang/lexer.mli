@@ -1,0 +1,72 @@
+(** Hand-written lexer for MiniC.
+
+    Supports decimal, hexadecimal ([0x..]) and character ([{'c'}])
+    integer literals, string literals (for [halt] messages), [//] and
+    [/* */] comments, and tracks line/column positions for error
+    reporting. *)
+
+type token =
+  | Tint of int64
+  | Tident of string
+  | Tstring of string
+  | Tkw_fn
+  | Tkw_var
+  | Tkw_if
+  | Tkw_else
+  | Tkw_while
+  | Tkw_for
+  | Tkw_return
+  | Tkw_break
+  | Tkw_continue
+  | Tkw_halt
+  | Tkw_switch
+  | Tkw_case
+  | Tkw_default
+  | Tcolon
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Tsemi
+  | Tassign
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tpercent
+  | Tamp
+  | Tpipe
+  | Tcaret
+  | Ttilde
+  | Tbang
+  | Tshl
+  | Tshr
+  | Tashr (* >>> *)
+  | Tlt
+  | Tle
+  | Tgt
+  | Tge
+  | Tult (* <u *)
+  | Tule (* <=u *)
+  | Tugt (* >u *)
+  | Tuge (* >=u *)
+  | Teq
+  | Tne
+  | Tland
+  | Tlor
+  | Teof
+
+type located = {
+  tok : token;
+  pos : Ast.pos;
+}
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> located list
+(** Raises [Error] on malformed input. The result ends with [Teof]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,308 @@
+open Lexer
+
+exception Error of string * Ast.pos
+
+type parser_state = {
+  toks : located array;
+  mutable at : int;
+}
+
+let peek ps = ps.toks.(ps.at)
+let pos ps = (peek ps).pos
+
+let fail ps fmt =
+  Printf.ksprintf (fun msg -> raise (Error (msg, pos ps))) fmt
+
+let advance ps = ps.at <- ps.at + 1
+
+let eat ps tok =
+  if (peek ps).tok = tok then advance ps
+  else fail ps "expected %s, found %s" (token_to_string tok) (token_to_string (peek ps).tok)
+
+let eat_ident ps =
+  match (peek ps).tok with
+  | Tident name ->
+    advance ps;
+    name
+  | t -> fail ps "expected identifier, found %s" (token_to_string t)
+
+(* binary operator of a token, with its precedence level *)
+let binop_of = function
+  | Tlor -> Some (0, Ast.Blor)
+  | Tland -> Some (1, Ast.Bland)
+  | Tpipe -> Some (2, Ast.Bor)
+  | Tcaret -> Some (3, Ast.Bxor)
+  | Tamp -> Some (4, Ast.Band)
+  | Teq -> Some (5, Ast.Beq)
+  | Tne -> Some (5, Ast.Bne)
+  | Tlt -> Some (6, Ast.Blt)
+  | Tle -> Some (6, Ast.Ble)
+  | Tgt -> Some (6, Ast.Bgt)
+  | Tge -> Some (6, Ast.Bge)
+  | Tult -> Some (6, Ast.Bult)
+  | Tule -> Some (6, Ast.Bule)
+  | Tugt -> Some (6, Ast.Bugt)
+  | Tuge -> Some (6, Ast.Buge)
+  | Tshl -> Some (7, Ast.Bshl)
+  | Tshr -> Some (7, Ast.Bshr)
+  | Tashr -> Some (7, Ast.Bashr)
+  | Tplus -> Some (8, Ast.Badd)
+  | Tminus -> Some (8, Ast.Bsub)
+  | Tstar -> Some (9, Ast.Bmul)
+  | Tslash -> Some (9, Ast.Bdiv)
+  | Tpercent -> Some (9, Ast.Brem)
+  | _ -> None
+
+let max_level = 9
+
+let rec parse_expr ps = parse_binary ps 0
+
+and parse_binary ps level =
+  if level > max_level then parse_unary ps
+  else begin
+    let left = ref (parse_binary ps (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match binop_of (peek ps).tok with
+      | Some (l, op) when l = level ->
+        let p = pos ps in
+        advance ps;
+        let right = parse_binary ps (level + 1) in
+        left := { Ast.e = Ast.Binary (op, !left, right); epos = p }
+      | Some _ | None -> continue := false
+    done;
+    !left
+  end
+
+and parse_unary ps =
+  let p = pos ps in
+  match (peek ps).tok with
+  | Tminus ->
+    advance ps;
+    { Ast.e = Ast.Unary (Ast.Uneg, parse_unary ps); epos = p }
+  | Tbang ->
+    advance ps;
+    { Ast.e = Ast.Unary (Ast.Ulognot, parse_unary ps); epos = p }
+  | Ttilde ->
+    advance ps;
+    { Ast.e = Ast.Unary (Ast.Ubitnot, parse_unary ps); epos = p }
+  | _ -> parse_postfix ps
+
+and parse_postfix ps =
+  let base = parse_primary ps in
+  let rec extend acc =
+    match (peek ps).tok with
+    | Tlbracket ->
+      let p = pos ps in
+      advance ps;
+      let idx = parse_expr ps in
+      eat ps Trbracket;
+      extend { Ast.e = Ast.Index (acc, idx); epos = p }
+    | _ -> acc
+  in
+  extend base
+
+and parse_primary ps =
+  let p = pos ps in
+  match (peek ps).tok with
+  | Tint v ->
+    advance ps;
+    { Ast.e = Ast.Int v; epos = p }
+  | Tident name ->
+    advance ps;
+    if (peek ps).tok = Tlparen then begin
+      advance ps;
+      let args = parse_args ps in
+      eat ps Trparen;
+      { Ast.e = Ast.Call (name, args); epos = p }
+    end
+    else { Ast.e = Ast.Var name; epos = p }
+  | Tlparen ->
+    advance ps;
+    let e = parse_expr ps in
+    eat ps Trparen;
+    e
+  | t -> fail ps "expected expression, found %s" (token_to_string t)
+
+and parse_args ps =
+  if (peek ps).tok = Trparen then []
+  else begin
+    let first = parse_expr ps in
+    let rec more acc =
+      if (peek ps).tok = Tcomma then begin
+        advance ps;
+        more (parse_expr ps :: acc)
+      end
+      else List.rev acc
+    in
+    more [ first ]
+  end
+
+(* A "simple" statement: the assignment/expression forms allowed in for(...)
+   headers; no trailing semicolon. *)
+let rec parse_simple ps =
+  let p = pos ps in
+  match (peek ps).tok with
+  | Tkw_var ->
+    advance ps;
+    let name = eat_ident ps in
+    eat ps Tassign;
+    let value = parse_expr ps in
+    { Ast.s = Ast.Svar (name, value); spos = p }
+  | _ -> (
+    let e = parse_expr ps in
+    match (peek ps).tok with
+    | Tassign -> (
+      advance ps;
+      let value = parse_expr ps in
+      match e.Ast.e with
+      | Ast.Var name -> { Ast.s = Ast.Sassign (name, value); spos = p }
+      | Ast.Index (base, idx) -> { Ast.s = Ast.Sstore (base, idx, value); spos = p }
+      | Ast.Int _ | Ast.Call _ | Ast.Unary _ | Ast.Binary _ ->
+        fail ps "left-hand side must be a variable or a byte index")
+    | _ -> { Ast.s = Ast.Sexpr e; spos = p })
+
+and parse_stmt ps =
+  let p = pos ps in
+  match (peek ps).tok with
+  | Tkw_if ->
+    advance ps;
+    eat ps Tlparen;
+    let cond = parse_expr ps in
+    eat ps Trparen;
+    let then_body = parse_block ps in
+    let else_body =
+      if (peek ps).tok = Tkw_else then begin
+        advance ps;
+        if (peek ps).tok = Tkw_if then [ parse_stmt ps ] else parse_block ps
+      end
+      else []
+    in
+    { Ast.s = Ast.Sif (cond, then_body, else_body); spos = p }
+  | Tkw_while ->
+    advance ps;
+    eat ps Tlparen;
+    let cond = parse_expr ps in
+    eat ps Trparen;
+    let body = parse_block ps in
+    { Ast.s = Ast.Swhile (cond, body); spos = p }
+  | Tkw_for ->
+    advance ps;
+    eat ps Tlparen;
+    let init = if (peek ps).tok = Tsemi then None else Some (parse_simple ps) in
+    eat ps Tsemi;
+    let cond = if (peek ps).tok = Tsemi then None else Some (parse_expr ps) in
+    eat ps Tsemi;
+    let step = if (peek ps).tok = Trparen then None else Some (parse_simple ps) in
+    eat ps Trparen;
+    let body = parse_block ps in
+    { Ast.s = Ast.Sfor (init, cond, step, body); spos = p }
+  | Tkw_switch ->
+    advance ps;
+    eat ps Tlparen;
+    let scrutinee = parse_expr ps in
+    eat ps Trparen;
+    eat ps Tlbrace;
+    let arms = ref [] in
+    let default = ref None in
+    let rec arm_loop () =
+      match (peek ps).tok with
+      | Trbrace -> advance ps
+      | Tkw_case -> (
+        advance ps;
+        match (peek ps).tok with
+        | Tint v ->
+          advance ps;
+          eat ps Tcolon;
+          let body = parse_block ps in
+          if List.mem_assoc v !arms then fail ps "duplicate case %Ld" v;
+          arms := (v, body) :: !arms;
+          arm_loop ()
+        | t -> fail ps "case expects an integer literal, found %s" (token_to_string t))
+      | Tkw_default ->
+        advance ps;
+        eat ps Tcolon;
+        (match !default with
+         | Some _ -> fail ps "duplicate default arm"
+         | None -> default := Some (parse_block ps));
+        arm_loop ()
+      | t -> fail ps "expected case, default or }, found %s" (token_to_string t)
+    in
+    arm_loop ();
+    {
+      Ast.s =
+        Ast.Sswitch (scrutinee, List.rev !arms, Option.value ~default:[] !default);
+      spos = p;
+    }
+  | Tkw_return ->
+    advance ps;
+    let value = if (peek ps).tok = Tsemi then None else Some (parse_expr ps) in
+    eat ps Tsemi;
+    { Ast.s = Ast.Sreturn value; spos = p }
+  | Tkw_break ->
+    advance ps;
+    eat ps Tsemi;
+    { Ast.s = Ast.Sbreak; spos = p }
+  | Tkw_continue ->
+    advance ps;
+    eat ps Tsemi;
+    { Ast.s = Ast.Scontinue; spos = p }
+  | Tkw_halt ->
+    advance ps;
+    eat ps Tlparen;
+    let message =
+      match (peek ps).tok with
+      | Tstring s ->
+        advance ps;
+        s
+      | t -> fail ps "halt expects a string message, found %s" (token_to_string t)
+    in
+    eat ps Trparen;
+    eat ps Tsemi;
+    { Ast.s = Ast.Shalt message; spos = p }
+  | _ ->
+    let s = parse_simple ps in
+    eat ps Tsemi;
+    s
+
+and parse_block ps =
+  eat ps Tlbrace;
+  let rec go acc =
+    if (peek ps).tok = Trbrace then begin
+      advance ps;
+      List.rev acc
+    end
+    else go (parse_stmt ps :: acc)
+  in
+  go []
+
+let parse_func ps =
+  let p = pos ps in
+  eat ps Tkw_fn;
+  let name = eat_ident ps in
+  eat ps Tlparen;
+  let params =
+    if (peek ps).tok = Trparen then []
+    else begin
+      let first = eat_ident ps in
+      let rec more acc =
+        if (peek ps).tok = Tcomma then begin
+          advance ps;
+          more (eat_ident ps :: acc)
+        end
+        else List.rev acc
+      in
+      more [ first ]
+    end
+  in
+  eat ps Trparen;
+  let body = parse_block ps in
+  { Ast.fname = name; params; body; fpos = p }
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let ps = { toks; at = 0 } in
+  let rec go acc =
+    if (peek ps).tok = Teof then List.rev acc else go (parse_func ps :: acc)
+  in
+  go []

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniC.
+
+    Precedence, lowest first:
+    [||], [&&], [|], [^], [&], [== !=],
+    [< <= > >= <u <=u >u >=u], [<< >> >>>], [+ -], [* / %];
+    unary [! ~ -]; postfix call and byte indexing.
+
+    Assignment is a statement, not an expression; [x = e;] assigns a
+    variable and [b[i] = e;] stores a byte. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Raises [Error] (or [Lexer.Error]) on malformed input. *)

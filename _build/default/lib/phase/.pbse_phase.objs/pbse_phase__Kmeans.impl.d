@@ -1,0 +1,1 @@
+lib/phase/kmeans.ml: Array Pbse_util

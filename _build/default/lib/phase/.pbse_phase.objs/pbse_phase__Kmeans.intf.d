@@ -1,0 +1,1 @@
+lib/phase/kmeans.mli: Pbse_util

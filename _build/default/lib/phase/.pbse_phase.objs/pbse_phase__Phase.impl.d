@@ -1,0 +1,1 @@
+lib/phase/phase.ml: Array Char Int Kmeans List Option Pbse_concolic String

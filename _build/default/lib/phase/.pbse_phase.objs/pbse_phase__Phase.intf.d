@@ -1,0 +1,1 @@
+lib/phase/phase.mli: Pbse_concolic Pbse_util

@@ -1,0 +1,115 @@
+module Rng = Pbse_util.Rng
+
+type vector = (int * float) array
+
+let distance2 v centroid =
+  (* |v - c|^2 = |c|^2 + sum_over_v ((v_i - c_i)^2 - c_i^2) *)
+  let c2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 centroid in
+  Array.fold_left
+    (fun acc (dim, x) ->
+      let c = centroid.(dim) in
+      let d = x -. c in
+      acc +. (d *. d) -. (c *. c))
+    c2 v
+
+type clustering = {
+  k : int;
+  assignment : int array;
+  centroids : float array array;
+  inertia : float;
+}
+
+let max_iterations = 25
+
+let cluster rng ~k ~dim vectors =
+  if k < 1 then invalid_arg "Kmeans.cluster: k < 1";
+  if dim < 1 then invalid_arg "Kmeans.cluster: dim < 1";
+  let n = Array.length vectors in
+  if n = 0 then invalid_arg "Kmeans.cluster: no vectors";
+  let dense v =
+    let c = Array.make dim 0.0 in
+    Array.iter (fun (d, x) -> c.(d) <- x) v;
+    c
+  in
+  (* k-means++ seeding *)
+  let centroids = Array.make k [||] in
+  centroids.(0) <- dense vectors.(Rng.int rng n);
+  let d2 = Array.map (fun v -> distance2 v centroids.(0)) vectors in
+  for c = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let choice =
+      if total <= 0.0 then Rng.int rng n
+      else begin
+        let r = Rng.float rng total in
+        let acc = ref 0.0 in
+        let chosen = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i w ->
+               acc := !acc +. w;
+               if !acc >= r then begin
+                 chosen := i;
+                 raise Exit
+               end)
+             d2
+         with Exit -> ());
+        !chosen
+      end
+    in
+    centroids.(c) <- dense vectors.(choice);
+    Array.iteri
+      (fun i v ->
+        let d = distance2 v centroids.(c) in
+        if d < d2.(i) then d2.(i) <- d)
+      vectors
+  done;
+  let assignment = Array.make n 0 in
+  let assign () =
+    let changed = ref false in
+    let inertia = ref 0.0 in
+    Array.iteri
+      (fun i v ->
+        let best = ref 0 and best_d = ref infinity in
+        for c = 0 to k - 1 do
+          let d = distance2 v centroids.(c) in
+          if d < !best_d then begin
+            best_d := d;
+            best := c
+          end
+        done;
+        if assignment.(i) <> !best then begin
+          assignment.(i) <- !best;
+          changed := true
+        end;
+        inertia := !inertia +. !best_d)
+      vectors;
+    (!changed, !inertia)
+  in
+  let recompute () =
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let counts = Array.make k 0 in
+    Array.iteri
+      (fun i v ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        Array.iter (fun (d, x) -> sums.(c).(d) <- sums.(c).(d) +. x) v)
+      vectors;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then begin
+        let inv = 1.0 /. float_of_int counts.(c) in
+        Array.iteri (fun d x -> sums.(c).(d) <- x *. inv) sums.(c);
+        centroids.(c) <- sums.(c)
+      end
+      (* empty clusters keep their previous centroid *)
+    done
+  in
+  let rec iterate i _inertia =
+    let changed, inertia' = assign () in
+    if changed && i < max_iterations then begin
+      recompute ();
+      iterate (i + 1) inertia'
+    end
+    else inertia'
+  in
+  let inertia = iterate 0 infinity in
+  { k; assignment; centroids; inertia }

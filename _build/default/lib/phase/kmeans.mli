@@ -1,0 +1,25 @@
+(** k-means clustering over sparse vectors.
+
+    Deterministic (seeded k-means++ initialisation, Lloyd iterations to a
+    fixed point or an iteration cap). Used to group per-interval BBVs
+    into program phases. *)
+
+type vector = (int * float) array
+(** Sparse: (dimension, value), sorted by dimension, no duplicates. *)
+
+val distance2 : vector -> float array -> float
+(** Squared Euclidean distance between a sparse vector and a dense
+    centroid. *)
+
+type clustering = {
+  k : int;
+  assignment : int array; (* vector index -> cluster in [0, k) *)
+  centroids : float array array;
+  inertia : float; (* sum of squared distances to assigned centroids *)
+}
+
+val cluster :
+  Pbse_util.Rng.t -> k:int -> dim:int -> vector array -> clustering
+(** Raises [Invalid_argument] when [k < 1], [dim < 1] or there are no
+    vectors. When there are fewer vectors than [k], surplus clusters stay
+    empty. *)

@@ -1,0 +1,50 @@
+(** Phase division and trap-phase identification (paper §III-B1).
+
+    BBVs are normalised, optionally augmented with a coverage element
+    (the paper's improvement, Fig. 4), and clustered with k-means. The k
+    in [1, max_k] that yields the most trap phases wins (smallest k on
+    ties). A cluster is a trap phase when it owns a run of at least
+    [trap_run_threshold] consecutive intervals — code repeating across
+    a long stretch of time without coverage progress, exactly the loops
+    that trap symbolic execution. *)
+
+type mode =
+  | Bbv_only
+  | Bbv_with_coverage
+
+type phase = {
+  pid : int; (* cluster id *)
+  intervals : int array; (* interval indices, ascending *)
+  first_vtime : int;
+  trap : bool;
+  longest_run : int; (* longest consecutive-interval run *)
+}
+
+type division = {
+  mode : mode;
+  k : int;
+  assignment : int array; (* per BBV, cluster id *)
+  phases : phase list; (* ordered by first_vtime *)
+  trap_count : int;
+}
+
+val trap_run_threshold : int -> int
+(** [trap_run_threshold nbbvs] — 5% of the BBV count, at least 2. *)
+
+val divide :
+  ?mode:mode ->
+  ?max_k:int ->
+  Pbse_util.Rng.t ->
+  Pbse_concolic.Bbv.t list ->
+  division
+(** Raises [Invalid_argument] when no BBVs were gathered. [max_k]
+    defaults to 20 (the paper tries k in 1..20). *)
+
+val phase_of_interval : division -> Pbse_concolic.Bbv.t list -> int -> int option
+(** [phase_of_interval division bbvs interval] maps an interval index to
+    the id (cluster) of its phase; intervals with no recorded BBV map to
+    the nearest earlier recorded interval. *)
+
+val render_strip : division -> string
+(** One character per BBV: cluster letter, uppercase for trap phases —
+    a textual rendition of the paper's Fig. 4 colour strips. *)

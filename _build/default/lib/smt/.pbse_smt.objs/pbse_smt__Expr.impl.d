@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Buffer Hashtbl Int Int64 List Pbse_ir Printf Semantics Weak

@@ -1,0 +1,1 @@
+lib/smt/expr.mli: Pbse_ir

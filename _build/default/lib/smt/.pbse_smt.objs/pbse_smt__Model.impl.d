@@ -1,0 +1,1 @@
+lib/smt/model.ml: Bytes Char Expr Int List Map Semantics

@@ -1,0 +1,1 @@
+lib/smt/semantics.ml: Int64 Pbse_ir

@@ -1,0 +1,1 @@
+lib/smt/semantics.mli: Pbse_ir

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Bytes Expr Hashtbl Int Int64 Interval List Model Semantics

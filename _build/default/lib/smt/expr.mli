@@ -1,0 +1,67 @@
+(** Hash-consed symbolic expressions over 64-bit values.
+
+    Leaves are 64-bit constants and [Read i] — the i-th byte of the
+    symbolic input file, always in [0, 255]. Operators are exactly the IR
+    operators (their semantics is {!Semantics}), plus if-then-else.
+
+    Hash-consing gives every structurally distinct expression a unique
+    [id]; equality is O(1), and sets of expressions (path conditions,
+    solver caches) key on ids. Smart constructors constant-fold and apply
+    algebraic simplifications, so a fully concrete computation never
+    allocates a symbolic node. *)
+
+type t = private {
+  id : int;
+  hkey : int;
+  node : node;
+  max_read : int; (* largest input index read; -1 when concrete *)
+  nodes : int; (* structural size, for budget heuristics *)
+  bits : int64;
+  (* sound superset of the bits the value can have set; when non-negative
+     it doubles as an unsigned upper bound. Lets the solver treat
+     disjoint-bit [Or] compositions (little-endian field reads) exactly. *)
+}
+
+and node =
+  | Const of int64
+  | Read of int
+  | Bin of Pbse_ir.Types.binop * t * t
+  | Un of Pbse_ir.Types.unop * t
+  | Ite of t * t * t
+
+val const : int64 -> t
+val of_int : int -> t
+val zero : t
+val one : t
+
+val read : int -> t
+(** [read i] is input byte [i]; raises [Invalid_argument] on negative [i]. *)
+
+val bin : Pbse_ir.Types.binop -> t -> t -> t
+val un : Pbse_ir.Types.unop -> t -> t
+val ite : t -> t -> t -> t
+
+val lognot : t -> t
+(** Boolean negation: comparison nodes flip to their complements, any
+    other expression [e] becomes [e == 0]. [lognot (lognot e)] is truthy
+    exactly when [e] is. *)
+
+val is_const : t -> int64 option
+val is_concrete : t -> bool
+(** True when the expression mentions no input byte. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val reads : t -> int list
+(** Sorted, distinct input-byte indices mentioned. *)
+
+val eval : (int -> int) -> t -> int64
+(** [eval lookup e] evaluates under the byte assignment [lookup]
+    (values are masked to [0, 255]). *)
+
+val to_string : t -> string
+
+val table_stats : unit -> int
+(** Number of live hash-consed nodes (diagnostic). *)

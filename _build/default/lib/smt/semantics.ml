@@ -1,0 +1,47 @@
+open Pbse_ir.Types
+
+let bool_val b = if b then 1L else 0L
+
+let shift_amount b = if Int64.unsigned_compare b 64L >= 0 then None else Some (Int64.to_int b)
+
+let binop op a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Udiv -> if b = 0L then 0L else Int64.unsigned_div a b
+  | Sdiv ->
+    if b = 0L then 0L
+    else if a = Int64.min_int && b = -1L then Int64.min_int
+    else Int64.div a b
+  | Urem -> if b = 0L then a else Int64.unsigned_rem a b
+  | Srem ->
+    if b = 0L then a else if a = Int64.min_int && b = -1L then 0L else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> (match shift_amount b with None -> 0L | Some n -> Int64.shift_left a n)
+  | Lshr -> (match shift_amount b with None -> 0L | Some n -> Int64.shift_right_logical a n)
+  | Ashr ->
+    (match shift_amount b with
+     | None -> if a < 0L then -1L else 0L
+     | Some n -> Int64.shift_right a n)
+  | Eq -> bool_val (a = b)
+  | Ne -> bool_val (a <> b)
+  | Ult -> bool_val (Int64.unsigned_compare a b < 0)
+  | Ule -> bool_val (Int64.unsigned_compare a b <= 0)
+  | Slt -> bool_val (a < b)
+  | Sle -> bool_val (a <= b)
+
+let unop op a =
+  match op with
+  | Neg -> Int64.neg a
+  | Not -> Int64.lognot a
+  | Sext8 -> Int64.shift_right (Int64.shift_left a 56) 56
+  | Sext16 -> Int64.shift_right (Int64.shift_left a 48) 48
+  | Sext32 -> Int64.shift_right (Int64.shift_left a 32) 32
+  | Trunc8 -> Int64.logand a 0xFFL
+  | Trunc16 -> Int64.logand a 0xFFFFL
+  | Trunc32 -> Int64.logand a 0xFFFFFFFFL
+
+let truthy v = v <> 0L

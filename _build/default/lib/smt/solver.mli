@@ -1,0 +1,62 @@
+(** Constraint solver over symbolic input bytes.
+
+    Queries are conjunctions of expressions required to be truthy
+    (nonzero), exactly like KLEE path conditions. The solver is a complete
+    backtracking search over the byte domains of the mentioned input
+    positions, accelerated by:
+
+    - model reuse: the caller's hint model (usually the state's last
+      model, or the concolic seed) is tried before any search;
+    - independence slicing: constraints are partitioned by the input
+      bytes they share, and each group is solved separately;
+    - interval propagation: per-group arc-consistency passes narrow byte
+      domains before and during search;
+    - a query cache keyed on hash-consed expression ids.
+
+    Every answer is budgeted. [Sat]/[Unsat] answers are definitive;
+    [Unknown] means the work budget ran out. Each call reports the work
+    it performed so the engine can charge virtual time for solver effort. *)
+
+type result =
+  | Sat of Model.t
+  | Unsat
+  | Unknown
+
+type stats = {
+  mutable queries : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable cache_hits : int;
+  mutable hint_hits : int;
+  mutable search_nodes : int;
+  mutable work : int; (* total work units across all queries *)
+}
+
+type t
+
+val create : ?budget:int -> unit -> t
+(** [budget] is the work allowance per [check] call (default 60_000). *)
+
+val stats : t -> stats
+
+val check : t -> ?hint:Model.t -> Expr.t list -> result * int
+(** [check t ~hint cs] decides the conjunction [cs]; the integer is the
+    work performed by this call. A [Sat] model binds every input byte
+    mentioned in [cs] and inherits [hint] elsewhere. *)
+
+val check_assuming :
+  t -> ?hint:Model.t -> path:Expr.t list -> Expr.t list -> result * int
+(** [check_assuming t ~hint ~path extra] decides [path @ extra] under the
+    caller-guaranteed invariant that [hint] already satisfies every
+    constraint in [path]. Only the constraints transitively sharing input
+    bytes with [extra] are re-examined, which makes the per-branch
+    queries of symbolic execution O(component) instead of O(path). The
+    result is as definitive as [check]'s: disjoint path constraints stay
+    satisfied because the returned model only rebinds component bytes. *)
+
+val sat : t -> ?hint:Model.t -> Expr.t list -> bool
+(** [sat t cs] is true only on a definitive [Sat] answer ([Unknown]
+    counts as unsatisfiable, the engine's conservative choice). *)
+
+val clear_cache : t -> unit

@@ -1,0 +1,1 @@
+lib/targets/binbuf.ml: Buffer Bytes Char List String

@@ -1,0 +1,1 @@
+lib/targets/binbuf.mli:

@@ -1,0 +1,1 @@
+lib/targets/bw_target.mli:

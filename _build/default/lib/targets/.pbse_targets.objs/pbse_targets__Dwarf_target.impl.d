@@ -1,0 +1,1 @@
+lib/targets/dwarf_target.ml: Binbuf Bytes List Prelude Printf String

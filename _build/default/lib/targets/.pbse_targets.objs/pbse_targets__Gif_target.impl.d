@@ -1,0 +1,1 @@
+lib/targets/gif_target.ml: Binbuf List Prelude

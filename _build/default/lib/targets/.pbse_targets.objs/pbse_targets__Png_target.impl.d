@@ -1,0 +1,1 @@
+lib/targets/png_target.ml: Binbuf Buffer Char List Prelude String

@@ -1,0 +1,1 @@
+lib/targets/png_target.mli:

@@ -1,0 +1,1 @@
+lib/targets/prelude.mli:

@@ -1,0 +1,1 @@
+lib/targets/readelf_target.ml: Binbuf List Prelude Printf String

@@ -1,0 +1,1 @@
+lib/targets/readelf_target.mli:

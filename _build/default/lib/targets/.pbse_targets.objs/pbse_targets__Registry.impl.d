@@ -1,0 +1,1 @@
+lib/targets/registry.ml: Bw_target Dwarf_target Gif_target Hashtbl List Pbse_ir Pbse_lang Png_target Readelf_target Rgba_target Tcpdump_target

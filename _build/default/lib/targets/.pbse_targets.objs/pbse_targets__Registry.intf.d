@@ -1,0 +1,1 @@
+lib/targets/registry.mli: Pbse_ir

@@ -1,0 +1,1 @@
+lib/targets/rgba_target.ml: Char Prelude String Tiff_common

@@ -1,0 +1,1 @@
+lib/targets/rgba_target.mli:

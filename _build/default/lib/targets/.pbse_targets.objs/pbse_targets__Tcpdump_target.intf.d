@@ -1,0 +1,1 @@
+lib/targets/tcpdump_target.mli:

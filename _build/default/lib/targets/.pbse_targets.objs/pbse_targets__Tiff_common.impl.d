@@ -1,0 +1,1 @@
+lib/targets/tiff_common.ml: Binbuf List String

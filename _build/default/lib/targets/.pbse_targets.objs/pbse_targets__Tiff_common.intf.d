@@ -1,0 +1,1 @@
+lib/targets/tiff_common.mli:

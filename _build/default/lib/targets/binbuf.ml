@@ -1,0 +1,29 @@
+type t = Buffer.t
+
+let create () = Buffer.create 256
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let u16 b v =
+  u8 b v;
+  u8 b (v lsr 8)
+
+let u32 b v =
+  u16 b v;
+  u16 b (v lsr 16)
+
+let raw b s = Buffer.add_string b s
+let fill b byte n = Buffer.add_string b (String.make n (Char.chr (byte land 0xFF)))
+let pos b = Buffer.length b
+
+(* Buffer has no random-access write; patching rebuilds the contents. *)
+let patch_bytes b offset values =
+  let data = Buffer.to_bytes b in
+  List.iteri
+    (fun i v -> Bytes.set data (offset + i) (Char.chr (v land 0xFF)))
+    values;
+  Buffer.clear b;
+  Buffer.add_bytes b data
+
+let patch_u16 b offset v = patch_bytes b offset [ v; v lsr 8 ]
+let patch_u32 b offset v = patch_bytes b offset [ v; v lsr 8; v lsr 16; v lsr 24 ]
+let contents b = Buffer.to_bytes b

@@ -1,0 +1,21 @@
+(** Little-endian binary buffer for constructing seed files. *)
+
+type t
+
+val create : unit -> t
+val u8 : t -> int -> unit
+val u16 : t -> int -> unit
+val u32 : t -> int -> unit
+val raw : t -> string -> unit
+val fill : t -> int -> int -> unit
+(** [fill b byte n] appends [n] copies of [byte]. *)
+
+val pos : t -> int
+(** Bytes appended so far. *)
+
+val patch_u16 : t -> int -> int -> unit
+(** [patch_u16 b offset v] overwrites two bytes already appended. *)
+
+val patch_u32 : t -> int -> int -> unit
+
+val contents : t -> bytes

@@ -1,0 +1,126 @@
+(* tiff2bw analog: grayscale conversion over the TIF-R front end.
+
+   Two planted bugs, both deep in the conversion stages:
+   - the pixel buffer is sized w*h assuming one sample per pixel, but the
+     averaging loop indexes (pixel * spp + s) — samples-per-pixel 3 runs
+     off the end (oob-read);
+   - the min-is-white inversion pass has an off-by-one row bound
+     (r <= h), writing one row past the output buffer (oob-write). *)
+
+let name = "tiff2bw"
+let package = "libtiff-4.0.6"
+
+let planted_bugs =
+  [
+    ("spp-oob-read", "oob-read");
+    ("invert-row-oob-write", "oob-write");
+  ]
+
+let body =
+  {|
+// ---------------- tiff2bw driver ----------------
+
+// BUG(spp-oob-read, oob-read): sbuf holds w*h bytes but the averaging
+// loop reads (row*w + col) * spp + s, overrunning when spp > 1.
+fn average_samples(sbuf, w, h, spp, obuf) {
+  var row = 0;
+  while (row < h) {
+    var col = 0;
+    while (col < w) {
+      var acc = 0;
+      var s = 0;
+      while (s < spp) {
+        acc = acc + sbuf[(row * w + col) * spp + s];
+        s = s + 1;
+      }
+      obuf[row * w + col] = t8(acc / spp);
+      col = col + 1;
+    }
+    row = row + 1;
+  }
+  return 0;
+}
+
+// BUG(invert-row-oob-write, oob-write): the row loop bound is r <= h, so
+// the min-is-white inversion writes one row past the output buffer.
+fn invert_min_is_white(sbuf, obuf, w, h) {
+  var r = 0;
+  while (r <= h) {
+    var c = 0;
+    while (c < w) {
+      var v = 255 - sbuf[imin(r, h - 1) * w + c];
+      obuf[r * w + c] = v;
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return 0;
+}
+
+fn main() {
+  var ifd = tiff_check_header();
+  if (ifd < 0) { out(7000); return 1; }
+  var fields = alloc(24);
+  if (tiff_parse_ifd(ifd, fields) == 0) { return 1; }
+  if (tiff_validate(fields) == 0) { return 1; }
+  var w = ld16(fields);
+  var h = ld16(fields + 2);
+  var photometric = ld16(fields + 8);
+  var strip_off = ld16(fields + 10);
+  var strip_len = ld16(fields + 14);
+  var spp = ld16(fields + 12);
+  var compression = ld16(fields + 6);
+  describe_orientation(ld16(fields + 16));
+  if (spp == 0 || spp > 4) { out(7007); return 1; }
+  var npix = w * h;
+  var sbuf = alloc(npix);
+  if (compression == 5) {
+    unpack_bits(strip_off, strip_len, sbuf, npix);
+  } else {
+    copy_in(sbuf, 0, strip_off, imin(strip_len, npix));
+  }
+  var obuf = alloc(npix);
+  average_samples(sbuf, w, h, spp, obuf);
+  if (photometric == 0) {
+    invert_min_is_white(sbuf, obuf, w, h);
+  }
+  // emit a digest of the converted image
+  var sum = 0;
+  var i = 0;
+  while (i < npix) {
+    sum = t16(sum + obuf[i]);
+    i = i + 1;
+  }
+  out(sum);
+  out(77780);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap (Tiff_common.header_source ^ body)
+
+let seed_small () =
+  Tiff_common.build_file
+    [ (256, 6); (257, 6); (258, 8); (262, 1); (277, 1) ]
+    ~strip:(String.init 36 (fun i -> Char.chr (255 - (i * 3 land 0xFF))))
+
+let seed_large () =
+  Tiff_common.build_file
+    [ (256, 26); (257, 52); (258, 8); (262, 1); (277, 1) ]
+    ~strip:(String.init 1352 (fun i -> Char.chr (i * 11 land 0xFF)))
+
+(* triggers spp-oob-read: three samples per pixel over a one-sample buffer *)
+let seed_buggy_spp () =
+  Tiff_common.build_file
+    [ (256, 6); (257, 6); (258, 8); (262, 1); (277, 3) ]
+    ~strip:(String.make 36 'p')
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ( "gray",
+      Tiff_common.build_file
+        [ (256, 12); (257, 10); (258, 8); (262, 1); (277, 1) ]
+        ~strip:(String.make 120 'g') );
+  ]

@@ -1,0 +1,673 @@
+(* dwarfdump analog over the synthetic "DORF" debug-info format.
+
+   Layout (little-endian):
+     header, 48 bytes:
+       0..3  magic "DORF"        4..5  version (2..4)
+       6..9  abbrev_off          10..11 abbrev_count
+       12..15 info_off           16..17 info_size
+       18..21 str_off            22..23 str_size
+       24..27 line_off           28..29 line_size
+       30..33 aranges_off        34..35 aranges_size
+       36..39 frame_off          40..41 frame_size
+       42..45 macro_off          46..47 macro_size
+     abbrev entry: code uleb, tag uleb, has_children u8, then
+       (attr uleb, form uleb) pairs terminated by (0,0); at most 4 pairs
+       are retained. Forms: 1 ref2 (u16), 2 data1, 3 data2, 4 data4,
+       5 string (uleb offset into .str).
+     info: CU name offset u16, then a DIE tree: code uleb, attribute
+       values per the abbrev, children (if flagged) until a 0 code.
+     line: fncount uleb, opcode_count u8, opcode lengths, then a
+       bytecoded state machine (1 advance-pc uleb, 2 set-file uleb,
+       3 advance-line uleb, 4 copy, 0 extended/end).
+
+   ULEB decoding, the DIE recursion and the line-number state machine
+   give this target the most trap phases of the four (the paper found
+   9-11 on dwarfdump seeds) and it carries the most planted bugs, like
+   libdwarf carried 10 of the paper's 21. *)
+
+let name = "dwarfdump"
+let package = "libdwarf-20151114"
+
+let planted_bugs =
+  [
+    ("abbrev-code-oob-read", "oob-read"); (* CVE-2015-8538 analog *)
+    ("cu-name-oob-read", "oob-read");
+    ("form-string-oob-read", "oob-read"); (* CVE-2015-8750 analog *)
+    ("sibling-ref-oob-read", "oob-read"); (* CVE-2016-2050 analog *)
+    ("line-file-index-oob-read", "oob-read"); (* CVE-2016-2091 analog *)
+    ("line-ftable-alloc-overflow", "oob-write");
+    ("line-opcode-lengths-oob-write", "oob-write");
+    ("null-abbrev-table-deref", "null-deref"); (* CVE-2014-9482 analog *)
+  ]
+
+let body =
+  {|
+// ---------------- dwarfdump driver (DORF format) ----------------
+
+fn dorf_check_header() {
+  if (in(0) != 'D') { return 0; }
+  if (in(1) != 'O') { return 0; }
+  if (in(2) != 'R') { return 0; }
+  if (in(3) != 'F') { return 0; }
+  var version = iu16(4);
+  if (version < 2 || version > 4) { return 0; }
+  return 1;
+}
+
+// Abbrev slots: 16 bytes each, [tag, has_children, nattrs, pad,
+// (attr, form) x 4, pad...]. Valid codes are 1..63.
+fn parse_abbrevs(off, count, abbrevs) {
+  var pos = off;
+  var n = 0;
+  while (n < count) {
+    var code = uleb(pos);
+    pos = pos + uleb_len(pos);
+    if (code == 0 || code >= 64) { out(5001); return 0; }
+    var tag = uleb(pos);
+    pos = pos + uleb_len(pos);
+    var children = in(pos);
+    pos = pos + 1;
+    var slot = code * 16;
+    abbrevs[slot] = t8(tag);
+    abbrevs[slot + 1] = children;
+    var nattrs = 0;
+    var guard = 0;
+    while (guard < 8) {
+      var attr = uleb(pos);
+      pos = pos + uleb_len(pos);
+      var form = uleb(pos);
+      pos = pos + uleb_len(pos);
+      if (attr == 0 && form == 0) { break; }
+      if (nattrs < 4) {
+        abbrevs[slot + 4 + nattrs * 2] = t8(attr);
+        abbrevs[slot + 5 + nattrs * 2] = t8(form);
+        nattrs = nattrs + 1;
+      }
+      guard = guard + 1;
+    }
+    abbrevs[slot + 2] = nattrs;
+    n = n + 1;
+  }
+  return 1;
+}
+
+// BUG(form-string-oob-read, oob-read): scans for NUL past str_size.
+fn read_str(strbuf, off) {
+  var len = 0;
+  while (strbuf[off + len] != 0) {
+    len = len + 1;
+  }
+  return len;
+}
+
+// the bounded variant used by the (correct) macro section code
+fn read_str_safe(strbuf, str_size, off) {
+  var len = 0;
+  while (off + len <u str_size && strbuf[off + len] != 0) {
+    len = len + 1;
+  }
+  return len;
+}
+
+// Parse one DIE; returns the new offset within the info buffer.
+fn parse_die(infobuf, info_size, pos, abbrevs, strbuf, str_size, depth) {
+  if (depth > 16) { out(5002); return info_size; }
+  if (pos >= info_size) { return info_size; }
+  var code = uleb_buf(infobuf, pos);
+  pos = pos + uleb_buf_len(infobuf, pos);
+  if (code == 0) { return pos; }
+  // BUG(abbrev-code-oob-read, oob-read): the code is not checked
+  // against the table bound.
+  // BUG(null-abbrev-table-deref, null-deref): the table pointer is null
+  // when the file declares no abbrevs, yet DIE parsing dereferences it.
+  var slot = code * 16;
+  var tag = abbrevs[slot];
+  var children = abbrevs[slot + 1];
+  var nattrs = abbrevs[slot + 2];
+  out(tag);
+  var a = 0;
+  while (a < nattrs) {
+    var form = abbrevs[slot + 5 + a * 2];
+    if (form == 1) {
+      // BUG(sibling-ref-oob-read, oob-read): u16 reference used as an
+      // unchecked index into the info buffer.
+      var ref = ld16(infobuf + pos);
+      pos = pos + 2;
+      out(infobuf[ref]);
+    } else { if (form == 2) {
+      out(infobuf[imin(pos, info_size - 1)]);
+      pos = pos + 1;
+    } else { if (form == 3) {
+      pos = pos + 2;
+    } else { if (form == 4) {
+      pos = pos + 4;
+    } else { if (form == 5) {
+      var soff = uleb_buf(infobuf, pos);
+      pos = pos + uleb_buf_len(infobuf, pos);
+      out(read_str(strbuf, soff));
+    } else { if (form == 6) {
+      // block: length byte then raw bytes, digested
+      var blen = infobuf[imin(pos, info_size - 1)];
+      pos = pos + 1;
+      var sum = 0;
+      var k = 0;
+      while (k < blen && pos + k < info_size) {
+        sum = t8(sum + infobuf[pos + k]);
+        k = k + 1;
+      }
+      pos = pos + blen;
+      out(sum);
+    } else { if (form == 7) {
+      // flag: no data
+      out(1);
+    } else { if (form == 8) {
+      pos = pos + 4;
+      out(8);
+    } else {
+      out(5003);
+    } } } } } } } }
+    a = a + 1;
+  }
+  if (children != 0) {
+    var guard = 0;
+    while (pos < info_size && guard < 16) {
+      var peek = uleb_buf(infobuf, pos);
+      if (peek == 0) { pos = pos + 1; break; }
+      pos = parse_die(infobuf, info_size, pos, abbrevs, strbuf, str_size, depth + 1);
+      guard = guard + 1;
+    }
+  }
+  return pos;
+}
+
+// uleb over an in-memory buffer
+fn uleb_buf(buf, o) {
+  var result = 0;
+  var shift = 0;
+  var i = 0;
+  while (i < 5) {
+    var byte = buf[o + i];
+    result = result | ((byte & 0x7F) << shift);
+    if ((byte & 0x80) == 0) { return result; }
+    shift = shift + 7;
+    i = i + 1;
+  }
+  return result;
+}
+
+fn uleb_buf_len(buf, o) {
+  var i = 0;
+  while (i < 5) {
+    if ((buf[o + i] & 0x80) == 0) { return i + 1; }
+    i = i + 1;
+  }
+  return 5;
+}
+
+// .aranges: count u16 then (addr u32, len u16) pairs until (0, 0)
+fn parse_aranges(off, size) {
+  if (size < 2) { return 0; }
+  var declared = iu16(off);
+  var pos = off + 2;
+  var end = off + size;
+  var seen = 0;
+  while (pos + 6 <= end && seen < 64) {
+    var addr = iu32(pos);
+    var len = iu16(pos + 4);
+    pos = pos + 6;
+    if (addr == 0 && len == 0) { break; }
+    if (len == 0) { out(5020); }
+    else { out(addr + len); }
+    seen = seen + 1;
+  }
+  if (seen != declared) { out(5021); }
+  return seen;
+}
+
+// .frame: length-prefixed CIE/FDE records, with a call-frame instruction
+// decoder for FDE bodies (high-2-bit primary opcodes, as in DWARF CFI)
+fn decode_cfi(off, len) {
+  var pos = 0;
+  var guard = 0;
+  while (pos < len && guard < 64) {
+    var op = in(off + pos);
+    pos = pos + 1;
+    var primary = op >> 6;
+    if (primary == 1) { out(6100 + (op & 63)); }        // advance_loc
+    else { if (primary == 2) {
+      // offset: register in low bits, uleb operand follows
+      out(6200 + (op & 63));
+      pos = pos + uleb_len(off + pos);
+    } else { if (primary == 3) { out(6300 + (op & 63)); } // restore
+    else {
+      if (op == 0) { out(6000); }                        // nop
+      else { if (op == 12) {                             // def_cfa reg, off
+        out(6012);
+        pos = pos + uleb_len(off + pos);
+        pos = pos + uleb_len(off + pos);
+      } else { if (op == 14) {                           // def_cfa_offset
+        out(6014);
+        pos = pos + uleb_len(off + pos);
+      } else {
+        out(6001);
+      } } }
+    } } }
+    guard = guard + 1;
+  }
+  return pos;
+}
+
+fn parse_frame(off, size) {
+  var pos = off;
+  var end = off + size;
+  var records = 0;
+  while (pos + 4 <= end && records < 16) {
+    var rlen = iu16(pos);
+    var id = iu16(pos + 2);
+    if (rlen == 0) { break; }
+    if (pos + 4 + rlen > end) { out(5030); break; }
+    if (id == 0xFFFF) {
+      // CIE: version, augmentation string, alignments, return register
+      var version = in(pos + 4);
+      if (version < 1 || version > 4) { out(5031); }
+      var aug = pos + 5;
+      var alen = 0;
+      while (alen < 8 && in(aug + alen) != 0) {
+        if (in(aug + alen) == 'z') { out(5032); }
+        alen = alen + 1;
+      }
+      var p2 = aug + alen + 1;
+      out(uleb(p2));
+      p2 = p2 + uleb_len(p2);
+      out(uleb(p2));
+    } else {
+      // FDE: pc range then call-frame instructions
+      var pc_begin = iu32(pos + 4);
+      var pc_range = iu16(pos + 8);
+      if (pc_range == 0) { out(5033); }
+      out(pc_begin);
+      decode_cfi(pos + 10, rlen - 6);
+    }
+    pos = pos + 4 + rlen;
+    records = records + 1;
+  }
+  return records;
+}
+
+// .macro: type-tagged entries referencing the string table (offsets
+// checked here — the unchecked variants are the planted DIE bugs)
+fn parse_macro(off, size, strbuf, str_size) {
+  var pos = off;
+  var end = off + size;
+  var guard = 0;
+  while (pos < end && guard < 64) {
+    var kind = in(pos);
+    pos = pos + 1;
+    if (kind == 0) { break; }
+    if (kind == 1) {
+      // define: line uleb, name offset uleb
+      var line = uleb(pos);
+      pos = pos + uleb_len(pos);
+      var noff = uleb(pos);
+      pos = pos + uleb_len(pos);
+      out(line);
+      out(read_str_safe(strbuf, str_size, noff));
+    } else { if (kind == 2) {
+      // undef: name offset uleb
+      var noff = uleb(pos);
+      pos = pos + uleb_len(pos);
+      out(read_str_safe(strbuf, str_size, noff));
+    } else {
+      out(5040);
+      break;
+    } }
+    guard = guard + 1;
+  }
+  return 0;
+}
+
+fn parse_line_program(off, size, strbuf, str_size) {
+  if (size < 3) { return 0; }
+  var fncount = uleb(off);
+  var pos = off + uleb_len(off);
+  // BUG(line-ftable-alloc-overflow, oob-write): the table size is
+  // truncated to 8 bits but the fill loop is not.
+  var ftable = alloc(imax(t8(fncount * 2), 1));
+  var i = 0;
+  while (i < fncount) {
+    ftable[i * 2] = in(pos);
+    ftable[i * 2 + 1] = 1;
+    pos = pos + 1;
+    i = i + 1;
+  }
+  var opcode_count = in(pos);
+  pos = pos + 1;
+  var olens = alloc(12);
+  var oi = 0;
+  while (oi < opcode_count) {
+    // BUG(line-opcode-lengths-oob-write, oob-write): the standard
+    // opcode-length table is fixed at 12 entries, the count is not.
+    olens[oi] = in(pos);
+    pos = pos + 1;
+    oi = oi + 1;
+  }
+  // the state machine: a classic trap phase
+  var line = 1;
+  var addr = 0;
+  var fileno = 1;
+  var end = off + size;
+  var guard = 0;
+  while (pos < end && guard < 256) {
+    var op = in(pos);
+    pos = pos + 1;
+    if (op == 0) {
+      // extended: length, then sub-opcode
+      var elen = in(pos);
+      var sub = in(pos + 1);
+      if (sub == 1) { out(5060); }                      // end_sequence
+      else { if (sub == 2) { out(iu32(pos + 2)); }      // set_address
+      else { if (sub == 3) {                            // define_file
+        var fidx = in(pos + 2);
+        out(5063 + fidx);
+      } else {
+        out(5064);
+      } } }
+      pos = pos + 1 + elen;
+    } else { if (op == 1) {
+      addr = addr + uleb(pos);
+      pos = pos + uleb_len(pos);
+    } else { if (op == 2) {
+      fileno = uleb(pos);
+      pos = pos + uleb_len(pos);
+      // BUG(line-file-index-oob-read, oob-read): the file index is used
+      // without checking it against the table size.
+      out(ftable[fileno * 2]);
+    } else { if (op == 3) {
+      line = line + uleb(pos);
+      pos = pos + uleb_len(pos);
+    } else { if (op == 4) {
+      out(addr + line * 1000);
+    } else {
+      // special opcode
+      line = line + (op % 10);
+      addr = addr + (op / 10);
+    } } } } }
+    guard = guard + 1;
+  }
+  out(line);
+  out(addr);
+  return 0;
+}
+
+fn main() {
+  if (dorf_check_header() == 0) { out(5000); return 1; }
+  var abbrev_off = iu32(6);
+  var abbrev_count = iu16(10);
+  var info_off = iu32(12);
+  var info_size = iu16(16);
+  var str_off = iu32(18);
+  var str_size = iu16(22);
+  var line_off = iu32(24);
+  var line_size = iu16(28);
+  var aranges_off = iu32(30);
+  var aranges_size = iu16(34);
+  var frame_off = iu32(36);
+  var frame_size = iu16(40);
+  var macro_off = iu32(42);
+  var macro_size = iu16(46);
+  if (abbrev_count > 32) { out(5004); return 1; }
+  if (info_size > 4096 || str_size > 4096 || line_size > 4096) { out(5005); return 1; }
+  var size = in_size();
+  if (abbrev_count > 0 && (abbrev_off < 48 || abbrev_off > size)) { out(5006); return 1; }
+  if (info_size > 0 && (info_off < 48 || info_off + info_size > size)) { out(5007); return 1; }
+  if (str_size > 0 && (str_off < 48 || str_off + str_size > size)) { out(5008); return 1; }
+  if (line_size > 0 && (line_off < 48 || line_off + line_size > size)) { out(5009); return 1; }
+  if (aranges_size > 0 && (aranges_off < 48 || aranges_off + aranges_size > size)) { out(5010); return 1; }
+  if (frame_size > 0 && (frame_off < 48 || frame_off + frame_size > size)) { out(5011); return 1; }
+  if (macro_size > 0 && (macro_off < 48 || macro_off + macro_size > size)) { out(5012); return 1; }
+  // .str
+  var strbuf = alloc(imax(str_size, 1));
+  copy_in(strbuf, 0, str_off, str_size);
+  // .abbrev: the table stays null when the file declares no abbrevs
+  var abbrevs = 0;
+  if (abbrev_count > 0) {
+    abbrevs = alloc(1024);
+    if (parse_abbrevs(abbrev_off, abbrev_count, abbrevs) == 0) { return 1; }
+  }
+  // .info
+  if (info_size > 2) {
+    var infobuf = alloc(info_size);
+    copy_in(infobuf, 0, info_off, info_size);
+    // BUG(cu-name-oob-read, oob-read): the CU name offset is unchecked
+    // and this scan has no table bound.
+    var name_off = ld16(infobuf);
+    var name_len = 0;
+    while (strbuf[name_off + name_len] != 0) {
+      name_len = name_len + 1;
+    }
+    out(name_len);
+    var pos = 2;
+    var guard = 0;
+    while (pos < info_size && guard < 32) {
+      pos = parse_die(infobuf, info_size, pos, abbrevs, strbuf, str_size, 0);
+      guard = guard + 1;
+    }
+  }
+  // .line
+  if (line_size > 0) {
+    parse_line_program(line_off, line_size, strbuf, str_size);
+  }
+  // .aranges, .frame and .macro
+  if (aranges_size > 0) { parse_aranges(aranges_off, aranges_size); }
+  if (frame_size > 0) { parse_frame(frame_off, frame_size); }
+  if (macro_size > 0) { parse_macro(macro_off, macro_size, strbuf, str_size); }
+  out(77782);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap body
+
+(* --- seeds ----------------------------------------------------------------- *)
+
+let uleb_encode buf v =
+  let rec go v =
+    if v < 0x80 then Binbuf.u8 buf v
+    else begin
+      Binbuf.u8 buf (0x80 lor (v land 0x7F));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+(* A consistent DORF file: [nabbrevs] abbrevs, a DIE tree of [ndies]
+   top-level entries each carrying a string and a data1 attribute, a
+   string table with NUL-terminated names, and a line program with
+   [nlineops] opcodes. *)
+let build_seed ~nabbrevs ~ndies ~nlineops ~strpad =
+  let b = Binbuf.create () in
+  Binbuf.raw b "DORF";
+  Binbuf.u16 b 2;
+  (* placeholders for the seven-section table, patched below *)
+  for _ = 1 to 7 do
+    Binbuf.u32 b 0;
+    Binbuf.u16 b 0
+  done;
+  assert (Binbuf.pos b = 48);
+  (* .str *)
+  let str_off = Binbuf.pos b in
+  let names = List.init (max 2 ndies) (fun i -> Printf.sprintf "symbol_%d\000" i) in
+  let name_offsets =
+    let off = ref 0 in
+    List.map
+      (fun n ->
+        let o = !off in
+        off := !off + String.length n;
+        o)
+      names
+  in
+  List.iter (Binbuf.raw b) names;
+  Binbuf.fill b 0 strpad;
+  let str_size = Binbuf.pos b - str_off in
+  (* .abbrev: code i+1, tag 17+i; forms vary with i, and code 2 bears
+     children so the DIE tree recurses *)
+  let abbrev_forms i =
+    match i mod 3 with
+    | 0 -> [ (3, 5); (58, 2) ] (* string + data1 *)
+    | 1 -> [ (52, 7); (59, 3) ] (* flag + data2 *)
+    | _ -> [ (60, 6); (61, 8) ] (* block + ref4 *)
+  in
+  let abbrev_off = Binbuf.pos b in
+  for i = 0 to nabbrevs - 1 do
+    uleb_encode b (i + 1);
+    uleb_encode b (17 + i);
+    Binbuf.u8 b (if i = 1 then 1 else 0);
+    List.iter
+      (fun (attr, form) ->
+        uleb_encode b attr;
+        uleb_encode b form)
+      (abbrev_forms i);
+    uleb_encode b 0;
+    uleb_encode b 0
+  done;
+  (* .info: CU name offset, then DIEs whose attribute values match each
+     abbrev's forms; abbrev 2 carries one child (exercising recursion) *)
+  let info_buf = Binbuf.create () in
+  Binbuf.u16 info_buf (List.nth name_offsets 0);
+  let emit_die_attrs abbrev i =
+    List.iter
+      (fun (_, form) ->
+        match form with
+        | 5 -> uleb_encode info_buf (List.nth name_offsets (i mod List.length name_offsets))
+        | 2 -> Binbuf.u8 info_buf (i land 0xFF)
+        | 7 -> () (* flag: no data *)
+        | 3 -> Binbuf.u16 info_buf (i * 3)
+        | 6 ->
+          Binbuf.u8 info_buf 3;
+          Binbuf.u8 info_buf 1;
+          Binbuf.u8 info_buf 2;
+          Binbuf.u8 info_buf 3
+        | 8 -> Binbuf.u32 info_buf (0x40 + i)
+        | _ -> assert false)
+      (abbrev_forms abbrev)
+  in
+  for i = 0 to ndies - 1 do
+    let abbrev = i mod nabbrevs in
+    uleb_encode info_buf (abbrev + 1);
+    emit_die_attrs abbrev i;
+    if abbrev = 1 then begin
+      (* one child DIE using abbrev 1 (a leaf), then the 0 terminator *)
+      uleb_encode info_buf 1;
+      emit_die_attrs 0 (i + 1);
+      Binbuf.u8 info_buf 0
+    end
+  done;
+  Binbuf.u8 info_buf 0;
+  let info = Bytes.to_string (Binbuf.contents info_buf) in
+  let info_off = Binbuf.pos b in
+  Binbuf.raw b info;
+  let info_size = String.length info in
+  (* .line: 2 file names, 4 opcode lengths, then [nlineops] opcodes *)
+  let line_off = Binbuf.pos b in
+  uleb_encode b 2;
+  Binbuf.u8 b (List.nth name_offsets 0);
+  Binbuf.u8 b (List.nth name_offsets 1);
+  Binbuf.u8 b 4;
+  Binbuf.u8 b 0;
+  Binbuf.u8 b 1;
+  Binbuf.u8 b 1;
+  Binbuf.u8 b 1;
+  for i = 0 to nlineops - 1 do
+    match i mod 4 with
+    | 0 ->
+      Binbuf.u8 b 1;
+      uleb_encode b (i + 1)
+    | 1 ->
+      Binbuf.u8 b 3;
+      uleb_encode b 2
+    | 2 -> Binbuf.u8 b 4
+    | _ ->
+      Binbuf.u8 b 2;
+      uleb_encode b 1
+  done;
+  let line_size = Binbuf.pos b - line_off in
+  (* .aranges *)
+  let aranges_off = Binbuf.pos b in
+  let naranges = max 2 (ndies / 4) in
+  Binbuf.u16 b naranges;
+  for i = 0 to naranges - 1 do
+    Binbuf.u32 b (0x400000 + (i * 0x1000));
+    Binbuf.u16 b (64 + i)
+  done;
+  Binbuf.u32 b 0;
+  Binbuf.u16 b 0;
+  let aranges_size = Binbuf.pos b - aranges_off in
+  (* .frame: one CIE then FDEs with small CFI programs *)
+  let frame_off = Binbuf.pos b in
+  let cie = Binbuf.create () in
+  Binbuf.u8 cie 1;
+  Binbuf.raw cie "zR\000";
+  uleb_encode cie 1;
+  uleb_encode cie 8;
+  Binbuf.u8 cie 16;
+  let cie_body = Bytes.to_string (Binbuf.contents cie) in
+  Binbuf.u16 b (String.length cie_body);
+  Binbuf.u16 b 0xFFFF;
+  Binbuf.raw b cie_body;
+  let nfdes = max 1 (ndies / 8) in
+  for i = 0 to nfdes - 1 do
+    let cfi = Binbuf.create () in
+    Binbuf.u8 cfi (0x40 lor (i land 31));
+    Binbuf.u8 cfi (0x80 lor 5);
+    uleb_encode cfi 16;
+    Binbuf.u8 cfi 12;
+    uleb_encode cfi 7;
+    uleb_encode cfi 8;
+    Binbuf.u8 cfi 0;
+    let cfi_body = Bytes.to_string (Binbuf.contents cfi) in
+    Binbuf.u16 b (6 + String.length cfi_body);
+    Binbuf.u16 b 0;
+    Binbuf.u32 b (0x400000 + (i * 0x100));
+    Binbuf.u16 b 0x80;
+    Binbuf.raw b cfi_body
+  done;
+  Binbuf.u16 b 0;
+  let frame_size = Binbuf.pos b - frame_off in
+  (* .macro *)
+  let macro_off = Binbuf.pos b in
+  for i = 0 to max 1 (ndies / 6) do
+    Binbuf.u8 b 1;
+    uleb_encode b (10 + i);
+    uleb_encode b (List.nth name_offsets (i mod List.length name_offsets));
+    Binbuf.u8 b 2;
+    uleb_encode b (List.nth name_offsets (i mod List.length name_offsets))
+  done;
+  Binbuf.u8 b 0;
+  let macro_size = Binbuf.pos b - macro_off in
+  (* patch the section table *)
+  Binbuf.patch_u32 b 6 abbrev_off;
+  Binbuf.patch_u16 b 10 nabbrevs;
+  Binbuf.patch_u32 b 12 info_off;
+  Binbuf.patch_u16 b 16 info_size;
+  Binbuf.patch_u32 b 18 str_off;
+  Binbuf.patch_u16 b 22 str_size;
+  Binbuf.patch_u32 b 24 line_off;
+  Binbuf.patch_u16 b 28 line_size;
+  Binbuf.patch_u32 b 30 aranges_off;
+  Binbuf.patch_u16 b 34 aranges_size;
+  Binbuf.patch_u32 b 36 frame_off;
+  Binbuf.patch_u16 b 40 frame_size;
+  Binbuf.patch_u32 b 42 macro_off;
+  Binbuf.patch_u16 b 46 macro_size;
+  Binbuf.contents b
+
+let seed_small () = build_seed ~nabbrevs:2 ~ndies:4 ~nlineops:12 ~strpad:8
+let seed_large () = build_seed ~nabbrevs:8 ~ndies:120 ~nlineops:400 ~strpad:2500
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ("mid", build_seed ~nabbrevs:4 ~ndies:30 ~nlineops:80 ~strpad:512);
+    ("wide", build_seed ~nabbrevs:8 ~ndies:60 ~nlineops:200 ~strpad:2048);
+  ]

@@ -1,0 +1,356 @@
+(* gif2tiff analog: parses a GIF-like container, decodes an LZW-style
+   code stream, and emits a TIFF-like digest.
+
+   Planted bugs (matching the two unknown gif2tiff bugs in Table III):
+   - the colour table is allocated at its declared size, but decoded
+     pixel values index it unchecked (oob-read);
+   - the decoder's chain-following stack has no depth check; a crafted
+     table cycle (entry whose prefix is itself) overflows it
+     (oob-write) — the classic gif2tiff LZW family of bugs. *)
+
+let name = "gif2tiff"
+let package = "libtiff-4.0.6"
+
+let planted_bugs =
+  [
+    ("colormap-oob-read", "oob-read");
+    ("lzw-stack-oob-write", "oob-write");
+  ]
+
+let body =
+  {|
+// ---------------- gif2tiff driver (GIF-T format) ----------------
+
+fn gif_check_magic() {
+  if (in(0) != 'G') { return 0; }
+  if (in(1) != 'I') { return 0; }
+  if (in(2) != 'F') { return 0; }
+  if (in(3) != '8') { return 0; }
+  var v = in(4);
+  if (v != '7' && v != '9') { return 0; }
+  if (in(5) != 'a') { return 0; }
+  return 1;
+}
+
+// Decode one sub-block of codes. Codes < 128 are literal pixels and
+// define a new table entry (prefix = previous code); codes >= 128 walk
+// the prefix chain.
+// BUG(lzw-stack-oob-write, oob-write): the chain stack is 64 bytes and
+// sp is never bounded — a table cycle overflows it.
+fn lzw_decode_block(off, len, state, pixels, cap, produced) {
+  // state layout: 0 prev, 2 next_entry, 4.. prefix[128], 132.. suffix[128]
+  var stack = alloc(64);
+  var i = 0;
+  while (i < len) {
+    var code = in(off + i);
+    var prev = ld16(state);
+    var next_entry = ld16(state + 2);
+    if (code < 128) {
+      if (produced < cap) { pixels[produced] = code; produced = produced + 1; }
+      if (next_entry < 256) {
+        state[4 + (next_entry - 128)] = prev;
+        state[132 + (next_entry - 128)] = code;
+        st16(state + 2, next_entry + 1);
+      }
+    } else {
+      var cc = code;
+      var sp = 0;
+      while (cc >= 128) {
+        stack[sp] = state[132 + (cc - 128)];
+        sp = sp + 1;
+        cc = state[4 + (cc - 128)];
+      }
+      if (produced < cap) { pixels[produced] = cc; produced = produced + 1; }
+      while (sp > 0) {
+        sp = sp - 1;
+        if (produced < cap) { pixels[produced] = stack[sp]; produced = produced + 1; }
+      }
+    }
+    st16(state, code);
+    i = i + 1;
+  }
+  return produced;
+}
+
+// BUG(colormap-oob-read, oob-read): pixel values index the colour table
+// without checking against its entry count.
+fn write_tiff(pixels, npix, gtbl) {
+  var sum = 0;
+  var i = 0;
+  while (i < npix) {
+    var p = pixels[i];
+    var r = gtbl[p * 3];
+    var g = gtbl[p * 3 + 1];
+    var b = gtbl[p * 3 + 2];
+    sum = t16(sum + r * 3 + g * 5 + b * 7);
+    i = i + 1;
+  }
+  out(sum);
+  return 0;
+}
+
+// graphics control extension: 4-byte payload
+fn handle_gce(pos) {
+  var blen = in(pos);
+  if (blen != 4) { out(6010); return pos + blen + 2; }
+  var gflags = in(pos + 1);
+  var delay = iu16(pos + 2);
+  var transparent = in(pos + 4);
+  var disposal = (gflags >> 2) & 7;
+  if (disposal > 3) { out(6011); }
+  else { out(disposal); }
+  if ((gflags & 1) != 0) { out(transparent); }
+  out(delay);
+  return pos + blen + 2;
+}
+
+// plain-text extension: 12-byte header then text sub-blocks
+fn handle_plain_text(pos) {
+  var blen = in(pos);
+  if (blen != 12) { out(6020); return skip_subblocks(pos); }
+  var gw = iu16(pos + 5);
+  var gh = iu16(pos + 7);
+  var cw = in(pos + 9);
+  var ch = in(pos + 10);
+  if (cw == 0 || ch == 0) { out(6021); }
+  else { out(gw / cw * (gh / ch)); }
+  return skip_subblocks(pos + blen + 1);
+}
+
+// application extension: 11-byte identifier, NETSCAPE loop blocks
+fn handle_application(pos) {
+  var blen = in(pos);
+  if (blen != 11) { out(6030); return skip_subblocks(pos); }
+  var netscape = 1;
+  if (in(pos + 1) != 'N') { netscape = 0; }
+  if (in(pos + 2) != 'E') { netscape = 0; }
+  if (in(pos + 3) != 'T') { netscape = 0; }
+  if (netscape == 1) {
+    var dlen = in(pos + 12);
+    if (dlen == 3 && in(pos + 13) == 1) {
+      out(60000 + iu16(pos + 14));
+    } else {
+      out(6031);
+    }
+  }
+  return skip_subblocks(pos + blen + 1);
+}
+
+// interlaced GIFs store rows in four passes; compute the display order
+fn deinterlace(pixels, w, h, rowmap) {
+  var row = 0;
+  var pass = 0;
+  var y = 0;
+  while (pass < 4) {
+    var start = 0;
+    var step = 8;
+    if (pass == 1) { start = 4; }
+    if (pass == 2) { start = 2; step = 4; }
+    if (pass == 3) { start = 1; step = 2; }
+    y = start;
+    while (y < h) {
+      if (row < 256 && y < 256) { rowmap[row] = t8(y); }
+      row = row + 1;
+      y = y + step;
+    }
+    pass = pass + 1;
+  }
+  return row;
+}
+
+fn skip_subblocks(pos) {
+  var len = in(pos);
+  var guard = 0;
+  while (len != 0 && guard < 64) {
+    pos = pos + len + 1;
+    len = in(pos);
+    guard = guard + 1;
+  }
+  return pos + 1;
+}
+
+fn main() {
+  if (gif_check_magic() == 0) { out(6000); return 1; }
+  var sw = iu16(6);
+  var sh = iu16(8);
+  var flags = in(10);
+  if (sw == 0 || sh == 0) { out(6001); return 1; }
+  if (sw > 512 || sh > 512) { out(6002); return 1; }
+  var pos = 13;
+  var gcount = 0;
+  var gtbl = alloc(3);
+  if ((flags & 0x80) != 0) {
+    gcount = 2 << (flags & 7);
+    gtbl = alloc(gcount * 3);
+    // trap phase: the colour table copy loop is bounded by a header field
+    copy_in(gtbl, 0, pos, gcount * 3);
+    pos = pos + gcount * 3;
+  }
+  var pixels = alloc(1024);
+  var produced = 0;
+  var state = alloc(260);
+  st16(state + 2, 128);
+  var blocks = 0;
+  while (blocks < 32) {
+    var intro = in(pos);
+    if (intro == 0x3B) { out(6099); break; }
+    if (intro == 0x21) {
+      var label = in(pos + 1);
+      if (label == 0xF9) { pos = handle_gce(pos + 2); }
+      else { if (label == 0x01) { pos = handle_plain_text(pos + 2); }
+      else { if (label == 0xFF) { pos = handle_application(pos + 2); }
+      else { if (label == 0xFE) { pos = skip_subblocks(pos + 2); }
+      else {
+        out(6004);
+        pos = skip_subblocks(pos + 2);
+      } } } }
+    } else { if (intro == 0x2C) {
+      var iw = iu16(pos + 5);
+      var ih = iu16(pos + 7);
+      var lflags = in(pos + 9);
+      pos = pos + 10;
+      if ((lflags & 0x80) != 0) {
+        pos = pos + (2 << (lflags & 7)) * 3;
+      }
+      pos = pos + 1;  // code size byte
+      // decode sub-blocks
+      var len = in(pos);
+      var guard = 0;
+      while (len != 0 && guard < 32) {
+        produced = lzw_decode_block(pos + 1, len, state, pixels, 1024, produced);
+        pos = pos + len + 1;
+        len = in(pos);
+        guard = guard + 1;
+      }
+      pos = pos + 1;
+      if (iw * ih > 0) { out(iw * ih); }
+      if ((lflags & 0x40) != 0 && iw <u 256 && ih <u 256) {
+        var rowmap = alloc(256);
+        out(deinterlace(pixels, iw, ih, rowmap));
+      }
+    } else {
+      out(6003);
+      return 1;
+    } }
+    blocks = blocks + 1;
+  }
+  if (gcount > 0 && produced > 0) {
+    write_tiff(pixels, produced, gtbl);
+  }
+  out(77781);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap body
+
+(* --- seeds ----------------------------------------------------------------- *)
+
+(* Benign GIF-T: global colour table of [1 << (bits+1)] entries, one image
+   with literal pixel codes below the table size. *)
+let build_seed ~bits ~width ~height ~ncodes =
+  let b = Binbuf.create () in
+  Binbuf.raw b "GIF87a";
+  Binbuf.u16 b width;
+  Binbuf.u16 b height;
+  Binbuf.u8 b (0x80 lor bits);
+  Binbuf.u8 b 0 (* background *);
+  Binbuf.u8 b 0 (* aspect *);
+  let entries = 2 lsl bits in
+  for i = 0 to (entries * 3) - 1 do
+    Binbuf.u8 b (i * 5)
+  done;
+  (* a comment extension exercises the skip loop *)
+  Binbuf.u8 b 0x21;
+  Binbuf.u8 b 0xFE;
+  Binbuf.u8 b 4;
+  Binbuf.raw b "mini";
+  Binbuf.u8 b 0;
+  (* graphics control extension *)
+  Binbuf.u8 b 0x21;
+  Binbuf.u8 b 0xF9;
+  Binbuf.u8 b 4;
+  Binbuf.u8 b 0x05;
+  Binbuf.u16 b 10;
+  Binbuf.u8 b 2;
+  Binbuf.u8 b 0;
+  (* plain text extension *)
+  Binbuf.u8 b 0x21;
+  Binbuf.u8 b 0x01;
+  Binbuf.u8 b 12;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 64;
+  Binbuf.u16 b 16;
+  Binbuf.u8 b 8;
+  Binbuf.u8 b 8;
+  Binbuf.u8 b 1;
+  Binbuf.u8 b 2;
+  Binbuf.u8 b 2;
+  Binbuf.raw b "hi";
+  Binbuf.u8 b 0;
+  (* application extension: NETSCAPE loop block *)
+  Binbuf.u8 b 0x21;
+  Binbuf.u8 b 0xFF;
+  Binbuf.u8 b 11;
+  Binbuf.raw b "NETSCAPE2.0";
+  Binbuf.u8 b 3;
+  Binbuf.u8 b 1;
+  Binbuf.u16 b 7;
+  Binbuf.u8 b 0;
+  (* image descriptor (interlaced) *)
+  Binbuf.u8 b 0x2C;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b width;
+  Binbuf.u16 b height;
+  Binbuf.u8 b 0x40 (* interlaced, no local table *);
+  Binbuf.u8 b 7 (* code size *);
+  (* code sub-blocks: literals below the table size *)
+  let remaining = ref ncodes in
+  while !remaining > 0 do
+    let chunk = min !remaining 100 in
+    Binbuf.u8 b chunk;
+    for i = 0 to chunk - 1 do
+      Binbuf.u8 b (i mod entries)
+    done;
+    remaining := !remaining - chunk
+  done;
+  Binbuf.u8 b 0 (* end of sub-blocks *);
+  Binbuf.u8 b 0x3B;
+  Binbuf.contents b
+
+let seed_small () = build_seed ~bits:2 ~width:10 ~height:10 ~ncodes:100
+let seed_large () = build_seed ~bits:5 ~width:20 ~height:16 ~ncodes:320
+
+(* pixel value 9 with a 4-entry table (2 << 1): colormap oob-read *)
+let seed_buggy_colormap () =
+  let b = Binbuf.create () in
+  Binbuf.raw b "GIF87a";
+  Binbuf.u16 b 4;
+  Binbuf.u16 b 2;
+  Binbuf.u8 b 0x81 (* table present, 2 << 1 = 4 entries *);
+  Binbuf.u8 b 0;
+  Binbuf.u8 b 0;
+  for i = 0 to 11 do
+    Binbuf.u8 b i
+  done;
+  Binbuf.u8 b 0x2C;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 4;
+  Binbuf.u16 b 2;
+  Binbuf.u8 b 0;
+  Binbuf.u8 b 7;
+  Binbuf.u8 b 3;
+  List.iter (Binbuf.u8 b) [ 1; 9; 2 ] (* pixel 9 >= 4 entries *);
+  Binbuf.u8 b 0;
+  Binbuf.u8 b 0x3B;
+  Binbuf.contents b
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ("narrow", build_seed ~bits:1 ~width:6 ~height:4 ~ncodes:24);
+  ]

@@ -1,0 +1,455 @@
+(* pngtest analog over the synthetic "MNG" image format.
+
+   Layout: an 8-byte signature (137 'M' 'N' 'G' 13 10 26 10), then chunks:
+     len u16 | type u16 | data (len bytes) | crc u16
+   Chunk types: 1 IHDR, 2 tIME, 3 tEXt, 4 IDAT, 5 gAMA, 9 IEND.
+
+   The two planted bugs replicate the paper's libpng case studies:
+   - tIME month 0 makes (month - 1) signed-mod-12 negative, indexing the
+     month-name table below its base (CVE-2015-7981 analog, oob-read);
+   - a tEXt keyword whose first byte is a space drives the trailing-space
+     trim loop below the buffer start (CVE-2015-8540 analog, oob-write,
+     png_check_keyword in pngwutil.c). *)
+
+let name = "pngtest"
+let package = "libpng-1.2.56"
+
+let planted_bugs =
+  [
+    ("time-month-oob-read", "oob-read"); (* CVE-2015-7981 analog *)
+    (* the C code writes below the buffer; our loop condition reads the
+       out-of-range byte first, so the oracle classifies it as a read *)
+    ("keyword-trim-underflow", "oob-read"); (* CVE-2015-8540 analog *)
+  ]
+
+let body =
+  {|
+// ---------------- pngtest analog (MNG format) ----------------
+
+fn check_signature() {
+  if (in(0) != 137) { return 0; }
+  if (in(1) != 'M') { return 0; }
+  if (in(2) != 'N') { return 0; }
+  if (in(3) != 'G') { return 0; }
+  if (in(4) != 13) { return 0; }
+  if (in(5) != 10) { return 0; }
+  if (in(6) != 26) { return 0; }
+  if (in(7) != 10) { return 0; }
+  return 1;
+}
+
+// hdr layout: 0..1 width, 2..3 height, 4 depth, 5 colour type, 6 interlace
+fn handle_ihdr(off, len, hdr) {
+  if (len < 7) { out(8001); return 0; }
+  var w = iu16(off);
+  var h = iu16(off + 2);
+  var depth = in(off + 4);
+  var color = in(off + 5);
+  var interlace = in(off + 6);
+  if (w == 0 || h == 0) { out(8002); return 0; }
+  if (depth != 1 && depth != 2 && depth != 4 && depth != 8 && depth != 16) {
+    out(8003);
+    return 0;
+  }
+  if (color > 6 || color == 5) { out(8004); return 0; }
+  if (interlace > 1) { out(8008); return 0; }
+  st16(hdr, w);
+  st16(hdr + 2, h);
+  hdr[4] = depth;
+  hdr[5] = color;
+  hdr[6] = interlace;
+  out(w);
+  out(h);
+  return 1;
+}
+
+// BUG(time-month-oob-read, oob-read): month = 0 gives a signed -1 % 12
+// = -1 index into the month-name table (png_convert_to_rfc1123 analog).
+fn handle_time(off, len) {
+  if (len < 7) { out(8010); return 0; }
+  var year = iu16(off);
+  var month = in(off + 2);
+  var day = in(off + 3);
+  var hour = in(off + 4);
+  var minute = in(off + 5);
+  var second = in(off + 6);
+  var months = alloc(36);
+  fill8(months, 0, 'J', 36);
+  var idx = srem(month - 1, 12);
+  out(year);
+  out(months[idx * 3]);
+  out(day % 32);
+  out(hour % 24);
+  out(minute % 60);
+  out(second % 61);
+  return 1;
+}
+
+// png_check_keyword analog.
+// BUG(keyword-trim-underflow, oob-write): trimming trailing spaces walks
+// below the buffer when the whole keyword is spaces.
+fn check_keyword(kbuf, key_len) {
+  if (key_len == 0) { return 0; }
+  var kp = key_len - 1;
+  while (kbuf[kp] == ' ') {
+    kbuf[kp] = 0;
+    kp = kp - 1;
+    key_len = key_len - 1;
+  }
+  return key_len;
+}
+
+fn handle_text(off, len) {
+  var klen = imin(len, 79);
+  var kbuf = alloc(80);
+  copy_in(kbuf, 0, off, klen);
+  // find the keyword terminator
+  var key_len = 0;
+  while (key_len < klen && kbuf[key_len] != 0) {
+    key_len = key_len + 1;
+  }
+  var trimmed = check_keyword(kbuf, key_len);
+  out(trimmed);
+  return 1;
+}
+
+// IDAT payload: run-length encoded rows; correct bounds checks, but the
+// decode loop is a classic trap phase.
+fn handle_idat(off, len, pixels, cap) {
+  var produced = 0;
+  var i = 0;
+  while (i < len) {
+    var op = in(off + i);
+    if ((op & 0x80) != 0) {
+      // repeat: low 7 bits give the count, next byte the value
+      var count = op & 0x7F;
+      if (i + 1 >= len) { out(8020); return produced; }
+      var value = in(off + i + 1);
+      var j = 0;
+      while (j < count) {
+        if (produced < cap) {
+          pixels[produced] = value;
+          produced = produced + 1;
+        }
+        j = j + 1;
+      }
+      i = i + 2;
+    } else {
+      // literal run of (op + 1) bytes
+      var count = op + 1;
+      var j = 0;
+      while (j < count && i + 1 + j < len) {
+        if (produced < cap) {
+          pixels[produced] = in(off + i + 1 + j);
+          produced = produced + 1;
+        }
+        j = j + 1;
+      }
+      i = i + 1 + count;
+    }
+  }
+  return produced;
+}
+
+// palette: triples of r,g,b; count must divide evenly and stay <= 256
+fn handle_plte(off, len, palette) {
+  if (len % 3 != 0) { out(8040); return 0; }
+  var count = len / 3;
+  if (count > 256) { out(8041); return 0; }
+  var i = 0;
+  while (i < count) {
+    if (i < 256) {
+      palette[i * 3] = in(off + i * 3);
+      palette[i * 3 + 1] = in(off + i * 3 + 1);
+      palette[i * 3 + 2] = in(off + i * 3 + 2);
+    }
+    i = i + 1;
+  }
+  out(count);
+  return count;
+}
+
+fn handle_trns(off, len, plte_count) {
+  if (len > plte_count) { out(8050); return 0; }
+  var i = 0;
+  var opaque = 0;
+  while (i < len) {
+    if (in(off + i) == 255) { opaque = opaque + 1; }
+    i = i + 1;
+  }
+  out(opaque);
+  return 1;
+}
+
+fn handle_bkgd(off, len, color_type) {
+  if (color_type == 3) {
+    if (len < 1) { out(8060); return 0; }
+    out(in(off));
+  } else { if (color_type == 0 || color_type == 4) {
+    if (len < 2) { out(8061); return 0; }
+    out(iu16(off));
+  } else {
+    if (len < 6) { out(8062); return 0; }
+    out(iu16(off) + iu16(off + 2) + iu16(off + 4));
+  } }
+  return 1;
+}
+
+fn handle_chrm(off, len) {
+  if (len < 16) { out(8070); return 0; }
+  var i = 0;
+  while (i < 8) {
+    var v = iu16(off + i * 2);
+    if (v > 40000) { out(8071); }
+    else { out(v); }
+    i = i + 1;
+  }
+  return 1;
+}
+
+fn handle_phys(off, len) {
+  if (len < 5) { out(8080); return 0; }
+  var x = iu16(off);
+  var y = iu16(off + 2);
+  var unit = in(off + 4);
+  if (unit > 1) { out(8081); return 0; }
+  if (x == 0 || y == 0) { out(8082); return 0; }
+  out(x * 10000 / y);
+  return 1;
+}
+
+fn handle_sbit(off, len, color_type) {
+  var expected = 1;
+  if (color_type == 2 || color_type == 3) { expected = 3; }
+  if (color_type == 4) { expected = 2; }
+  if (color_type == 6) { expected = 4; }
+  if (len < expected) { out(8090); return 0; }
+  var i = 0;
+  while (i < expected) {
+    var bits = in(off + i);
+    if (bits == 0 || bits > 16) { out(8091); }
+    else { out(bits); }
+    i = i + 1;
+  }
+  return 1;
+}
+
+fn handle_hist(off, len, plte_count) {
+  if (len != plte_count * 2) { out(8100); return 0; }
+  var total = 0;
+  var i = 0;
+  while (i < plte_count) {
+    total = t16(total + iu16(off + i * 2));
+    i = i + 1;
+  }
+  out(total);
+  return 1;
+}
+
+// compressed text: keyword, NUL, method byte, then RLE data (same
+// scheme as IDAT) decoded into a bounded buffer
+fn handle_ztxt(off, len) {
+  var kend = 0;
+  while (kend < len && in(off + kend) != 0) {
+    kend = kend + 1;
+  }
+  if (kend >= len || kend == 0 || kend > 79) { out(8110); return 0; }
+  var method = in(off + kend + 1);
+  if (method != 0) { out(8111); return 0; }
+  var text = alloc(256);
+  var produced = handle_idat(off + kend + 2, len - kend - 2, text, 256);
+  out(produced);
+  return 1;
+}
+
+// row filters over the decoded pixel stream, as png reconstruction does:
+// 0 none, 1 sub, 2 up, 3 average, 4 paeth-lite
+fn reconstruct_rows(pixels, count, width, filter) {
+  if (width == 0) { return 0; }
+  var rows = count / width;
+  var r = 1;
+  while (r < rows) {
+    var c = 0;
+    while (c < width) {
+      var idx = r * width + c;
+      var above = pixels[idx - width];
+      var left = 0;
+      if (c > 0) { left = pixels[idx - 1]; }
+      var v = pixels[idx];
+      if (filter == 1) { pixels[idx] = t8(v + left); }
+      else { if (filter == 2) { pixels[idx] = t8(v + above); }
+      else { if (filter == 3) { pixels[idx] = t8(v + (left + above) / 2); }
+      else { if (filter == 4) {
+        var p = left + above - above / 2;
+        pixels[idx] = t8(v + p);
+      } } } }
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return rows;
+}
+
+// Adam7-lite interlace pass sizes
+fn interlace_passes(w, h) {
+  var pass = 0;
+  var total = 0;
+  while (pass < 7) {
+    var pw = (w + 7) / 8;
+    var ph = (h + 7) / 8;
+    if (pass > 0) { pw = (w + 3) / 4; }
+    if (pass > 2) { pw = (w + 1) / 2; }
+    if (pass > 4) { pw = w; }
+    if (pass > 1) { ph = (h + 3) / 4; }
+    if (pass > 3) { ph = (h + 1) / 2; }
+    if (pass > 5) { ph = h; }
+    out(pw * ph);
+    total = total + pw * ph;
+    pass = pass + 1;
+  }
+  return total;
+}
+
+fn handle_gama(off, len) {
+  if (len < 2) { out(8030); return 0; }
+  var gamma = iu16(off);
+  if (gamma == 0) { out(8031); return 0; }
+  out(100000 / gamma);
+  return 1;
+}
+
+fn main() {
+  if (check_signature() == 0) { out(8000); return 1; }
+  var size = in_size();
+  var pos = 8;
+  var have_header = 0;
+  var hdr = alloc(8);
+  var palette = alloc(768);
+  var plte_count = 0;
+  var pixels = alloc(4096);
+  var produced = 0;
+  var chunks = 0;
+  while (pos + 4 <= size && chunks < 64) {
+    var len = iu16(pos);
+    var type = iu16(pos + 2);
+    var data = pos + 4;
+    if (data + len + 2 > size) { out(8007); break; }
+    if (type == 9) { out(8099); break; }
+    if (type == 1) { have_header = handle_ihdr(data, len, hdr); }
+    if (type == 2) { handle_time(data, len); }
+    if (type == 3) { handle_text(data, len); }
+    if (type == 5) { handle_gama(data, len); }
+    if (type == 6) { plte_count = handle_plte(data, len, palette); }
+    if (type == 7) { handle_trns(data, len, plte_count); }
+    if (type == 8) { handle_bkgd(data, len, hdr[5]); }
+    if (type == 10) { handle_chrm(data, len); }
+    if (type == 11) { handle_phys(data, len); }
+    if (type == 12) { handle_sbit(data, len, hdr[5]); }
+    if (type == 13) { handle_hist(data, len, plte_count); }
+    if (type == 14) { handle_ztxt(data, len); }
+    if (type == 4) {
+      if (have_header == 1) {
+        produced = produced + handle_idat(data, len, pixels, 4096 - produced);
+      } else {
+        out(8005);
+      }
+    }
+    // crc trails the data; verify softly (mismatch only logs)
+    var crc = iu16(data + len);
+    var expect = t16(len * 31 + type * 7);
+    if (crc != expect) { out(8006); }
+    pos = data + len + 2;
+    chunks = chunks + 1;
+  }
+  if (have_header == 1 && produced > 0) {
+    var w = ld16(hdr);
+    reconstruct_rows(pixels, produced, w, 1 + produced % 4);
+    if (hdr[6] == 1) { interlace_passes(w, ld16(hdr + 2)); }
+  }
+  out(produced);
+  out(77778);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap body
+
+(* --- seeds ----------------------------------------------------------------- *)
+
+let chunk b ~type_ data =
+  let len = String.length data in
+  Binbuf.u16 b len;
+  Binbuf.u16 b type_;
+  Binbuf.raw b data;
+  Binbuf.u16 b ((len * 31) + (type_ * 7)) (* matching crc *)
+
+let le16 v = String.init 2 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
+
+let build_seed ?(ancillary = true) ?(interlace = false) ~width ~height ~rows ~with_time
+    ~with_text ~keyword () =
+  let b = Binbuf.create () in
+  List.iter (Binbuf.u8 b) [ 137; Char.code 'M'; Char.code 'N'; Char.code 'G'; 13; 10; 26; 10 ];
+  chunk b ~type_:1
+    (le16 width ^ le16 height ^ "\x08\x03" ^ if interlace then "\x01" else "\x00");
+  chunk b ~type_:5 (le16 220);
+  if ancillary then begin
+    (* palette of 8 entries plus the chunks that depend on it *)
+    let plte = String.init 24 (fun i -> Char.chr ((i * 9) land 0xFF)) in
+    chunk b ~type_:6 plte;
+    chunk b ~type_:7 "\xff\x80\xff\x00";
+    chunk b ~type_:8 "\x02";
+    chunk b ~type_:10 (String.concat "" (List.init 8 (fun i -> le16 (3000 + (i * 100)))));
+    chunk b ~type_:11 (le16 2834 ^ le16 2834 ^ "\x01");
+    chunk b ~type_:12 "\x08\x08\x08";
+    chunk b ~type_:13 (String.concat "" (List.init 8 (fun i -> le16 (i * 7))));
+    chunk b ~type_:14 ("Comment\000\000" ^ "\x04zip!\x82\x21")
+  end;
+  if with_text then chunk b ~type_:3 (keyword ^ "\000comment body");
+  if with_time then chunk b ~type_:2 (le16 2015 ^ "\x0b\x18\x0c\x1e\x2d");
+  (* IDAT: [rows] rows of run-length data *)
+  let idat = Buffer.create 64 in
+  for row = 0 to rows - 1 do
+    Buffer.add_char idat (Char.chr (0x80 lor (width land 0x7F)));
+    Buffer.add_char idat (Char.chr ((row * 3) land 0xFF));
+    (* plus a short literal run *)
+    Buffer.add_char idat (Char.chr 2);
+    Buffer.add_string idat "abc"
+  done;
+  chunk b ~type_:4 (Buffer.contents idat);
+  chunk b ~type_:9 "";
+  Binbuf.contents b
+
+let seed_small () =
+  build_seed ~width:16 ~height:8 ~rows:8 ~with_time:true ~with_text:true
+    ~keyword:"Author" ()
+
+let seed_large () =
+  build_seed ~width:100 ~height:220 ~rows:220 ~with_time:true ~with_text:true
+    ~interlace:true ~keyword:"Description" ()
+
+(* A seed that actually triggers the keyword-trim underflow: keyword made
+   entirely of spaces. Used by the Fig. 5-style demonstrations. *)
+let seed_buggy_keyword () =
+  build_seed ~width:16 ~height:8 ~rows:4 ~with_time:false ~with_text:true
+    ~keyword:"   " ()
+
+(* month byte 0 in tIME: triggers the rfc1123 analog. *)
+let seed_buggy_month () =
+  let b = Binbuf.create () in
+  List.iter (Binbuf.u8 b) [ 137; Char.code 'M'; Char.code 'N'; Char.code 'G'; 13; 10; 26; 10 ];
+  chunk b ~type_:1 (le16 4 ^ le16 4 ^ "\x08\x02\x00");
+  chunk b ~type_:2 (le16 2015 ^ "\x00\x18\x0c\x1e\x2d");
+  chunk b ~type_:9 "";
+  Binbuf.contents b
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ( "mid",
+      build_seed ~width:32 ~height:32 ~rows:32 ~with_time:true ~with_text:false
+        ~interlace:true ~keyword:"" () );
+    ( "plain",
+      build_seed ~ancillary:false ~width:12 ~height:6 ~rows:6 ~with_time:false
+        ~with_text:false ~keyword:"" () );
+  ]

@@ -1,0 +1,63 @@
+(* The MiniC standard prelude shared by every target program: input
+   readers for little-endian fields, buffer helpers, and small numeric
+   utilities. Every target source is compiled as [prelude ^ body]. *)
+
+let source =
+  {|
+// ---- shared MiniC prelude ----
+
+// little-endian field readers over the symbolic input file
+fn iu16(o) { return in(o) | (in(o + 1) << 8); }
+fn iu32(o) { return in(o) | (in(o + 1) << 8) | (in(o + 2) << 16) | (in(o + 3) << 24); }
+
+// copy n input bytes starting at src into buf at off
+fn copy_in(buf, off, src, n) {
+  var i = 0;
+  while (i < n) {
+    buf[off + i] = in(src + i);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn fill8(buf, off, v, n) {
+  var i = 0;
+  while (i < n) {
+    buf[off + i] = v;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn imin(a, b) { if (a < b) { return a; } return b; }
+fn imax(a, b) { if (a > b) { return a; } return b; }
+
+// unsigned LEB128 at input offset o, 5 bytes max; returns the value.
+// use uleb_len for the encoded length.
+fn uleb(o) {
+  var result = 0;
+  var shift = 0;
+  var i = 0;
+  while (i < 5) {
+    var byte = in(o + i);
+    result = result | ((byte & 0x7F) << shift);
+    if ((byte & 0x80) == 0) { return result; }
+    shift = shift + 7;
+    i = i + 1;
+  }
+  return result;
+}
+
+fn uleb_len(o) {
+  var i = 0;
+  while (i < 5) {
+    if ((in(o + i) & 0x80) == 0) { return i + 1; }
+    i = i + 1;
+  }
+  return 5;
+}
+
+// ---- end prelude ----
+|}
+
+let wrap body = source ^ body

@@ -1,0 +1,557 @@
+(* readelf analog over the synthetic "SELF" object format.
+
+   Layout (all little-endian):
+     header, 32 bytes:
+       0..3   magic 0x7F 'S' 'E' 'L'
+       4      class (1 or 2)          5      endianness (must be 1)
+       6..7   e_type (1..4)           8..9   e_machine
+       10..11 e_phnum                 12..13 e_shnum
+       14..17 e_phoff                 18..21 e_shoff
+       22..25 e_stroff                26..27 e_strsize
+       28..29 reserved                30..31 e_flags
+     program header, 8 bytes:  p_type, p_off, p_size, p_flags (u16 each)
+     section header, 12 bytes: sh_name u16, sh_type u16, sh_off u32,
+                               sh_size u16, sh_link u16
+     symbol, 8 bytes:          st_name u16, st_value u32, st_info u8,
+                               st_other u8
+     dynamic entry, 4 bytes:   d_tag u16, d_val u16 (tag 0 terminates)
+
+   Like the paper's readelf, execution progresses in stages: file header,
+   program/section header tables (input-count-bounded loops — the trap
+   phases), then per-section content processing (symbols, dynamic
+   entries, hex dumps). Four bugs are planted, mirroring the four unknown
+   readelf bugs in Table III; each is a genuine memory-safety violation
+   detected by the engine's oracles, reachable only in the deep stages. *)
+
+let name = "readelf"
+let package = "binutils-2.26"
+
+(* (label, fault kind the oracles report) *)
+let planted_bugs =
+  [
+    ("strtab-name-oob-read", "oob-read");
+    ("symbol-version-oob-write", "oob-write");
+    ("dynamic-strtab-oob-read", "oob-read");
+    ("note-alloc-overflow", "oob-write");
+  ]
+
+let body =
+  {|
+// ---------------- readelf analog (SELF format) ----------------
+
+fn check_magic() {
+  if (in(0) != 0x7F) { return 0; }
+  if (in(1) != 'S') { return 0; }
+  if (in(2) != 'E') { return 0; }
+  if (in(3) != 'L') { return 0; }
+  return 1;
+}
+
+fn process_file_header() {
+  if (check_magic() == 0) { out(9001); return 0; }
+  var class = in(4);
+  if (class != 1 && class != 2) { out(9002); return 0; }
+  if (in(5) != 1) { out(9003); return 0; }
+  var etype = iu16(6);
+  if (etype == 0 || etype > 4) { out(9004); return 0; }
+  out(etype);
+  out(iu16(8));
+  return 1;
+}
+
+fn checksum_segment(off, size) {
+  var sum = 0;
+  var i = 0;
+  while (i < size) {
+    sum = t16(sum + in(off + i));
+    i = i + 1;
+  }
+  return sum;
+}
+
+// BUG(note-alloc-overflow, oob-write): namesz * 3 is truncated to 8 bits
+// before allocation, but the write index is not.
+fn process_note(off, size) {
+  if (size < 4) { return 0; }
+  var namesz = iu16(off);
+  var descsz = iu16(off + 2);
+  var nbuf = alloc(imax(t8(namesz * 3), 1));
+  if (namesz > 0 && namesz <= size) {
+    nbuf[namesz * 3 - 1] = 0x4E;
+  }
+  out(descsz);
+  return 0;
+}
+
+fn process_program_headers(phnum, phoff) {
+  var i = 0;
+  while (i < phnum) {
+    var base = phoff + i * 8;
+    var ptype = iu16(base);
+    var poff = iu16(base + 2);
+    var psize = iu16(base + 4);
+    if (ptype > 8) {
+      out(9010);
+    } else {
+      out(ptype);
+      if (ptype == 1) { out(checksum_segment(poff, psize)); }
+      if (ptype == 4) { process_note(poff, psize); }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// BUG(strtab-name-oob-read, oob-read): the scan for the terminating NUL
+// never checks the table bound, so an unterminated name reads past it.
+fn read_name(strtab, name_off) {
+  var len = 0;
+  while (strtab[name_off + len] != 0) {
+    len = len + 1;
+  }
+  return len;
+}
+
+fn process_section_headers(shnum, shoff, strtab, strsize) {
+  var i = 0;
+  while (i < shnum) {
+    var base = shoff + i * 12;
+    var sname = iu16(base);
+    var stype = iu16(base + 2);
+    out(stype);
+    if (sname <u strsize) { out(read_name(strtab, sname)); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// The paper's Fig. 2: this function can return before its loop, letting
+// some paths bypass the trap and touch the next phase early.
+fn process_section_groups(shnum, flags) {
+  if ((flags & 1) == 0) { return 1; }
+  if (shnum == 0) { out(9020); return 1; }
+  var i = 0;
+  while (i < shnum) {
+    out(i);
+    i = i + 1;
+  }
+  return 0;
+}
+
+// machine-specific relocation names, as in readelf's per-arch tables
+fn reloc_name(machine, rtype) {
+  if (machine == 62) {
+    if (rtype == 1) { return 1001; }
+    if (rtype == 2) { return 1002; }
+    if (rtype == 4) { return 1004; }
+    if (rtype == 6) { return 1006; }
+    if (rtype == 7) { return 1007; }
+    return 1000;
+  }
+  if (machine == 40) {
+    if (rtype == 1) { return 2001; }
+    if (rtype == 2) { return 2002; }
+    if (rtype == 3) { return 2003; }
+    if (rtype == 10) { return 2010; }
+    return 2000;
+  }
+  if (machine == 8) {
+    if (rtype == 4) { return 3004; }
+    if (rtype == 5) { return 3005; }
+    if (rtype == 9) { return 3009; }
+    return 3000;
+  }
+  return 9999;
+}
+
+// relocation section: entries of (r_off u32, r_type u16, r_sym u16)
+fn process_relocs(off, size, machine) {
+  var count = size / 8;
+  var i = 0;
+  while (i < count) {
+    var base = off + i * 8;
+    var r_off = iu32(base);
+    var r_type = iu16(base + 4);
+    var r_sym = iu16(base + 6);
+    out(reloc_name(machine, r_type));
+    if (r_off > 0x100000) { out(9030); }
+    out(r_sym);
+    i = i + 1;
+  }
+  return 0;
+}
+
+// hash section: nbucket u16, nchain u16, then buckets and chains
+fn process_hash(off, size) {
+  if (size < 4) { out(9040); return 0; }
+  var nbucket = iu16(off);
+  var nchain = iu16(off + 2);
+  if (4 + nbucket * 2 + nchain * 2 > size) { out(9041); return 0; }
+  var lengths = alloc(64);
+  var i = 0;
+  while (i < nbucket) {
+    var b = iu16(off + 4 + i * 2);
+    var depth = 0;
+    var guard = 0;
+    // follow the chain, counting depth
+    while (b != 0 && guard < 32) {
+      if (b >= nchain) { out(9042); break; }
+      b = iu16(off + 4 + nbucket * 2 + b * 2);
+      depth = depth + 1;
+      guard = guard + 1;
+    }
+    if (depth < 64) { lengths[depth] = t8(lengths[depth] + 1); }
+    i = i + 1;
+  }
+  // histogram, as readelf prints for --histogram
+  var d = 0;
+  while (d < 8) {
+    out(lengths[d]);
+    d = d + 1;
+  }
+  return 0;
+}
+
+// version symbol section: one u16 per symbol, printed decoded
+fn process_versym(off, size) {
+  var count = size / 2;
+  var i = 0;
+  while (i < count) {
+    var v = iu16(off + i * 2);
+    if (v == 0) { out(9050); }
+    else { if (v == 1) { out(9051); }
+    else { if ((v & 0x8000) != 0) { out(9052); }
+    else { out(v); } } }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// section group: flags u16 then member section indices
+fn process_group_section(off, size, shnum) {
+  if (size < 2) { return 0; }
+  var gflags = iu16(off);
+  if ((gflags & 1) != 0) { out(9060); }
+  var count = (size - 2) / 2;
+  var i = 0;
+  while (i < count) {
+    var member = iu16(off + 2 + i * 2);
+    if (member >= shnum) { out(9061); }
+    else { out(member); }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn symbol_kind_name(info) {
+  var bind = info >> 4;
+  var kind = info & 15;
+  var code = 0;
+  if (bind == 0) { code = 100; }
+  else { if (bind == 1) { code = 200; }
+  else { if (bind == 2) { code = 300; }
+  else { code = 400; } } }
+  if (kind == 0) { return code + 1; }
+  if (kind == 1) { return code + 2; }
+  if (kind == 2) { return code + 3; }
+  if (kind == 3) { return code + 4; }
+  if (kind == 4) { return code + 5; }
+  return code + 9;
+}
+
+fn process_symbols(off, size, strtab, strsize) {
+  var count = size / 8;
+  var vbuf = alloc(16);
+  var i = 0;
+  while (i < count) {
+    var sbase = off + i * 8;
+    var sname = iu16(sbase);
+    var svalue = iu32(sbase + 2);
+    var sinfo = in(sbase + 6);
+    var sother = in(sbase + 7);
+    if (sname <u strsize) { out(read_name(strtab, sname)); }
+    // BUG(symbol-version-oob-write, oob-write): st_other indexes a fixed
+    // 16-entry version table without a bound check.
+    vbuf[sother] = 1;
+    out(symbol_kind_name(sinfo));
+    out(svalue + sinfo);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn process_dynamic(off, strtab) {
+  var i = 0;
+  while (i < 64) {
+    var tag = iu16(off + i * 4);
+    var val = iu16(off + i * 4 + 2);
+    if (tag == 0) { return 0; }
+    if (tag == 1) {
+      // BUG(dynamic-strtab-oob-read, oob-read): NEEDED entries index the
+      // string table without a bound check.
+      out(strtab[val]);
+    } else {
+      out(val);
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn dump_section(off, size) {
+  var i = 0;
+  var sum = 0;
+  while (i < size) {
+    sum = t16(sum + in(off + i) * 31);
+    i = i + 1;
+  }
+  out(sum);
+  return 0;
+}
+
+fn main() {
+  if (process_file_header() == 0) { return 1; }
+  var phnum = iu16(10);
+  var shnum = iu16(12);
+  var phoff = iu32(14);
+  var shoff = iu32(18);
+  var stroff = iu32(22);
+  var strsize = iu16(26);
+  var flags = iu16(30);
+  if (phnum > 1024) { out(9005); return 1; }
+  if (shnum > 1024) { out(9006); return 1; }
+  var size = in_size();
+  if (phnum > 0 && (phoff < 32 || phoff + phnum * 8 > size)) { out(9007); return 1; }
+  if (shnum > 0 && (shoff < 32 || shoff + shnum * 12 > size)) { out(9008); return 1; }
+  if (strsize > 0 && (stroff < 32 || stroff + strsize > size)) { out(9009); return 1; }
+  var strtab = alloc(imax(strsize, 1));
+  copy_in(strtab, 0, stroff, strsize);
+  // stage 1: header tables (the trap loops end with e_phnum/e_shnum)
+  process_program_headers(phnum, phoff);
+  process_section_headers(shnum, shoff, strtab, strsize);
+  process_section_groups(shnum, flags);
+  // stage 2: per-section contents, dispatched on section type as
+  // readelf's process_section_contents does
+  var machine = iu16(8);
+  var i = 0;
+  while (i < shnum) {
+    var base = shoff + i * 12;
+    var stype = iu16(base + 2);
+    var soff = iu32(base + 4);
+    var ssize = iu16(base + 8);
+    switch (stype) {
+      case 1: { dump_section(soff, ssize); }
+      case 2: { process_symbols(soff, ssize, strtab, strsize); }
+      case 4: { process_relocs(soff, ssize, machine); }
+      case 5: { process_hash(soff, ssize); }
+      case 6: { process_dynamic(soff, strtab); }
+      case 7: { dump_section(soff, ssize); }
+      case 8: { process_versym(soff, ssize); }
+      case 9: { process_group_section(soff, ssize, shnum); }
+      default: { out(9098); }
+    }
+    i = i + 1;
+  }
+  out(77777);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap body
+
+(* --- seeds ----------------------------------------------------------------- *)
+
+(* A consistent SELF file: [nsections] PROGBITS data sections plus a
+   SYMTAB, a DYNAMIC and a NOTE-carrying program header; string table with
+   NUL-terminated names. [data_size] pads each PROGBITS section. *)
+let build_seed ~nsections ~nsymbols ~data_size =
+  let b = Binbuf.create () in
+  (* header: patch offsets later *)
+  Binbuf.u8 b 0x7F;
+  Binbuf.raw b "SEL";
+  Binbuf.u8 b 1;
+  (* class *)
+  Binbuf.u8 b 1;
+  (* endianness *)
+  Binbuf.u16 b 2;
+  (* e_type *)
+  Binbuf.u16 b 62;
+  (* e_machine *)
+  let phnum = 2 in
+  let shnum = nsections + 6 in
+  Binbuf.u16 b phnum;
+  Binbuf.u16 b shnum;
+  Binbuf.u32 b 0;
+  (* e_phoff, patched *)
+  Binbuf.u32 b 0;
+  (* e_shoff, patched *)
+  Binbuf.u32 b 0;
+  (* e_stroff, patched *)
+  Binbuf.u16 b 0;
+  (* e_strsize, patched *)
+  Binbuf.u16 b 0;
+  (* reserved *)
+  Binbuf.u16 b 1;
+  (* e_flags: bit 0 set so section groups run *)
+  assert (Binbuf.pos b = 32);
+  (* string table *)
+  let names =
+    ".text\000" :: ".symtab\000" :: ".dynamic\000" :: ".rela\000" :: ".hash\000"
+    :: ".versym\000" :: ".group\000"
+    :: List.init nsections (fun i -> Printf.sprintf ".data%d\000" i)
+  in
+  let stroff = Binbuf.pos b in
+  let name_offsets =
+    let off = ref 0 in
+    List.map
+      (fun n ->
+        let o = !off in
+        off := !off + String.length n;
+        o)
+      names
+  in
+  List.iter (Binbuf.raw b) names;
+  let strsize = Binbuf.pos b - stroff in
+  (* symbol table contents *)
+  let symoff = Binbuf.pos b in
+  for i = 0 to nsymbols - 1 do
+    Binbuf.u16 b (List.nth name_offsets (i mod List.length name_offsets));
+    Binbuf.u32 b (0x1000 + (i * 16));
+    Binbuf.u8 b (i land 3);
+    Binbuf.u8 b (i mod 8)
+    (* st_other stays < 16: benign *)
+  done;
+  let symsize = Binbuf.pos b - symoff in
+  (* dynamic section contents *)
+  let dynoff = Binbuf.pos b in
+  Binbuf.u16 b 1;
+  Binbuf.u16 b (List.nth name_offsets 0);
+  Binbuf.u16 b 2;
+  Binbuf.u16 b 0x10;
+  Binbuf.u16 b 0;
+  Binbuf.u16 b 0;
+  (* terminator *)
+  (* relocation section: entries exercising the per-machine name tables *)
+  let reloff = Binbuf.pos b in
+  let nrelocs = max 2 (nsymbols / 2) in
+  for i = 0 to nrelocs - 1 do
+    Binbuf.u32 b (0x2000 + (i * 8));
+    Binbuf.u16 b (1 + (i mod 7));
+    Binbuf.u16 b (i mod max 1 nsymbols)
+  done;
+  let relsize = Binbuf.pos b - reloff in
+  (* hash section: nbucket buckets, nchain chains *)
+  let hashoff = Binbuf.pos b in
+  let nbucket = 4 and nchain = max 4 nsymbols in
+  Binbuf.u16 b nbucket;
+  Binbuf.u16 b nchain;
+  for i = 0 to nbucket - 1 do
+    Binbuf.u16 b ((i + 1) mod nchain)
+  done;
+  for i = 0 to nchain - 1 do
+    Binbuf.u16 b (if i + 2 < nchain && i mod 3 = 0 then i + 2 else 0)
+  done;
+  let hashsize = Binbuf.pos b - hashoff in
+  (* version symbol section *)
+  let versymoff = Binbuf.pos b in
+  for i = 0 to max 3 nsymbols - 1 do
+    Binbuf.u16 b (match i mod 4 with 0 -> 0 | 1 -> 1 | 2 -> 0x8001 | _ -> 2 + i)
+  done;
+  let versymsize = Binbuf.pos b - versymoff in
+  (* section group *)
+  let groupoff = Binbuf.pos b in
+  Binbuf.u16 b 1;
+  for i = 0 to 3 do
+    Binbuf.u16 b (i mod shnum)
+  done;
+  let groupsize = Binbuf.pos b - groupoff in
+  (* note segment contents: namesz=4 (benign), descsz=4 *)
+  let noteoff = Binbuf.pos b in
+  Binbuf.u16 b 4;
+  Binbuf.u16 b 4;
+  Binbuf.raw b "CORE";
+  Binbuf.fill b 0 4;
+  let notesize = Binbuf.pos b - noteoff in
+  (* data sections *)
+  let dataoffs =
+    List.init nsections (fun i ->
+        let off = Binbuf.pos b in
+        Binbuf.fill b (0x41 + (i mod 26)) data_size;
+        off)
+  in
+  (* program headers: one PT_LOAD over the first data, one PT_NOTE *)
+  let phoff = Binbuf.pos b in
+  Binbuf.u16 b 1;
+  (* PT_LOAD *)
+  Binbuf.u16 b (match dataoffs with o :: _ -> o | [] -> 0);
+  Binbuf.u16 b (min data_size 0xFFFF);
+  Binbuf.u16 b 5;
+  Binbuf.u16 b 4;
+  (* PT_NOTE *)
+  Binbuf.u16 b noteoff;
+  Binbuf.u16 b notesize;
+  Binbuf.u16 b 0;
+  (* section headers *)
+  let shoff = Binbuf.pos b in
+  (* symtab *)
+  Binbuf.u16 b (List.nth name_offsets 1);
+  Binbuf.u16 b 2;
+  Binbuf.u32 b symoff;
+  Binbuf.u16 b symsize;
+  Binbuf.u16 b 0;
+  (* dynamic *)
+  Binbuf.u16 b (List.nth name_offsets 2);
+  Binbuf.u16 b 6;
+  Binbuf.u32 b dynoff;
+  Binbuf.u16 b 12;
+  Binbuf.u16 b 0;
+  (* rela *)
+  Binbuf.u16 b (List.nth name_offsets 3);
+  Binbuf.u16 b 4;
+  Binbuf.u32 b reloff;
+  Binbuf.u16 b relsize;
+  Binbuf.u16 b 0;
+  (* hash *)
+  Binbuf.u16 b (List.nth name_offsets 4);
+  Binbuf.u16 b 5;
+  Binbuf.u32 b hashoff;
+  Binbuf.u16 b hashsize;
+  Binbuf.u16 b 0;
+  (* versym *)
+  Binbuf.u16 b (List.nth name_offsets 5);
+  Binbuf.u16 b 8;
+  Binbuf.u32 b versymoff;
+  Binbuf.u16 b versymsize;
+  Binbuf.u16 b 0;
+  (* group *)
+  Binbuf.u16 b (List.nth name_offsets 6);
+  Binbuf.u16 b 9;
+  Binbuf.u32 b groupoff;
+  Binbuf.u16 b groupsize;
+  Binbuf.u16 b 0;
+  (* data sections *)
+  List.iteri
+    (fun i off ->
+      Binbuf.u16 b (List.nth name_offsets (7 + i));
+      Binbuf.u16 b 1;
+      Binbuf.u32 b off;
+      Binbuf.u16 b (min data_size 0xFFFF);
+      Binbuf.u16 b 0)
+    dataoffs;
+  (* back-patch the header *)
+  Binbuf.patch_u32 b 14 phoff;
+  Binbuf.patch_u32 b 18 shoff;
+  Binbuf.patch_u32 b 22 stroff;
+  Binbuf.patch_u16 b 26 strsize;
+  Binbuf.contents b
+
+let seed_small () = build_seed ~nsections:2 ~nsymbols:3 ~data_size:48
+let seed_large () = build_seed ~nsections:8 ~nsymbols:40 ~data_size:880
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ("tiny", build_seed ~nsections:1 ~nsymbols:1 ~data_size:8);
+    ("medium", build_seed ~nsections:4 ~nsymbols:12 ~data_size:200);
+  ]

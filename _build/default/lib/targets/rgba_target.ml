@@ -1,0 +1,225 @@
+(* tiff2rgba analog — the paper's headline case study (§IV-C, Fig. 6).
+
+   The CIELab conversion path reads h*w*3 bytes from a fixed 257-byte
+   strip buffer with no bound check: exactly putcontig8bitCIELab from
+   libtiff-4.0.6, where w and h come from the file and pp points to a
+   fixed-size buffer. The RGB and grayscale paths are bounds-checked, so
+   the only fault is in the deep CIELab phase. *)
+
+let name = "tiff2rgba"
+let package = "libtiff-4.0.6"
+
+let planted_bugs = [ ("cielab-oob-read", "oob-read") ]
+
+let body =
+  {|
+// ---------------- tiff2rgba driver ----------------
+
+// putcontig8bitCIELab analog.
+// BUG(cielab-oob-read, oob-read): reads pp[j], pp[j+1], pp[j+2] for
+// h * w pixels from a 257-byte buffer with no bound check.
+fn put_cielab(w, h, pp, cp, cap) {
+  var j = 0;
+  var y = h;
+  while (y > 0) {
+    var x = w;
+    while (x > 0) {
+      var l = pp[j];
+      var a = pp[j + 1];
+      var bb = pp[j + 2];
+      var r = t8(l + a);
+      var g = t8(l - bb);
+      var b2 = t8(l + bb - a);
+      if (j + 2 < cap) {
+        cp[j] = r;
+        cp[j + 1] = g;
+        cp[j + 2] = b2;
+      }
+      j = j + 3;
+      x = x - 1;
+    }
+    y = y - 1;
+  }
+  return j;
+}
+
+// bounds-checked RGB path
+fn put_rgb(w, h, pp, plen, cp, cap) {
+  var j = 0;
+  var total = w * h * 3;
+  while (j + 2 < total && j + 2 < plen && j + 2 < cap) {
+    cp[j] = pp[j];
+    cp[j + 1] = pp[j + 1];
+    cp[j + 2] = pp[j + 2];
+    j = j + 3;
+  }
+  return j;
+}
+
+// palette path: pixel bytes index a colormap carried in the strip head
+fn put_palette(w, h, pp, plen, cp, cap, cmap_entries) {
+  var j = 0;
+  var total = w * h;
+  var cmap_bytes = cmap_entries * 3;
+  while (j < total && cmap_bytes + j < plen && j * 3 + 2 < cap) {
+    var pix = pp[cmap_bytes + j];
+    if (pix <u cmap_entries) {
+      cp[j * 3] = pp[pix * 3];
+      cp[j * 3 + 1] = pp[pix * 3 + 1];
+      cp[j * 3 + 2] = pp[pix * 3 + 2];
+    } else {
+      out(7010);
+    }
+    j = j + 1;
+  }
+  return j;
+}
+
+// separated (CMYK) path, bounds-checked
+fn put_cmyk(w, h, pp, plen, cp, cap) {
+  var j = 0;
+  var total = w * h;
+  while (j * 4 + 3 < plen && j < total && j * 3 + 2 < cap) {
+    var c = pp[j * 4];
+    var m = pp[j * 4 + 1];
+    var y = pp[j * 4 + 2];
+    var k = pp[j * 4 + 3];
+    cp[j * 3] = t8((255 - c) * (255 - k) / 255);
+    cp[j * 3 + 1] = t8((255 - m) * (255 - k) / 255);
+    cp[j * 3 + 2] = t8((255 - y) * (255 - k) / 255);
+    j = j + 1;
+  }
+  return j;
+}
+
+// YCbCr path, bounds-checked integer conversion
+fn put_ycbcr(w, h, pp, plen, cp, cap) {
+  var j = 0;
+  var total = w * h;
+  while (j * 3 + 2 < plen && j < total && j * 3 + 2 < cap) {
+    var yy = pp[j * 3];
+    var cb = pp[j * 3 + 1] - 128;
+    var cr = pp[j * 3 + 2] - 128;
+    var r = yy + cr + cr / 2;
+    var g = yy - cb / 3 - cr / 2;
+    var bl = yy + cb + cb / 4;
+    if (r < 0) { r = 0; }
+    if (r > 255) { r = 255; }
+    if (g < 0) { g = 0; }
+    if (g > 255) { g = 255; }
+    if (bl < 0) { bl = 0; }
+    if (bl > 255) { bl = 255; }
+    cp[j * 3] = r;
+    cp[j * 3 + 1] = g;
+    cp[j * 3 + 2] = bl;
+    j = j + 1;
+  }
+  return j;
+}
+
+
+// bounds-checked grayscale path
+fn put_gray(w, h, pp, plen, cp, cap) {
+  var j = 0;
+  var total = w * h;
+  while (j < total && j < plen && j < cap) {
+    cp[j] = pp[j];
+    j = j + 1;
+  }
+  return j;
+}
+
+fn main() {
+  var ifd = tiff_check_header();
+  if (ifd < 0) { out(7000); return 1; }
+  var fields = alloc(24);
+  if (tiff_parse_ifd(ifd, fields) == 0) { return 1; }
+  if (tiff_validate(fields) == 0) { return 1; }
+  var w = ld16(fields);
+  var h = ld16(fields + 2);
+  var photometric = ld16(fields + 8);
+  var strip_off = ld16(fields + 10);
+  var strip_len = ld16(fields + 14);
+  var compression = ld16(fields + 6);
+  var orientation = ld16(fields + 16);
+  var cmap_entries = ld16(fields + 18);
+  describe_orientation(orientation);
+  // the strip buffer is a fixed 257 bytes, as in the case study
+  var pp = alloc(257);
+  if (compression == 5) {
+    unpack_bits(strip_off, strip_len, pp, 257);
+  } else {
+    copy_in(pp, 0, strip_off, imin(strip_len, 257));
+  }
+  var cp = alloc(4096);
+  var produced = 0;
+  if (photometric == 8) {
+    produced = put_cielab(w, h, pp, cp, 4096);
+  } else { if (photometric == 2) {
+    produced = put_rgb(w, h, pp, 257, cp, 4096);
+  } else { if (photometric == 3) {
+    if (cmap_entries == 0 || cmap_entries > 64) { out(7012); return 1; }
+    produced = put_palette(w, h, pp, 257, cp, 4096, cmap_entries);
+  } else { if (photometric == 5) {
+    produced = put_cmyk(w, h, pp, 257, cp, 4096);
+  } else { if (photometric == 6) {
+    produced = put_ycbcr(w, h, pp, 257, cp, 4096);
+  } else { if (photometric == 1 || photometric == 0) {
+    produced = put_gray(w, h, pp, 257, cp, 4096);
+  } else {
+    out(7006);
+    return 1;
+  } } } } } }
+  out(produced);
+  out(77779);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap (Tiff_common.header_source ^ body)
+
+(* Benign seed: a small CIELab image whose h*w*3 fits the 257-byte buffer. *)
+let seed_small () =
+  Tiff_common.build_file
+    [ (256, 5); (257, 4); (258, 8); (262, 8) ]
+    ~strip:(String.init 60 (fun i -> Char.chr (i * 4 land 0xFF)))
+
+let seed_large () =
+  Tiff_common.build_file
+    [ (256, 9); (257, 9); (258, 8); (262, 8) ]
+    ~strip:(String.init 243 (fun i -> Char.chr (i * 7 land 0xFF)))
+
+(* The buggy seed reproduces Fig. 5(b): h*w*3 = 270 > 257. *)
+let seed_buggy () =
+  Tiff_common.build_file
+    [ (256, 10); (257, 9); (258, 8); (262, 8) ]
+    ~strip:(String.init 243 (fun i -> Char.chr (i * 7 land 0xFF)))
+
+let seeds () =
+  [
+    ("small", seed_small ());
+    ("large", seed_large ());
+    ( "rgb",
+      Tiff_common.build_file
+        [ (256, 8); (257, 8); (258, 8); (262, 2) ]
+        ~strip:(String.make 192 'x') );
+    ( "palette",
+      (* 8-entry colormap followed by pixel indices below 8 *)
+      Tiff_common.build_file
+        [ (256, 8); (257, 8); (258, 8); (262, 3); (320, 8); (274, 5) ]
+        ~strip:
+          (String.init 24 (fun i -> Char.chr ((i * 10) land 0xFF))
+          ^ String.init 64 (fun i -> Char.chr (i mod 8))) );
+    ( "cmyk",
+      Tiff_common.build_file
+        [ (256, 7); (257, 6); (258, 8); (262, 5); (274, 3) ]
+        ~strip:(String.init 168 (fun i -> Char.chr ((i * 5) land 0xFF))) );
+    ( "ycbcr-packbits",
+      (* packbits: a repeat run then literals *)
+      Tiff_common.build_file
+        [ (256, 6); (257, 6); (258, 8); (259, 5); (262, 6); (274, 6) ]
+        ~strip:
+          ("\xc0a"
+          ^ "\x0f" ^ String.init 16 (fun i -> Char.chr (100 + i))
+          ^ "\xd0b" ^ "\x07" ^ String.init 8 (fun i -> Char.chr (50 + (i * 9)))) );
+  ]

@@ -1,0 +1,260 @@
+(* tcpdump analog over a PCAP-like capture format.
+
+   The paper reports finding no bugs in tcpdump: packets are captured and
+   printed with little analysis. This target replicates that shape — a
+   shallow, bounds-checked packet loop — and serves as the control: pbSE
+   should find no bugs here, and the coverage gap between pbSE and KLEE
+   should be smaller than on the deep parsers. *)
+
+let name = "tcpdump"
+let package = "tcpdump-4.7"
+let planted_bugs : (string * string) list = []
+
+let body =
+  {|
+// ---------------- tcpdump driver (PCAP-S format) ----------------
+
+fn pcap_check_header() {
+  if (iu32(0) != 0xA1B2C3D4) { return 0; }
+  var version = iu16(4);
+  if (version != 2) { return 0; }
+  return 1;
+}
+
+fn print_packet(off, caplen) {
+  var i = 0;
+  var sum = 0;
+  while (i < caplen) {
+    sum = t16(sum + in(off + i));
+    i = i + 1;
+  }
+  out(sum);
+  return 0;
+}
+
+fn dissect_tcp(off, len) {
+  if (len < 20) { out(4010); return 0; }
+  var sport = in(off) << 8 | in(off + 1);
+  var dport = in(off + 2) << 8 | in(off + 3);
+  var flags = in(off + 13);
+  out(sport);
+  out(dport);
+  if ((flags & 0x02) != 0) { out(4011); }  // SYN
+  if ((flags & 0x10) != 0) { out(4012); }  // ACK
+  if ((flags & 0x01) != 0) { out(4013); }  // FIN
+  if ((flags & 0x04) != 0) { out(4014); }  // RST
+  var doff = (in(off + 12) >> 4) * 4;
+  if (doff < 20 || doff > len) { out(4015); return 0; }
+  return len - doff;
+}
+
+fn dissect_udp(off, len) {
+  if (len < 8) { out(4020); return 0; }
+  var sport = in(off) << 8 | in(off + 1);
+  var dport = in(off + 2) << 8 | in(off + 3);
+  var ulen = in(off + 4) << 8 | in(off + 5);
+  out(sport);
+  out(dport);
+  if (ulen > len) { out(4021); return 0; }
+  if (dport == 53 || sport == 53) { out(4022); }  // DNS
+  if (dport == 123) { out(4023); }                // NTP
+  return ulen - 8;
+}
+
+fn dissect_icmp(off, len) {
+  if (len < 4) { out(4030); return 0; }
+  var kind = in(off);
+  var code = in(off + 1);
+  if (kind == 0) { out(4031); }
+  else { if (kind == 8) { out(4032); }
+  else { if (kind == 3) { out(4033 + code); }
+  else { if (kind == 11) { out(4040); }
+  else { out(4041); } } } }
+  return len - 4;
+}
+
+fn dissect_ipv4(off, len) {
+  if (len < 20) { out(4050); return 0; }
+  var vihl = in(off);
+  if ((vihl >> 4) != 4) { out(4051); return 0; }
+  var ihl = (vihl & 15) * 4;
+  if (ihl < 20 || ihl > len) { out(4052); return 0; }
+  var total = in(off + 2) << 8 | in(off + 3);
+  var ttl = in(off + 8);
+  var proto = in(off + 9);
+  if (total > len) { out(4053); }
+  if (ttl < 2) { out(4054); }
+  out(proto);
+  var payload = off + ihl;
+  var plen = len - ihl;
+  if (proto == 6) { dissect_tcp(payload, plen); }
+  else { if (proto == 17) { dissect_udp(payload, plen); }
+  else { if (proto == 1) { dissect_icmp(payload, plen); }
+  else { out(4055); } } }
+  return 0;
+}
+
+fn dissect_ipv6(off, len) {
+  if (len < 40) { out(4060); return 0; }
+  var ver = in(off) >> 4;
+  if (ver != 6) { out(4061); return 0; }
+  var next = in(off + 6);
+  var hops = in(off + 7);
+  if (hops == 0) { out(4062); }
+  out(next);
+  if (next == 6) { dissect_tcp(off + 40, len - 40); }
+  else { if (next == 17) { dissect_udp(off + 40, len - 40); }
+  else { out(4063); } }
+  return 0;
+}
+
+fn dissect_arp(off, len) {
+  if (len < 8) { out(4070); return 0; }
+  var htype = in(off) << 8 | in(off + 1);
+  var op = in(off + 6) << 8 | in(off + 7);
+  if (htype != 1) { out(4071); return 0; }
+  if (op == 1) { out(4072); }
+  else { if (op == 2) { out(4073); }
+  else { out(4074); } }
+  return 0;
+}
+
+fn classify(off, caplen) {
+  if (caplen < 14) { out(4001); return 0; }
+  var ethertype = in(off + 12) << 8 | in(off + 13);
+  var payload = off + 14;
+  var plen = caplen - 14;
+  // 802.1Q VLAN tag indirection
+  if (ethertype == 0x8100) {
+    if (caplen < 18) { out(4002); return 0; }
+    out(in(off + 14) << 8 | in(off + 15));
+    ethertype = in(off + 16) << 8 | in(off + 17);
+    payload = off + 18;
+    plen = caplen - 18;
+  }
+  switch (ethertype) {
+    case 0x0800: { dissect_ipv4(payload, plen); }
+    case 0x86DD: { dissect_ipv6(payload, plen); }
+    case 0x0806: { dissect_arp(payload, plen); }
+    default: { out(0); }
+  }
+  return 0;
+}
+
+fn main() {
+  if (pcap_check_header() == 0) { out(4000); return 1; }
+  var size = in_size();
+  var pos = 8;
+  var packets = 0;
+  while (pos + 8 <= size && packets < 64) {
+    var ts = iu32(pos);
+    var caplen = iu16(pos + 4);
+    var origlen = iu16(pos + 6);
+    if (caplen > origlen) { out(4002); return 1; }
+    if (caplen > 2048) { out(4003); return 1; }
+    out(ts);
+    classify(pos + 8, caplen);
+    print_packet(pos + 8, imin(caplen, size - pos - 8));
+    pos = pos + 8 + caplen;
+    packets = packets + 1;
+  }
+  out(packets);
+  out(77783);
+  return 0;
+}
+|}
+
+let source = Prelude.wrap body
+
+(* one ethernet frame: 14-byte header then a protocol payload *)
+let frame kind =
+  let f = Binbuf.create () in
+  Binbuf.fill f 0xAA 6;
+  Binbuf.fill f 0xBB 6;
+  (match kind with
+   | `Tcp | `Udp | `Icmp ->
+     Binbuf.u8 f 0x08;
+     Binbuf.u8 f 0x00;
+     (* IPv4 header *)
+     Binbuf.u8 f 0x45;
+     Binbuf.u8 f 0;
+     let proto, payload =
+       match kind with
+       | `Tcp ->
+         (* 20-byte TCP header: SYN+ACK *)
+         let t = Binbuf.create () in
+         Binbuf.u8 t 0x01; Binbuf.u8 t 0xBB;  (* sport 443 *)
+         Binbuf.u8 t 0xC0; Binbuf.u8 t 0x01;
+         Binbuf.u32 t 1000; Binbuf.u32 t 2000;
+         Binbuf.u8 t 0x50; Binbuf.u8 t 0x12;
+         Binbuf.u16 t 0xFFFF; Binbuf.u16 t 0; Binbuf.u16 t 0;
+         (6, Bytes.to_string (Binbuf.contents t))
+       | `Udp ->
+         let t = Binbuf.create () in
+         Binbuf.u8 t 0x00; Binbuf.u8 t 0x35;  (* sport 53 *)
+         Binbuf.u8 t 0x10; Binbuf.u8 t 0x01;
+         Binbuf.u8 t 0x00; Binbuf.u8 t 0x0C;  (* length 12 *)
+         Binbuf.u16 t 0;
+         Binbuf.raw t "dns!";
+         (17, Bytes.to_string (Binbuf.contents t))
+       | _ ->
+         let t = Binbuf.create () in
+         Binbuf.u8 t 8; Binbuf.u8 t 0; Binbuf.u16 t 0; Binbuf.raw t "ping";
+         (1, Bytes.to_string (Binbuf.contents t))
+     in
+     let total = 20 + String.length payload in
+     Binbuf.u8 f ((total lsr 8) land 0xFF);
+     Binbuf.u8 f (total land 0xFF);
+     Binbuf.u16 f 0;
+     Binbuf.u16 f 0x4000;
+     Binbuf.u8 f 64;
+     Binbuf.u8 f proto;
+     Binbuf.u16 f 0;
+     Binbuf.u32 f 0x0A000001;
+     Binbuf.u32 f 0x0A000002;
+     Binbuf.raw f payload
+   | `Arp ->
+     Binbuf.u8 f 0x08;
+     Binbuf.u8 f 0x06;
+     Binbuf.u8 f 0; Binbuf.u8 f 1;
+     Binbuf.u8 f 0x08; Binbuf.u8 f 0;
+     Binbuf.u8 f 6; Binbuf.u8 f 4;
+     Binbuf.u8 f 0; Binbuf.u8 f 2;
+     Binbuf.fill f 0xCC 20
+   | `Vlan6 ->
+     Binbuf.u8 f 0x81;
+     Binbuf.u8 f 0x00;
+     Binbuf.u8 f 0x00; Binbuf.u8 f 0x2A;
+     Binbuf.u8 f 0x86; Binbuf.u8 f 0xDD;
+     (* IPv6 header + UDP *)
+     Binbuf.u8 f 0x60; Binbuf.fill f 0 3;
+     Binbuf.u16 f 12;
+     Binbuf.u8 f 17;
+     Binbuf.u8 f 64;
+     Binbuf.fill f 0x20 32;
+     Binbuf.u8 f 0x00; Binbuf.u8 f 0x7B;
+     Binbuf.u8 f 0x30 ; Binbuf.u8 f 0x39;
+     Binbuf.u8 f 0; Binbuf.u8 f 0x0C;
+     Binbuf.u16 f 0;
+     Binbuf.raw f "ntp!");
+  Bytes.to_string (Binbuf.contents f)
+
+let build_seed ~npackets ~caplen:_ =
+  let kinds = [| `Tcp; `Udp; `Icmp; `Arp; `Vlan6 |] in
+  let b = Binbuf.create () in
+  Binbuf.u32 b 0xA1B2C3D4;
+  Binbuf.u16 b 2;
+  Binbuf.u16 b 4;
+  for p = 0 to npackets - 1 do
+    let data = frame kinds.(p mod Array.length kinds) in
+    Binbuf.u32 b (1700000000 + p);
+    Binbuf.u16 b (String.length data);
+    Binbuf.u16 b (String.length data);
+    Binbuf.raw b data
+  done;
+  Binbuf.contents b
+
+let seed_small () = build_seed ~npackets:2 ~caplen:20
+let seed_large () = build_seed ~npackets:10 ~caplen:80
+
+let seeds () = [ ("small", seed_small ()); ("large", seed_large ()) ]

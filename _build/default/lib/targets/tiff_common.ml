@@ -1,0 +1,134 @@
+(* Shared front end for the TIF-R container used by the tiff2rgba and
+   tiff2bw analogs.
+
+   Layout: "II" magic, u16 42, u32 IFD offset. The IFD is a u16 entry
+   count followed by 8-byte entries: tag u16, type u16, value u32.
+   Tags (following real TIFF numbering): 256 width, 257 height, 258
+   bits-per-sample, 259 compression, 262 photometric, 273 strip offset,
+   277 samples-per-pixel, 279 strip byte count. *)
+
+let header_source =
+  {|
+// ---------------- TIF-R front end ----------------
+
+fn tiff_check_header() {
+  if (in(0) != 'I') { return 0 - 1; }
+  if (in(1) != 'I') { return 0 - 1; }
+  if (iu16(2) != 42) { return 0 - 1; }
+  var ifd = iu32(4);
+  if (ifd < 8 || ifd + 2 > in_size()) { return 0 - 1; }
+  return ifd;
+}
+
+// Parses the IFD into the fields buffer (12 u16 slots stored via st16):
+// 0 width, 1 height, 2 bits, 3 compression, 4 photometric,
+// 5 strip offset, 6 samples per pixel, 7 strip byte count,
+// 8 orientation, 9 colormap entry count.
+fn tiff_parse_ifd(ifd, fields) {
+  var count = iu16(ifd);
+  if (count == 0 || count > 64) { out(7001); return 0; }
+  // defaults
+  st16(fields + 4, 8);    // bits
+  st16(fields + 6, 1);    // compression
+  st16(fields + 8, 1);    // photometric
+  st16(fields + 12, 1);   // samples per pixel
+  st16(fields + 16, 1);   // orientation
+  st16(fields + 18, 0);   // colormap entries
+  var i = 0;
+  while (i < count) {
+    var base = ifd + 2 + i * 8;
+    var tag = iu16(base);
+    var val = iu32(base + 4);
+    if (tag == 256) { st16(fields + 0, val); }
+    else { if (tag == 257) { st16(fields + 2, val); }
+    else { if (tag == 258) { st16(fields + 4, val); }
+    else { if (tag == 259) { st16(fields + 6, val); }
+    else { if (tag == 262) { st16(fields + 8, val); }
+    else { if (tag == 273) { st16(fields + 10, val); }
+    else { if (tag == 277) { st16(fields + 12, val); }
+    else { if (tag == 279) { st16(fields + 14, val); }
+    else { if (tag == 274) { st16(fields + 16, val); }
+    else { if (tag == 320) { st16(fields + 18, val); }
+    else { out(tag); } } } } } } } } } }
+    i = i + 1;
+  }
+  return 1;
+}
+
+// PackBits-style decompression of the strip into a bounded buffer
+fn unpack_bits(src_off, src_len, dst, cap) {
+  var i = 0;
+  var o = 0;
+  while (i < src_len) {
+    var n = in(src_off + i);
+    if (n < 128) {
+      // literal run of n + 1 bytes
+      var k = 0;
+      while (k <= n && i + 1 + k < src_len) {
+        if (o < cap) { dst[o] = in(src_off + i + 1 + k); o = o + 1; }
+        k = k + 1;
+      }
+      i = i + 1 + n + 1;
+    } else { if (n == 128) {
+      i = i + 1;  // no-op marker
+    } else {
+      // repeat next byte 257 - n times
+      var count = 257 - n;
+      if (i + 1 >= src_len) { out(7011); break; }
+      var v = in(src_off + i + 1);
+      var k = 0;
+      while (k < count) {
+        if (o < cap) { dst[o] = v; o = o + 1; }
+        k = k + 1;
+      }
+      i = i + 2;
+    } }
+  }
+  return o;
+}
+
+fn describe_orientation(orientation) {
+  if (orientation == 1) { out(7101); return 1; }
+  if (orientation == 2) { out(7102); return 1; }
+  if (orientation == 3) { out(7103); return 1; }
+  if (orientation == 4) { out(7104); return 1; }
+  if (orientation == 5) { out(7105); return 1; }
+  if (orientation == 6) { out(7106); return 1; }
+  if (orientation == 7) { out(7107); return 1; }
+  if (orientation == 8) { out(7108); return 1; }
+  out(7100);
+  return 0;
+}
+
+fn tiff_validate(fields) {
+  var w = ld16(fields);
+  var h = ld16(fields + 2);
+  var bits = ld16(fields + 4);
+  var compression = ld16(fields + 6);
+  if (w == 0 || h == 0) { out(7002); return 0; }
+  if (w > 512 || h > 512) { out(7003); return 0; }
+  if (bits != 1 && bits != 8 && bits != 16) { out(7004); return 0; }
+  if (compression != 1 && compression != 5) { out(7005); return 0; }
+  return 1;
+}
+|}
+
+(* OCaml-side IFD builder shared by the tiff seed generators. *)
+let build_file entries ~strip =
+  let b = Binbuf.create () in
+  Binbuf.raw b "II";
+  Binbuf.u16 b 42;
+  Binbuf.u32 b 0 (* IFD offset, patched *);
+  let strip_off = Binbuf.pos b in
+  Binbuf.raw b strip;
+  let ifd_off = Binbuf.pos b in
+  let entries = entries @ [ (273, strip_off); (279, String.length strip) ] in
+  Binbuf.u16 b (List.length entries);
+  List.iter
+    (fun (tag, value) ->
+      Binbuf.u16 b tag;
+      Binbuf.u16 b 3;
+      Binbuf.u32 b value)
+    entries;
+  Binbuf.patch_u32 b 4 ifd_off;
+  Binbuf.contents b

@@ -1,0 +1,11 @@
+(** Shared front end for the TIF-R container used by the tiff2rgba and
+    tiff2bw analogs: header check, IFD parsing into a fields buffer,
+    validation, PackBits decompression and orientation decoding. *)
+
+val header_source : string
+(** MiniC source of the shared functions; prepended to each driver. *)
+
+val build_file : (int * int) list -> strip:string -> bytes
+(** [build_file tags ~strip] assembles a consistent TIF-R file: header,
+    strip data, then an IFD carrying [tags] plus the strip offset/count
+    entries (tags 273/279 are appended automatically). *)

@@ -1,0 +1,42 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc row -> max acc (List.length row))
+      (List.length t.headers) rows
+  in
+  let all = pad_to ncols t.headers :: List.map (pad_to ncols) rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> Printf.sprintf " %-*s " widths.(i) cell) row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let sep =
+    let dashes = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    "|" ^ String.concat "+" dashes ^ "|"
+  in
+  match all with
+  | [] -> ""
+  | header :: body ->
+    String.concat "\n" (render_row header :: sep :: List.map render_row body)
+
+let print t = print_endline (render t)

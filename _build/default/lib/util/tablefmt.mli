@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Renders rows the way the paper's tables do: a header row, aligned
+    columns, and '|' separators, so bench output can be compared to the
+    paper side by side. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Renders the whole table, header first. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

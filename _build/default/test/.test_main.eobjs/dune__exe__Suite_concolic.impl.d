@@ -1,0 +1,1 @@
+test/suite_concolic.ml: Alcotest Array Bbv Bytes Concolic List Pbse_concolic Pbse_exec Pbse_lang Pbse_smt Pbse_util Printf Trace

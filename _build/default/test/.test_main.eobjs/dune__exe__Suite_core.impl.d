@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Buffer Bytes List Option Pbse Pbse_exec Pbse_lang Pbse_phase Pbse_targets Pbse_util Printf

@@ -1,0 +1,1 @@
+test/suite_exec.ml: Alcotest Bug Builder Bytes Char Concrete Coverage Executor Gen Hashtbl Int64 List Pbse_exec Pbse_ir Pbse_lang Pbse_smt Pbse_util Printf QCheck QCheck_alcotest Searcher Types

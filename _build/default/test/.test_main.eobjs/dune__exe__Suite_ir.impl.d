@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Builder Cfg Int List Pbse_ir Printer Printf String Validate

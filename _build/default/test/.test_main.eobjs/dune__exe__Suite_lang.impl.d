@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Ast Bytes Frontend Int64 Pbse_exec Pbse_ir Pbse_lang Pbse_smt Printf QCheck QCheck_alcotest String

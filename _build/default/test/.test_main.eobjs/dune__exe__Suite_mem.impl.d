@@ -1,0 +1,1 @@
+test/suite_mem.ml: Alcotest Bytes Concrete Int64 Mem Pbse_exec Pbse_ir Pbse_smt QCheck QCheck_alcotest

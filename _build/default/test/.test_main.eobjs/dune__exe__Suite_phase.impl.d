@@ -1,0 +1,1 @@
+test/suite_phase.ml: Alcotest Array Gen Int Kmeans List Pbse_concolic Pbse_phase Pbse_util Phase Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_searcher.ml: Alcotest Coverage Hashtbl List Mem Option Pbse_exec Pbse_ir Pbse_lang Pbse_smt Pbse_util Printf Searcher State

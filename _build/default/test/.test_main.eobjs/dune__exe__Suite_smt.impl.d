@@ -1,0 +1,1 @@
+test/suite_smt.ml: Alcotest Array Bool Bytes Expr Int64 Interval List Model Pbse_ir Pbse_smt QCheck QCheck_alcotest Semantics Solver

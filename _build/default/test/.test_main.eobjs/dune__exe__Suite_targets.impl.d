@@ -1,0 +1,1 @@
+test/suite_targets.ml: Alcotest Buffer Bytes Char Int64 List Option Pbse_concolic Pbse_exec Pbse_ir Pbse_lang Pbse_targets Pbse_util Printf String

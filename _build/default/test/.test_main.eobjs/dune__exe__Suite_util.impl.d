@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Int List Pbse_util Rng String Tablefmt Vclock

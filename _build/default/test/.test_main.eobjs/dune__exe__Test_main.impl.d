@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Suite_concolic Suite_core Suite_exec Suite_ir Suite_lang Suite_mem Suite_phase Suite_searcher Suite_smt Suite_targets Suite_util

@@ -1,0 +1,170 @@
+open Pbse_concolic
+module Vclock = Pbse_util.Vclock
+module Executor = Pbse_exec.Executor
+
+let test_bbv_builder_intervals () =
+  let b = Bbv.builder ~interval_length:100 in
+  Bbv.set_coverage_probe b (fun () -> 7);
+  Bbv.record b ~vtime:10 ~gid:1;
+  Bbv.record b ~vtime:20 ~gid:1;
+  Bbv.record b ~vtime:30 ~gid:2;
+  Bbv.record b ~vtime:150 ~gid:3;
+  (* crossing into interval 1 closed interval 0 *)
+  Bbv.flush b ~coverage_at:(fun () -> 9) ~vtime:160;
+  match Bbv.bbvs b with
+  | [ first; second ] ->
+    Alcotest.(check int) "first interval index" 0 first.Bbv.index;
+    Alcotest.(check (list (pair int int))) "first counts" [ (1, 2); (2, 1) ]
+      (Array.to_list first.Bbv.counts);
+    Alcotest.(check int) "first total" 3 first.Bbv.total;
+    Alcotest.(check int) "first coverage probed" 7 first.Bbv.coverage;
+    Alcotest.(check int) "second interval index" 1 second.Bbv.index;
+    Alcotest.(check (list (pair int int))) "second counts" [ (3, 1) ]
+      (Array.to_list second.Bbv.counts);
+    Alcotest.(check int) "second coverage from flush" 9 second.Bbv.coverage
+  | bbvs -> Alcotest.fail (Printf.sprintf "expected 2 BBVs, got %d" (List.length bbvs))
+
+let test_bbv_normalized () =
+  let b = Bbv.builder ~interval_length:1000 in
+  Bbv.record b ~vtime:1 ~gid:4;
+  Bbv.record b ~vtime:2 ~gid:4;
+  Bbv.record b ~vtime:3 ~gid:9;
+  Bbv.record b ~vtime:4 ~gid:9;
+  Bbv.flush b ~coverage_at:(fun () -> 0) ~vtime:5;
+  match Bbv.bbvs b with
+  | [ bbv ] ->
+    let normalized = Bbv.normalized bbv in
+    let total = Array.fold_left (fun acc (_, p) -> acc +. p) 0.0 normalized in
+    Alcotest.(check (float 1e-9)) "proportions sum to 1" 1.0 total
+  | _ -> Alcotest.fail "expected one BBV"
+
+let test_bbv_dims () =
+  let b = Bbv.builder ~interval_length:10 in
+  Bbv.record b ~vtime:1 ~gid:41;
+  Bbv.flush b ~coverage_at:(fun () -> 0) ~vtime:2;
+  Alcotest.(check int) "dims is max gid + 1" 42 (Bbv.dims (Bbv.bbvs b))
+
+let test_bbv_rejects_bad_interval () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Bbv.builder ~interval_length:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_indexer_first_execution_order () =
+  let ix = Trace.indexer () in
+  Alcotest.(check int) "first block gets 0" 0 (Trace.index_of ix 500);
+  Alcotest.(check int) "second block gets 1" 1 (Trace.index_of ix 123);
+  Alcotest.(check int) "repeat keeps index" 0 (Trace.index_of ix 500);
+  Alcotest.(check int) "assigned" 2 (Trace.assigned ix)
+
+let test_trace_csv () =
+  let ix = Trace.indexer () in
+  let trace = Trace.create ix in
+  Trace.record trace ~vtime:5 ~gid:100;
+  Trace.record trace ~vtime:9 ~gid:100;
+  Trace.record trace ~vtime:12 ~gid:200;
+  Alcotest.(check string) "csv" "vtime,bb\n5,0\n9,0\n12,1\n" (Trace.to_csv trace);
+  Alcotest.(check int) "points" 3 (List.length (Trace.points trace))
+
+(* a staged program: header check then an input-bounded loop *)
+let staged_src =
+  "fn main() {\n\
+  \  if (in(0) != 'M') { return 1; }\n\
+  \  var n = in(1);\n\
+  \  var i = 0;\n\
+  \  var sum = 0;\n\
+  \  while (i < n) { sum = sum + in(2 + i); i = i + 1; }\n\
+  \  out(sum);\n\
+  \  if (in(2) == 0x7F) { return 3; }\n\
+  \  return 0;\n\
+   }"
+
+let run_concolic ?(seed = "M\005abcde") () =
+  let prog = Pbse_lang.Frontend.compile staged_src in
+  let clock = Vclock.create () in
+  let exec = Executor.create ~clock prog ~input:(Bytes.of_string seed) in
+  let ix = Trace.indexer () in
+  (Concolic.run ~interval_length:20 exec ix, exec)
+
+let test_concolic_follows_seed () =
+  let result, _ = run_concolic () in
+  (match result.Concolic.outcome with
+   | Concolic.Exited 0L -> ()
+   | Concolic.Exited c -> Alcotest.fail (Printf.sprintf "wrong exit %Ld" c)
+   | _ -> Alcotest.fail "expected clean exit");
+  Alcotest.(check bool) "positive c_time" true (result.Concolic.c_time > 0);
+  Alcotest.(check bool) "entered blocks" true (result.Concolic.blocks_entered > 5)
+
+let test_concolic_seed_states_at_forks () =
+  let result, _ = run_concolic () in
+  (* branches on symbolic input: header check, 6 loop checks (n=5),
+     final byte check -> at least 7 seedStates *)
+  let n = List.length result.Concolic.seed_states in
+  Alcotest.(check bool) "several seedStates" true (n >= 7);
+  List.iter
+    (fun (ss : Concolic.seed_state) ->
+      Alcotest.(check bool) "children marked for verification" true
+        ss.Concolic.state.Pbse_exec.State.needs_verify;
+      Alcotest.(check bool) "fork gid recorded" true (ss.Concolic.fork_gid >= 0))
+    result.Concolic.seed_states
+
+let test_concolic_uses_no_solver () =
+  let result, exec = run_concolic () in
+  ignore result;
+  let stats = Pbse_smt.Solver.stats (Executor.solver exec) in
+  Alcotest.(check int) "no queries during concolic" 0 stats.Pbse_smt.Solver.queries
+
+let test_concolic_bbvs_cover_run () =
+  let result, _ = run_concolic () in
+  Alcotest.(check bool) "bbvs gathered" true (List.length result.Concolic.bbvs >= 2);
+  let all_sorted =
+    List.for_all
+      (fun (bbv : Bbv.t) -> bbv.Bbv.t_start <= bbv.Bbv.t_end)
+      result.Concolic.bbvs
+  in
+  Alcotest.(check bool) "interval bounds ordered" true all_sorted
+
+let test_concolic_deterministic () =
+  let a, _ = run_concolic () in
+  let b, _ = run_concolic () in
+  Alcotest.(check int) "same c_time" a.Concolic.c_time b.Concolic.c_time;
+  Alcotest.(check int) "same seedState count"
+    (List.length a.Concolic.seed_states)
+    (List.length b.Concolic.seed_states)
+
+let test_concolic_seed_states_verify () =
+  let result, exec = run_concolic () in
+  let verified =
+    List.filter
+      (fun (ss : Concolic.seed_state) -> Executor.verify exec ss.Concolic.state)
+      result.Concolic.seed_states
+  in
+  (* the not-taken side of the loop-entry check at iteration 0 is n = 0:
+     feasible; the header-mismatch side is feasible too; at least half of
+     all divergences should verify *)
+  Alcotest.(check bool) "most seedStates feasible" true
+    (2 * List.length verified >= List.length result.Concolic.seed_states);
+  List.iter
+    (fun (ss : Concolic.seed_state) ->
+      Alcotest.(check bool) "verified state has consistent model" true
+        (Pbse_smt.Model.satisfies ss.Concolic.state.Pbse_exec.State.model
+           ss.Concolic.state.Pbse_exec.State.path))
+    verified
+
+let suite =
+  [
+    Alcotest.test_case "bbv builder intervals" `Quick test_bbv_builder_intervals;
+    Alcotest.test_case "bbv normalized" `Quick test_bbv_normalized;
+    Alcotest.test_case "bbv dims" `Quick test_bbv_dims;
+    Alcotest.test_case "bbv rejects bad interval" `Quick test_bbv_rejects_bad_interval;
+    Alcotest.test_case "trace indexer order" `Quick test_trace_indexer_first_execution_order;
+    Alcotest.test_case "trace csv" `Quick test_trace_csv;
+    Alcotest.test_case "concolic follows seed" `Quick test_concolic_follows_seed;
+    Alcotest.test_case "concolic seedStates at forks" `Quick
+      test_concolic_seed_states_at_forks;
+    Alcotest.test_case "concolic uses no solver" `Quick test_concolic_uses_no_solver;
+    Alcotest.test_case "concolic bbvs cover run" `Quick test_concolic_bbvs_cover_run;
+    Alcotest.test_case "concolic deterministic" `Quick test_concolic_deterministic;
+    Alcotest.test_case "concolic seedStates verify" `Quick test_concolic_seed_states_verify;
+  ]

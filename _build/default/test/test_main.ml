@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "pbse"
+    [
+      ("util", Suite_util.suite);
+      ("ir", Suite_ir.suite);
+      ("smt", Suite_smt.suite);
+      ("lang", Suite_lang.suite);
+      ("mem", Suite_mem.suite);
+      ("searcher", Suite_searcher.suite);
+      ("exec", Suite_exec.suite);
+      ("concolic", Suite_concolic.suite);
+      ("phase", Suite_phase.suite);
+      ("core", Suite_core.suite);
+      ("targets", Suite_targets.suite);
+    ]
