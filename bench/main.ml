@@ -21,6 +21,8 @@ module Phase = Pbse_phase.Phase
 module Vclock = Pbse_util.Vclock
 module Rng = Pbse_util.Rng
 module Tablefmt = Pbse_util.Tablefmt
+module Fault = Pbse_robust.Fault
+module Inject = Pbse_robust.Inject
 
 let hour =
   match Sys.getenv_opt "PBSE_HOUR" with
@@ -454,6 +456,45 @@ let ablate () =
   run "fixed k = 4" { Driver.default_config with Driver.max_k = 4 };
   Tablefmt.print table
 
+(* --- Robustness: fault-injected sweep ------------------------------------------- *)
+
+let robust () =
+  heading
+    "Robustness sweep: every target under a fixed fault-injection plan \
+     (docs/robustness.md)";
+  let plan =
+    match Inject.parse "seed=7,solver=0.2,abort=0.1,mem=0.05" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  Printf.printf "  plan: %s\n%!" (Inject.to_string plan);
+  let config = { Driver.default_config with Driver.inject = plan } in
+  let table =
+    Tablefmt.create
+      [ "target"; "cov clean"; "cov injected"; "bugs"; "faults"; "evicted" ]
+  in
+  List.iter
+    (fun t ->
+      let prog = Registry.program t in
+      let seed = Registry.default_seed t in
+      let clean = Driver.run prog ~seed ~deadline:hour in
+      let faulty = Driver.run ~config prog ~seed ~deadline:hour in
+      Tablefmt.add_row table
+        [
+          t.Registry.name;
+          string_of_int (Coverage.count (Executor.coverage clean.Driver.executor));
+          string_of_int (Coverage.count (Executor.coverage faulty.Driver.executor));
+          Printf.sprintf "%d/%d"
+            (List.length faulty.Driver.bugs)
+            (List.length clean.Driver.bugs);
+          string_of_int (Fault.total faulty.Driver.faults);
+          string_of_int faulty.Driver.quarantined;
+        ];
+      Printf.printf "  ... %s done (%s)\n%!" t.Registry.name
+        (Fault.summary faulty.Driver.faults))
+    Registry.all;
+  Tablefmt.print table
+
 (* --- Bechamel micro-benchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -541,6 +582,7 @@ let () =
   | "fig4" -> fig4 ()
   | "fig5" -> fig5 ()
   | "ablate" -> ablate ()
+  | "robust" -> robust ()
   | "bechamel" -> bechamel ()
   | "all" ->
     table1 ();
@@ -550,9 +592,11 @@ let () =
     fig4 ();
     fig5 ();
     ablate ();
+    robust ();
     bechamel ()
   | other ->
     Printf.eprintf
-      "unknown benchmark %s (try table1|table2|table3|fig1|fig4|fig5|ablate|bechamel|all)\n"
+      "unknown benchmark %s (try \
+       table1|table2|table3|fig1|fig4|fig5|ablate|robust|bechamel|all)\n"
       other;
     exit 1

@@ -17,6 +17,8 @@ module Executor = Pbse_exec.Executor
 module Coverage = Pbse_exec.Coverage
 module Bug = Pbse_exec.Bug
 module Phase = Pbse_phase.Phase
+module Fault = Pbse_robust.Fault
+module Inject = Pbse_robust.Inject
 
 let default_hour = 120_000
 
@@ -50,6 +52,29 @@ let hours_arg =
   Arg.(value & opt float 1.0 & info [ "hours" ] ~docv:"H" ~doc)
 
 let deadline_of_hours h = int_of_float (h *. float_of_int default_hour)
+
+let inject_arg =
+  let doc =
+    "Deterministic fault-injection plan: comma-separated clauses of \
+     seed=N, solver=RATE, abort=RATE, mem=RATE (rates in [0,1]); see \
+     docs/robustness.md."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"PLAN" ~doc)
+
+let max_strikes_arg =
+  let doc = "Faults a state survives before it is quarantined." in
+  Arg.(
+    value
+    & opt int Driver.default_config.Driver.max_strikes
+    & info [ "max-strikes" ] ~docv:"N" ~doc)
+
+let config_of ~inject ~max_strikes =
+  match inject with
+  | None -> Ok { Driver.default_config with max_strikes }
+  | Some spec -> (
+    match Inject.parse spec with
+    | Ok plan -> Ok { Driver.default_config with max_strikes; inject = plan }
+    | Error e -> Error (Printf.sprintf "bad --inject plan: %s" e))
 
 (* --- targets ------------------------------------------------------------------ *)
 
@@ -91,6 +116,9 @@ let print_report (report : Driver.report) =
   Printf.printf "seedStates scheduled: %d\n" report.Driver.seed_state_count;
   Printf.printf "blocks covered: %d\n"
     (Coverage.count (Executor.coverage report.Driver.executor));
+  Printf.printf "faults contained: %s\n" (Fault.summary report.Driver.faults);
+  Printf.printf "quarantine: %d state(s) evicted, %d strike(s)\n"
+    report.Driver.quarantined report.Driver.strikes;
   match report.Driver.bugs with
   | [] -> print_endline "no bugs found"
   | bugs ->
@@ -105,15 +133,15 @@ let run_cmd =
     let doc = "Run the whole benign seed pool (Algorithm 1's outer loop)." in
     Arg.(value & flag & info [ "pool" ] ~doc)
   in
-  let run name seed_label hours pool =
-    match lookup_target name with
-    | Error e ->
+  let run name seed_label hours pool inject max_strikes =
+    match (lookup_target name, config_of ~inject ~max_strikes) with
+    | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | Ok t ->
+    | Ok t, Ok config ->
       if pool then begin
         let report =
-          Driver.run_pool (Registry.program t)
+          Driver.run_pool ~config (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
             ~deadline:(deadline_of_hours hours)
         in
@@ -133,7 +161,8 @@ let run_cmd =
           1
         | Ok seed ->
           let report =
-            Driver.run (Registry.program t) ~seed ~deadline:(deadline_of_hours hours)
+            Driver.run ~config (Registry.program t) ~seed
+              ~deadline:(deadline_of_hours hours)
           in
           print_report report;
           0
@@ -141,7 +170,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
-    Term.(const run $ target_arg $ seed_arg $ hours_arg $ pool_arg)
+    Term.(
+      const run $ target_arg $ seed_arg $ hours_arg $ pool_arg $ inject_arg
+      $ max_strikes_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 
@@ -238,19 +269,20 @@ let hexdump bytes =
   Buffer.contents buf
 
 let bugs_cmd =
-  let run name seed_label hours =
-    match lookup_target name with
-    | Error e ->
+  let run name seed_label hours inject max_strikes =
+    match (lookup_target name, config_of ~inject ~max_strikes) with
+    | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | Ok t -> (
+    | Ok t, Ok config -> (
       match lookup_seed t seed_label with
       | Error e ->
         prerr_endline e;
         1
       | Ok seed ->
         let report =
-          Driver.run (Registry.program t) ~seed ~deadline:(deadline_of_hours hours)
+          Driver.run ~config (Registry.program t) ~seed
+            ~deadline:(deadline_of_hours hours)
         in
         (match report.Driver.bugs with
          | [] -> print_endline "no bugs found"
@@ -264,7 +296,9 @@ let bugs_cmd =
   in
   Cmd.v
     (Cmd.info "bugs" ~doc:"Hunt bugs with pbSE and print witness inputs")
-    Term.(const run $ target_arg $ seed_arg $ hours_arg)
+    Term.(
+      const run $ target_arg $ seed_arg $ hours_arg $ inject_arg
+      $ max_strikes_arg)
 
 (* --- compile / exec ------------------------------------------------------------------ *)
 

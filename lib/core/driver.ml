@@ -9,6 +9,9 @@ module Trace = Pbse_concolic.Trace
 module Phase = Pbse_phase.Phase
 module Vclock = Pbse_util.Vclock
 module Rng = Pbse_util.Rng
+module Fault = Pbse_robust.Fault
+module Inject = Pbse_robust.Inject
+module Quarantine = Pbse_robust.Quarantine
 
 type config = {
   interval_length : int option; (* None: size from a concrete pre-run *)
@@ -22,7 +25,10 @@ type config = {
   rng_seed : int;
   max_live : int;
   solver_budget : int;
+  solver_retry_cap : int;
   confirm_bugs : bool;
+  max_strikes : int;
+  inject : Inject.plan;
 }
 
 let default_config =
@@ -38,7 +44,10 @@ let default_config =
     rng_seed = 1;
     max_live = 8192;
     solver_budget = 60_000;
+    solver_retry_cap = 480_000;
     confirm_bugs = true;
+    max_strikes = 4;
+    inject = Inject.none;
   }
 
 type report = {
@@ -54,6 +63,9 @@ type report = {
   coverage_samples : (int * int) list;
   bugs : (Bug.t * int) list;
   executor : Executor.t;
+  faults : Fault.log;
+  quarantined : int;
+  strikes : int;
 }
 
 let coverage_at report t =
@@ -108,7 +120,8 @@ let run ?(config = default_config) prog ~seed ~deadline =
   let clock = Vclock.create () in
   let exec =
     Executor.create ~max_live:config.max_live ~solver_budget:config.solver_budget
-      ~confirm_bugs:config.confirm_bugs ~clock prog ~input:seed
+      ~solver_retry_cap:config.solver_retry_cap ~confirm_bugs:config.confirm_bugs
+      ~inject:config.inject ~clock prog ~input:seed
   in
   let rng = Rng.create config.rng_seed in
   (* step 1: concolic execution. The BBV interval is sized from a cheap
@@ -133,6 +146,11 @@ let run ?(config = default_config) prog ~seed ~deadline =
   in
   Vclock.advance clock (50 * List.length concolic.Concolic.bbvs * config.max_k / 20);
   let p_time = Vclock.now clock - p_start + 1 in
+  (match concolic.Concolic.bbvs with
+   | [] ->
+     Fault.record (Executor.faults exec) ~detail:"no BBVs; one-phase fallback"
+       ~vtime:(Vclock.now clock) Fault.Degenerate_phase
+   | _ :: _ -> ());
   (* step 3: map seedStates into phases. Feasibility is checked lazily,
      when a seedState is first scheduled — exactly the paper's "lazy pass
      through": the concolic step recorded fork points without exploring
@@ -142,7 +160,7 @@ let run ?(config = default_config) prog ~seed ~deadline =
       concolic.Concolic.seed_states
   in
   (* build phase queues in first-appearance order *)
-  let queues =
+  let queue_list =
     List.mapi
       (fun i (p : Phase.phase) ->
         let searcher = make_phase_searcher config rng exec in
@@ -151,13 +169,19 @@ let run ?(config = default_config) prog ~seed ~deadline =
   in
   List.iter
     (fun (ss : Concolic.seed_state) ->
-      match List.find_opt (fun q -> q.pid = ss.Concolic.state.State.phase) queues with
+      match
+        List.find_opt (fun q -> q.pid = ss.Concolic.state.State.phase) queue_list
+      with
       | Some q -> q.searcher.Searcher.add ss.Concolic.state
       | None -> ())
     seed_states;
-  let queues = ref (List.filter (fun q -> q.searcher.Searcher.size () > 0) queues) in
+  let queues =
+    ref
+      (Array.of_list
+         (List.filter (fun q -> q.searcher.Searcher.size () > 0) queue_list))
+  in
   Executor.set_live_counter exec (fun () ->
-      List.fold_left (fun acc q -> acc + q.searcher.Searcher.size ()) 0 !queues);
+      Array.fold_left (fun acc q -> acc + q.searcher.Searcher.size ()) 0 !queues);
   (* bookkeeping for coverage samples and bug-to-phase attribution *)
   let samples = ref [ (Vclock.now clock, Coverage.count (Executor.coverage exec)) ] in
   let last_cov = ref (Coverage.count (Executor.coverage exec)) in
@@ -172,60 +196,111 @@ let run ?(config = default_config) prog ~seed ~deadline =
     let bugs = Executor.bugs exec in
     let n = List.length bugs in
     if n > !known_bugs then begin
-      List.iteri
-        (fun i bug ->
-          if i >= !known_bugs then
-            Hashtbl.replace bug_phases (Bug.dedup_key bug) current_ordinal)
+      (* attribute by dedup key, not list position: only bugs whose key is
+         genuinely new belong to the current phase *)
+      List.iter
+        (fun bug ->
+          let key = Bug.dedup_key bug in
+          if not (Hashtbl.mem bug_phases key) then
+            Hashtbl.replace bug_phases key current_ordinal)
         bugs;
       known_bugs := n
     end
   in
   note_progress 0;
-  (* Algorithm 3: round-robin with growing turn budgets *)
-  let rotation = ref 0 in
-  let rec schedule i =
-    if Vclock.now clock >= deadline || !queues = [] then ()
-    else begin
-      let n = List.length !queues in
-      let idx = if config.round_robin then i mod n else 0 in
-      let turn = (if config.round_robin then i / n else !rotation) + 1 in
-      let q = List.nth !queues idx in
-      let turn_budget = turn * config.time_period in
-      let turn_start = Vclock.now clock in
-      let rec drain () =
-        if Vclock.now clock >= deadline then ()
-        else
-          match q.searcher.Searcher.select () with
-          | None -> ()
-          | Some st when st.State.needs_verify && not (Executor.verify exec st) ->
-            (* lazily discovered infeasible (or undecidable) seedState *)
+  (* Algorithm 3 under supervision: round-robin with growing turn budgets.
+     Executor/solver failures are contained and recorded; a faulting state
+     costs at worst itself (quarantine after [max_strikes]) and a broken
+     searcher costs its phase (fail-over), never the run. *)
+  let faults = Executor.faults exec in
+  let quarantine = Quarantine.create ~max_strikes:config.max_strikes in
+  let pos = ref 0 in
+  let rr_turn = ref 1 in
+  let seq_rotation = ref 0 in
+  while Vclock.now clock < deadline && Array.length !queues > 0 do
+    let idx = if config.round_robin then !pos else 0 in
+    let q = (!queues).(idx) in
+    let turn = if config.round_robin then !rr_turn else !seq_rotation + 1 in
+    let turn_budget = turn * config.time_period in
+    let turn_start = Vclock.now clock in
+    let queue_failed = ref false in
+    let contain st exn =
+      (* charge a tick so fault loops always advance toward the deadline *)
+      Vclock.advance clock 1;
+      Fault.record faults ~detail:(Printexc.to_string exn)
+        ~vtime:(Vclock.now clock) Fault.Exec_exception;
+      if Quarantine.strike quarantine st.State.id then q.searcher.Searcher.remove st
+    in
+    let rec drain () =
+      if Vclock.now clock >= deadline then ()
+      else
+        match
+          try `Selected (q.searcher.Searcher.select ())
+          with exn -> `Searcher_error exn
+        with
+        | `Searcher_error exn ->
+          (* a broken searcher forfeits its whole phase *)
+          Vclock.advance clock 1;
+          Fault.record faults ~detail:(Printexc.to_string exn)
+            ~vtime:(Vclock.now clock) Fault.Exec_exception;
+          queue_failed := true
+        | `Selected None -> ()
+        | `Selected (Some st) when st.State.needs_verify -> (
+          match try `V (Executor.verify exec st) with exn -> `E exn with
+          | `V Executor.Verified -> slice st
+          | `V Executor.Infeasible_state ->
+            (* lazily discovered infeasible seedState *)
             q.searcher.Searcher.remove st;
             drain ()
-          | Some st -> (
-            let slice = Executor.run_slice exec st in
-            let covered_new = st.State.fresh_cover in
-            (match slice with
-             | Executor.Running -> ()
-             | Executor.Forked children ->
-               List.iter
-                 (fun (child : State.t) ->
-                   child.State.phase <- q.pid;
-                   q.searcher.Searcher.fork ~parent:st child)
-                 children
-             | Executor.Finished _ -> q.searcher.Searcher.remove st);
-            note_progress q.ordinal;
-            (* stay in the phase while under budget or still covering new code *)
-            if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ())
-      in
-      drain ();
-      if q.searcher.Searcher.size () = 0 then begin
-        queues := List.filter (fun q' -> q'.pid <> q.pid) !queues;
-        if not config.round_robin then incr rotation
-      end;
-      schedule (i + 1)
+          | `V Executor.Undecided ->
+            (* the solver gave up; the state stays schedulable and the
+               next attempt escalates the query budget — unless it has
+               struck out *)
+            if Quarantine.strike quarantine st.State.id then
+              q.searcher.Searcher.remove st;
+            drain ()
+          | `E exn ->
+            contain st exn;
+            drain ())
+        | `Selected (Some st) -> slice st
+    and slice st =
+      match try `S (Executor.run_slice exec st) with exn -> `E exn with
+      | `E exn ->
+        contain st exn;
+        drain ()
+      | `S slice ->
+        let covered_new = st.State.fresh_cover in
+        (match slice with
+         | Executor.Running -> ()
+         | Executor.Forked children ->
+           List.iter
+             (fun (child : State.t) ->
+               child.State.phase <- q.pid;
+               q.searcher.Searcher.fork ~parent:st child)
+             children
+         | Executor.Finished _ -> q.searcher.Searcher.remove st);
+        note_progress q.ordinal;
+        (* stay in the phase while under budget or still covering new code *)
+        if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
+    in
+    drain ();
+    let removed = !queue_failed || q.searcher.Searcher.size () = 0 in
+    if removed then begin
+      let n = Array.length !queues in
+      queues :=
+        Array.init (n - 1) (fun i ->
+            if i < idx then (!queues).(i) else (!queues).(i + 1))
+    end;
+    if config.round_robin then begin
+      (* on removal the next queue shifts into [idx], so [pos] stays put *)
+      if not removed then incr pos;
+      if !pos >= Array.length !queues then begin
+        pos := 0;
+        incr rr_turn
+      end
     end
-  in
-  schedule 0;
+    else if removed then incr seq_rotation
+  done;
   let bugs =
     List.map
       (fun bug ->
@@ -250,6 +325,9 @@ let run ?(config = default_config) prog ~seed ~deadline =
     coverage_samples = List.rev !samples;
     bugs;
     executor = exec;
+    faults;
+    quarantined = Quarantine.evicted quarantine;
+    strikes = Quarantine.total_strikes quarantine;
   }
 
 type pool_report = {

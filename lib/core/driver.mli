@@ -10,7 +10,15 @@
     - phases are visited round-robin in order of first appearance; the
       turn budget grows with each full rotation ([turn * time_period]);
     - a phase's turn ends when it exhausts its budget and its latest
-      slice covered no new code; empty phases leave the rotation. *)
+      slice covered no new code; empty phases leave the rotation.
+
+    Scheduling is supervised: executor and solver failures inside a turn
+    are contained, recorded in a {!Pbse_robust.Fault.log}, and charged a
+    clock tick so fault loops still converge on the deadline. A state
+    that faults repeatedly is quarantined (removed from its searcher)
+    after [max_strikes]; a searcher that raises forfeits its whole phase
+    (the rotation fails over to the remaining queues). Degenerate phase
+    division (no BBVs) falls back to a single phase instead of raising. *)
 
 type config = {
   interval_length : int option; (* BBV interval; None sizes it from a
@@ -25,7 +33,10 @@ type config = {
   rng_seed : int;
   max_live : int;
   solver_budget : int;
+  solver_retry_cap : int; (* upper bound for escalating solver retries *)
   confirm_bugs : bool;
+  max_strikes : int; (* faults a state survives before quarantine *)
+  inject : Pbse_robust.Inject.plan; (* deterministic fault injection *)
 }
 
 val default_config : config
@@ -43,6 +54,9 @@ type report = {
   coverage_samples : (int * int) list; (* (virtual time, blocks covered) *)
   bugs : (Pbse_exec.Bug.t * int) list; (* bug, 1-based phase ordinal (0 = concolic) *)
   executor : Pbse_exec.Executor.t; (* for stats and coverage queries *)
+  faults : Pbse_robust.Fault.log; (* contained failures, by kind *)
+  quarantined : int; (* states evicted after [max_strikes] faults *)
+  strikes : int; (* total faults charged against states *)
 }
 
 val coverage_at : report -> int -> int

@@ -5,6 +5,8 @@ module Model = Pbse_smt.Model
 module Solver = Pbse_smt.Solver
 module Semantics = Pbse_smt.Semantics
 module Vclock = Pbse_util.Vclock
+module Fault = Pbse_robust.Fault
+module Inject = Pbse_robust.Inject
 
 type finish_reason =
   | Exited of int64
@@ -49,6 +51,8 @@ type t = {
   mutable lazy_fork : bool;
   mutable record_testcases : bool;
   mutable testcases : (bytes * string) list; (* newest first, capped *)
+  inj : Inject.t option; (* fault injection, None when inactive *)
+  faults : Fault.log;
 }
 
 let max_testcases = 4096
@@ -62,15 +66,15 @@ let solver_charge_divisor = 128
 
 let max_call_depth = 512
 
-let create ?(max_live = 8192) ?(solver_budget = 60_000) ?(confirm_bugs = true)
-    ?rng_seed:_ ~clock prog ~input =
+let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
+    ?(confirm_bugs = true) ?rng_seed:_ ?(inject = Inject.none) ~clock prog ~input =
   Pbse_ir.Validate.check_exn prog;
   let cfg = Cfg.build prog in
   {
     prog;
     cfg;
     clock;
-    solver = Solver.create ~budget:solver_budget ();
+    solver = Solver.create ~budget:solver_budget ?retry_cap:solver_retry_cap ();
     coverage = Coverage.create (Cfg.nblocks cfg);
     findex = func_index prog;
     input;
@@ -97,10 +101,13 @@ let create ?(max_live = 8192) ?(solver_budget = 60_000) ?(confirm_bugs = true)
     lazy_fork = false;
     record_testcases = false;
     testcases = [];
+    inj = (if Inject.is_active inject then Some (Inject.create inject) else None);
+    faults = Fault.log_create ();
   }
 
 let cfg t = t.cfg
 let coverage t = t.coverage
+let faults t = t.faults
 let clock t = t.clock
 let solver t = t.solver
 let stats t = t.st
@@ -129,37 +136,71 @@ exception Finish of finish_reason
 
 let charge_solver t work = Vclock.advance t.clock (1 + (work / solver_charge_divisor))
 
+(* An injected solver fault stands in for a real query: it costs one
+   clock tick (so retry loops always make virtual-time progress) and is
+   logged under its own kind. *)
+let inject_solver_unknown t =
+  match t.inj with
+  | Some inj when Inject.fire_solver_unknown inj ->
+    Vclock.tick t.clock;
+    Fault.record t.faults ~detail:"injected solver unknown" ~vtime:(Vclock.now t.clock)
+      Fault.Solver_injected;
+    true
+  | Some _ | None -> false
+
 (* Invariant: a state's model satisfies its path (lazy-forked states are
    quarantined behind [verify] before they are ever sliced), so queries
    go through the incremental entry point. *)
 let feasible t st extra =
-  let result, work =
-    Solver.check_assuming t.solver ~hint:st.State.model ~path:st.State.path extra
-  in
-  charge_solver t work;
-  result
+  if inject_solver_unknown t then Solver.Unknown
+  else begin
+    let result, work =
+      Solver.check_assuming t.solver ~hint:st.State.model ~path:st.State.path extra
+    in
+    charge_solver t work;
+    (match result with
+     | Solver.Unknown ->
+       Fault.record t.faults ~detail:"feasibility query out of budget"
+         ~vtime:(Vclock.now t.clock) Fault.Solver_unknown
+     | Solver.Sat _ | Solver.Unsat -> ());
+    result
+  end
+
+type verdict =
+  | Verified
+  | Infeasible_state
+  | Undecided
 
 (* Establish the model invariant of a lazily forked state: its newest
-   path constraint is unchecked. Returns false when the state is
-   infeasible (or undecidable) and must be dropped. *)
+   path constraint is unchecked. [Infeasible_state] means the state must
+   be dropped; [Undecided] means the solver gave up (or an injected
+   fault fired) — the state keeps [needs_verify] set, so a later call
+   retries the query, escalating its budget each time. *)
 let verify t st =
-  if not st.State.needs_verify then true
+  if not st.State.needs_verify then Verified
   else begin
     match st.State.path with
     | [] ->
       st.State.needs_verify <- false;
-      true
+      Verified
     | newest :: older ->
-      let result, work =
-        Solver.check_assuming t.solver ~hint:st.State.model ~path:older [ newest ]
-      in
-      charge_solver t work;
-      (match result with
-       | Solver.Sat model ->
-         st.State.model <- model;
-         st.State.needs_verify <- false;
-         true
-       | Solver.Unsat | Solver.Unknown -> false)
+      if inject_solver_unknown t then Undecided
+      else begin
+        let result, work =
+          Solver.check_assuming t.solver ~hint:st.State.model ~path:older [ newest ]
+        in
+        charge_solver t work;
+        match result with
+        | Solver.Sat model ->
+          st.State.model <- model;
+          st.State.needs_verify <- false;
+          Verified
+        | Solver.Unsat -> Infeasible_state
+        | Solver.Unknown ->
+          Fault.record t.faults ~detail:"verification query out of budget"
+            ~vtime:(Vclock.now t.clock) Fault.Solver_unknown;
+          Undecided
+      end
   end
 
 let enter_block t st fidx bidx =
@@ -453,6 +494,25 @@ let do_ret _t st v =
        st.State.iidx <- i
      | _ -> raise (Finish (Aborted "malformed return frame")))
 
+(* Memory pressure: a fork is suppressed when live states reach
+   [max_live], or when the injector simulates that pressure (symbolic
+   stepping only — the concolic pass records every fork point).
+   Suppressions are logged as faults rather than silently dropped. *)
+let fork_suppressed t ~pending =
+  let injected =
+    match t.inj with
+    | Some inj when not t.lazy_fork -> Inject.fire_mem_pressure inj
+    | Some _ | None -> false
+  in
+  if injected || t.live () + pending >= t.max_live then begin
+    Fault.record t.faults
+      ~detail:(if injected then "injected memory pressure" else "live-state cap")
+      ~vtime:(Vclock.now t.clock) Fault.Mem_pressure;
+    t.st.dropped_forks <- t.st.dropped_forks + 1;
+    true
+  end
+  else false
+
 let fork_state t st ~constraint_ ~model ~target =
   let child =
     State.fork st ~id:(fresh_state_id t) ~born:(Vclock.now t.clock)
@@ -489,10 +549,7 @@ let exec_br t st cond then_b else_b =
         child.State.needs_verify <- true;
         [ child ]
       end
-      else if t.live () >= t.max_live then begin
-        t.st.dropped_forks <- t.st.dropped_forks + 1;
-        []
-      end
+      else if fork_suppressed t ~pending:0 then []
       else
         match feasible t st [ other_c ] with
         | Solver.Sat model -> [ fork_state t st ~constraint_:other_c ~model ~target:other_b ]
@@ -529,12 +586,11 @@ let exec_switch t st scrut cases default =
         child.State.needs_verify <- true;
         children := child :: !children
       end
-      else if t.live () + List.length !children < t.max_live then
+      else if not (fork_suppressed t ~pending:(List.length !children)) then
         match feasible t st [ constraint_ ] with
         | Solver.Sat model ->
           children := fork_state t st ~constraint_ ~model ~target :: !children
         | Solver.Unsat | Solver.Unknown -> ()
-      else t.st.dropped_forks <- t.st.dropped_forks + 1
     in
     List.iter
       (fun (case_v, target) ->
@@ -556,7 +612,7 @@ let exec_switch t st scrut cases default =
          child.State.needs_verify <- true;
          children := child :: !children
        end
-       else if t.live () + List.length !children < t.max_live then begin
+       else if not (fork_suppressed t ~pending:(List.length !children)) then begin
          match feasible t st default_cs with
          | Solver.Sat model ->
            let child = fork_state t st ~constraint_:conj ~model ~target:default in
@@ -565,7 +621,6 @@ let exec_switch t st scrut cases default =
            children := child :: !children
          | Solver.Unsat | Solver.Unknown -> ()
        end
-       else t.st.dropped_forks <- t.st.dropped_forks + 1
      | None -> ());
     List.iter (State.assume st) taken_cs;
     goto t st taken_target;
@@ -585,9 +640,28 @@ let exec_term t st term =
 
 (* --- slices ------------------------------------------------------------------ *)
 
+(* An injected abort terminates the slice before any instruction runs.
+   It still costs a clock tick, so schedulers retrying around it always
+   make virtual-time progress. Concolic (lazy-fork) slices are exempt:
+   that pass is a single concrete replay whose failure mode is already
+   handled by the deadline. *)
+let inject_exec_abort t =
+  match t.inj with
+  | Some inj when (not t.lazy_fork) && Inject.fire_exec_abort inj ->
+    Vclock.tick t.clock;
+    Fault.record t.faults ~detail:"injected abort" ~vtime:(Vclock.now t.clock)
+      Fault.Exec_injected_abort;
+    true
+  | Some _ | None -> false
+
 let run_slice t st =
   t.st.slices <- t.st.slices + 1;
   st.State.fresh_cover <- false;
+  if inject_exec_abort t then begin
+    t.st.term_abort <- t.st.term_abort + 1;
+    Finished (Aborted "injected-abort")
+  end
+  else begin
   if not st.State.entered then begin
     st.State.entered <- true;
     enter_block t st st.State.fidx st.State.bidx
@@ -619,7 +693,9 @@ let run_slice t st =
     (match reason with
      | Exited _ -> t.st.term_exit <- t.st.term_exit + 1
      | Buggy _ -> t.st.term_bug <- t.st.term_bug + 1
-     | Aborted _ -> t.st.term_abort <- t.st.term_abort + 1
+     | Aborted msg ->
+       t.st.term_abort <- t.st.term_abort + 1;
+       Fault.record t.faults ~detail:msg ~vtime:(Vclock.now t.clock) Fault.Exec_abort
      | Infeasible -> t.st.term_infeasible <- t.st.term_infeasible + 1);
     (* a terminated path yields a test case: its witness input replays
        the whole path concretely (KLEE's .ktest files) *)
@@ -638,6 +714,7 @@ let run_slice t st =
          :: t.testcases
      | Exited _ | Buggy _ | Aborted _ | Infeasible -> ());
     Finished reason
+  end
 
 let explore t searcher ~deadline =
   set_live_counter t searcher.Searcher.size;

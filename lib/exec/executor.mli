@@ -50,15 +50,19 @@ type t
 val create :
   ?max_live:int ->
   ?solver_budget:int ->
+  ?solver_retry_cap:int ->
   ?confirm_bugs:bool ->
   ?rng_seed:int ->
+  ?inject:Pbse_robust.Inject.plan ->
   clock:Pbse_util.Vclock.t ->
   Pbse_ir.Types.program ->
   input:bytes ->
   t
 (** [create ~clock program ~input] prepares an engine whose symbolic file
     has the size and seed content of [input]. [max_live] caps live states
-    (forks beyond it continue on the taken side only; default 8192). *)
+    (forks beyond it continue on the taken side only; default 8192).
+    [solver_retry_cap] bounds the solver's escalating retry budget.
+    [inject] activates deterministic fault injection (default: none). *)
 
 val cfg : t -> Pbse_ir.Cfg.t
 val coverage : t -> Coverage.t
@@ -67,6 +71,11 @@ val solver : t -> Pbse_smt.Solver.t
 val stats : t -> stats
 val bugs : t -> Bug.t list
 (** Deduplicated on (location, kind), discovery order. *)
+
+val faults : t -> Pbse_robust.Fault.log
+(** Every contained component failure of this engine: solver Unknowns,
+    aborts (genuine and injected), fork suppressions. The driver adds
+    its own supervisor-level faults to the same log. *)
 
 val input_size : t -> int
 val seed_model : t -> Pbse_smt.Model.t
@@ -86,10 +95,17 @@ val set_lazy_fork : t -> bool -> unit
     This is the paper's Algorithm 2: concolic execution records fork
     points but explores nothing. *)
 
-val verify : t -> State.t -> bool
+type verdict =
+  | Verified
+  | Infeasible_state (* the newest path constraint is unsatisfiable *)
+  | Undecided (* the solver gave up; retrying later escalates its budget *)
+
+val verify : t -> State.t -> verdict
 (** Checks a lazily forked state's newest path constraint, repairing its
-    witness model. False means the state is infeasible (or the solver
-    gave up) and must be discarded. No-op on already-verified states. *)
+    witness model. [Infeasible_state] states must be discarded;
+    [Undecided] states keep [needs_verify] set so a later call retries
+    the query (the solver escalates the budget of repeated Unknowns).
+    Returns [Verified] immediately on already-verified states. *)
 
 val set_record_testcases : t -> bool -> unit
 (** When enabled, every terminated path contributes a test case: the

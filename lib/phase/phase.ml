@@ -83,8 +83,23 @@ let phases_of bbvs_arr assignment k threshold =
   done;
   List.sort (fun a b -> Int.compare a.first_vtime b.first_vtime) !phases
 
+(* Degenerate fallback: a single catch-all phase. Used when the concolic
+   step yielded no BBVs (a short deadline, an early abort) — the run
+   degrades to one-phase scheduling instead of raising out of
+   [Kmeans.cluster]. *)
+let one_phase_division mode =
+  {
+    mode;
+    k = 1;
+    assignment = [||];
+    phases =
+      [ { pid = 0; intervals = [| 0 |]; first_vtime = 0; trap = false; longest_run = 0 } ];
+    trap_count = 0;
+  }
+
 let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
-  (match bbvs with [] -> invalid_arg "Phase.divide: no BBVs" | _ :: _ -> ());
+  if bbvs = [] then one_phase_division mode
+  else
   let vectors, dim = vectors_of mode bbvs in
   let bbvs_arr = Array.of_list bbvs in
   let n = Array.length vectors in
@@ -105,7 +120,7 @@ let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
       if traps > best_traps then best := Some (k, candidate)
   done;
   match !best with
-  | None -> invalid_arg "Phase.divide: no clustering found"
+  | None -> one_phase_division mode
   | Some (k, (clustering, phases, traps)) ->
     {
       mode;
@@ -116,6 +131,11 @@ let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
     }
 
 let phase_of_interval division bbvs interval =
+  match bbvs with
+  | [] -> (
+    (* degenerate one-phase division: everything maps to its sole phase *)
+    match division.phases with p :: _ -> Some p.pid | [] -> None)
+  | _ :: _ ->
   let bbvs_arr = Array.of_list bbvs in
   let best = ref None in
   Array.iteri

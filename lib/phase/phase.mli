@@ -37,13 +37,16 @@ val divide :
   Pbse_util.Rng.t ->
   Pbse_concolic.Bbv.t list ->
   division
-(** Raises [Invalid_argument] when no BBVs were gathered. [max_k]
-    defaults to 20 (the paper tries k in 1..20). *)
+(** Total: an empty BBV list yields a degenerate one-phase division
+    (pid 0, no trap) instead of raising, so a run whose concolic step
+    produced nothing still schedules. [max_k] defaults to 20 (the paper
+    tries k in 1..20). *)
 
 val phase_of_interval : division -> Pbse_concolic.Bbv.t list -> int -> int option
 (** [phase_of_interval division bbvs interval] maps an interval index to
     the id (cluster) of its phase; intervals with no recorded BBV map to
-    the nearest earlier recorded interval. *)
+    the nearest earlier recorded interval. Under a degenerate (empty-BBV)
+    division every interval maps to the single phase. *)
 
 val render_strip : division -> string
 (** One character per BBV: cluster letter, uppercase for trap phases —

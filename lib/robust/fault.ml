@@ -1,0 +1,92 @@
+type kind =
+  | Solver_unknown
+  | Solver_injected
+  | Exec_abort
+  | Exec_injected_abort
+  | Exec_exception
+  | Mem_pressure
+  | Degenerate_phase
+
+let all =
+  [
+    Solver_unknown;
+    Solver_injected;
+    Exec_abort;
+    Exec_injected_abort;
+    Exec_exception;
+    Mem_pressure;
+    Degenerate_phase;
+  ]
+
+let nkinds = List.length all
+
+let rank = function
+  | Solver_unknown -> 0
+  | Solver_injected -> 1
+  | Exec_abort -> 2
+  | Exec_injected_abort -> 3
+  | Exec_exception -> 4
+  | Mem_pressure -> 5
+  | Degenerate_phase -> 6
+
+let label = function
+  | Solver_unknown -> "solver-unknown"
+  | Solver_injected -> "solver-injected"
+  | Exec_abort -> "exec-abort"
+  | Exec_injected_abort -> "exec-injected-abort"
+  | Exec_exception -> "exec-exception"
+  | Mem_pressure -> "mem-pressure"
+  | Degenerate_phase -> "degenerate-phase"
+
+type t = {
+  kind : kind;
+  detail : string;
+  vtime : int;
+}
+
+(* Recent entries are a two-block ring (newest-first): [cur] fills to
+   [max_recent], then displaces [older] wholesale. Records stay O(1) and
+   {!recent} always has the latest [max_recent..2*max_recent) entries to
+   pick from. *)
+type log = {
+  counts : int array;
+  mutable cur : t list; (* newest first *)
+  mutable cur_len : int;
+  mutable older : t list; (* previous full block, newest first *)
+}
+
+let max_recent = 256
+
+let log_create () = { counts = Array.make nkinds 0; cur = []; cur_len = 0; older = [] }
+
+let record log ?(detail = "") ~vtime kind =
+  log.counts.(rank kind) <- log.counts.(rank kind) + 1;
+  log.cur <- { kind; detail; vtime } :: log.cur;
+  log.cur_len <- log.cur_len + 1;
+  if log.cur_len >= max_recent then begin
+    log.older <- log.cur;
+    log.cur <- [];
+    log.cur_len <- 0
+  end
+
+let count log kind = log.counts.(rank kind)
+
+let total log = Array.fold_left ( + ) 0 log.counts
+
+let recent log =
+  let newest_first = log.cur @ log.older in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  List.rev (take max_recent newest_first)
+
+let summary log =
+  let parts =
+    List.filter_map
+      (fun k ->
+        let c = count log k in
+        if c = 0 then None else Some (Printf.sprintf "%s=%d" (label k) c))
+      all
+  in
+  match parts with [] -> "no faults" | _ -> String.concat " " parts

@@ -1,0 +1,31 @@
+type t = {
+  limit : int;
+  strikes : (int, int) Hashtbl.t;
+  mutable total : int;
+  mutable evictions : int;
+}
+
+let create ~max_strikes =
+  { limit = max 1 max_strikes; strikes = Hashtbl.create 64; total = 0; evictions = 0 }
+
+let strike t id =
+  let s = (match Hashtbl.find_opt t.strikes id with Some s -> s | None -> 0) + 1 in
+  t.total <- t.total + 1;
+  if s >= t.limit then begin
+    Hashtbl.remove t.strikes id;
+    t.evictions <- t.evictions + 1;
+    true
+  end
+  else begin
+    Hashtbl.replace t.strikes id s;
+    false
+  end
+
+let strikes_of t id =
+  match Hashtbl.find_opt t.strikes id with Some s -> s | None -> 0
+
+let total_strikes t = t.total
+
+let evicted t = t.evictions
+
+let max_strikes t = t.limit

@@ -1,0 +1,28 @@
+(** Strike-based quarantine of repeatedly faulting states.
+
+    The phase supervisor charges a strike against a state each time it
+    faults without terminating (an undecided verification, a contained
+    exception). After [max_strikes] strikes the state is quarantined:
+    the caller removes it from its searcher so the rest of the phase
+    keeps making progress. Keys are state ids. *)
+
+type t
+
+val create : max_strikes:int -> t
+(** [max_strikes] is clamped to at least 1. *)
+
+val strike : t -> int -> bool
+(** [strike t id] charges one strike; [true] means the state has reached
+    the limit and must be quarantined (its strike record is cleared and
+    the eviction is counted). *)
+
+val strikes_of : t -> int -> int
+(** Current strikes charged against a live (not yet evicted) state. *)
+
+val total_strikes : t -> int
+(** Strikes charged over the whole run, including evicted states. *)
+
+val evicted : t -> int
+(** States quarantined so far. *)
+
+val max_strikes : t -> int

@@ -12,6 +12,9 @@ type stats = {
   mutable hint_hits : int;
   mutable search_nodes : int;
   mutable work : int;
+  mutable retries : int;
+  mutable escalations : int;
+  mutable retry_resolved : int;
 }
 
 type group_result =
@@ -21,16 +24,22 @@ type group_result =
 
 type t = {
   budget : int;
+  retry_cap : int;
   st : stats;
   cache : (int list, group_result) Hashtbl.t;
   reads_memo : (int, int list) Hashtbl.t; (* expr id -> sorted input indices *)
+  retryable : (int list, int) Hashtbl.t; (* query key -> budget it failed at *)
 }
 
 exception Out_of_budget
 
-let create ?(budget = 60_000) () =
+let create ?(budget = 60_000) ?retry_cap () =
+  let retry_cap =
+    match retry_cap with Some c -> max budget c | None -> 8 * budget
+  in
   {
     budget;
+    retry_cap;
     st =
       {
         queries = 0;
@@ -41,16 +50,23 @@ let create ?(budget = 60_000) () =
         hint_hits = 0;
         search_nodes = 0;
         work = 0;
+        retries = 0;
+        escalations = 0;
+        retry_resolved = 0;
       };
     cache = Hashtbl.create 4096;
     reads_memo = Hashtbl.create 4096;
+    retryable = Hashtbl.create 256;
   }
 
 let stats t = t.st
 
+let retry_cap t = t.retry_cap
+
 let clear_cache t =
   Hashtbl.reset t.cache;
-  Hashtbl.reset t.reads_memo
+  Hashtbl.reset t.reads_memo;
+  Hashtbl.reset t.retryable
 
 let reads_of t (e : Expr.t) =
   match Hashtbl.find_opt t.reads_memo e.id with
@@ -434,19 +450,54 @@ let solve_groups t meter ~hint ~focus groups =
   List.iter solve_one groups;
   if !unsat then Unsat else if !unknown then Unknown else Sat !model
 
-let with_meter t body =
+(* Retry with escalating budgets: a query that went [Unknown] because its
+   budget ran out is remembered (keyed on its expression ids) together
+   with the budget it failed at. When the same query is issued again, it
+   runs with twice that budget, doubling on each failure up to
+   [retry_cap] — a deterministic, virtual-budget-based escalation with no
+   wall clock. A later definitive answer retires the entry. *)
+let with_meter t ?retry_key body =
   t.st.queries <- t.st.queries + 1;
-  let meter = { spent = 0; limit = t.budget } in
+  let key = lazy (match retry_key with Some f -> Some (f ()) | None -> None) in
+  let limit =
+    if Hashtbl.length t.retryable = 0 then t.budget
+    else
+      match Lazy.force key with
+      | None -> t.budget
+      | Some k -> (
+        match Hashtbl.find_opt t.retryable k with
+        | None -> t.budget
+        | Some prev ->
+          t.st.retries <- t.st.retries + 1;
+          let escalated = min t.retry_cap (2 * prev) in
+          if escalated > prev then t.st.escalations <- t.st.escalations + 1;
+          escalated)
+  in
+  let meter = { spent = 0; limit } in
   let result = try body meter with Out_of_budget -> Unknown in
   (match result with
    | Sat _ -> t.st.sat <- t.st.sat + 1
    | Unsat -> t.st.unsat <- t.st.unsat + 1
    | Unknown -> t.st.unknown <- t.st.unknown + 1);
+  (match result with
+   | Unknown -> (
+     match Lazy.force key with
+     | Some k ->
+       if Hashtbl.length t.retryable > 65_536 then Hashtbl.reset t.retryable;
+       Hashtbl.replace t.retryable k limit
+     | None -> ())
+   | Sat _ | Unsat ->
+     if Hashtbl.length t.retryable > 0 then (
+       match Lazy.force key with
+       | Some k when Hashtbl.mem t.retryable k ->
+         Hashtbl.remove t.retryable k;
+         t.st.retry_resolved <- t.st.retry_resolved + 1
+       | Some _ | None -> ()));
   t.st.work <- t.st.work + meter.spent;
   (result, meter.spent)
 
 let check t ?(hint = Model.empty) exprs =
-  with_meter t (fun meter ->
+  with_meter t ~retry_key:(fun () -> cache_key exprs) (fun meter ->
       match partition_constants exprs with
       | Error () -> Unsat
       | Ok symbolic ->
@@ -459,7 +510,10 @@ let check t ?(hint = Model.empty) exprs =
         else solve_groups t meter ~hint ~focus:[] (group_constraints t symbolic))
 
 let check_assuming t ?(hint = Model.empty) ~path extra =
-  with_meter t (fun meter ->
+  (* the key identifies the query by its [extra] constraints only: cheap
+     to compute on the hot path, and a collision across states merely
+     shares the (harmless) budget escalation for that branch *)
+  with_meter t ~retry_key:(fun () -> cache_key extra) (fun meter ->
       match partition_constants extra with
       | Error () -> Unsat
       | Ok extra ->

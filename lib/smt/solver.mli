@@ -15,7 +15,14 @@
 
     Every answer is budgeted. [Sat]/[Unsat] answers are definitive;
     [Unknown] means the work budget ran out. Each call reports the work
-    it performed so the engine can charge virtual time for solver effort. *)
+    it performed so the engine can charge virtual time for solver effort.
+
+    [Unknown] answers are additionally cached as {e retryable} with the
+    budget they failed at: re-issuing the same query retries with twice
+    that budget, doubling on each failure up to [retry_cap]. The
+    escalation is deterministic (work units, no wall clock), so hard
+    queries near phase boundaries eventually resolve instead of silently
+    truncating exploration. *)
 
 type result =
   | Sat of Model.t
@@ -31,14 +38,21 @@ type stats = {
   mutable hint_hits : int;
   mutable search_nodes : int;
   mutable work : int; (* total work units across all queries *)
+  mutable retries : int; (* re-issues of a previously Unknown query *)
+  mutable escalations : int; (* retries that ran with a raised budget *)
+  mutable retry_resolved : int; (* retryable queries later answered *)
 }
 
 type t
 
-val create : ?budget:int -> unit -> t
-(** [budget] is the work allowance per [check] call (default 60_000). *)
+val create : ?budget:int -> ?retry_cap:int -> unit -> t
+(** [budget] is the work allowance per [check] call (default 60_000).
+    [retry_cap] bounds the escalating retry budget (default
+    [8 * budget]; clamped to at least [budget]). *)
 
 val stats : t -> stats
+
+val retry_cap : t -> int
 
 val check : t -> ?hint:Model.t -> Expr.t list -> result * int
 (** [check t ~hint cs] decides the conjunction [cs]; the integer is the

@@ -137,7 +137,8 @@ let test_concolic_seed_states_verify () =
   let result, exec = run_concolic () in
   let verified =
     List.filter
-      (fun (ss : Concolic.seed_state) -> Executor.verify exec ss.Concolic.state)
+      (fun (ss : Concolic.seed_state) ->
+        Executor.verify exec ss.Concolic.state = Executor.Verified)
       result.Concolic.seed_states
   in
   (* the not-taken side of the loop-entry check at iteration 0 is n = 0:

@@ -93,12 +93,19 @@ let test_trap_threshold () =
   Alcotest.(check int) "minimum 2" 2 (Phase.trap_run_threshold 10);
   Alcotest.(check int) "5 percent" 10 (Phase.trap_run_threshold 200)
 
-let test_divide_rejects_empty () =
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore (Phase.divide (Rng.create 1) []);
-       false
-     with Invalid_argument _ -> true)
+let test_divide_empty_is_one_phase () =
+  (* [divide] is total: no BBVs degrades to a single non-trap phase so
+     the driver can still schedule everything in one queue *)
+  let division = Phase.divide (Rng.create 1) [] in
+  Alcotest.(check int) "k" 1 division.Phase.k;
+  Alcotest.(check int) "one phase" 1 (List.length division.Phase.phases);
+  Alcotest.(check int) "no traps" 0 division.Phase.trap_count;
+  (match division.Phase.phases with
+   | [ p ] -> Alcotest.(check bool) "not trap" false p.Phase.trap
+   | _ -> Alcotest.fail "expected exactly one phase");
+  (* every interval maps to the single phase *)
+  Alcotest.(check (option int)) "interval mapped" (Some 0)
+    (Phase.phase_of_interval division [] 17)
 
 let test_phase_of_interval () =
   let bbvs = two_regime_bbvs () in
@@ -148,7 +155,8 @@ let suite =
     Alcotest.test_case "divide finds trap" `Quick test_divide_finds_trap;
     Alcotest.test_case "phases ordered by time" `Quick test_divide_phases_ordered_by_time;
     Alcotest.test_case "trap threshold" `Quick test_trap_threshold;
-    Alcotest.test_case "divide rejects empty" `Quick test_divide_rejects_empty;
+    Alcotest.test_case "divide empty is one phase" `Quick
+      test_divide_empty_is_one_phase;
     Alcotest.test_case "phase of interval" `Quick test_phase_of_interval;
     Alcotest.test_case "render strip" `Quick test_render_strip;
     Alcotest.test_case "coverage mode finds more traps" `Quick

@@ -11,5 +11,6 @@ let () =
       ("concolic", Suite_concolic.suite);
       ("phase", Suite_phase.suite);
       ("core", Suite_core.suite);
+      ("robust", Suite_robust.suite);
       ("targets", Suite_targets.suite);
     ]
