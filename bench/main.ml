@@ -23,6 +23,8 @@ module Rng = Pbse_util.Rng
 module Tablefmt = Pbse_util.Tablefmt
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
+module Telemetry = Pbse_telemetry.Telemetry
+module Report = Pbse_telemetry.Report
 
 let hour =
   match Sys.getenv_opt "PBSE_HOUR" with
@@ -50,6 +52,50 @@ let target name =
 let heading title =
   Printf.printf "\n=== %s ===\n%!" title
 
+(* --- per-run telemetry rows (results/runs.csv) --------------------------------- *)
+
+(* Every pbSE driver run performed by the harness contributes one CSV row
+   of solver/fault/retry/phase telemetry, harvested through the same
+   Driver.run_report mapping the CLI's --report uses (docs/telemetry.md
+   documents the column <-> metric correspondence). *)
+let run_csv_metrics =
+  [
+    "coverage.blocks"; "bugs.total"; "bugs.confirmed"; "solver.queries";
+    "solver.unknown"; "solver.retries"; "solver.escalations"; "solver.retry_resolved";
+    "solver.work"; "fault.solver-unknown"; "fault.exec-abort"; "fault.mem-pressure";
+    "quarantine.evicted"; "quarantine.strikes"; "phase.turns"; "phase.new_cover";
+    "phase.dwell"; "phase.trap_dwell";
+  ]
+
+let run_csv_header =
+  String.concat ","
+    ([ "suite"; "target"; "seed_bytes"; "deadline" ]
+    @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics)
+
+let run_rows : string list ref = ref []
+
+let note_run ~suite ~name ~deadline report =
+  let rr = Driver.run_report report in
+  let row =
+    String.concat ","
+      ([
+         suite;
+         name;
+         string_of_int report.Driver.seed_size;
+         string_of_int deadline;
+       ]
+      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics)
+  in
+  run_rows := row :: !run_rows
+
+let flush_runs ?(file = "runs.csv") () =
+  match !run_rows with
+  | [] -> ()
+  | rows ->
+    write_file file (String.concat "\n" (run_csv_header :: List.rev rows) ^ "\n");
+    Printf.printf "per-run telemetry: %d row(s) -> results/%s\n%!" (List.length rows) file;
+    run_rows := []
+
 (* --- Table I ----------------------------------------------------------------- *)
 
 (* KLEE with one searcher on readelf; returns (cov@1h, cov@10h). *)
@@ -60,8 +106,9 @@ let klee_cell prog searcher sym_size =
   in
   (List.assoc hour r.Klee.checkpoints, List.assoc ten_hours r.Klee.checkpoints)
 
-let pbse_row prog seed =
+let pbse_row ~suite ~name prog seed =
   let report = Driver.run prog ~seed ~deadline:ten_hours in
+  note_run ~suite ~name ~deadline:ten_hours report;
   let cov1 = Driver.coverage_at report hour in
   let cov10 = Coverage.count (Executor.coverage report.Driver.executor) in
   (report, cov1, cov10)
@@ -99,7 +146,7 @@ let table1 () =
   List.iter
     (fun label ->
       let seed = Registry.seed t label in
-      let report, cov1, cov10 = pbse_row prog seed in
+      let report, cov1, cov10 = pbse_row ~suite:"table1" ~name:"readelf" prog seed in
       Tablefmt.add_row pbse_table
         [
           Printf.sprintf "seed(%d)" (Bytes.length seed);
@@ -147,7 +194,7 @@ let table2 () =
               sizes)
           [ "random-path"; "covnew" ]
       in
-      let _, cov1, cov10 = pbse_row prog (Registry.default_seed t) in
+      let _, cov1, cov10 = pbse_row ~suite:"table2" ~name prog (Registry.default_seed t) in
       let inc =
         if !best = 0 then "n/a"
         else Printf.sprintf "%d%%" (100 * (cov10 - !best) / !best)
@@ -221,6 +268,7 @@ let table3 () =
         (fun label ->
           let seed = Registry.seed t label in
           let report = Driver.run prog ~seed ~deadline:ten_hours in
+          note_run ~suite:"table3" ~name ~deadline:ten_hours report;
           let traps = report.Driver.division.Phase.trap_count in
           (* rank same-(function, kind) bugs by faulting block so labels
              with shared functions resolve deterministically *)
@@ -413,6 +461,7 @@ let fig5 () =
   (* the case study: pbSE finds the CIELab bug; KLEE's default searcher
      does not, even in 10x the budget *)
   let report = Driver.run prog ~seed:(Registry.seed t "small") ~deadline:ten_hours in
+  note_run ~suite:"fig5" ~name:"tiff2rgba" ~deadline:ten_hours report;
   let pbse_found =
     List.filter (fun ((b : Bug.t), _) -> b.Bug.kind = "oob-read") report.Driver.bugs
   in
@@ -439,6 +488,7 @@ let ablate () =
   let table = Tablefmt.create [ "variant"; "traps"; "cov 1h"; "cov 10h"; "bugs" ] in
   let run label config =
     let report = Driver.run ~config prog ~seed ~deadline:ten_hours in
+    note_run ~suite:"ablate" ~name:label ~deadline:ten_hours report;
     Tablefmt.add_row table
       [
         label;
@@ -478,7 +528,9 @@ let robust () =
       let prog = Registry.program t in
       let seed = Registry.default_seed t in
       let clean = Driver.run prog ~seed ~deadline:hour in
+      note_run ~suite:"robust-clean" ~name:t.Registry.name ~deadline:hour clean;
       let faulty = Driver.run ~config prog ~seed ~deadline:hour in
+      note_run ~suite:"robust-injected" ~name:t.Registry.name ~deadline:hour faulty;
       Tablefmt.add_row table
         [
           t.Registry.name;
@@ -569,34 +621,68 @@ let bechamel () =
         analysis)
     tests
 
+(* --- Smoke (CI) ----------------------------------------------------------------- *)
+
+(* One tiny end-to-end run with telemetry enabled; used by the CI
+   bench-smoke job, which checks results/runs.csv and
+   results/smoke_report.json for the telemetry columns. *)
+let smoke () =
+  heading "Smoke: one tiny telemetry-instrumented run (CI artifact)";
+  (* big enough that the concolic pass and phase analysis (~14k units on
+     gif2tiff) leave budget for phase scheduling, so solver/phase metrics
+     are nonzero *)
+  let small = max 25_000 (hour / 4) in
+  let t = target "gif2tiff" in
+  Telemetry.set_enabled true;
+  let report =
+    Driver.run (Registry.program t) ~seed:(Registry.default_seed t) ~deadline:small
+  in
+  Telemetry.set_enabled false;
+  note_run ~suite:"smoke" ~name:t.Registry.name ~deadline:small report;
+  let rr =
+    Driver.run_report
+      ~meta:
+        [
+          ("target", t.Registry.name);
+          ("suite", "smoke");
+          ("deadline", string_of_int small);
+        ]
+      report
+  in
+  write_file "smoke_report.json" (Report.to_json rr);
+  Printf.printf "smoke report -> results/smoke_report.json (%d metrics)\n%!"
+    (List.length rr.Report.metrics)
+
 (* --- main ------------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   Printf.printf "pbSE benchmark harness: 1h = %d virtual time units (PBSE_HOUR)\n" hour;
-  match what with
-  | "table1" -> table1 ()
-  | "table2" -> table2 ()
-  | "table3" -> table3 ()
-  | "fig1" -> fig1 ()
-  | "fig4" -> fig4 ()
-  | "fig5" -> fig5 ()
-  | "ablate" -> ablate ()
-  | "robust" -> robust ()
-  | "bechamel" -> bechamel ()
-  | "all" ->
-    table1 ();
-    table2 ();
-    table3 ();
-    fig1 ();
-    fig4 ();
-    fig5 ();
-    ablate ();
-    robust ();
-    bechamel ()
-  | other ->
-    Printf.eprintf
-      "unknown benchmark %s (try \
-       table1|table2|table3|fig1|fig4|fig5|ablate|robust|bechamel|all)\n"
-      other;
-    exit 1
+  (match what with
+   | "table1" -> table1 ()
+   | "table2" -> table2 ()
+   | "table3" -> table3 ()
+   | "fig1" -> fig1 ()
+   | "fig4" -> fig4 ()
+   | "fig5" -> fig5 ()
+   | "ablate" -> ablate ()
+   | "robust" -> robust ()
+   | "smoke" -> smoke ()
+   | "bechamel" -> bechamel ()
+   | "all" ->
+     table1 ();
+     table2 ();
+     table3 ();
+     fig1 ();
+     fig4 ();
+     fig5 ();
+     ablate ();
+     robust ();
+     bechamel ()
+   | other ->
+     Printf.eprintf
+       "unknown benchmark %s (try \
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|smoke|bechamel|all)\n"
+       other;
+     exit 1);
+  flush_runs ()

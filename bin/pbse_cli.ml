@@ -6,6 +6,7 @@
      klee TARGET        baseline run with one KLEE-style searcher
      phases TARGET      concolic execution + phase division only
      bugs TARGET        bug hunt, printing each witness as a hex dump
+     report FILE [B]    print a JSON run report, or diff two of them
      compile FILE       compile a MiniC source file and print its IR
      exec FILE          run a MiniC source file concretely on an input *)
 
@@ -19,6 +20,8 @@ module Bug = Pbse_exec.Bug
 module Phase = Pbse_phase.Phase
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
+module Telemetry = Pbse_telemetry.Telemetry
+module Report = Pbse_telemetry.Report
 
 let default_hour = 120_000
 
@@ -67,6 +70,21 @@ let max_strikes_arg =
     value
     & opt int Driver.default_config.Driver.max_strikes
     & info [ "max-strikes" ] ~docv:"N" ~doc)
+
+let report_arg =
+  let doc =
+    "Enable telemetry and write the JSON run report to $(docv) \
+     (schema pbse-report/1; see docs/telemetry.md). Compare two \
+     reports with `pbse report --diff A B'."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let write_report ~path ~meta report =
+  let json = Report.to_json (Driver.run_report ~meta report) in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "run report written to %s\n" path
 
 let config_of ~inject ~max_strikes =
   match inject with
@@ -133,12 +151,16 @@ let run_cmd =
     let doc = "Run the whole benign seed pool (Algorithm 1's outer loop)." in
     Arg.(value & flag & info [ "pool" ] ~doc)
   in
-  let run name seed_label hours pool inject max_strikes =
+  let run name seed_label hours pool inject max_strikes report_file =
     match (lookup_target name, config_of ~inject ~max_strikes) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
+    | _, _ when pool && report_file <> None ->
+      prerr_endline "--report is per-run; it cannot be combined with --pool";
+      1
     | Ok t, Ok config ->
+      if report_file <> None then Telemetry.set_enabled true;
       if pool then begin
         let report =
           Driver.run_pool ~config (Registry.program t)
@@ -165,6 +187,17 @@ let run_cmd =
               ~deadline:(deadline_of_hours hours)
           in
           print_report report;
+          (match report_file with
+           | Some path ->
+             write_report ~path
+               ~meta:
+                 [
+                   ("target", name);
+                   ("seed", seed_label);
+                   ("deadline", string_of_int (deadline_of_hours hours));
+                 ]
+               report
+           | None -> ());
           0
       end
   in
@@ -172,7 +205,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg $ inject_arg
-      $ max_strikes_arg)
+      $ max_strikes_arg $ report_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 
@@ -300,6 +333,84 @@ let bugs_cmd =
       const run $ target_arg $ seed_arg $ hours_arg $ inject_arg
       $ max_strikes_arg)
 
+(* --- report ---------------------------------------------------------------------- *)
+
+let load_report path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  match Report.of_json text with
+  | Ok r -> Ok r
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let print_report_summary (r : Report.t) =
+  List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v) r.Report.meta;
+  List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) r.Report.metrics;
+  match r.Report.phases with
+  | [] -> ()
+  | phases ->
+    let table =
+      Pbse_util.Tablefmt.create
+        [ "phase"; "pid"; "trap"; "seeded"; "turns"; "slices"; "new-cover"; "dwell"; "evicted" ]
+    in
+    List.iter
+      (fun (p : Report.phase_row) ->
+        Pbse_util.Tablefmt.add_row table
+          [
+            string_of_int p.Report.ordinal;
+            string_of_int p.Report.pid;
+            (if p.Report.trap then "yes" else "no");
+            string_of_int p.Report.seeded;
+            string_of_int p.Report.turns;
+            string_of_int p.Report.slices;
+            string_of_int p.Report.new_cover;
+            string_of_int p.Report.dwell;
+            string_of_int p.Report.quarantined;
+          ])
+      phases;
+    Pbse_util.Tablefmt.print table
+
+let report_cmd =
+  let file_a =
+    let doc = "Run report (JSON, written by `pbse run --report')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc)
+  in
+  let file_b =
+    let doc = "Second report to compare against (new side of the diff)." in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"B" ~doc)
+  in
+  let diff_flag =
+    let doc = "Print a regression summary between reports $(i,A) and $(i,B)." in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let run path_a path_b diff =
+    match (path_b, diff) with
+    | None, true ->
+      prerr_endline "report --diff needs two report files (A and B)";
+      1
+    | None, false -> (
+      match load_report path_a with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok r ->
+        print_report_summary r;
+        0)
+    | Some path_b, _ -> (
+      match (load_report path_a, load_report path_b) with
+      | Error e, _ | _, Error e ->
+        prerr_endline e;
+        1
+      | Ok a, Ok b ->
+        print_string (Report.diff a b);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Print a JSON run report, or diff two of them (`report --diff A B')")
+    Term.(const run $ file_a $ file_b $ diff_flag)
+
 (* --- compile / exec ------------------------------------------------------------------ *)
 
 let file_arg =
@@ -368,6 +479,9 @@ let () =
   in
   let group =
     Cmd.group info
-      [ targets_cmd; run_cmd; klee_cmd; phases_cmd; bugs_cmd; compile_cmd; exec_cmd ]
+      [
+        targets_cmd; run_cmd; klee_cmd; phases_cmd; bugs_cmd; report_cmd; compile_cmd;
+        exec_cmd;
+      ]
   in
   exit (Cmd.eval' group)

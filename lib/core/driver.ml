@@ -12,6 +12,13 @@ module Rng = Pbse_util.Rng
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
 module Quarantine = Pbse_robust.Quarantine
+module Solver = Pbse_smt.Solver
+module Telemetry = Pbse_telemetry.Telemetry
+module Report = Pbse_telemetry.Report
+
+let tm_concolic = Telemetry.span "driver.concolic"
+let tm_phase_analysis = Telemetry.span "driver.phase_analysis"
+let tm_turn = Telemetry.span "driver.turn"
 
 type config = {
   interval_length : int option; (* None: size from a concrete pre-run *)
@@ -66,6 +73,7 @@ type report = {
   faults : Fault.log;
   quarantined : int;
   strikes : int;
+  phase_stats : Report.phase_row list; (* scheduling stats, ordinal order *)
 }
 
 let coverage_at report t =
@@ -75,12 +83,34 @@ let coverage_at report t =
   in
   scan 0 report.coverage_samples
 
-(* One schedulable phase: its searcher plus bookkeeping. *)
+(* One schedulable phase: its searcher plus bookkeeping. The mutable
+   counters feed the per-phase rows of the run report; they are a few
+   ints per phase, so they are maintained unconditionally. *)
 type phase_queue = {
   ordinal : int; (* 1-based position in first-appearance order *)
   pid : int;
+  trap : bool;
   searcher : Searcher.t;
+  mutable seeded : int; (* seedStates initially mapped here *)
+  mutable turns : int;
+  mutable slices : int;
+  mutable new_cover : int; (* slices that covered a new block *)
+  mutable dwell : int; (* virtual time spent in this phase's turns *)
+  mutable quarantined : int; (* states evicted while this phase ran *)
 }
+
+let phase_stat_of_queue q =
+  {
+    Report.ordinal = q.ordinal;
+    pid = q.pid;
+    trap = q.trap;
+    seeded = q.seeded;
+    turns = q.turns;
+    slices = q.slices;
+    new_cover = q.new_cover;
+    dwell = q.dwell;
+    quarantined = q.quarantined;
+  }
 
 let make_phase_searcher config rng exec =
   match Searcher.by_name config.phase_searcher with
@@ -117,6 +147,9 @@ let map_seed_states config ~interval_length division bbvs
   end
 
 let run ?(config = default_config) prog ~seed ~deadline =
+  (* instrumented runs snapshot the registry into their report, so start
+     each run from zero; uninstrumented runs skip the reset too *)
+  if Telemetry.enabled () then Telemetry.reset ();
   let clock = Vclock.create () in
   let exec =
     Executor.create ~max_live:config.max_live ~solver_budget:config.solver_budget
@@ -136,15 +169,23 @@ let run ?(config = default_config) prog ~seed ~deadline =
       max 50 (probe.Pbse_exec.Concrete.steps / config.intervals_target)
   in
   let indexer = Trace.indexer () in
-  let concolic = Concolic.run ~interval_length ~deadline exec indexer in
+  let now () = Vclock.now clock in
+  let concolic =
+    Telemetry.with_span tm_concolic ~now (fun () ->
+        Concolic.run ~interval_length ~deadline exec indexer)
+  in
   let c_time = concolic.Concolic.c_time in
   (* step 2: phase analysis; charge virtual time proportional to the work *)
   let p_start = Vclock.now clock in
   let division =
-    Phase.divide ~mode:config.mode ~max_k:config.max_k (Rng.split rng)
-      concolic.Concolic.bbvs
+    Telemetry.with_span tm_phase_analysis ~now (fun () ->
+        let d =
+          Phase.divide ~mode:config.mode ~max_k:config.max_k (Rng.split rng)
+            concolic.Concolic.bbvs
+        in
+        Vclock.advance clock (50 * List.length concolic.Concolic.bbvs * config.max_k / 20);
+        d)
   in
-  Vclock.advance clock (50 * List.length concolic.Concolic.bbvs * config.max_k / 20);
   let p_time = Vclock.now clock - p_start + 1 in
   (match concolic.Concolic.bbvs with
    | [] ->
@@ -164,7 +205,18 @@ let run ?(config = default_config) prog ~seed ~deadline =
     List.mapi
       (fun i (p : Phase.phase) ->
         let searcher = make_phase_searcher config rng exec in
-        { ordinal = i + 1; pid = p.Phase.pid; searcher })
+        {
+          ordinal = i + 1;
+          pid = p.Phase.pid;
+          trap = p.Phase.trap;
+          searcher;
+          seeded = 0;
+          turns = 0;
+          slices = 0;
+          new_cover = 0;
+          dwell = 0;
+          quarantined = 0;
+        })
       division.Phase.phases
   in
   List.iter
@@ -172,7 +224,9 @@ let run ?(config = default_config) prog ~seed ~deadline =
       match
         List.find_opt (fun q -> q.pid = ss.Concolic.state.State.phase) queue_list
       with
-      | Some q -> q.searcher.Searcher.add ss.Concolic.state
+      | Some q ->
+        q.searcher.Searcher.add ss.Concolic.state;
+        q.seeded <- q.seeded + 1
       | None -> ())
     seed_states;
   let queues =
@@ -223,13 +277,20 @@ let run ?(config = default_config) prog ~seed ~deadline =
     let turn = if config.round_robin then !rr_turn else !seq_rotation + 1 in
     let turn_budget = turn * config.time_period in
     let turn_start = Vclock.now clock in
+    q.turns <- q.turns + 1;
     let queue_failed = ref false in
+    let quarantine_strike st =
+      if Quarantine.strike quarantine st.State.id then begin
+        q.quarantined <- q.quarantined + 1;
+        q.searcher.Searcher.remove st
+      end
+    in
     let contain st exn =
       (* charge a tick so fault loops always advance toward the deadline *)
       Vclock.advance clock 1;
       Fault.record faults ~detail:(Printexc.to_string exn)
         ~vtime:(Vclock.now clock) Fault.Exec_exception;
-      if Quarantine.strike quarantine st.State.id then q.searcher.Searcher.remove st
+      quarantine_strike st
     in
     let rec drain () =
       if Vclock.now clock >= deadline then ()
@@ -256,8 +317,7 @@ let run ?(config = default_config) prog ~seed ~deadline =
             (* the solver gave up; the state stays schedulable and the
                next attempt escalates the query budget — unless it has
                struck out *)
-            if Quarantine.strike quarantine st.State.id then
-              q.searcher.Searcher.remove st;
+            quarantine_strike st;
             drain ()
           | `E exn ->
             contain st exn;
@@ -269,7 +329,9 @@ let run ?(config = default_config) prog ~seed ~deadline =
         contain st exn;
         drain ()
       | `S slice ->
+        q.slices <- q.slices + 1;
         let covered_new = st.State.fresh_cover in
+        if covered_new then q.new_cover <- q.new_cover + 1;
         (match slice with
          | Executor.Running -> ()
          | Executor.Forked children ->
@@ -283,7 +345,8 @@ let run ?(config = default_config) prog ~seed ~deadline =
         (* stay in the phase while under budget or still covering new code *)
         if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
     in
-    drain ();
+    Telemetry.with_span tm_turn ~now:(fun () -> Vclock.now clock) drain;
+    q.dwell <- q.dwell + (Vclock.now clock - turn_start);
     let removed = !queue_failed || q.searcher.Searcher.size () = 0 in
     if removed then begin
       let n = Array.length !queues in
@@ -328,6 +391,87 @@ let run ?(config = default_config) prog ~seed ~deadline =
     faults;
     quarantined = Quarantine.evicted quarantine;
     strikes = Quarantine.total_strikes quarantine;
+    phase_stats = List.map phase_stat_of_queue queue_list;
+  }
+
+(* --- run reports ---------------------------------------------------------- *)
+
+(* Assemble the structured run report (docs/telemetry.md). The scalar
+   metrics are harvested from the per-run stats structs — authoritative
+   whether or not the registry was enabled — while spans and histograms
+   come from the registry snapshot and are only populated on
+   instrumented runs. Construction order is fixed, so two identical
+   seeded runs serialise byte-identically. *)
+let run_report ?(meta = []) report =
+  let exec = report.executor in
+  let sst = Solver.stats (Executor.solver exec) in
+  let est = Executor.stats exec in
+  let confirmed =
+    List.length (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) report.bugs)
+  in
+  let trap_dwell =
+    List.fold_left
+      (fun acc (p : Report.phase_row) -> if p.Report.trap then acc + p.Report.dwell else acc)
+      0 report.phase_stats
+  in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 report.phase_stats in
+  let metrics =
+    [
+      ("seed.bytes", report.seed_size);
+      ("run.c_time", report.c_time);
+      ("run.p_time", report.p_time);
+      ("run.interval_length", report.interval_length);
+      ("run.seed_states", report.seed_state_count);
+      ("phase.count", report.division.Phase.k);
+      ("phase.traps", report.division.Phase.trap_count);
+      ("phase.turns", sum (fun p -> p.Report.turns));
+      ("phase.slices", sum (fun p -> p.Report.slices));
+      ("phase.new_cover", sum (fun p -> p.Report.new_cover));
+      ("phase.dwell", sum (fun p -> p.Report.dwell));
+      ("phase.trap_dwell", trap_dwell);
+      ("coverage.blocks", Coverage.count (Executor.coverage exec));
+      ("bugs.total", List.length report.bugs);
+      ("bugs.confirmed", confirmed);
+      ("exec.states", Executor.state_count exec);
+      ("exec.instructions", est.Executor.instructions);
+      ("exec.slices", est.Executor.slices);
+      ("exec.forks", est.Executor.forks);
+      ("exec.dropped_forks", est.Executor.dropped_forks);
+      ("exec.term_exit", est.Executor.term_exit);
+      ("exec.term_bug", est.Executor.term_bug);
+      ("exec.term_abort", est.Executor.term_abort);
+      ("exec.term_infeasible", est.Executor.term_infeasible);
+      ("exec.concretized_addrs", est.Executor.concretized_addrs);
+      ("verify.verified", est.Executor.verify_verified);
+      ("verify.infeasible", est.Executor.verify_infeasible);
+      ("verify.undecided", est.Executor.verify_undecided);
+      ("solver.queries", sst.Solver.queries);
+      ("solver.sat", sst.Solver.sat);
+      ("solver.unsat", sst.Solver.unsat);
+      ("solver.unknown", sst.Solver.unknown);
+      ("solver.cache_hits", sst.Solver.cache_hits);
+      ("solver.hint_hits", sst.Solver.hint_hits);
+      ("solver.search_nodes", sst.Solver.search_nodes);
+      ("solver.work", sst.Solver.work);
+      ("solver.retries", sst.Solver.retries);
+      ("solver.escalations", sst.Solver.escalations);
+      ("solver.retry_resolved", sst.Solver.retry_resolved);
+      ("quarantine.evicted", report.quarantined);
+      ("quarantine.strikes", report.strikes);
+    ]
+    @ List.map
+        (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
+        Fault.all
+    @ List.concat_map
+        (fun (name, count, total) ->
+          [ ("span." ^ name ^ ".count", count); ("span." ^ name ^ ".total", total) ])
+        (Telemetry.snapshot_spans ())
+  in
+  {
+    Report.meta;
+    metrics;
+    phases = report.phase_stats;
+    histograms = Telemetry.snapshot_histograms ();
   }
 
 type pool_report = {

@@ -57,6 +57,10 @@ type report = {
   faults : Pbse_robust.Fault.log; (* contained failures, by kind *)
   quarantined : int; (* states evicted after [max_strikes] faults *)
   strikes : int; (* total faults charged against states *)
+  phase_stats : Pbse_telemetry.Report.phase_row list;
+      (* per-phase scheduling stats in ordinal order: turns granted,
+         slices run, new-cover slices, dwell time, quarantine evictions.
+         Always collected (a few ints per phase). *)
 }
 
 val coverage_at : report -> int -> int
@@ -70,7 +74,18 @@ val run :
   deadline:int ->
   report
 (** End-to-end pbSE on one seed. The deadline is in virtual time and
-    includes the concolic and analysis steps. *)
+    includes the concolic and analysis steps. When telemetry is enabled
+    ({!Pbse_telemetry.Telemetry.set_enabled}), the registry is reset at
+    the start of the run so {!run_report} snapshots this run only. *)
+
+val run_report :
+  ?meta:(string * string) list -> report -> Pbse_telemetry.Report.t
+(** Assemble the structured run report: solver query/retry/escalation
+    counts, executor and verification totals, per-phase turn/coverage
+    stats, fault and quarantine totals, plus span and histogram
+    snapshots from the telemetry registry (populated only when telemetry
+    was enabled during the run). Deterministic: identical seeded runs
+    yield byte-identical {!Pbse_telemetry.Report.to_json} output. *)
 
 val select_seed : bytes list -> coverage_of:(bytes -> int) -> bytes option
 (** The paper's seed-selection heuristic (§III-B4): consider the 10

@@ -7,6 +7,10 @@ module Semantics = Pbse_smt.Semantics
 module Vclock = Pbse_util.Vclock
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
+module Telemetry = Pbse_telemetry.Telemetry
+
+let tm_slice_steps = Telemetry.histogram "exec.slice_steps"
+let tm_forks = Telemetry.counter "exec.forks"
 
 type finish_reason =
   | Exited of int64
@@ -29,6 +33,9 @@ type stats = {
   mutable term_abort : int;
   mutable term_infeasible : int;
   mutable concretized_addrs : int;
+  mutable verify_verified : int;
+  mutable verify_infeasible : int;
+  mutable verify_undecided : int;
 }
 
 type t = {
@@ -95,6 +102,9 @@ let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
         term_abort = 0;
         term_infeasible = 0;
         concretized_addrs = 0;
+        verify_verified = 0;
+        verify_infeasible = 0;
+        verify_undecided = 0;
       };
     trace = None;
     live = (fun () -> 0);
@@ -114,6 +124,7 @@ let stats t = t.st
 let bugs t = List.rev t.bugs
 let input_size t = Bytes.length t.input
 let seed_model t = t.base_model
+let state_count t = t.next_id
 let set_trace t hook = t.trace <- hook
 let set_live_counter t f = t.live <- f
 let set_lazy_fork t flag = t.lazy_fork <- flag
@@ -176,9 +187,8 @@ type verdict =
    be dropped; [Undecided] means the solver gave up (or an injected
    fault fired) — the state keeps [needs_verify] set, so a later call
    retries the query, escalating its budget each time. *)
-let verify t st =
-  if not st.State.needs_verify then Verified
-  else begin
+let verify_pending t st =
+  begin
     match st.State.path with
     | [] ->
       st.State.needs_verify <- false;
@@ -201,6 +211,19 @@ let verify t st =
             ~vtime:(Vclock.now t.clock) Fault.Solver_unknown;
           Undecided
       end
+  end
+
+(* Verdicts are tallied only for states that actually needed the query;
+   the early return for already-verified states stays free. *)
+let verify t st =
+  if not st.State.needs_verify then Verified
+  else begin
+    let verdict = verify_pending t st in
+    (match verdict with
+     | Verified -> t.st.verify_verified <- t.st.verify_verified + 1
+     | Infeasible_state -> t.st.verify_infeasible <- t.st.verify_infeasible + 1
+     | Undecided -> t.st.verify_undecided <- t.st.verify_undecided + 1);
+    verdict
   end
 
 let enter_block t st fidx bidx =
@@ -525,6 +548,7 @@ let fork_state t st ~constraint_ ~model ~target =
   (* coverage and trace are recorded when the child actually runs *)
   child.State.entered <- false;
   t.st.forks <- t.st.forks + 1;
+  Telemetry.incr tm_forks;
   child
 
 let exec_br t st cond then_b else_b =
@@ -654,7 +678,7 @@ let inject_exec_abort t =
     true
   | Some _ | None -> false
 
-let run_slice t st =
+let run_slice_inner t st =
   t.st.slices <- t.st.slices + 1;
   st.State.fresh_cover <- false;
   if inject_exec_abort t then begin
@@ -714,6 +738,15 @@ let run_slice t st =
          :: t.testcases
      | Exited _ | Buggy _ | Aborted _ | Infeasible -> ());
     Finished reason
+  end
+
+let run_slice t st =
+  if not (Telemetry.enabled ()) then run_slice_inner t st
+  else begin
+    let before = st.State.steps in
+    let result = run_slice_inner t st in
+    Telemetry.observe tm_slice_steps (st.State.steps - before);
+    result
   end
 
 let explore t searcher ~deadline =

@@ -43,6 +43,9 @@ type stats = {
   mutable term_abort : int;
   mutable term_infeasible : int;
   mutable concretized_addrs : int;
+  mutable verify_verified : int; (* {!verify} verdicts on pending states *)
+  mutable verify_infeasible : int;
+  mutable verify_undecided : int;
 }
 
 type t
@@ -79,6 +82,9 @@ val faults : t -> Pbse_robust.Fault.log
 
 val input_size : t -> int
 val seed_model : t -> Pbse_smt.Model.t
+
+val state_count : t -> int
+(** States ever created by this engine (initial states plus forks). *)
 
 val set_trace : t -> (int -> unit) option -> unit
 (** Hook invoked with the global block id on every block entry of every

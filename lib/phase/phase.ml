@@ -97,7 +97,16 @@ let one_phase_division mode =
     trap_count = 0;
   }
 
+module Telemetry = Pbse_telemetry.Telemetry
+
+let tm_divisions = Telemetry.counter "phase.divisions"
+let tm_bbvs = Telemetry.histogram "phase.bbvs_per_division"
+let tm_chosen_k = Telemetry.gauge "phase.chosen_k"
+let tm_traps = Telemetry.gauge "phase.trap_count"
+
 let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
+  Telemetry.incr tm_divisions;
+  Telemetry.observe tm_bbvs (List.length bbvs);
   if bbvs = [] then one_phase_division mode
   else
   let vectors, dim = vectors_of mode bbvs in
@@ -122,6 +131,8 @@ let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
   match !best with
   | None -> one_phase_division mode
   | Some (k, (clustering, phases, traps)) ->
+    Telemetry.set_gauge tm_chosen_k k;
+    Telemetry.set_gauge tm_traps traps;
     {
       mode;
       k;

@@ -38,6 +38,13 @@ let label = function
   | Mem_pressure -> "mem-pressure"
   | Degenerate_phase -> "degenerate-phase"
 
+(* One registry counter per kind, mirroring the per-log counts into the
+   process-wide telemetry view (docs/telemetry.md). *)
+let telemetry_counters =
+  List.map
+    (fun k -> (rank k, Pbse_telemetry.Telemetry.counter ("fault." ^ label k)))
+    all
+
 type t = {
   kind : kind;
   detail : string;
@@ -61,6 +68,7 @@ let log_create () = { counts = Array.make nkinds 0; cur = []; cur_len = 0; older
 
 let record log ?(detail = "") ~vtime kind =
   log.counts.(rank kind) <- log.counts.(rank kind) + 1;
+  Pbse_telemetry.Telemetry.incr (List.assq (rank kind) telemetry_counters);
   log.cur <- { kind; detail; vtime } :: log.cur;
   log.cur_len <- log.cur_len + 1;
   if log.cur_len >= max_recent then begin

@@ -1,3 +1,6 @@
+let tm_strikes = Pbse_telemetry.Telemetry.counter "quarantine.strikes"
+let tm_evictions = Pbse_telemetry.Telemetry.counter "quarantine.evictions"
+
 type t = {
   limit : int;
   strikes : (int, int) Hashtbl.t;
@@ -11,9 +14,11 @@ let create ~max_strikes =
 let strike t id =
   let s = (match Hashtbl.find_opt t.strikes id with Some s -> s | None -> 0) + 1 in
   t.total <- t.total + 1;
+  Pbse_telemetry.Telemetry.incr tm_strikes;
   if s >= t.limit then begin
     Hashtbl.remove t.strikes id;
     t.evictions <- t.evictions + 1;
+    Pbse_telemetry.Telemetry.incr tm_evictions;
     true
   end
   else begin

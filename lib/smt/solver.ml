@@ -1,3 +1,11 @@
+module Telemetry = Pbse_telemetry.Telemetry
+
+(* Registry instruments (docs/telemetry.md); every mutation is gated on
+   [Telemetry.enabled], so uninstrumented runs pay one boolean load. *)
+let tm_query_work = Telemetry.histogram "solver.query_work"
+let tm_retry_budget = Telemetry.histogram "solver.retry_budget"
+let tm_unknown = Telemetry.counter "solver.unknown"
+
 type result =
   | Sat of Model.t
   | Unsat
@@ -470,7 +478,10 @@ let with_meter t ?retry_key body =
         | Some prev ->
           t.st.retries <- t.st.retries + 1;
           let escalated = min t.retry_cap (2 * prev) in
-          if escalated > prev then t.st.escalations <- t.st.escalations + 1;
+          if escalated > prev then begin
+            t.st.escalations <- t.st.escalations + 1;
+            Telemetry.observe tm_retry_budget escalated
+          end;
           escalated)
   in
   let meter = { spent = 0; limit } in
@@ -478,7 +489,10 @@ let with_meter t ?retry_key body =
   (match result with
    | Sat _ -> t.st.sat <- t.st.sat + 1
    | Unsat -> t.st.unsat <- t.st.unsat + 1
-   | Unknown -> t.st.unknown <- t.st.unknown + 1);
+   | Unknown ->
+     t.st.unknown <- t.st.unknown + 1;
+     Telemetry.incr tm_unknown);
+  Telemetry.observe tm_query_work meter.spent;
   (match result with
    | Unknown -> (
      match Lazy.force key with

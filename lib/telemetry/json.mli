@@ -1,0 +1,31 @@
+(** Minimal JSON reader/writer for run reports.
+
+    Deliberately tiny: objects, arrays, strings, 63-bit integers, bools
+    and null — no floats, so rendering is deterministic and roundtrips
+    exactly. Object key order is preserved on both print and parse. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no whitespace), keys in the given order. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by people. *)
+
+val parse : string -> (t, string) result
+(** Accepts what {!to_string} emits plus arbitrary inter-token
+    whitespace. Numbers with a fraction or exponent are an error. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

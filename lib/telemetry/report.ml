@@ -1,0 +1,179 @@
+type phase_row = {
+  ordinal : int;
+  pid : int;
+  trap : bool;
+  seeded : int;
+  turns : int;
+  slices : int;
+  new_cover : int;
+  dwell : int;
+  quarantined : int;
+}
+
+type t = {
+  meta : (string * string) list;
+  metrics : (string * int) list;
+  phases : phase_row list;
+  histograms : Telemetry.histogram_snapshot list;
+}
+
+let schema = "pbse-report/1"
+
+(* --- serialisation -------------------------------------------------------- *)
+
+let phase_to_json (p : phase_row) =
+  Json.Obj
+    [
+      ("ordinal", Json.Int p.ordinal);
+      ("pid", Json.Int p.pid);
+      ("trap", Json.Bool p.trap);
+      ("seeded", Json.Int p.seeded);
+      ("turns", Json.Int p.turns);
+      ("slices", Json.Int p.slices);
+      ("new_cover", Json.Int p.new_cover);
+      ("dwell", Json.Int p.dwell);
+      ("quarantined", Json.Int p.quarantined);
+    ]
+
+let histogram_to_json (h : Telemetry.histogram_snapshot) =
+  ( h.Telemetry.hs_name,
+    Json.Obj
+      [
+        ("count", Json.Int h.Telemetry.hs_count);
+        ("sum", Json.Int h.Telemetry.hs_sum);
+        ("min", Json.Int h.Telemetry.hs_min);
+        ("max", Json.Int h.Telemetry.hs_max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+               h.Telemetry.hs_buckets) );
+      ] )
+
+let to_json t =
+  Json.to_string_pretty
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.meta));
+         ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics));
+         ("phases", Json.List (List.map phase_to_json t.phases));
+         ("histograms", Json.Obj (List.map histogram_to_json t.histograms));
+       ])
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let get_int field json =
+  match Option.bind (Json.member field json) Json.to_int with Some i -> i | None -> 0
+
+let phase_of_json json =
+  {
+    ordinal = get_int "ordinal" json;
+    pid = get_int "pid" json;
+    trap =
+      (match Option.bind (Json.member "trap" json) Json.to_bool with
+       | Some b -> b
+       | None -> false);
+    seeded = get_int "seeded" json;
+    turns = get_int "turns" json;
+    slices = get_int "slices" json;
+    new_cover = get_int "new_cover" json;
+    dwell = get_int "dwell" json;
+    quarantined = get_int "quarantined" json;
+  }
+
+let histogram_of_json name json =
+  {
+    Telemetry.hs_name = name;
+    hs_count = get_int "count" json;
+    hs_sum = get_int "sum" json;
+    hs_min = get_int "min" json;
+    hs_max = get_int "max" json;
+    hs_buckets =
+      (match Option.bind (Json.member "buckets" json) Json.to_list with
+       | None -> []
+       | Some items ->
+         List.filter_map
+           (function
+             | Json.List [ Json.Int i; Json.Int c ] -> Some (i, c)
+             | _ -> None)
+           items);
+  }
+
+let of_json text =
+  match Json.parse text with
+  | Error e -> Error e
+  | Ok json -> (
+    match Option.bind (Json.member "schema" json) Json.to_str with
+    | Some s when s = schema ->
+      let assoc field =
+        match Json.member field json with Some (Json.Obj fields) -> fields | _ -> []
+      in
+      let meta =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+          (assoc "meta")
+      in
+      let metrics =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v))
+          (assoc "metrics")
+      in
+      let phases =
+        match Option.bind (Json.member "phases" json) Json.to_list with
+        | None -> []
+        | Some items -> List.map phase_of_json items
+      in
+      let histograms = List.map (fun (k, v) -> histogram_of_json k v) (assoc "histograms") in
+      Ok { meta; metrics; phases; histograms }
+    | Some s -> Error (Printf.sprintf "unsupported report schema %S (want %S)" s schema)
+    | None -> Error "missing \"schema\" field")
+
+(* --- diff ----------------------------------------------------------------- *)
+
+let metric t name = match List.assoc_opt name t.metrics with Some v -> v | None -> 0
+
+let diff a b =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "report diff (A -> B)";
+  (* metadata changes *)
+  List.iter
+    (fun (k, va) ->
+      match List.assoc_opt k b.meta with
+      | Some vb when vb <> va -> line "  [meta] %s: %s -> %s" k va vb
+      | Some _ -> ()
+      | None -> line "  [meta] %s: %s -> (absent)" k va)
+    a.meta;
+  List.iter
+    (fun (k, vb) ->
+      if not (List.mem_assoc k a.meta) then line "  [meta] %s: (absent) -> %s" k vb)
+    b.meta;
+  (* metric deltas over the key union, A's order first *)
+  let keys =
+    List.map fst a.metrics
+    @ List.filter (fun k -> not (List.mem_assoc k a.metrics)) (List.map fst b.metrics)
+  in
+  let compared = List.length keys in
+  let changed = ref 0 in
+  List.iter
+    (fun k ->
+      let va = metric a k and vb = metric b k in
+      if va <> vb then begin
+        incr changed;
+        let delta = vb - va in
+        let pct = if va = 0 then 0 else 100 * delta / abs va in
+        line "  %-28s %10d -> %-10d (%+d, %+d%%)" k va vb delta pct
+      end)
+    keys;
+  (* phase movement *)
+  let traps l = List.length (List.filter (fun p -> p.trap) l) in
+  let dwell l = List.fold_left (fun acc p -> acc + p.dwell) 0 l in
+  let cover l = List.fold_left (fun acc p -> acc + p.new_cover) 0 l in
+  if a.phases <> [] || b.phases <> [] then
+    line "  phases: %d -> %d (traps %d -> %d, dwell %d -> %d, new-cover slices %d -> %d)"
+      (List.length a.phases) (List.length b.phases) (traps a.phases) (traps b.phases)
+      (dwell a.phases) (dwell b.phases) (cover a.phases) (cover b.phases);
+  if !changed = 0 then line "  identical metrics (%d compared)" compared
+  else line "  %d of %d metrics changed" !changed compared;
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Structured per-run reports.
+
+    A report is a flat, ordered bag of integer metrics plus string
+    metadata, per-phase rows, and histogram snapshots. The driver builds
+    one at the end of an instrumented run; the CLI serialises it with
+    [--report FILE] and compares two with [report --diff A B].
+
+    Serialisation is deterministic: field order is the construction
+    order, integers only, no timestamps — two runs with the same seed
+    render byte-identical JSON (the telemetry determinism test pins
+    this). Schema documented in docs/telemetry.md. *)
+
+type phase_row = {
+  ordinal : int; (* 1-based scheduling order *)
+  pid : int; (* cluster id from the phase division *)
+  trap : bool;
+  seeded : int; (* seedStates initially mapped into the phase *)
+  turns : int; (* scheduler turns granted *)
+  slices : int; (* state slices executed during those turns *)
+  new_cover : int; (* slices that covered a new block *)
+  dwell : int; (* virtual time spent inside the phase's turns *)
+  quarantined : int; (* states evicted while this phase ran *)
+}
+
+type t = {
+  meta : (string * string) list;
+  metrics : (string * int) list;
+  phases : phase_row list;
+  histograms : Telemetry.histogram_snapshot list;
+}
+
+val schema : string
+(** ["pbse-report/1"], embedded in the JSON. *)
+
+val to_json : t -> string
+(** Pretty-printed JSON document (trailing newline). *)
+
+val of_json : string -> (t, string) result
+(** Parses what {!to_json} emitted; unknown fields are ignored, a wrong
+    schema string is an error. *)
+
+val metric : t -> string -> int
+(** Metric lookup; 0 when absent (so diffs treat a missing metric as a
+    zero baseline). *)
+
+val diff : t -> t -> string
+(** Human-readable regression summary between two reports: changed
+    metadata, every changed metric with absolute and percent delta, and
+    per-phase dwell/coverage movement. *)

@@ -1,0 +1,182 @@
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* --- counters ------------------------------------------------------------- *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+(* --- gauges --------------------------------------------------------------- *)
+
+type gauge = { g_name : string; mutable g_value : int }
+
+(* --- histograms ----------------------------------------------------------- *)
+
+(* Bucket 0 holds v <= 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]. OCaml
+   ints are 63-bit, so max_int = 2^62 - 1 needs 62 value bits: 63 buckets
+   (0..62) cover the whole nonnegative range with no clamping slack
+   wasted. *)
+let nbuckets = 63
+
+let bucket_index v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 in
+    let n = ref v in
+    while !n > 0 do
+      incr bits;
+      n := !n lsr 1
+    done;
+    min !bits (nbuckets - 1)
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+type histogram = {
+  h_name : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type histogram_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_buckets : (int * int) list;
+}
+
+(* --- spans ---------------------------------------------------------------- *)
+
+type span = { s_name : string; mutable s_count : int; mutable s_total : int }
+
+(* --- registry ------------------------------------------------------------- *)
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let spans : (string, span) Hashtbl.t = Hashtbl.create 16
+
+let intern table name make =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = make name in
+    Hashtbl.replace table name v;
+    v
+
+let counter name = intern counters name (fun c_name -> { c_name; c_value = 0 })
+let gauge name = intern gauges name (fun g_name -> { g_name; g_value = 0 })
+
+let histogram name =
+  intern histograms name (fun h_name ->
+      { h_name; h_buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0;
+        h_min = 0; h_max = 0 })
+
+let span name = intern spans name (fun s_name -> { s_name; s_count = 0; s_total = 0 })
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_buckets 0 nbuckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- 0;
+      h.h_max <- 0)
+    histograms;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_count <- 0;
+      s.s_total <- 0)
+    spans
+
+(* --- mutation (gated) ----------------------------------------------------- *)
+
+let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
+let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let set_gauge g v = if !enabled_flag then g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  if !enabled_flag then begin
+    let i = bucket_index v in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    if h.h_count = 0 then begin
+      h.h_min <- v;
+      h.h_max <- v
+    end
+    else begin
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v
+  end
+
+let with_span s ~now f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    let record () =
+      s.s_count <- s.s_count + 1;
+      s.s_total <- s.s_total + (now () - t0)
+    in
+    match f () with
+    | r ->
+      record ();
+      r
+    | exception e ->
+      record ();
+      raise e
+  end
+
+let span_count s = s.s_count
+let span_total s = s.s_total
+
+(* --- snapshots ------------------------------------------------------------ *)
+
+let sorted_values table =
+  Hashtbl.fold (fun _ v acc -> v :: acc) table []
+
+let snapshot_counters () =
+  sorted_values counters
+  |> List.map (fun c -> (c.c_name, c.c_value))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot_gauges () =
+  sorted_values gauges
+  |> List.map (fun g -> (g.g_name, g.g_value))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot_spans () =
+  sorted_values spans
+  |> List.map (fun s -> (s.s_name, s.s_count, s.s_total))
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let histogram_snapshot h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    hs_name = h.h_name;
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = h.h_min;
+    hs_max = h.h_max;
+    hs_buckets = !buckets;
+  }
+
+let snapshot_histograms () =
+  sorted_values histograms
+  |> List.filter (fun h -> h.h_count > 0)
+  |> List.map histogram_snapshot
+  |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)

@@ -1,0 +1,104 @@
+(** Zero-dependency metrics substrate.
+
+    A process-global registry of named instruments: monotonic counters,
+    gauges, latency histograms with fixed log-scale buckets, and span
+    timers. Instruments are created once (per name) at module
+    initialisation and mutated on hot paths; every mutation is gated on
+    {!enabled}, so the zero-telemetry path costs one boolean load and
+    allocates nothing.
+
+    All quantities are integers measured in deterministic units (counts,
+    work units, virtual-clock ticks) — never wall clock — so two runs
+    with the same seed produce byte-identical snapshots. Snapshots are
+    sorted by instrument name, making serialisation order independent of
+    module-initialisation order. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every registered instrument (instruments stay registered).
+    Called at the start of an instrumented run so per-run reports do not
+    leak state across runs in the same process. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Registers (or returns the existing) counter under [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms}
+
+    Fixed log2-scale buckets: bucket 0 holds values [<= 0]; bucket [i]
+    ([i >= 1]) holds values in [[2^(i-1), 2^i - 1]]. The top bucket
+    absorbs everything above its lower bound, so [max_int] lands in
+    bucket [nbuckets - 1]. *)
+
+type histogram
+
+val nbuckets : int
+
+val bucket_index : int -> int
+(** Total: negative values and 0 map to bucket 0; huge values clamp to
+    the top bucket. *)
+
+val bucket_lo : int -> int
+(** Inclusive lower bound of a bucket (0 for bucket 0). *)
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+
+type histogram_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int; (* 0 when empty *)
+  hs_max : int; (* 0 when empty *)
+  hs_buckets : (int * int) list; (* (bucket index, count), nonzero only *)
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+(** {1 Spans}
+
+    A span accumulates the duration of a timed section under a
+    caller-supplied monotonic clock (virtual time in this codebase; a
+    span never reads the wall clock itself). *)
+
+type span
+
+val span : string -> span
+
+val with_span : span -> now:(unit -> int) -> (unit -> 'a) -> 'a
+(** Runs the thunk, charging [now () - now ()] elapsed units to the span
+    (also on exception). When telemetry is disabled this is exactly
+    [f ()]. *)
+
+val span_count : span -> int
+val span_total : span -> int
+
+(** {1 Snapshots} *)
+
+val snapshot_counters : unit -> (string * int) list
+(** Every registered counter, sorted by name (zeros included). *)
+
+val snapshot_gauges : unit -> (string * int) list
+
+val snapshot_spans : unit -> (string * int * int) list
+(** (name, count, total elapsed), sorted by name. *)
+
+val snapshot_histograms : unit -> histogram_snapshot list
+(** Sorted by name; empty histograms are skipped. *)

@@ -1,0 +1,248 @@
+module Telemetry = Pbse_telemetry.Telemetry
+module Report = Pbse_telemetry.Report
+module Json = Pbse_telemetry.Json
+module Driver = Pbse.Driver
+
+(* The registry is process-global; every test snapshots/restores the
+   enabled flag and resets so tests stay order-independent. *)
+let with_registry ~enabled f =
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled enabled;
+  Telemetry.reset ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.reset ();
+      Telemetry.set_enabled was)
+    f
+
+(* --- histogram bucketing -------------------------------------------------- *)
+
+let test_bucket_edges () =
+  let check v expect =
+    Alcotest.(check int) (Printf.sprintf "bucket of %d" v) expect
+      (Telemetry.bucket_index v)
+  in
+  check min_int 0;
+  check (-1) 0;
+  check 0 0;
+  check 1 1;
+  check 2 2;
+  check 3 2;
+  check 4 3;
+  (* every power-of-two boundary: 2^k - 1 sits one bucket below 2^k *)
+  for k = 1 to 61 do
+    let p = 1 lsl k in
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d" k)
+      (k + 1) (Telemetry.bucket_index p);
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d - 1" k)
+      k
+      (Telemetry.bucket_index (p - 1))
+  done;
+  check max_int (Telemetry.nbuckets - 1)
+
+let test_bucket_lo_roundtrip () =
+  (* bucket_lo is the smallest value mapping into its bucket *)
+  Alcotest.(check int) "lo 0" 0 (Telemetry.bucket_lo 0);
+  for i = 1 to Telemetry.nbuckets - 1 do
+    let lo = Telemetry.bucket_lo i in
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d maps back" i) i
+      (Telemetry.bucket_index lo);
+    if i >= 2 then
+      Alcotest.(check int)
+        (Printf.sprintf "lo %d - 1 maps below" i)
+        (i - 1)
+        (Telemetry.bucket_index (lo - 1))
+  done
+
+let test_histogram_snapshot () =
+  with_registry ~enabled:true (fun () ->
+      let h = Telemetry.histogram "test.hist" in
+      List.iter (Telemetry.observe h) [ 0; 1; 1; 5; 1024; max_int ];
+      let s = Telemetry.histogram_snapshot h in
+      Alcotest.(check int) "count" 6 s.Telemetry.hs_count;
+      Alcotest.(check int) "min" 0 s.Telemetry.hs_min;
+      Alcotest.(check int) "max" max_int s.Telemetry.hs_max;
+      Alcotest.(check bool) "sum overflow-wrapped or exact" true
+        (s.Telemetry.hs_sum = 0 + 1 + 1 + 5 + 1024 + max_int);
+      Alcotest.(check (list (pair int int)))
+        "nonzero buckets"
+        [ (0, 1); (1, 2); (3, 1); (11, 1); (Telemetry.nbuckets - 1, 1) ]
+        s.Telemetry.hs_buckets)
+
+(* --- gating ---------------------------------------------------------------- *)
+
+let test_disabled_is_inert () =
+  with_registry ~enabled:false (fun () ->
+      let c = Telemetry.counter "test.gated" in
+      let g = Telemetry.gauge "test.gated_gauge" in
+      let h = Telemetry.histogram "test.gated_hist" in
+      let s = Telemetry.span "test.gated_span" in
+      Telemetry.incr c;
+      Telemetry.add c 41;
+      Telemetry.set_gauge g 7;
+      Telemetry.observe h 99;
+      let r = Telemetry.with_span s ~now:(fun () -> 123) (fun () -> "ok") in
+      Alcotest.(check string) "with_span passes result through" "ok" r;
+      Alcotest.(check int) "counter untouched" 0 (Telemetry.counter_value c);
+      Alcotest.(check int) "gauge untouched" 0 (Telemetry.gauge_value g);
+      Alcotest.(check int) "histogram untouched" 0
+        (Telemetry.histogram_snapshot h).Telemetry.hs_count;
+      Alcotest.(check int) "span untouched" 0 (Telemetry.span_count s))
+
+let test_enabled_records () =
+  with_registry ~enabled:true (fun () ->
+      let c = Telemetry.counter "test.live" in
+      Telemetry.incr c;
+      Telemetry.add c 41;
+      Alcotest.(check int) "counter" 42 (Telemetry.counter_value c);
+      (* same name returns the same instrument *)
+      Alcotest.(check int) "interned by name" 42
+        (Telemetry.counter_value (Telemetry.counter "test.live"));
+      Telemetry.reset ();
+      Alcotest.(check int) "reset zeroes" 0 (Telemetry.counter_value c))
+
+let test_span_fake_clock () =
+  with_registry ~enabled:true (fun () ->
+      let s = Telemetry.span "test.clock" in
+      let t = ref 0 in
+      let now () = !t in
+      Telemetry.with_span s ~now (fun () -> t := !t + 10);
+      Telemetry.with_span s ~now (fun () -> t := !t + 7);
+      Alcotest.(check int) "two spans" 2 (Telemetry.span_count s);
+      Alcotest.(check int) "total elapsed" 17 (Telemetry.span_total s);
+      (* exceptions still charge the span *)
+      (try
+         Telemetry.with_span s ~now (fun () ->
+             t := !t + 3;
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check int) "exception counted" 3 (Telemetry.span_count s);
+      Alcotest.(check int) "exception charged" 20 (Telemetry.span_total s))
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let sample_report () =
+  {
+    Report.meta = [ ("target", "mini"); ("seed", "default") ];
+    metrics = [ ("a.one", 1); ("b.two", 2); ("c.zero", 0) ];
+    phases =
+      [
+        {
+          Report.ordinal = 1;
+          pid = 3;
+          trap = true;
+          seeded = 4;
+          turns = 5;
+          slices = 6;
+          new_cover = 2;
+          dwell = 1000;
+          quarantined = 0;
+        };
+      ];
+    histograms =
+      [
+        {
+          Telemetry.hs_name = "test.h";
+          hs_count = 2;
+          hs_sum = 5;
+          hs_min = 1;
+          hs_max = 4;
+          hs_buckets = [ (1, 1); (3, 1) ];
+        };
+      ];
+  }
+
+let test_report_roundtrip () =
+  let r = sample_report () in
+  let json = Report.to_json r in
+  match Report.of_json json with
+  | Error e -> Alcotest.fail ("of_json: " ^ e)
+  | Ok r' ->
+    Alcotest.(check string) "roundtrip is byte-identical" json (Report.to_json r');
+    Alcotest.(check int) "metric lookup" 2 (Report.metric r' "b.two");
+    Alcotest.(check int) "missing metric is 0" 0 (Report.metric r' "nope")
+
+let test_report_bad_schema () =
+  let json = Report.to_json (sample_report ()) in
+  (* bump the schema version in place *)
+  let mangled =
+    match String.index json '1' with
+    | i -> String.sub json 0 i ^ "9" ^ String.sub json (i + 1) (String.length json - i - 1)
+    | exception Not_found -> Alcotest.fail "no schema digit found"
+  in
+  match Report.of_json mangled with
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+  | Error _ -> ()
+
+let test_json_rejects_floats () =
+  match Json.parse "{\"x\": 1.5}" with
+  | Ok _ -> Alcotest.fail "float accepted"
+  | Error _ -> ()
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_diff_self () =
+  let r = sample_report () in
+  let d = Report.diff r r in
+  Alcotest.(check bool) "self-diff reports identical metrics" true
+    (contains ~needle:"identical metrics" d);
+  let other =
+    { r with metrics = List.map (fun (k, v) -> (k, v + 1)) r.metrics }
+  in
+  let d2 = Report.diff r other in
+  Alcotest.(check bool) "changed metrics reported" true
+    (contains ~needle:"3 of 3 metrics changed" d2)
+
+(* --- end-to-end determinism ------------------------------------------------ *)
+
+let driver_report_json () =
+  with_registry ~enabled:true (fun () ->
+      let report =
+        Driver.run
+          (Suite_core.mini_program ())
+          ~seed:(Suite_core.mini_seed ()) ~deadline:80_000
+      in
+      Report.to_json
+        (Driver.run_report ~meta:[ ("target", "mini") ] report))
+
+let test_identical_runs_identical_reports () =
+  let a = driver_report_json () in
+  let b = driver_report_json () in
+  Alcotest.(check bool) "nonempty" true (String.length a > 0);
+  Alcotest.(check string) "byte-identical reports" a b
+
+let test_driver_report_has_core_metrics () =
+  let json = driver_report_json () in
+  match Report.of_json json with
+  | Error e -> Alcotest.fail ("of_json: " ^ e)
+  | Ok r ->
+    Alcotest.(check bool) "solver.queries > 0" true (Report.metric r "solver.queries" > 0);
+    Alcotest.(check bool) "phase.turns > 0" true (Report.metric r "phase.turns" > 0);
+    Alcotest.(check bool) "exec.states > 0" true (Report.metric r "exec.states" > 0);
+    Alcotest.(check bool) "has phase rows" true (List.length r.Report.phases > 0);
+    Alcotest.(check bool) "has histograms (telemetry was on)" true
+      (List.length r.Report.histograms > 0);
+    Alcotest.(check bool) "span.driver.concolic recorded" true
+      (Report.metric r "span.driver.concolic.count" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
+    Alcotest.test_case "bucket_lo roundtrip" `Quick test_bucket_lo_roundtrip;
+    Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
+    Alcotest.test_case "disabled registry is inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "enabled registry records" `Quick test_enabled_records;
+    Alcotest.test_case "spans under a fake clock" `Quick test_span_fake_clock;
+    Alcotest.test_case "report JSON roundtrip" `Quick test_report_roundtrip;
+    Alcotest.test_case "report rejects wrong schema" `Quick test_report_bad_schema;
+    Alcotest.test_case "JSON parser rejects floats" `Quick test_json_rejects_floats;
+    Alcotest.test_case "self-diff is quiet" `Quick test_diff_self;
+    Alcotest.test_case "identical runs, identical reports" `Quick
+      test_identical_runs_identical_reports;
+    Alcotest.test_case "driver report has core metrics" `Quick
+      test_driver_report_has_core_metrics;
+  ]
