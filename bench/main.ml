@@ -62,9 +62,10 @@ let run_csv_metrics =
   [
     "coverage.blocks"; "bugs.total"; "bugs.confirmed"; "solver.queries";
     "solver.unknown"; "solver.retries"; "solver.escalations"; "solver.retry_resolved";
-    "solver.work"; "fault.solver-unknown"; "fault.exec-abort"; "fault.mem-pressure";
-    "quarantine.evicted"; "quarantine.strikes"; "phase.turns"; "phase.new_cover";
-    "phase.dwell"; "phase.trap_dwell";
+    "solver.work"; "solver.prefix_hits"; "fault.solver-unknown"; "fault.exec-abort";
+    "fault.mem-pressure"; "quarantine.evicted"; "quarantine.strikes"; "phase.turns";
+    "phase.new_cover"; "phase.dwell"; "phase.trap_dwell"; "sched.turns";
+    "exec.cow_copies";
   ]
 
 let run_csv_header =
@@ -502,7 +503,9 @@ let ablate () =
   run "pbSE (default)" Driver.default_config;
   run "BBV-only vectors" { Driver.default_config with Driver.mode = Phase.Bbv_only };
   run "no seedState dedup" { Driver.default_config with Driver.dedup_seed_states = false };
-  run "sequential phases" { Driver.default_config with Driver.round_robin = false };
+  run "sequential phases" { Driver.default_config with Driver.scheduler = "sequential" };
+  run "coverage-greedy phases"
+    { Driver.default_config with Driver.scheduler = "coverage-greedy" };
   run "fixed k = 4" { Driver.default_config with Driver.max_k = 4 };
   Tablefmt.print table
 
@@ -513,7 +516,7 @@ let robust () =
     "Robustness sweep: every target under a fixed fault-injection plan \
      (docs/robustness.md)";
   let plan =
-    match Inject.parse "seed=7,solver=0.2,abort=0.1,mem=0.05" with
+    match Inject.parse "seed=7,solver=0.2,abort=0.1,mem=0.05,concolic=0.05" with
     | Ok p -> p
     | Error e -> failwith e
   in

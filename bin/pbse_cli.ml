@@ -59,10 +59,20 @@ let deadline_of_hours h = int_of_float (h *. float_of_int default_hour)
 let inject_arg =
   let doc =
     "Deterministic fault-injection plan: comma-separated clauses of \
-     seed=N, solver=RATE, abort=RATE, mem=RATE (rates in [0,1]); see \
-     docs/robustness.md."
+     seed=N, solver=RATE, abort=RATE, mem=RATE, concolic=RATE (rates in \
+     [0,1]); see docs/robustness.md."
   in
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"PLAN" ~doc)
+
+let scheduler_arg =
+  let doc =
+    Printf.sprintf "Phase scheduling policy: %s."
+      (String.concat ", " Pbse_sched.Scheduler.names)
+  in
+  Arg.(
+    value
+    & opt string Driver.default_config.Driver.scheduler
+    & info [ "scheduler" ] ~docv:"POLICY" ~doc)
 
 let max_strikes_arg =
   let doc = "Faults a state survives before it is quarantined." in
@@ -86,13 +96,18 @@ let write_report ~path ~meta report =
   close_out oc;
   Printf.printf "run report written to %s\n" path
 
-let config_of ~inject ~max_strikes =
-  match inject with
-  | None -> Ok { Driver.default_config with max_strikes }
-  | Some spec -> (
-    match Inject.parse spec with
-    | Ok plan -> Ok { Driver.default_config with max_strikes; inject = plan }
-    | Error e -> Error (Printf.sprintf "bad --inject plan: %s" e))
+let config_of ~inject ~max_strikes ~scheduler =
+  if not (List.mem scheduler Pbse_sched.Scheduler.names) then
+    Error
+      (Printf.sprintf "unknown scheduler %s (available: %s)" scheduler
+         (String.concat ", " Pbse_sched.Scheduler.names))
+  else
+    match inject with
+    | None -> Ok { Driver.default_config with max_strikes; scheduler }
+    | Some spec -> (
+      match Inject.parse spec with
+      | Ok plan -> Ok { Driver.default_config with max_strikes; scheduler; inject = plan }
+      | Error e -> Error (Printf.sprintf "bad --inject plan: %s" e))
 
 (* --- targets ------------------------------------------------------------------ *)
 
@@ -151,8 +166,8 @@ let run_cmd =
     let doc = "Run the whole benign seed pool (Algorithm 1's outer loop)." in
     Arg.(value & flag & info [ "pool" ] ~doc)
   in
-  let run name seed_label hours pool inject max_strikes report_file =
-    match (lookup_target name, config_of ~inject ~max_strikes) with
+  let run name seed_label hours pool inject max_strikes scheduler report_file =
+    match (lookup_target name, config_of ~inject ~max_strikes ~scheduler) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
@@ -205,7 +220,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg $ inject_arg
-      $ max_strikes_arg $ report_arg)
+      $ max_strikes_arg $ scheduler_arg $ report_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 
@@ -302,8 +317,8 @@ let hexdump bytes =
   Buffer.contents buf
 
 let bugs_cmd =
-  let run name seed_label hours inject max_strikes =
-    match (lookup_target name, config_of ~inject ~max_strikes) with
+  let run name seed_label hours inject max_strikes scheduler =
+    match (lookup_target name, config_of ~inject ~max_strikes ~scheduler) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
@@ -331,7 +346,7 @@ let bugs_cmd =
     (Cmd.info "bugs" ~doc:"Hunt bugs with pbSE and print witness inputs")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ inject_arg
-      $ max_strikes_arg)
+      $ max_strikes_arg $ scheduler_arg)
 
 (* --- report ---------------------------------------------------------------------- *)
 
@@ -384,8 +399,17 @@ let report_cmd =
     let doc = "Print a regression summary between reports $(i,A) and $(i,B)." in
     Arg.(value & flag & info [ "diff" ] ~doc)
   in
-  let run path_a path_b diff =
-    match (path_b, diff) with
+  let fail_on_arg =
+    let doc =
+      "Regression gates for a diff, e.g. \
+       `coverage.blocks:-10%,solver.work:+75%': exit 1 when a metric in \
+       $(i,B) drops (-N%) or grows (+N%) past its threshold relative to \
+       $(i,A)."
+    in
+    Arg.(value & opt (some string) None & info [ "fail-on" ] ~docv:"SPEC" ~doc)
+  in
+  let run path_a path_b diff fail_on =
+    match (path_b, diff || fail_on <> None) with
     | None, true ->
       prerr_endline "report --diff needs two report files (A and B)";
       1
@@ -402,14 +426,26 @@ let report_cmd =
       | Error e, _ | _, Error e ->
         prerr_endline e;
         1
-      | Ok a, Ok b ->
+      | Ok a, Ok b -> (
         print_string (Report.diff a b);
-        0)
+        match fail_on with
+        | None -> 0
+        | Some spec -> (
+          match Report.parse_gates spec with
+          | Error e ->
+            prerr_endline ("bad --fail-on spec: " ^ e);
+            1
+          | Ok gates -> (
+            match Report.check_gates gates a b with
+            | [] -> 0
+            | violations ->
+              List.iter (fun v -> prerr_endline ("gate violated: " ^ v)) violations;
+              1))))
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Print a JSON run report, or diff two of them (`report --diff A B')")
-    Term.(const run $ file_a $ file_b $ diff_flag)
+    Term.(const run $ file_a $ file_b $ diff_flag $ fail_on_arg)
 
 (* --- compile / exec ------------------------------------------------------------------ *)
 

@@ -7,6 +7,8 @@ module Concolic = Pbse_concolic.Concolic
 module Bbv = Pbse_concolic.Bbv
 module Trace = Pbse_concolic.Trace
 module Phase = Pbse_phase.Phase
+module Phase_queue = Pbse_sched.Phase_queue
+module Scheduler = Pbse_sched.Scheduler
 module Vclock = Pbse_util.Vclock
 module Rng = Pbse_util.Rng
 module Fault = Pbse_robust.Fault
@@ -27,7 +29,7 @@ type config = {
   phase_searcher : string;
   mode : Phase.mode;
   dedup_seed_states : bool;
-  round_robin : bool;
+  scheduler : string;
   max_k : int;
   rng_seed : int;
   max_live : int;
@@ -46,7 +48,7 @@ let default_config =
     phase_searcher = "default";
     mode = Phase.Bbv_with_coverage;
     dedup_seed_states = true;
-    round_robin = true;
+    scheduler = "round-robin";
     max_k = 20;
     rng_seed = 1;
     max_live = 8192;
@@ -73,6 +75,7 @@ type report = {
   faults : Fault.log;
   quarantined : int;
   strikes : int;
+  sched_stats : Scheduler.stats;
   phase_stats : Report.phase_row list; (* scheduling stats, ordinal order *)
 }
 
@@ -83,39 +86,15 @@ let coverage_at report t =
   in
   scan 0 report.coverage_samples
 
-(* One schedulable phase: its searcher plus bookkeeping. The mutable
-   counters feed the per-phase rows of the run report; they are a few
-   ints per phase, so they are maintained unconditionally. *)
-type phase_queue = {
-  ordinal : int; (* 1-based position in first-appearance order *)
-  pid : int;
-  trap : bool;
-  searcher : Searcher.t;
-  mutable seeded : int; (* seedStates initially mapped here *)
-  mutable turns : int;
-  mutable slices : int;
-  mutable new_cover : int; (* slices that covered a new block *)
-  mutable dwell : int; (* virtual time spent in this phase's turns *)
-  mutable quarantined : int; (* states evicted while this phase ran *)
-}
-
-let phase_stat_of_queue q =
-  {
-    Report.ordinal = q.ordinal;
-    pid = q.pid;
-    trap = q.trap;
-    seeded = q.seeded;
-    turns = q.turns;
-    slices = q.slices;
-    new_cover = q.new_cover;
-    dwell = q.dwell;
-    quarantined = q.quarantined;
-  }
-
 let make_phase_searcher config rng exec =
   match Searcher.by_name config.phase_searcher with
   | Some make -> make (Rng.split rng) (Executor.cfg exec) (Executor.coverage exec)
   | None -> invalid_arg ("Driver: unknown phase searcher " ^ config.phase_searcher)
+
+let make_scheduler config =
+  match Scheduler.by_name config.scheduler with
+  | Some make -> make
+  | None -> invalid_arg ("Driver: unknown scheduler " ^ config.scheduler)
 
 let map_seed_states config ~interval_length division bbvs
     (seed_states : Concolic.seed_state list) =
@@ -146,7 +125,108 @@ let map_seed_states config ~interval_length division bbvs
       tagged
   end
 
-let run ?(config = default_config) prog ~seed ~deadline =
+(* The shared engine loop: Algorithm 3 under supervision, generic over
+   the scheduling policy. Which phase runs next, for how long, and when
+   a phase leaves the rotation are all [sched]'s decisions; this loop
+   only executes turns. Executor and solver failures inside a turn are
+   contained and recorded; a faulting state costs at worst itself
+   (quarantine after [max_strikes]) and a broken searcher costs its
+   phase (fail-over via [evict]), never the run. *)
+let schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress =
+  let faults = Executor.faults exec in
+  let now () = Vclock.now clock in
+  let rec turns () =
+    if Vclock.now clock >= deadline then ()
+    else
+      match sched.Scheduler.select () with
+      | None -> ()
+      | Some { Scheduler.queue = q; budget = turn_budget } ->
+        let turn_start = Vclock.now clock in
+        let cover_start = q.Phase_queue.new_cover in
+        let searcher = q.Phase_queue.searcher in
+        q.Phase_queue.turns <- q.Phase_queue.turns + 1;
+        let queue_failed = ref false in
+        let quarantine_strike st =
+          if Quarantine.strike quarantine ~site:st.State.fork_gid st.State.id then begin
+            q.Phase_queue.quarantined <- q.Phase_queue.quarantined + 1;
+            searcher.Searcher.remove st
+          end
+        in
+        let contain st exn =
+          (* charge a tick so fault loops always advance toward the deadline *)
+          Vclock.advance clock 1;
+          Fault.record faults ~detail:(Printexc.to_string exn)
+            ~vtime:(Vclock.now clock) Fault.Exec_exception;
+          quarantine_strike st
+        in
+        let rec drain () =
+          if Vclock.now clock >= deadline then ()
+          else
+            match
+              try `Selected (searcher.Searcher.select ())
+              with exn -> `Searcher_error exn
+            with
+            | `Searcher_error exn ->
+              (* a broken searcher forfeits its whole phase *)
+              Vclock.advance clock 1;
+              Fault.record faults ~detail:(Printexc.to_string exn)
+                ~vtime:(Vclock.now clock) Fault.Exec_exception;
+              queue_failed := true
+            | `Selected None -> ()
+            | `Selected (Some st) when st.State.needs_verify -> (
+              match try `V (Executor.verify exec st) with exn -> `E exn with
+              | `V Executor.Verified -> slice st
+              | `V Executor.Infeasible_state ->
+                (* lazily discovered infeasible seedState *)
+                searcher.Searcher.remove st;
+                drain ()
+              | `V Executor.Undecided ->
+                (* the solver gave up; the state stays schedulable and the
+                   next attempt escalates the query budget — unless it has
+                   struck out *)
+                quarantine_strike st;
+                drain ()
+              | `E exn ->
+                contain st exn;
+                drain ())
+            | `Selected (Some st) -> slice st
+        and slice st =
+          match try `S (Executor.run_slice exec st) with exn -> `E exn with
+          | `E exn ->
+            contain st exn;
+            drain ()
+          | `S slice ->
+            q.Phase_queue.slices <- q.Phase_queue.slices + 1;
+            let covered_new = st.State.fresh_cover in
+            if covered_new then q.Phase_queue.new_cover <- q.Phase_queue.new_cover + 1;
+            (match slice with
+             | Executor.Running -> ()
+             | Executor.Forked children ->
+               List.iter
+                 (fun (child : State.t) ->
+                   child.State.phase <- q.Phase_queue.pid;
+                   searcher.Searcher.fork ~parent:st child)
+                 children
+             | Executor.Finished _ -> searcher.Searcher.remove st);
+            note_progress q.Phase_queue.ordinal;
+            (* stay in the phase while under budget or still covering new code *)
+            if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
+        in
+        Telemetry.with_span tm_turn ~now drain;
+        q.Phase_queue.dwell <- q.Phase_queue.dwell + (Vclock.now clock - turn_start);
+        if !queue_failed || Phase_queue.size q = 0 then
+          sched.Scheduler.evict q ~failed:!queue_failed
+        else
+          sched.Scheduler.credit q
+            ~elapsed:(Vclock.now clock - turn_start)
+            ~new_cover:(q.Phase_queue.new_cover - cover_start);
+        turns ()
+  in
+  turns ()
+
+let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
+  (* validate the policy name before the expensive concolic step *)
+  let scheduler_factory = make_scheduler config in
   (* instrumented runs snapshot the registry into their report, so start
      each run from zero; uninstrumented runs skip the reset too *)
   if Telemetry.enabled () then Telemetry.reset ();
@@ -204,38 +284,29 @@ let run ?(config = default_config) prog ~seed ~deadline =
   let queue_list =
     List.mapi
       (fun i (p : Phase.phase) ->
-        let searcher = make_phase_searcher config rng exec in
-        {
-          ordinal = i + 1;
-          pid = p.Phase.pid;
-          trap = p.Phase.trap;
-          searcher;
-          seeded = 0;
-          turns = 0;
-          slices = 0;
-          new_cover = 0;
-          dwell = 0;
-          quarantined = 0;
-        })
+        Phase_queue.create ~ordinal:(i + 1) ~pid:p.Phase.pid ~trap:p.Phase.trap
+          (make_phase_searcher config rng exec))
       division.Phase.phases
   in
   List.iter
     (fun (ss : Concolic.seed_state) ->
       match
-        List.find_opt (fun q -> q.pid = ss.Concolic.state.State.phase) queue_list
+        List.find_opt
+          (fun q -> q.Phase_queue.pid = ss.Concolic.state.State.phase)
+          queue_list
       with
-      | Some q ->
-        q.searcher.Searcher.add ss.Concolic.state;
-        q.seeded <- q.seeded + 1
+      | Some q -> Phase_queue.seed q ss.Concolic.state
       | None -> ())
     seed_states;
-  let queues =
-    ref
-      (Array.of_list
-         (List.filter (fun q -> q.searcher.Searcher.size () > 0) queue_list))
+  let sched =
+    scheduler_factory ~time_period:config.time_period
+      (List.filter (fun q -> Phase_queue.size q > 0) queue_list)
   in
   Executor.set_live_counter exec (fun () ->
-      Array.fold_left (fun acc q -> acc + q.searcher.Searcher.size ()) 0 !queues);
+      List.fold_left
+        (fun acc q -> acc + Phase_queue.size q)
+        0
+        (sched.Scheduler.remaining ()));
   (* bookkeeping for coverage samples and bug-to-phase attribution *)
   let samples = ref [ (Vclock.now clock, Coverage.count (Executor.coverage exec)) ] in
   let last_cov = ref (Coverage.count (Executor.coverage exec)) in
@@ -262,108 +333,19 @@ let run ?(config = default_config) prog ~seed ~deadline =
     end
   in
   note_progress 0;
-  (* Algorithm 3 under supervision: round-robin with growing turn budgets.
-     Executor/solver failures are contained and recorded; a faulting state
-     costs at worst itself (quarantine after [max_strikes]) and a broken
-     searcher costs its phase (fail-over), never the run. *)
-  let faults = Executor.faults exec in
-  let quarantine = Quarantine.create ~max_strikes:config.max_strikes in
-  let pos = ref 0 in
-  let rr_turn = ref 1 in
-  let seq_rotation = ref 0 in
-  while Vclock.now clock < deadline && Array.length !queues > 0 do
-    let idx = if config.round_robin then !pos else 0 in
-    let q = (!queues).(idx) in
-    let turn = if config.round_robin then !rr_turn else !seq_rotation + 1 in
-    let turn_budget = turn * config.time_period in
-    let turn_start = Vclock.now clock in
-    q.turns <- q.turns + 1;
-    let queue_failed = ref false in
-    let quarantine_strike st =
-      if Quarantine.strike quarantine st.State.id then begin
-        q.quarantined <- q.quarantined + 1;
-        q.searcher.Searcher.remove st
-      end
-    in
-    let contain st exn =
-      (* charge a tick so fault loops always advance toward the deadline *)
-      Vclock.advance clock 1;
-      Fault.record faults ~detail:(Printexc.to_string exn)
-        ~vtime:(Vclock.now clock) Fault.Exec_exception;
-      quarantine_strike st
-    in
-    let rec drain () =
-      if Vclock.now clock >= deadline then ()
-      else
-        match
-          try `Selected (q.searcher.Searcher.select ())
-          with exn -> `Searcher_error exn
-        with
-        | `Searcher_error exn ->
-          (* a broken searcher forfeits its whole phase *)
-          Vclock.advance clock 1;
-          Fault.record faults ~detail:(Printexc.to_string exn)
-            ~vtime:(Vclock.now clock) Fault.Exec_exception;
-          queue_failed := true
-        | `Selected None -> ()
-        | `Selected (Some st) when st.State.needs_verify -> (
-          match try `V (Executor.verify exec st) with exn -> `E exn with
-          | `V Executor.Verified -> slice st
-          | `V Executor.Infeasible_state ->
-            (* lazily discovered infeasible seedState *)
-            q.searcher.Searcher.remove st;
-            drain ()
-          | `V Executor.Undecided ->
-            (* the solver gave up; the state stays schedulable and the
-               next attempt escalates the query budget — unless it has
-               struck out *)
-            quarantine_strike st;
-            drain ()
-          | `E exn ->
-            contain st exn;
-            drain ())
-        | `Selected (Some st) -> slice st
-    and slice st =
-      match try `S (Executor.run_slice exec st) with exn -> `E exn with
-      | `E exn ->
-        contain st exn;
-        drain ()
-      | `S slice ->
-        q.slices <- q.slices + 1;
-        let covered_new = st.State.fresh_cover in
-        if covered_new then q.new_cover <- q.new_cover + 1;
-        (match slice with
-         | Executor.Running -> ()
-         | Executor.Forked children ->
-           List.iter
-             (fun (child : State.t) ->
-               child.State.phase <- q.pid;
-               q.searcher.Searcher.fork ~parent:st child)
-             children
-         | Executor.Finished _ -> q.searcher.Searcher.remove st);
-        note_progress q.ordinal;
-        (* stay in the phase while under budget or still covering new code *)
-        if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
-    in
-    Telemetry.with_span tm_turn ~now:(fun () -> Vclock.now clock) drain;
-    q.dwell <- q.dwell + (Vclock.now clock - turn_start);
-    let removed = !queue_failed || q.searcher.Searcher.size () = 0 in
-    if removed then begin
-      let n = Array.length !queues in
-      queues :=
-        Array.init (n - 1) (fun i ->
-            if i < idx then (!queues).(i) else (!queues).(i + 1))
-    end;
-    if config.round_robin then begin
-      (* on removal the next queue shifts into [idx], so [pos] stays put *)
-      if not removed then incr pos;
-      if !pos >= Array.length !queues then begin
-        pos := 0;
-        incr rr_turn
-      end
-    end
-    else if removed then incr seq_rotation
-  done;
+  (* step 4: phase-scheduled symbolic execution. A caller-supplied
+     quarantine (run_pool) persists across runs: per-state strikes reset
+     with the epoch, site records and totals carry over. *)
+  let quarantine =
+    match quarantine with
+    | Some q ->
+      Quarantine.epoch q;
+      q
+    | None -> Quarantine.create ~max_strikes:config.max_strikes
+  in
+  let evicted0 = Quarantine.evicted quarantine in
+  let strikes0 = Quarantine.total_strikes quarantine in
+  schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress;
   let bugs =
     List.map
       (fun bug ->
@@ -388,10 +370,11 @@ let run ?(config = default_config) prog ~seed ~deadline =
     coverage_samples = List.rev !samples;
     bugs;
     executor = exec;
-    faults;
-    quarantined = Quarantine.evicted quarantine;
-    strikes = Quarantine.total_strikes quarantine;
-    phase_stats = List.map phase_stat_of_queue queue_list;
+    faults = Executor.faults exec;
+    quarantined = Quarantine.evicted quarantine - evicted0;
+    strikes = Quarantine.total_strikes quarantine - strikes0;
+    sched_stats = sched.Scheduler.stats;
+    phase_stats = List.map Phase_queue.stat_row queue_list;
   }
 
 (* --- run reports ---------------------------------------------------------- *)
@@ -406,6 +389,7 @@ let run_report ?(meta = []) report =
   let exec = report.executor in
   let sst = Solver.stats (Executor.solver exec) in
   let est = Executor.stats exec in
+  let scs = report.sched_stats in
   let confirmed =
     List.length (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) report.bugs)
   in
@@ -429,6 +413,10 @@ let run_report ?(meta = []) report =
       ("phase.new_cover", sum (fun p -> p.Report.new_cover));
       ("phase.dwell", sum (fun p -> p.Report.dwell));
       ("phase.trap_dwell", trap_dwell);
+      ("sched.turns", scs.Scheduler.turns);
+      ("sched.rotations", scs.Scheduler.rotations);
+      ("sched.evictions", scs.Scheduler.evictions);
+      ("sched.failovers", scs.Scheduler.failovers);
       ("coverage.blocks", Coverage.count (Executor.coverage exec));
       ("bugs.total", List.length report.bugs);
       ("bugs.confirmed", confirmed);
@@ -437,6 +425,7 @@ let run_report ?(meta = []) report =
       ("exec.slices", est.Executor.slices);
       ("exec.forks", est.Executor.forks);
       ("exec.dropped_forks", est.Executor.dropped_forks);
+      ("exec.cow_copies", est.Executor.cow_copies);
       ("exec.term_exit", est.Executor.term_exit);
       ("exec.term_bug", est.Executor.term_bug);
       ("exec.term_abort", est.Executor.term_abort);
@@ -451,6 +440,9 @@ let run_report ?(meta = []) report =
       ("solver.unknown", sst.Solver.unknown);
       ("solver.cache_hits", sst.Solver.cache_hits);
       ("solver.hint_hits", sst.Solver.hint_hits);
+      ("solver.prefix_hits", sst.Solver.prefix_hits);
+      ("solver.prefix_builds", sst.Solver.prefix_builds);
+      ("solver.prefix_model_hits", sst.Solver.prefix_model_hits);
       ("solver.search_nodes", sst.Solver.search_nodes);
       ("solver.work", sst.Solver.work);
       ("solver.retries", sst.Solver.retries);
@@ -483,11 +475,14 @@ type pool_report = {
 (* Algorithm 1's outer loop: pop seeds (smallest first, the paper's
    heuristic bias), giving each remaining seed an equal share of the
    remaining budget. Coverage is merged as a union of global block ids;
-   bugs are deduplicated across runs on (location, kind). *)
+   bugs are deduplicated across runs on (location, kind). One quarantine
+   is threaded through every run, so eviction records persist across
+   seeds instead of resetting (each run reports its own delta). *)
 let run_pool ?(config = default_config) prog ~seeds ~deadline =
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
   in
+  let quarantine = Quarantine.create ~max_strikes:config.max_strikes in
   let merged = Hashtbl.create 1024 in
   let bug_keys = Hashtbl.create 32 in
   let runs = ref [] in
@@ -499,7 +494,7 @@ let run_pool ?(config = default_config) prog ~seeds ~deadline =
       let budget = (deadline - !spent) / max 1 !remaining_seeds in
       decr remaining_seeds;
       if budget > 0 then begin
-        let report = run ~config prog ~seed ~deadline:budget in
+        let report = run ~config ~quarantine prog ~seed ~deadline:budget in
         spent := !spent + Vclock.now (Executor.clock report.executor);
         runs := (seed, report) :: !runs;
         List.iter

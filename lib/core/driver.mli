@@ -7,8 +7,10 @@
     - seedStates are mapped to the phase of the interval in which their
       fork point was reached, deduplicated per fork location (keeping the
       earliest, §III-B3);
-    - phases are visited round-robin in order of first appearance; the
-      turn budget grows with each full rotation ([turn * time_period]);
+    - phase turns are granted by a pluggable scheduling policy
+      ({!Pbse_sched.Scheduler}); the default is the paper's round-robin
+      in order of first appearance, with the turn budget growing by one
+      [time_period] per full rotation;
     - a phase's turn ends when it exhausts its budget and its latest
       slice covered no new code; empty phases leave the rotation.
 
@@ -28,7 +30,10 @@ type config = {
   phase_searcher : string; (* searcher used inside each phase *)
   mode : Pbse_phase.Phase.mode; (* BBV-only or coverage-augmented vectors *)
   dedup_seed_states : bool; (* keep earliest per fork point (paper) *)
-  round_robin : bool; (* false: drain phases sequentially (ablation) *)
+  scheduler : string; (* scheduling policy (Pbse_sched.Scheduler.names);
+                         "round-robin" is the paper's Algorithm 3,
+                         "sequential" the ablation, "coverage-greedy"
+                         the greedy alternative *)
   max_k : int; (* k-means upper bound (paper: 20) *)
   rng_seed : int;
   max_live : int;
@@ -55,8 +60,9 @@ type report = {
   bugs : (Pbse_exec.Bug.t * int) list; (* bug, 1-based phase ordinal (0 = concolic) *)
   executor : Pbse_exec.Executor.t; (* for stats and coverage queries *)
   faults : Pbse_robust.Fault.log; (* contained failures, by kind *)
-  quarantined : int; (* states evicted after [max_strikes] faults *)
-  strikes : int; (* total faults charged against states *)
+  quarantined : int; (* states evicted this run ([max_strikes] faults) *)
+  strikes : int; (* faults charged against states this run *)
+  sched_stats : Pbse_sched.Scheduler.stats; (* turns/rotations/evictions *)
   phase_stats : Pbse_telemetry.Report.phase_row list;
       (* per-phase scheduling stats in ordinal order: turns granted,
          slices run, new-cover slices, dwell time, quarantine evictions.
@@ -69,6 +75,7 @@ val coverage_at : report -> int -> int
 
 val run :
   ?config:config ->
+  ?quarantine:Pbse_robust.Quarantine.t ->
   Pbse_ir.Types.program ->
   seed:bytes ->
   deadline:int ->
@@ -76,7 +83,11 @@ val run :
 (** End-to-end pbSE on one seed. The deadline is in virtual time and
     includes the concolic and analysis steps. When telemetry is enabled
     ({!Pbse_telemetry.Telemetry.set_enabled}), the registry is reset at
-    the start of the run so {!run_report} snapshots this run only. *)
+    the start of the run so {!run_report} snapshots this run only.
+    [quarantine] lets a caller persist quarantine records across runs
+    (a new {!Pbse_robust.Quarantine.epoch} is started); by default each
+    run gets a fresh quarantine. The report's [quarantined]/[strikes]
+    are this run's deltas either way. *)
 
 val run_report :
   ?meta:(string * string) list -> report -> Pbse_telemetry.Report.t
@@ -104,4 +115,6 @@ val run_pool :
   deadline:int ->
   pool_report
 (** Algorithm 1's outer loop over a seed pool: seeds run smallest-first,
-    each receiving an equal share of the remaining budget. *)
+    each receiving an equal share of the remaining budget. One quarantine
+    is threaded through every run, so fork sites that struck out under
+    one seed are retired faster under later seeds. *)

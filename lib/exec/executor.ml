@@ -11,6 +11,8 @@ module Telemetry = Pbse_telemetry.Telemetry
 
 let tm_slice_steps = Telemetry.histogram "exec.slice_steps"
 let tm_forks = Telemetry.counter "exec.forks"
+let tm_fork_cost = Telemetry.histogram "exec.fork_cost"
+let tm_cow_copies = Telemetry.counter "exec.cow_copies"
 
 type finish_reason =
   | Exited of int64
@@ -28,6 +30,7 @@ type stats = {
   mutable slices : int;
   mutable forks : int;
   mutable dropped_forks : int;
+  mutable cow_copies : int; (* register arrays copied by the CoW barrier *)
   mutable term_exit : int;
   mutable term_bug : int;
   mutable term_abort : int;
@@ -97,6 +100,7 @@ let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
         slices = 0;
         forks = 0;
         dropped_forks = 0;
+        cow_copies = 0;
         term_exit = 0;
         term_bug = 0;
         term_abort = 0;
@@ -361,7 +365,13 @@ let operand st = function
   | Const c -> Expr.const c
   | Reg r -> (State.current_regs st).(r)
 
-let set_reg st r v = (State.current_regs st).(r) <- v
+let note_cow t copied =
+  if copied then begin
+    t.st.cow_copies <- t.st.cow_copies + 1;
+    Telemetry.incr tm_cow_copies
+  end
+
+let set_reg t st r v = note_cow t (State.write_reg st r v)
 
 let spend t st =
   t.st.instructions <- t.st.instructions + 1;
@@ -391,7 +401,7 @@ let exec_div_guard t st divisor =
     end
 
 let exec_intrinsic t st dst name args =
-  let ret v = match dst with Some d -> set_reg st d v | None -> () in
+  let ret v = match dst with Some d -> set_reg t st d v | None -> () in
   match (name, args) with
   | "in_size", [] -> ret (Expr.of_int (Bytes.length t.input))
   | "in_byte", [ a ] -> (
@@ -426,7 +436,8 @@ let exec_call t st dst name args =
     List.iteri (fun i a -> if i < f.nparams then regs.(i) <- operand st a) args;
     let caller = (st.State.fidx, st.State.bidx, st.State.iidx + 1) in
     st.State.frames <-
-      { State.regs; ret_reg = dst; ret_to = Some caller } :: st.State.frames;
+      { State.regs; shared = false; ret_reg = dst; ret_to = Some caller }
+      :: st.State.frames;
     st.State.fidx <- callee;
     st.State.bidx <- 0;
     st.State.iidx <- 0;
@@ -441,10 +452,10 @@ let exec_inst t st inst =
      | Udiv | Sdiv | Urem | Srem -> exec_div_guard t st vb
      | Add | Sub | Mul | And | Or | Xor | Shl | Lshr | Ashr | Eq | Ne | Ult | Ule | Slt
      | Sle -> ());
-    set_reg st dst (Expr.bin op va vb);
+    set_reg t st dst (Expr.bin op va vb);
     st.State.iidx <- st.State.iidx + 1
   | Un (dst, op, a) ->
-    set_reg st dst (Expr.un op (operand st a));
+    set_reg t st dst (Expr.un op (operand st a));
     st.State.iidx <- st.State.iidx + 1
   | Load (dst, addr, w) -> (
     let addr_e = operand st addr in
@@ -453,7 +464,7 @@ let exec_inst t st inst =
     | Some c -> (
       match Mem.load st.State.mem c w with
       | Ok v ->
-        set_reg st dst v;
+        set_reg t st dst v;
         st.State.iidx <- st.State.iidx + 1
       | Error f -> fault_finish t st f))
   | Store (addr, v, w) -> (
@@ -473,7 +484,7 @@ let exec_inst t st inst =
     | Some c ->
       let mem, ptr = Mem.alloc st.State.mem ~size:(Int64.to_int c) in
       st.State.mem <- mem;
-      set_reg st dst (Expr.const ptr);
+      set_reg t st dst (Expr.const ptr);
       st.State.iidx <- st.State.iidx + 1)
   | Free p -> (
     let p_e = operand st p in
@@ -493,12 +504,12 @@ let exec_inst t st inst =
       | Some cv -> if Semantics.truthy cv then operand st a else operand st b
       | None -> Expr.ite (Expr.bin Ne cond Expr.zero) (operand st a) (operand st b)
     in
-    set_reg st dst v;
+    set_reg t st dst v;
     st.State.iidx <- st.State.iidx + 1
 
 (* --- terminators and forking ------------------------------------------------ *)
 
-let do_ret _t st v =
+let do_ret t st v =
   let value = match v with Some o -> operand st o | None -> Expr.zero in
   match st.State.frames with
   | [] -> raise (Finish (Aborted "return with no frame"))
@@ -511,7 +522,11 @@ let do_ret _t st v =
     (match st.State.frames with
      | { State.ret_reg; ret_to = Some (f, b, i); _ } :: _ ->
        st.State.frames <- rest;
-       (match ret_reg with Some d -> up.State.regs.(d) <- value | None -> ());
+       (match ret_reg with
+        | Some d ->
+          note_cow t (State.own_frame up);
+          up.State.regs.(d) <- value
+        | None -> ());
        st.State.fidx <- f;
        st.State.bidx <- b;
        st.State.iidx <- i
@@ -536,11 +551,26 @@ let fork_suppressed t ~pending =
   end
   else false
 
+(* An injected concolic drop simulates a lost seedState: the divergent
+   side of a lazy fork is discarded instead of recorded, exercising the
+   pipeline's tolerance to an incomplete concolic pass. *)
+let inject_concolic_drop t =
+  match t.inj with
+  | Some inj when t.lazy_fork && Inject.fire_concolic_drop inj ->
+    Vclock.tick t.clock;
+    Fault.record t.faults ~detail:"injected concolic drop" ~vtime:(Vclock.now t.clock)
+      Fault.Concolic_injected;
+    t.st.dropped_forks <- t.st.dropped_forks + 1;
+    true
+  | Some _ | None -> false
+
 let fork_state t st ~constraint_ ~model ~target =
   let child =
     State.fork st ~id:(fresh_state_id t) ~born:(Vclock.now t.clock)
       ~fork_gid:(Cfg.id t.cfg st.State.fidx st.State.bidx)
   in
+  (* CoW fork cost: frame records allocated (no register arrays copied) *)
+  Telemetry.observe tm_fork_cost (List.length child.State.frames);
   State.assume child constraint_;
   child.State.model <- model;
   child.State.bidx <- target;
@@ -565,13 +595,16 @@ let exec_br t st cond then_b else_b =
     let other_b = if taken_true then else_b else then_b in
     let children =
       if t.lazy_fork then begin
-        (* concolic mode: record the divergent side as a seedState without
-           paying for a feasibility query (paper Algorithm 2, lines 19-21) *)
-        let child =
-          fork_state t st ~constraint_:other_c ~model:st.State.model ~target:other_b
-        in
-        child.State.needs_verify <- true;
-        [ child ]
+        if inject_concolic_drop t then []
+        else begin
+          (* concolic mode: record the divergent side as a seedState without
+             paying for a feasibility query (paper Algorithm 2, lines 19-21) *)
+          let child =
+            fork_state t st ~constraint_:other_c ~model:st.State.model ~target:other_b
+          in
+          child.State.needs_verify <- true;
+          [ child ]
+        end
       end
       else if fork_suppressed t ~pending:0 then []
       else
@@ -606,9 +639,11 @@ let exec_switch t st scrut cases default =
     let children = ref [] in
     let try_arm constraint_ target =
       if t.lazy_fork then begin
-        let child = fork_state t st ~constraint_ ~model:st.State.model ~target in
-        child.State.needs_verify <- true;
-        children := child :: !children
+        if not (inject_concolic_drop t) then begin
+          let child = fork_state t st ~constraint_ ~model:st.State.model ~target in
+          child.State.needs_verify <- true;
+          children := child :: !children
+        end
       end
       else if not (fork_suppressed t ~pending:(List.length !children)) then
         match feasible t st [ constraint_ ] with
@@ -630,11 +665,13 @@ let exec_switch t st scrut cases default =
          List.fold_left (fun acc c -> Expr.bin And acc c) Expr.one default_cs
        in
        if t.lazy_fork then begin
-         let child =
-           fork_state t st ~constraint_:conj ~model:st.State.model ~target:default
-         in
-         child.State.needs_verify <- true;
-         children := child :: !children
+         if not (inject_concolic_drop t) then begin
+           let child =
+             fork_state t st ~constraint_:conj ~model:st.State.model ~target:default
+           in
+           child.State.needs_verify <- true;
+           children := child :: !children
+         end
        end
        else if not (fork_suppressed t ~pending:(List.length !children)) then begin
          match feasible t st default_cs with

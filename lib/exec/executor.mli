@@ -38,6 +38,7 @@ type stats = {
   mutable slices : int;
   mutable forks : int;
   mutable dropped_forks : int; (* suppressed by the live-state cap *)
+  mutable cow_copies : int; (* register arrays copied by the CoW write barrier *)
   mutable term_exit : int;
   mutable term_bug : int;
   mutable term_abort : int;

@@ -1,5 +1,6 @@
 type frame = {
-  regs : Pbse_smt.Expr.t array;
+  mutable regs : Pbse_smt.Expr.t array;
+  mutable shared : bool; (* regs may be visible from another state *)
   ret_reg : int option;
   ret_to : (int * int * int) option;
 }
@@ -26,7 +27,15 @@ type t = {
 let create ~id ~nregs ~mem ~model ~fidx ~born =
   {
     id;
-    frames = [ { regs = Array.make nregs Pbse_smt.Expr.zero; ret_reg = None; ret_to = None } ];
+    frames =
+      [
+        {
+          regs = Array.make nregs Pbse_smt.Expr.zero;
+          shared = false;
+          ret_reg = None;
+          ret_to = None;
+        };
+      ];
     mem;
     path = [];
     model;
@@ -43,10 +52,16 @@ let create ~id ~nregs ~mem ~model ~fidx ~born =
     entered = false;
   }
 
+(* Copy-on-write fork: O(call depth) frame records, zero register-array
+   copies. Both sides keep referencing the same regs arrays until one of
+   them writes; [own_frame] then copies just the written frame. The
+   frame records themselves must be per-state — were they shared, a
+   later CoW copy in one state would redirect the other's view. *)
 let fork t ~id ~born ~fork_gid =
+  List.iter (fun f -> f.shared <- true) t.frames;
   {
     id;
-    frames = List.map (fun f -> { f with regs = Array.copy f.regs }) t.frames;
+    frames = List.map (fun f -> { f with shared = true }) t.frames;
     mem = t.mem;
     path = t.path;
     model = t.model;
@@ -63,10 +78,26 @@ let fork t ~id ~born ~fork_gid =
     entered = false;
   }
 
+let own_frame f =
+  if f.shared then begin
+    f.regs <- Array.copy f.regs;
+    f.shared <- false;
+    true
+  end
+  else false
+
 let current_regs t =
   match t.frames with
   | frame :: _ -> frame.regs
   | [] -> invalid_arg "State.current_regs: no frames"
+
+let write_reg t r v =
+  match t.frames with
+  | frame :: _ ->
+    let copied = own_frame frame in
+    frame.regs.(r) <- v;
+    copied
+  | [] -> invalid_arg "State.write_reg: no frames"
 
 let assume t c = t.path <- c :: t.path
 

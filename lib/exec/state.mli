@@ -7,7 +7,10 @@
     so taken-branch queries are free). *)
 
 type frame = {
-  regs : Pbse_smt.Expr.t array;
+  mutable regs : Pbse_smt.Expr.t array;
+  mutable shared : bool;
+  (* the regs array may be visible from another state's frame; copy
+     before writing ([own_frame]) *)
   ret_reg : int option;
   ret_to : (int * int * int) option; (* fidx, bidx, next instruction *)
 }
@@ -40,12 +43,25 @@ val create :
 (** Root state at block 0, instruction 0 of function [fidx]. *)
 
 val fork : t -> id:int -> born:int -> fork_gid:int -> t
-(** Deep-copies the register frames; shares the persistent heap and path
-    (the caller then diverges the copies). *)
+(** Copy-on-write fork: O(call depth), no register-array copies. Parent
+    and child share regs arrays (both marked [shared]) until either side
+    writes; the persistent heap and path are shared structurally as
+    before (the caller then diverges the copies). *)
+
+val own_frame : frame -> bool
+(** Copy-on-write barrier: ensure the frame's regs array is exclusively
+    owned, copying it if it is shared. Returns [true] iff a copy was
+    made. Must be called before any in-place write to [frame.regs]. *)
+
+val write_reg : t -> int -> Pbse_smt.Expr.t -> bool
+(** Write a register of the innermost frame through the CoW barrier.
+    Returns [true] iff the barrier copied the array (for stats). Raises
+    [Invalid_argument] on a state with no frames. *)
 
 val current_regs : t -> Pbse_smt.Expr.t array
-(** Registers of the innermost frame. Raises [Invalid_argument] on a
-    state with no frames. *)
+(** Registers of the innermost frame, for {e reads}: the array may be
+    shared with other states, so writes must go through {!write_reg} or
+    {!own_frame}. Raises [Invalid_argument] on a state with no frames. *)
 
 val assume : t -> Pbse_smt.Expr.t -> unit
 (** Appends a constraint to the path condition (no feasibility check;

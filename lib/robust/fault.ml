@@ -5,6 +5,7 @@ type kind =
   | Exec_injected_abort
   | Exec_exception
   | Mem_pressure
+  | Concolic_injected
   | Degenerate_phase
 
 let all =
@@ -15,6 +16,7 @@ let all =
     Exec_injected_abort;
     Exec_exception;
     Mem_pressure;
+    Concolic_injected;
     Degenerate_phase;
   ]
 
@@ -27,7 +29,8 @@ let rank = function
   | Exec_injected_abort -> 3
   | Exec_exception -> 4
   | Mem_pressure -> 5
-  | Degenerate_phase -> 6
+  | Concolic_injected -> 6
+  | Degenerate_phase -> 7
 
 let label = function
   | Solver_unknown -> "solver-unknown"
@@ -36,6 +39,7 @@ let label = function
   | Exec_injected_abort -> "exec-injected-abort"
   | Exec_exception -> "exec-exception"
   | Mem_pressure -> "mem-pressure"
+  | Concolic_injected -> "concolic-injected"
   | Degenerate_phase -> "degenerate-phase"
 
 (* One registry counter per kind, mirroring the per-log counts into the

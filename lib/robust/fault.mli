@@ -15,6 +15,7 @@ type kind =
   | Exec_injected_abort (* an injected executor abort *)
   | Exec_exception (* an exception contained by the phase supervisor *)
   | Mem_pressure (* a fork suppressed by the live-state cap *)
+  | Concolic_injected (* an injected concolic seedState drop *)
   | Degenerate_phase (* phase division fell back to one phase *)
 
 val all : kind list

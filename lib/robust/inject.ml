@@ -5,13 +5,21 @@ type plan = {
   solver_unknown_rate : float;
   exec_abort_rate : float;
   mem_pressure_rate : float;
+  concolic_drop_rate : float;
 }
 
 let none =
-  { seed = 1; solver_unknown_rate = 0.0; exec_abort_rate = 0.0; mem_pressure_rate = 0.0 }
+  {
+    seed = 1;
+    solver_unknown_rate = 0.0;
+    exec_abort_rate = 0.0;
+    mem_pressure_rate = 0.0;
+    concolic_drop_rate = 0.0;
+  }
 
 let is_active p =
   p.solver_unknown_rate > 0.0 || p.exec_abort_rate > 0.0 || p.mem_pressure_rate > 0.0
+  || p.concolic_drop_rate > 0.0
 
 let parse s =
   let parse_clause plan clause =
@@ -34,7 +42,11 @@ let parse s =
        | "solver" -> Result.map (fun r -> { plan with solver_unknown_rate = r }) (rate ())
        | "abort" -> Result.map (fun r -> { plan with exec_abort_rate = r }) (rate ())
        | "mem" -> Result.map (fun r -> { plan with mem_pressure_rate = r }) (rate ())
-       | _ -> Error (Printf.sprintf "unknown key %S (want seed|solver|abort|mem)" key))
+       | "concolic" ->
+         Result.map (fun r -> { plan with concolic_drop_rate = r }) (rate ())
+       | _ ->
+         Error
+           (Printf.sprintf "unknown key %S (want seed|solver|abort|mem|concolic)" key))
   in
   if String.trim s = "" then Ok none (* every clause is optional *)
   else
@@ -44,13 +56,14 @@ let parse s =
       (String.split_on_char ',' s)
 
 let to_string p =
-  Printf.sprintf "seed=%d,solver=%g,abort=%g,mem=%g" p.seed p.solver_unknown_rate
-    p.exec_abort_rate p.mem_pressure_rate
+  Printf.sprintf "seed=%d,solver=%g,abort=%g,mem=%g,concolic=%g" p.seed
+    p.solver_unknown_rate p.exec_abort_rate p.mem_pressure_rate p.concolic_drop_rate
 
 type counts = {
   mutable solver : int;
   mutable abort : int;
   mutable mem : int;
+  mutable concolic : int;
 }
 
 type t = {
@@ -58,6 +71,7 @@ type t = {
   solver_rng : Rng.t;
   abort_rng : Rng.t;
   mem_rng : Rng.t;
+  concolic_rng : Rng.t;
   counts : counts;
 }
 
@@ -68,7 +82,16 @@ let create plan =
   let solver_rng = Rng.split root in
   let abort_rng = Rng.split root in
   let mem_rng = Rng.split root in
-  { plan; solver_rng; abort_rng; mem_rng; counts = { solver = 0; abort = 0; mem = 0 } }
+  (* split last so pre-existing channels keep their streams *)
+  let concolic_rng = Rng.split root in
+  {
+    plan;
+    solver_rng;
+    abort_rng;
+    mem_rng;
+    concolic_rng;
+    counts = { solver = 0; abort = 0; mem = 0; concolic = 0 };
+  }
 
 let plan t = t.plan
 
@@ -89,4 +112,9 @@ let fire_mem_pressure t =
   if hit then t.counts.mem <- t.counts.mem + 1;
   hit
 
-let fired t = t.counts.solver + t.counts.abort + t.counts.mem
+let fire_concolic_drop t =
+  let hit = fire t.concolic_rng t.plan.concolic_drop_rate in
+  if hit then t.counts.concolic <- t.counts.concolic + 1;
+  hit
+
+let fired t = t.counts.solver + t.counts.abort + t.counts.mem + t.counts.concolic

@@ -1,8 +1,9 @@
 (** Deterministic fault injection.
 
     A plan names the fault rates to force on a run: solver queries that
-    return Unknown, executor slices that abort, and fork attempts that
-    hit simulated [max_live] memory pressure. Decisions are drawn from a
+    return Unknown, executor slices that abort, fork attempts that hit
+    simulated [max_live] memory pressure, and lazy forks of the concolic
+    pass whose seedState is dropped. Decisions are drawn from a
     seeded RNG, so a given plan against a given (deterministic) engine
     run fires at exactly the same points every time — the test suite
     relies on this to assert crash-freedom and byte-identical reports
@@ -10,7 +11,7 @@
 
     Flag grammar (the CLI's [--inject] and the [PBSE_INJECT] variable):
 
-    {v seed=N,solver=R,abort=R,mem=R v}
+    {v seed=N,solver=R,abort=R,mem=R,concolic=R v}
 
     where each clause is optional, [N] is an integer RNG seed (default
     1) and each [R] is a rate in [0, 1] (default 0). *)
@@ -20,6 +21,7 @@ type plan = {
   solver_unknown_rate : float;
   exec_abort_rate : float;
   mem_pressure_rate : float;
+  concolic_drop_rate : float; (* lazy-fork seedStates dropped (concolic pass) *)
 }
 
 val none : plan
@@ -43,6 +45,7 @@ val plan : t -> plan
 val fire_solver_unknown : t -> bool
 val fire_exec_abort : t -> bool
 val fire_mem_pressure : t -> bool
+val fire_concolic_drop : t -> bool
 (** Each call draws one decision from the stream (no draw when the
     corresponding rate is zero, so disabled channels cost nothing and do
     not perturb the others). *)

@@ -4,25 +4,43 @@
     faults without terminating (an undecided verification, a contained
     exception). After [max_strikes] strikes the state is quarantined:
     the caller removes it from its searcher so the rest of the phase
-    keeps making progress. Keys are state ids. *)
+    keeps making progress. Keys are state ids.
+
+    A quarantine can outlive one run: {!epoch} clears the per-state
+    strike counts (state ids restart per run) while the cumulative
+    totals and the per-site eviction records persist. [Driver.run_pool]
+    threads one quarantine through every seed's run this way, so a fork
+    site that struck out under one seed fails fast under the next. *)
 
 type t
 
 val create : max_strikes:int -> t
 (** [max_strikes] is clamped to at least 1. *)
 
-val strike : t -> int -> bool
-(** [strike t id] charges one strike; [true] means the state has reached
-    the limit and must be quarantined (its strike record is cleared and
-    the eviction is counted). *)
+val epoch : t -> unit
+(** Start a new run against the same quarantine: per-state strikes are
+    cleared; totals, evictions and site records persist. *)
+
+val strike : t -> ?site:int -> int -> bool
+(** [strike t ~site id] charges one strike; [true] means the state has
+    reached the limit and must be quarantined (its strike record is
+    cleared and the eviction is counted). [site] is the state's fork
+    site (a global block id, negative when unknown): sites with prior
+    evictions lower the state's effective limit — by one per recorded
+    eviction, floored at 1 — so known-bad fork points are retired
+    faster in later epochs. *)
 
 val strikes_of : t -> int -> int
 (** Current strikes charged against a live (not yet evicted) state. *)
 
+val site_evictions : t -> int -> int
+(** Evictions recorded against a fork site, across all epochs. *)
+
 val total_strikes : t -> int
-(** Strikes charged over the whole run, including evicted states. *)
+(** Strikes charged over the quarantine's lifetime, including evicted
+    states and earlier epochs. *)
 
 val evicted : t -> int
-(** States quarantined so far. *)
+(** States quarantined over the quarantine's lifetime. *)
 
 val max_strikes : t -> int

@@ -1,0 +1,49 @@
+module Searcher = Pbse_exec.Searcher
+module State = Pbse_exec.State
+module Report = Pbse_telemetry.Report
+
+type t = {
+  ordinal : int;
+  pid : int;
+  trap : bool;
+  searcher : Searcher.t;
+  mutable seeded : int;
+  mutable turns : int;
+  mutable slices : int;
+  mutable new_cover : int;
+  mutable dwell : int;
+  mutable quarantined : int;
+}
+
+let create ~ordinal ~pid ~trap searcher =
+  {
+    ordinal;
+    pid;
+    trap;
+    searcher;
+    seeded = 0;
+    turns = 0;
+    slices = 0;
+    new_cover = 0;
+    dwell = 0;
+    quarantined = 0;
+  }
+
+let seed q st =
+  q.searcher.Searcher.add st;
+  q.seeded <- q.seeded + 1
+
+let size q = q.searcher.Searcher.size ()
+
+let stat_row q =
+  {
+    Report.ordinal = q.ordinal;
+    pid = q.pid;
+    trap = q.trap;
+    seeded = q.seeded;
+    turns = q.turns;
+    slices = q.slices;
+    new_cover = q.new_cover;
+    dwell = q.dwell;
+    quarantined = q.quarantined;
+  }

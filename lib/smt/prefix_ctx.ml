@@ -1,0 +1,241 @@
+(* Incremental prefix contexts.
+
+   Symbolic execution issues nearly every query against a path that
+   extends an already-seen prefix by a handful of constraints: the
+   state's previous query plus the pins and branch conditions assumed
+   since, a sibling fork's shared prefix, a lazy child verified against
+   its parent's path, an escalating retry of the same query. The old
+   entry point re-walked the whole path per query to find the
+   constraints sharing bytes with [extra].
+
+   A prefix context indexes a path once and is {e extended} — never
+   rebuilt — when a query arrives whose path adds constraints on top of
+   an indexed prefix. Contexts are persistent (maps, not hash tables),
+   so an extension costs O(delta) and shares the rest with its parent:
+
+   - a by-byte index of the prefix constraints, making the component
+     closure for a query O(component);
+   - learned per-byte intervals (endpoint trimming against each newly
+     added constraint), handed to the search as initial domain bounds;
+   - the last Sat model produced under the prefix — inherited by an
+     extension when it satisfies the added constraints — tried as a
+     witness before any solving.
+
+   Lookup is by physical identity of the path list: a state's path is a
+   persistent cons-list, physically shared with the parent it forked
+   from, so walking the spine finds the deepest indexed prefix without
+   comparing constraint sets. Structurally equal but physically distinct
+   paths get separate entries (harmless, bounded table). *)
+
+module Imap = Map.Make (Int)
+
+type entry = {
+  path : Expr.t list; (* the exact (physical) prefix this entry indexes *)
+  depth : int;
+  by_var : Expr.t list Imap.t; (* input byte -> prefix constraints reading it *)
+  creads : int list Imap.t; (* constraint id -> its reads *)
+  bounds : Interval.t Imap.t; (* learned per-byte intervals *)
+  mutable model : Model.t option; (* last Sat model under this prefix *)
+}
+
+type t = {
+  table : (int, entry list) Hashtbl.t; (* head expr id -> entries *)
+  mutable entries : int;
+  root : entry;
+}
+
+let root_entry =
+  {
+    path = [];
+    depth = 0;
+    by_var = Imap.empty;
+    creads = Imap.empty;
+    bounds = Imap.empty;
+    model = None;
+  }
+
+let create () =
+  { table = Hashtbl.create 1024; entries = 0; root = { root_entry with path = [] } }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.entries <- 0;
+  t.root.model <- None
+
+let max_entries = 16_384
+
+(* Endpoint trimming of one byte's interval against one constraint:
+   advance the endpoints while the constraint is definitely false there,
+   other bytes held at their learned hulls. Sound: every removed value
+   provably violates [c], a constraint any solve involving this byte
+   must include (see [closure]). *)
+let max_trim_steps = 64
+
+let trim_bound bounds cost v iv (c : Expr.t) =
+  let hull i =
+    match Imap.find_opt i bounds with Some b -> b | None -> Interval.make 0L 255L
+  in
+  let false_at x =
+    cost := !cost + c.Expr.nodes;
+    let lookup i = if i = v then Interval.point (Int64.of_int x) else hull i in
+    Interval.definitely_false (Interval.eval lookup c)
+  in
+  let lo = ref (Int64.to_int iv.Interval.lo) in
+  let hi = ref (Int64.to_int iv.Interval.hi) in
+  let steps = ref 0 in
+  while !lo < !hi && !steps < max_trim_steps && false_at !lo do
+    incr lo;
+    incr steps
+  done;
+  steps := 0;
+  while !hi > !lo && !steps < max_trim_steps && false_at !hi do
+    decr hi;
+    incr steps
+  done;
+  Interval.make (Int64.of_int !lo) (Int64.of_int !hi)
+
+(* Extend [parent] with one constraint [c]; [path] is the physical list
+   [c :: parent.path]. O(reads of c). *)
+let extend ~reads cost path (c : Expr.t) parent =
+  match Expr.is_const c with
+  | Some _ ->
+    (* constants never join a component; the context only re-anchors *)
+    { parent with path; depth = parent.depth + 1; model = parent.model }
+  | None ->
+    let r = reads c in
+    cost := !cost + 1 + List.length r;
+    let by_var =
+      List.fold_left
+        (fun m v ->
+          let existing = match Imap.find_opt v m with Some l -> l | None -> [] in
+          Imap.add v (c :: existing) m)
+        parent.by_var r
+    in
+    let creads = Imap.add c.Expr.id r parent.creads in
+    (* learn bounds only for the bytes [c] reads, starting from the
+       parent's learned interval — incremental, O(delta) *)
+    let bounds =
+      if List.length r <= 2 then
+        List.fold_left
+          (fun m v ->
+            let iv =
+              match Imap.find_opt v m with Some b -> b | None -> Interval.make 0L 255L
+            in
+            let iv' = trim_bound parent.bounds cost v iv c in
+            if iv'.Interval.lo = iv.Interval.lo && iv'.Interval.hi = iv.Interval.hi
+            then m
+            else Imap.add v iv' m)
+          parent.bounds r
+      else parent.bounds
+    in
+    (* the parent's witness stays valid iff it satisfies the delta *)
+    let model =
+      match parent.model with
+      | Some m ->
+        cost := !cost + min c.Expr.nodes 64;
+        if Model.satisfies m [ c ] then Some m else None
+      | None -> None
+    in
+    { path; depth = parent.depth + 1; by_var; creads; bounds; model }
+
+let head_id (path : Expr.t list) =
+  match path with [] -> assert false | e :: _ -> e.Expr.id
+
+(* Physical-identity lookup of an exact path. *)
+let lookup t path =
+  match Hashtbl.find_opt t.table (head_id path) with
+  | None -> None
+  | Some entries -> List.find_opt (fun e -> e.path == path) entries
+
+let insert t entry =
+  if t.entries >= max_entries then clear t;
+  let hid = head_id entry.path in
+  let existing = match Hashtbl.find_opt t.table hid with Some l -> l | None -> [] in
+  Hashtbl.replace t.table hid (entry :: existing);
+  t.entries <- t.entries + 1
+
+type outcome = {
+  ctx : entry;
+  reused : bool; (* an indexed prefix (exact or ancestor) was reused *)
+  built : int; (* entries constructed by this call *)
+  cost : int; (* work units the construction spent *)
+}
+
+(* Walk the physical spine of [path] down to the deepest indexed prefix
+   (or the empty root), then extend back up, caching every intermediate
+   context. Amortised O(delta): the common caller pattern — query, pin a
+   few constraints, query again — finds the previous query's context
+   after a few steps. *)
+let find_or_build t ~reads path =
+  let rec walk path pending =
+    match path with
+    | [] -> (t.root, false, pending)
+    | c :: rest -> (
+      match lookup t path with
+      | Some e -> (e, true, pending)
+      | None -> walk rest ((path, c) :: pending))
+  in
+  let base, hit_table, pending = walk path [] in
+  let cost = ref 0 in
+  let ctx =
+    List.fold_left
+      (fun parent (sub, c) ->
+        let e = extend ~reads cost sub c parent in
+        insert t e;
+        e)
+      base pending
+  in
+  {
+    ctx;
+    (* a reuse means an already-indexed context served as the base —
+       an exact hit, a cached ancestor, or the (trivial) empty prefix *)
+    reused = hit_table || pending = [];
+    built = List.length pending;
+    cost = !cost;
+  }
+
+let bound e v = Imap.find_opt v e.bounds
+
+let model e = e.model
+
+let note_model e m = e.model <- Some m
+
+(* Component closure: [extra] plus every prefix constraint transitively
+   sharing an input byte with it — a BFS over the by-byte index, O(size
+   of the component) instead of O(path) per fixpoint round. [spend] is
+   charged once per selected prefix constraint. *)
+let closure e ~reads ~spend extra =
+  let in_component = Hashtbl.create 64 in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let selected = ref extra in
+  let add_var v =
+    if not (Hashtbl.mem in_component v) then begin
+      Hashtbl.replace in_component v ();
+      Queue.add v queue
+    end
+  in
+  List.iter
+    (fun (x : Expr.t) ->
+      (* never re-select a prefix constraint already present in [extra] *)
+      Hashtbl.replace seen x.Expr.id ();
+      List.iter add_var (reads x))
+    extra;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    match Imap.find_opt v e.by_var with
+    | None -> ()
+    | Some cs ->
+      List.iter
+        (fun (c : Expr.t) ->
+          if not (Hashtbl.mem seen c.Expr.id) then begin
+            Hashtbl.replace seen c.Expr.id ();
+            spend 1;
+            selected := c :: !selected;
+            match Imap.find_opt c.Expr.id e.creads with
+            | Some r -> List.iter add_var r
+            | None -> ()
+          end)
+        cs
+  done;
+  !selected

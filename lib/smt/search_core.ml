@@ -1,0 +1,323 @@
+(* The solving core: budgeted backtracking search over per-byte domains
+   with interval propagation, plus the hint-neighbourhood probe that
+   short-circuits it. Stateless apart from the caller's meter — solver
+   bookkeeping (stats, caches) stays in [Solver]. *)
+
+(* --- work accounting ------------------------------------------------------ *)
+
+exception Out_of_budget
+
+(* Raises [Out_of_budget] when the per-query allowance is exhausted. *)
+type meter = {
+  mutable spent : int;
+  limit : int;
+}
+
+let meter ~limit = { spent = 0; limit }
+
+let spend m n =
+  m.spent <- m.spent + n;
+  if m.spent > m.limit then raise Out_of_budget
+
+(* --- byte domains --------------------------------------------------------- *)
+
+(* Mutable domain of one input byte during a group solve. *)
+type domain = {
+  allowed : Bytes.t; (* 256 flags *)
+  mutable size : int;
+  mutable dlo : int;
+  mutable dhi : int;
+}
+
+let domain_full () = { allowed = Bytes.make 256 '\001'; size = 256; dlo = 0; dhi = 255 }
+
+let domain_mem d v = Bytes.get d.allowed v <> '\000'
+
+let domain_remove d v =
+  if domain_mem d v then begin
+    Bytes.set d.allowed v '\000';
+    d.size <- d.size - 1;
+    if d.size > 0 then begin
+      while d.dlo < 256 && not (domain_mem d d.dlo) do
+        d.dlo <- d.dlo + 1
+      done;
+      while d.dhi >= 0 && not (domain_mem d d.dhi) do
+        d.dhi <- d.dhi - 1
+      done
+    end
+  end
+
+let domain_interval d = Interval.make (Int64.of_int d.dlo) (Int64.of_int d.dhi)
+
+(* --- groups --------------------------------------------------------------- *)
+
+type group = {
+  constraints : Expr.t array;
+  vars : int array; (* sorted input indices *)
+  var_pos : (int, int) Hashtbl.t; (* input index -> position in [vars] *)
+  by_var : int list array; (* position -> constraint indices *)
+  creads : int list array; (* constraint -> input indices *)
+}
+
+let build_group ~reads exprs =
+  let constraints = Array.of_list exprs in
+  let creads = Array.map reads constraints in
+  let var_set = Hashtbl.create 16 in
+  Array.iter (List.iter (fun v -> Hashtbl.replace var_set v ())) creads;
+  let vars =
+    Hashtbl.fold (fun v () acc -> v :: acc) var_set [] |> List.sort Int.compare
+    |> Array.of_list
+  in
+  let var_pos = Hashtbl.create (Array.length vars * 2) in
+  Array.iteri (fun pos v -> Hashtbl.replace var_pos v pos) vars;
+  let by_var = Array.make (Array.length vars) [] in
+  Array.iteri
+    (fun ci reads ->
+      List.iter
+        (fun v ->
+          let pos = Hashtbl.find var_pos v in
+          by_var.(pos) <- ci :: by_var.(pos))
+        reads)
+    creads;
+  { constraints; vars; var_pos; by_var; creads }
+
+let group_vars g = g.vars
+
+type group_result =
+  | Gsat of (int * int) list (* input index, value *)
+  | Gunsat
+  | Gunknown
+
+(* --- hint-neighbourhood probe --------------------------------------------- *)
+
+(* Fast path: most fork queries in loops ask for "one more iteration" —
+   a model one small step away from the hint on the newly constrained
+   bytes. Probe hint +/- powers of two on each focus byte before any
+   domain work; constraints are evaluated lazily and the probe aborts on
+   the first falsified one, so failed probes are nearly free. *)
+let probe_deltas = [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32; 64; -64; 128 ]
+
+let probe_neighborhood meter ~hint group focus =
+  let satisfied lookup =
+    Array.for_all
+      (fun (c : Expr.t) ->
+        spend meter (min c.Expr.nodes 64);
+        Semantics.truthy (Expr.eval lookup c))
+      group.constraints
+  in
+  let try_model overrides =
+    let lookup i =
+      match List.assoc_opt i overrides with
+      | Some v -> v land 0xFF
+      | None -> Model.get hint i
+    in
+    if satisfied lookup then
+      Some (Array.to_list (Array.map (fun v -> (v, lookup v)) group.vars))
+    else None
+  in
+  let rec try_var vars =
+    match vars with
+    | [] -> None
+    | v :: rest ->
+      let base = Model.get hint v in
+      let rec try_delta = function
+        | [] -> try_var rest
+        | d :: ds ->
+          let candidate = base + d in
+          if candidate >= 0 && candidate <= 255 then
+            match try_model [ (v, candidate) ] with
+            | Some bindings -> Some bindings
+            | None -> try_delta ds
+          else try_delta ds
+      in
+      try_delta probe_deltas
+  in
+  match try_model [] with
+  | Some bindings -> Some bindings
+  | None -> try_var focus
+
+(* --- backtracking search -------------------------------------------------- *)
+
+(* [bounds] supplies externally learned per-byte intervals (the prefix
+   context's); they are intersected into the initial domains. Soundness:
+   a bound for byte [v] is implied by constraints that read [v], all of
+   which the caller includes in [v]'s group, so the pruned values could
+   never appear in a solution of this group anyway. [on_node] is the
+   caller's search-node counter. *)
+let solve_group_search ~on_node meter ~hint ~bounds group =
+  let nvars = Array.length group.vars in
+  let domains = Array.init nvars (fun _ -> domain_full ()) in
+  (* seed the domains with the learned bounds *)
+  Array.iteri
+    (fun pos v ->
+      match bounds v with
+      | None -> ()
+      | Some (iv : Interval.t) ->
+        let lo = Int64.to_int iv.Interval.lo and hi = Int64.to_int iv.Interval.hi in
+        if lo > 0 || hi < 255 then begin
+          let d = domains.(pos) in
+          for x = 0 to 255 do
+            if x < lo || x > hi then domain_remove d x
+          done
+        end)
+    group.vars;
+  let assignment = Array.make nvars (-1) in
+  (* Interval environment: assigned variables are points, unassigned ones
+     are the hull of their remaining domain. *)
+  let lookup_interval input_index =
+    match Hashtbl.find_opt group.var_pos input_index with
+    | None -> Interval.make 0L 255L
+    | Some pos ->
+      if assignment.(pos) >= 0 then Interval.point (Int64.of_int assignment.(pos))
+      else domain_interval domains.(pos)
+  in
+  let interval_check ci =
+    let c = group.constraints.(ci) in
+    spend meter c.Expr.nodes;
+    not (Interval.definitely_false (Interval.eval lookup_interval c))
+  in
+  let exact_check ci =
+    let c = group.constraints.(ci) in
+    spend meter c.Expr.nodes;
+    let lookup i =
+      match Hashtbl.find_opt group.var_pos i with
+      | Some pos when assignment.(pos) >= 0 -> assignment.(pos)
+      | Some _ | None -> Model.get hint i
+    in
+    Semantics.truthy (Expr.eval lookup c)
+  in
+  (* Bound-consistency pass: trim each variable's domain endpoints while
+     a constraint is definitely false there (holding the other variables
+     at their domain hulls). Trimming is pay-per-prune — a constraint that
+     prunes nothing costs two interval evaluations — yet converges fully
+     for the monotone loop-bound chains and magic-byte equalities that
+     dominate parser path conditions. *)
+  let propagate () =
+    let changed = ref true in
+    let rounds = ref 0 in
+    (* multi-byte equalities narrow one byte per round, highest first;
+       six rounds cover a u32 field plus slack *)
+    while !changed && !rounds < 6 do
+      changed := false;
+      incr rounds;
+      for pos = 0 to nvars - 1 do
+        let narrow ci =
+          if List.length group.creads.(ci) <= 6 then begin
+            let c = group.constraints.(ci) in
+            let false_at v =
+              spend meter c.Expr.nodes;
+              let lookup i =
+                match Hashtbl.find_opt group.var_pos i with
+                | Some p when p = pos -> Interval.point (Int64.of_int v)
+                | Some p -> domain_interval domains.(p)
+                | None -> Interval.make 0L 255L
+              in
+              Interval.definitely_false (Interval.eval lookup c)
+            in
+            let d = domains.(pos) in
+            while d.size > 0 && false_at d.dlo do
+              domain_remove d d.dlo;
+              changed := true
+            done;
+            while d.size > 0 && false_at d.dhi do
+              domain_remove d d.dhi;
+              changed := true
+            done
+          end
+        in
+        List.iter narrow group.by_var.(pos);
+        if domains.(pos).size = 0 then raise Exit
+      done
+    done
+  in
+  let unassigned ci =
+    List.exists
+      (fun v ->
+        let pos = Hashtbl.find group.var_pos v in
+        assignment.(pos) < 0)
+      group.creads.(ci)
+  in
+  (* Depth-first search over variables, cheapest domain first, hint value
+     tried first. *)
+  let order = Array.init nvars (fun i -> i) in
+  let finished = ref None in
+  let rec assign depth =
+    if depth = nvars then begin
+      (* all variables assigned: every constraint must hold exactly *)
+      let ok =
+        Array.for_all (fun ci -> exact_check ci)
+          (Array.init (Array.length group.constraints) (fun i -> i))
+      in
+      if ok then begin
+        finished :=
+          Some
+            (Array.to_list
+               (Array.mapi (fun pos _ -> (group.vars.(pos), assignment.(pos))) group.vars));
+        true
+      end
+      else false
+    end
+    else begin
+      let pos = order.(depth) in
+      let d = domains.(pos) in
+      let try_value v =
+        if not (domain_mem d v) then false
+        else begin
+          on_node ();
+          spend meter 1;
+          assignment.(pos) <- v;
+          let consistent =
+            List.for_all
+              (fun ci -> if unassigned ci then interval_check ci else exact_check ci)
+              group.by_var.(pos)
+          in
+          let found = consistent && assign (depth + 1) in
+          if not found then assignment.(pos) <- -1;
+          found
+        end
+      in
+      (* neighbourhood-first value order: loop-step queries succeed a small
+         delta away from the hint; the tail scan keeps the search complete *)
+      let hint_v = Model.get hint group.vars.(pos) land 0xFF in
+      let deltas = [ 0; 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32; 64; -64; 128 ] in
+      let near =
+        List.filter_map
+          (fun delta ->
+            let v = hint_v + delta in
+            if v >= 0 && v <= 255 then Some v else None)
+          deltas
+      in
+      let rec try_near = function
+        | [] ->
+          let rec scan v =
+            if v > d.dhi then false
+            else if (not (List.mem v near)) && try_value v then true
+            else scan (v + 1)
+          in
+          scan d.dlo
+        | v :: rest -> if try_value v then true else try_near rest
+      in
+      try_near near
+    end
+  in
+  match
+    (try
+       if Array.exists (fun d -> d.size = 0) domains then raise Exit;
+       propagate ();
+       (* order variables by narrowed domain size *)
+       Array.sort (fun a b -> Int.compare domains.(a).size domains.(b).size) order;
+       if assign 0 then `Sat else `Unsat
+     with
+    | Exit -> `Unsat)
+  with
+  | `Sat -> (
+    match !finished with
+    | Some bindings -> Gsat bindings
+    | None -> Gunknown)
+  | `Unsat -> Gunsat
+
+let solve_group ~on_node meter ~hint ~focus ~bounds group =
+  let focus = List.filter (Hashtbl.mem group.var_pos) focus in
+  match probe_neighborhood meter ~hint group focus with
+  | Some bindings -> Gsat bindings
+  | None -> solve_group_search ~on_node meter ~hint ~bounds group

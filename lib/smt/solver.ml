@@ -5,6 +5,7 @@ module Telemetry = Pbse_telemetry.Telemetry
 let tm_query_work = Telemetry.histogram "solver.query_work"
 let tm_retry_budget = Telemetry.histogram "solver.retry_budget"
 let tm_unknown = Telemetry.counter "solver.unknown"
+let tm_prefix_hits = Telemetry.counter "solver.prefix_hits"
 
 type result =
   | Sat of Model.t
@@ -18,6 +19,9 @@ type stats = {
   mutable unknown : int;
   mutable cache_hits : int;
   mutable hint_hits : int;
+  mutable prefix_hits : int;
+  mutable prefix_builds : int;
+  mutable prefix_model_hits : int;
   mutable search_nodes : int;
   mutable work : int;
   mutable retries : int;
@@ -25,21 +29,17 @@ type stats = {
   mutable retry_resolved : int;
 }
 
-type group_result =
-  | Gsat of (int * int) list (* input index, value *)
-  | Gunsat
-  | Gunknown
-
 type t = {
   budget : int;
   retry_cap : int;
   st : stats;
-  cache : (int list, group_result) Hashtbl.t;
+  cache : (int list, Search_core.group_result) Hashtbl.t;
   reads_memo : (int, int list) Hashtbl.t; (* expr id -> sorted input indices *)
   retryable : (int list, int) Hashtbl.t; (* query key -> budget it failed at *)
+  prefixes : Prefix_ctx.t;
 }
 
-exception Out_of_budget
+exception Out_of_budget = Search_core.Out_of_budget
 
 let create ?(budget = 60_000) ?retry_cap () =
   let retry_cap =
@@ -56,6 +56,9 @@ let create ?(budget = 60_000) ?retry_cap () =
         unknown = 0;
         cache_hits = 0;
         hint_hits = 0;
+        prefix_hits = 0;
+        prefix_builds = 0;
+        prefix_model_hits = 0;
         search_nodes = 0;
         work = 0;
         retries = 0;
@@ -65,6 +68,7 @@ let create ?(budget = 60_000) ?retry_cap () =
     cache = Hashtbl.create 4096;
     reads_memo = Hashtbl.create 4096;
     retryable = Hashtbl.create 256;
+    prefixes = Prefix_ctx.create ();
   }
 
 let stats t = t.st
@@ -74,7 +78,8 @@ let retry_cap t = t.retry_cap
 let clear_cache t =
   Hashtbl.reset t.cache;
   Hashtbl.reset t.reads_memo;
-  Hashtbl.reset t.retryable
+  Hashtbl.reset t.retryable;
+  Prefix_ctx.clear t.prefixes
 
 let reads_of t (e : Expr.t) =
   match Hashtbl.find_opt t.reads_memo e.id with
@@ -84,379 +89,51 @@ let reads_of t (e : Expr.t) =
     Hashtbl.replace t.reads_memo e.id r;
     r
 
-(* --- byte domains -------------------------------------------------------- *)
-
-(* Mutable domain of one input byte during a group solve. *)
-type domain = {
-  allowed : Bytes.t; (* 256 flags *)
-  mutable size : int;
-  mutable dlo : int;
-  mutable dhi : int;
-}
-
-let domain_full () = { allowed = Bytes.make 256 '\001'; size = 256; dlo = 0; dhi = 255 }
-
-let domain_mem d v = Bytes.get d.allowed v <> '\000'
-
-let domain_remove d v =
-  if domain_mem d v then begin
-    Bytes.set d.allowed v '\000';
-    d.size <- d.size - 1;
-    if d.size > 0 then begin
-      while d.dlo < 256 && not (domain_mem d d.dlo) do
-        d.dlo <- d.dlo + 1
-      done;
-      while d.dhi >= 0 && not (domain_mem d d.dhi) do
-        d.dhi <- d.dhi - 1
-      done
-    end
-  end
-
-let domain_interval d =
-  Interval.make (Int64.of_int d.dlo) (Int64.of_int d.dhi)
-
-(* --- group solving ------------------------------------------------------- *)
-
-type group = {
-  constraints : Expr.t array;
-  vars : int array; (* sorted input indices *)
-  var_pos : (int, int) Hashtbl.t; (* input index -> position in [vars] *)
-  by_var : int list array; (* position -> constraint indices *)
-  creads : int list array; (* constraint -> input indices *)
-}
-
-let build_group t exprs =
-  let constraints = Array.of_list exprs in
-  let creads = Array.map (reads_of t) constraints in
-  let var_set = Hashtbl.create 16 in
-  Array.iter (List.iter (fun v -> Hashtbl.replace var_set v ())) creads;
-  let vars =
-    Hashtbl.fold (fun v () acc -> v :: acc) var_set [] |> List.sort Int.compare
-    |> Array.of_list
-  in
-  let var_pos = Hashtbl.create (Array.length vars * 2) in
-  Array.iteri (fun pos v -> Hashtbl.replace var_pos v pos) vars;
-  let by_var = Array.make (Array.length vars) [] in
-  Array.iteri
-    (fun ci reads ->
-      List.iter
-        (fun v ->
-          let pos = Hashtbl.find var_pos v in
-          by_var.(pos) <- ci :: by_var.(pos))
-        reads)
-    creads;
-  { constraints; vars; var_pos; by_var; creads }
-
-(* Work accounting: raises [Out_of_budget] when the per-query allowance is
-   exhausted. *)
-type meter = {
-  mutable spent : int;
-  limit : int;
-}
-
-let spend m n =
-  m.spent <- m.spent + n;
-  if m.spent > m.limit then raise Out_of_budget
-
-(* Fast path: most fork queries in loops ask for "one more iteration" —
-   a model one small step away from the hint on the newly constrained
-   bytes. Probe hint +/- powers of two on each focus byte before any
-   domain work; constraints are evaluated lazily and the probe aborts on
-   the first falsified one, so failed probes are nearly free. *)
-let probe_deltas = [ 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32; 64; -64; 128 ]
-
-let probe_neighborhood meter ~hint group focus =
-  let satisfied lookup =
-    Array.for_all
-      (fun (c : Expr.t) ->
-        spend meter (min c.Expr.nodes 64);
-        Semantics.truthy (Expr.eval lookup c))
-      group.constraints
-  in
-  let try_model overrides =
-    let lookup i =
-      match List.assoc_opt i overrides with
-      | Some v -> v land 0xFF
-      | None -> Model.get hint i
-    in
-    if satisfied lookup then
-      Some
-        (Array.to_list
-           (Array.map (fun v -> (v, lookup v)) group.vars))
-    else None
-  in
-  let rec try_var vars =
-    match vars with
-    | [] -> None
-    | v :: rest ->
-      let base = Model.get hint v in
-      let rec try_delta = function
-        | [] -> try_var rest
-        | d :: ds ->
-          let candidate = base + d in
-          if candidate >= 0 && candidate <= 255 then
-            match try_model [ (v, candidate) ] with
-            | Some bindings -> Some bindings
-            | None -> try_delta ds
-          else try_delta ds
-      in
-      try_delta probe_deltas
-  in
-  match try_model [] with
-  | Some bindings -> Some bindings
-  | None -> try_var focus
-
-let solve_group_search t meter ~hint group =
-  let nvars = Array.length group.vars in
-  let domains = Array.init nvars (fun _ -> domain_full ()) in
-  let assignment = Array.make nvars (-1) in
-  (* Interval environment: assigned variables are points, unassigned ones
-     are the hull of their remaining domain. *)
-  let lookup_interval input_index =
-    match Hashtbl.find_opt group.var_pos input_index with
-    | None -> Interval.make 0L 255L
-    | Some pos ->
-      if assignment.(pos) >= 0 then Interval.point (Int64.of_int assignment.(pos))
-      else domain_interval domains.(pos)
-  in
-  let interval_check ci =
-    let c = group.constraints.(ci) in
-    spend meter c.Expr.nodes;
-    not (Interval.definitely_false (Interval.eval lookup_interval c))
-  in
-  let exact_check ci =
-    let c = group.constraints.(ci) in
-    spend meter c.Expr.nodes;
-    let lookup i =
-      match Hashtbl.find_opt group.var_pos i with
-      | Some pos when assignment.(pos) >= 0 -> assignment.(pos)
-      | Some _ | None -> Model.get hint i
-    in
-    Semantics.truthy (Expr.eval lookup c)
-  in
-  (* Bound-consistency pass: trim each variable's domain endpoints while
-     a constraint is definitely false there (holding the other variables
-     at their domain hulls). Trimming is pay-per-prune — a constraint that
-     prunes nothing costs two interval evaluations — yet converges fully
-     for the monotone loop-bound chains and magic-byte equalities that
-     dominate parser path conditions. *)
-  let propagate () =
-    let changed = ref true in
-    let rounds = ref 0 in
-    (* multi-byte equalities narrow one byte per round, highest first;
-       six rounds cover a u32 field plus slack *)
-    while !changed && !rounds < 6 do
-      changed := false;
-      incr rounds;
-      for pos = 0 to nvars - 1 do
-        let narrow ci =
-          if List.length group.creads.(ci) <= 6 then begin
-            let c = group.constraints.(ci) in
-            let false_at v =
-              spend meter c.Expr.nodes;
-              let lookup i =
-                match Hashtbl.find_opt group.var_pos i with
-                | Some p when p = pos -> Interval.point (Int64.of_int v)
-                | Some p -> domain_interval domains.(p)
-                | None -> Interval.make 0L 255L
-              in
-              Interval.definitely_false (Interval.eval lookup c)
-            in
-            let d = domains.(pos) in
-            while d.size > 0 && false_at d.dlo do
-              domain_remove d d.dlo;
-              changed := true
-            done;
-            while d.size > 0 && false_at d.dhi do
-              domain_remove d d.dhi;
-              changed := true
-            done
-          end
-        in
-        List.iter narrow group.by_var.(pos);
-        if domains.(pos).size = 0 then raise Exit
-      done
-    done
-  in
-  let unassigned ci =
-    List.exists
-      (fun v ->
-        let pos = Hashtbl.find group.var_pos v in
-        assignment.(pos) < 0)
-      group.creads.(ci)
-  in
-  (* Depth-first search over variables, cheapest domain first, hint value
-     tried first. *)
-  let order = Array.init nvars (fun i -> i) in
-  let finished = ref None in
-  let rec assign depth =
-    if depth = nvars then begin
-      (* all variables assigned: every constraint must hold exactly *)
-      let ok =
-        Array.for_all (fun ci -> exact_check ci)
-          (Array.init (Array.length group.constraints) (fun i -> i))
-      in
-      if ok then begin
-        finished :=
-          Some
-            (Array.to_list
-               (Array.mapi (fun pos _ -> (group.vars.(pos), assignment.(pos))) group.vars));
-        true
-      end
-      else false
-    end
-    else begin
-      let pos = order.(depth) in
-      let d = domains.(pos) in
-      let try_value v =
-        if not (domain_mem d v) then false
-        else begin
-          t.st.search_nodes <- t.st.search_nodes + 1;
-          spend meter 1;
-          assignment.(pos) <- v;
-          let consistent =
-            List.for_all
-              (fun ci -> if unassigned ci then interval_check ci else exact_check ci)
-              group.by_var.(pos)
-          in
-          let found = consistent && assign (depth + 1) in
-          if not found then assignment.(pos) <- -1;
-          found
-        end
-      in
-      (* neighbourhood-first value order: loop-step queries succeed a small
-         delta away from the hint; the tail scan keeps the search complete *)
-      let hint_v = Model.get hint group.vars.(pos) land 0xFF in
-      let deltas = [ 0; 1; -1; 2; -2; 4; -4; 8; -8; 16; -16; 32; -32; 64; -64; 128 ] in
-      let near = List.filter_map
-          (fun delta ->
-            let v = hint_v + delta in
-            if v >= 0 && v <= 255 then Some v else None)
-          deltas
-      in
-      let rec try_near = function
-        | [] ->
-          let rec scan v =
-            if v > d.dhi then false
-            else if (not (List.mem v near)) && try_value v then true
-            else scan (v + 1)
-          in
-          scan d.dlo
-        | v :: rest -> if try_value v then true else try_near rest
-      in
-      try_near near
-    end
-  in
-  match
-    (try
-       propagate ();
-       (* order variables by narrowed domain size *)
-       Array.sort (fun a b -> Int.compare domains.(a).size domains.(b).size) order;
-       if assign 0 then `Sat else `Unsat
-     with
-     | Exit -> `Unsat)
-  with
-  | `Sat -> (
-    match !finished with
-    | Some bindings -> Gsat bindings
-    | None -> Gunknown)
-  | `Unsat -> Gunsat
-
-let solve_group t meter ~hint ~focus group =
-  let focus = List.filter (Hashtbl.mem group.var_pos) focus in
-  match probe_neighborhood meter ~hint group focus with
-  | Some bindings -> Gsat bindings
-  | None -> solve_group_search t meter ~hint group
-
-(* --- top level ----------------------------------------------------------- *)
-
-(* Partition constraints into independence groups by shared input bytes
-   (union-find over byte indices). *)
-let group_constraints t exprs =
-  let parent = Hashtbl.create 64 in
-  let rec find v =
-    match Hashtbl.find_opt parent v with
-    | None -> v
-    | Some p ->
-      let root = find p in
-      if root <> p then Hashtbl.replace parent v root;
-      root
-  in
-  let union a b =
-    let ra = find a and rb = find b in
-    if ra <> rb then Hashtbl.replace parent ra rb
-  in
-  List.iter
-    (fun e ->
-      match reads_of t e with
-      | [] -> ()
-      | first :: rest -> List.iter (union first) rest)
-    exprs;
-  let groups = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      match reads_of t e with
-      | [] -> ()
-      | first :: _ ->
-        let root = find first in
-        let existing = try Hashtbl.find groups root with Not_found -> [] in
-        Hashtbl.replace groups root (e :: existing))
-    exprs;
-  Hashtbl.fold (fun _ es acc -> es :: acc) groups []
+(* --- group solving -------------------------------------------------------- *)
 
 let max_group_vars = 48
 
-let cache_key exprs =
-  List.sort Int.compare (List.map (fun (e : Expr.t) -> e.id) exprs)
-
-(* Split constant constraints out; [Error ()] means a constant 0. *)
-let partition_constants exprs =
-  let symbolic = ref [] in
-  let contradiction = ref false in
-  List.iter
-    (fun e ->
-      match Expr.is_const e with
-      | Some 0L -> contradiction := true
-      | Some _ -> ()
-      | None -> symbolic := e :: !symbolic)
-    exprs;
-  if !contradiction then Error () else Ok (List.rev !symbolic)
-
-let solve_groups t meter ~hint ~focus groups =
+let solve_groups t meter ~hint ~focus ~bounds groups =
   let model = ref hint in
   let unknown = ref false in
   let unsat = ref false in
+  let on_node () = t.st.search_nodes <- t.st.search_nodes + 1 in
   let solve_one exprs =
     if (not !unsat) && not !unknown then begin
-      let key = cache_key exprs in
+      let key = Simplify.cache_key exprs in
       let outcome =
         match Hashtbl.find_opt t.cache key with
         | Some r ->
           t.st.cache_hits <- t.st.cache_hits + 1;
           r
         | None ->
-          let group = build_group t exprs in
+          let group = Search_core.build_group ~reads:(reads_of t) exprs in
           let r =
-            if Array.length group.vars > max_group_vars then Gunknown
-            else try solve_group t meter ~hint ~focus group with Out_of_budget -> Gunknown
+            if Array.length (Search_core.group_vars group) > max_group_vars then
+              Search_core.Gunknown
+            else
+              try Search_core.solve_group ~on_node meter ~hint ~focus ~bounds group
+              with Out_of_budget -> Search_core.Gunknown
           in
           (* only definitive answers are budget-independent *)
           (match r with
-           | Gsat _ | Gunsat ->
+           | Search_core.Gsat _ | Search_core.Gunsat ->
              if Hashtbl.length t.cache > 200_000 then Hashtbl.reset t.cache;
              Hashtbl.replace t.cache key r
-           | Gunknown -> ());
+           | Search_core.Gunknown -> ());
           r
       in
       match outcome with
-      | Gsat bindings ->
+      | Search_core.Gsat bindings ->
         model := List.fold_left (fun m (i, v) -> Model.set m i v) !model bindings
-      | Gunsat -> unsat := true
-      | Gunknown -> unknown := true
+      | Search_core.Gunsat -> unsat := true
+      | Search_core.Gunknown -> unknown := true
     end
   in
   List.iter solve_one groups;
   if !unsat then Unsat else if !unknown then Unknown else Sat !model
+
+let no_bounds _ = None
 
 (* Retry with escalating budgets: a query that went [Unknown] because its
    budget ran out is remembered (keyed on its expression ids) together
@@ -484,7 +161,7 @@ let with_meter t ?retry_key body =
           end;
           escalated)
   in
-  let meter = { spent = 0; limit } in
+  let meter = Search_core.meter ~limit in
   let result = try body meter with Out_of_budget -> Unknown in
   (match result with
    | Sat _ -> t.st.sat <- t.st.sat + 1
@@ -492,7 +169,7 @@ let with_meter t ?retry_key body =
    | Unknown ->
      t.st.unknown <- t.st.unknown + 1;
      Telemetry.incr tm_unknown);
-  Telemetry.observe tm_query_work meter.spent;
+  Telemetry.observe tm_query_work meter.Search_core.spent;
   (match result with
    | Unknown -> (
      match Lazy.force key with
@@ -507,66 +184,82 @@ let with_meter t ?retry_key body =
          Hashtbl.remove t.retryable k;
          t.st.retry_resolved <- t.st.retry_resolved + 1
        | Some _ | None -> ()));
-  t.st.work <- t.st.work + meter.spent;
-  (result, meter.spent)
+  t.st.work <- t.st.work + meter.Search_core.spent;
+  (result, meter.Search_core.spent)
 
 let check t ?(hint = Model.empty) exprs =
-  with_meter t ~retry_key:(fun () -> cache_key exprs) (fun meter ->
-      match partition_constants exprs with
+  with_meter t ~retry_key:(fun () -> Simplify.cache_key exprs) (fun meter ->
+      match Simplify.partition_constants exprs with
       | Error () -> Unsat
       | Ok symbolic ->
         (* model reuse: the hint satisfies most taken-branch queries *)
-        List.iter (fun (e : Expr.t) -> spend meter e.Expr.nodes) symbolic;
+        List.iter (fun (e : Expr.t) -> Search_core.spend meter e.Expr.nodes) symbolic;
         if Model.satisfies hint symbolic then begin
           t.st.hint_hits <- t.st.hint_hits + 1;
           Sat hint
         end
-        else solve_groups t meter ~hint ~focus:[] (group_constraints t symbolic))
+        else
+          solve_groups t meter ~hint ~focus:[] ~bounds:no_bounds
+            (Simplify.group_constraints ~reads:(reads_of t) symbolic))
 
 let check_assuming t ?(hint = Model.empty) ~path extra =
   (* the key identifies the query by its [extra] constraints only: cheap
      to compute on the hot path, and a collision across states merely
      shares the (harmless) budget escalation for that branch *)
-  with_meter t ~retry_key:(fun () -> cache_key extra) (fun meter ->
-      match partition_constants extra with
+  with_meter t ~retry_key:(fun () -> Simplify.cache_key extra) (fun meter ->
+      match Simplify.partition_constants extra with
       | Error () -> Unsat
       | Ok extra ->
-        List.iter (fun (e : Expr.t) -> spend meter e.Expr.nodes) extra;
+        List.iter (fun (e : Expr.t) -> Search_core.spend meter e.Expr.nodes) extra;
         if Model.satisfies hint extra then begin
           t.st.hint_hits <- t.st.hint_hits + 1;
           Sat hint
         end
         else begin
-          (* transitive closure of input bytes shared with [extra]; only
-             that component can be affected by rebinding *)
-          let in_component = Hashtbl.create 64 in
-          List.iter
-            (fun e -> List.iter (fun v -> Hashtbl.replace in_component v ()) (reads_of t e))
-            extra;
-          let path =
-            match partition_constants path with Error () -> [] | Ok p -> p
+          (* incremental prefix solving: the path is indexed once and
+             extended as it grows, so each query pays for its delta and
+             its component, not the whole path *)
+          let o = Prefix_ctx.find_or_build t.prefixes ~reads:(reads_of t) path in
+          let entry = o.Prefix_ctx.ctx in
+          if o.Prefix_ctx.reused then begin
+            t.st.prefix_hits <- t.st.prefix_hits + 1;
+            Telemetry.incr tm_prefix_hits
+          end;
+          t.st.prefix_builds <- t.st.prefix_builds + o.Prefix_ctx.built;
+          (* charged after the contexts are cached: if the charge
+             exhausts the budget, the retry hits instead of rebuilding *)
+          Search_core.spend meter o.Prefix_ctx.cost;
+          (* the prefix's last witness satisfies the whole path; reuse it
+             when it also covers the new constraints *)
+          let model_hit =
+            match Prefix_ctx.model entry with
+            | Some m ->
+              List.iter
+                (fun (e : Expr.t) -> Search_core.spend meter (min e.Expr.nodes 64))
+                extra;
+              if Model.satisfies m extra then Some m else None
+            | None -> None
           in
-          let selected = ref extra in
-          let remaining = ref path in
-          let changed = ref true in
-          while !changed do
-            changed := false;
-            remaining :=
-              List.filter
-                (fun e ->
-                  spend meter 1;
-                  let reads = reads_of t e in
-                  if List.exists (Hashtbl.mem in_component) reads then begin
-                    List.iter (fun v -> Hashtbl.replace in_component v ()) reads;
-                    selected := e :: !selected;
-                    changed := true;
-                    false
-                  end
-                  else true)
-                !remaining
-          done;
-          let focus = List.concat_map (reads_of t) extra in
-          solve_groups t meter ~hint ~focus (group_constraints t !selected)
+          match model_hit with
+          | Some m ->
+            t.st.prefix_model_hits <- t.st.prefix_model_hits + 1;
+            Sat m
+          | None ->
+            (* component closure over the prefix index; only constraints
+               sharing bytes with [extra] can be affected by rebinding *)
+            let selected =
+              Prefix_ctx.closure entry ~reads:(reads_of t)
+                ~spend:(Search_core.spend meter) extra
+            in
+            let focus = List.concat_map (reads_of t) extra in
+            let result =
+              solve_groups t meter ~hint ~focus ~bounds:(Prefix_ctx.bound entry)
+                (Simplify.group_constraints ~reads:(reads_of t) selected)
+            in
+            (match result with
+             | Sat m -> Prefix_ctx.note_model entry m
+             | Unsat | Unknown -> ());
+            result
         end)
 
 let sat t ?hint exprs =

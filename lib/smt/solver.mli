@@ -22,7 +22,15 @@
     that budget, doubling on each failure up to [retry_cap]. The
     escalation is deterministic (work units, no wall clock), so hard
     queries near phase boundaries eventually resolve instead of silently
-    truncating exploration. *)
+    truncating exploration.
+
+    [check_assuming] additionally solves {e incrementally} against the
+    path prefix ({!Prefix_ctx}): the path is indexed once per distinct
+    prefix, and each query against it pays only for the component of
+    constraints sharing input bytes with its [extra] part, seeded with
+    the prefix's learned per-byte bounds and its last satisfying model.
+    Bursts of sibling queries (branch pairs, switch arms, verify
+    retries) hit the same prefix context. *)
 
 type result =
   | Sat of Model.t
@@ -36,6 +44,9 @@ type stats = {
   mutable unknown : int;
   mutable cache_hits : int;
   mutable hint_hits : int;
+  mutable prefix_hits : int; (* check_assuming calls reusing a prefix context *)
+  mutable prefix_builds : int; (* prefix contexts built (prefix misses) *)
+  mutable prefix_model_hits : int; (* queries answered by a prefix's cached model *)
   mutable search_nodes : int;
   mutable work : int; (* total work units across all queries *)
   mutable retries : int; (* re-issues of a previously Unknown query *)
@@ -67,7 +78,9 @@ val check_assuming :
     bytes with [extra] are re-examined, which makes the per-branch
     queries of symbolic execution O(component) instead of O(path). The
     result is as definitive as [check]'s: disjoint path constraints stay
-    satisfied because the returned model only rebinds component bytes. *)
+    satisfied because the returned model only rebinds component bytes.
+    Repeated queries against the same prefix reuse its context (counted
+    in [prefix_hits]). *)
 
 val sat : t -> ?hint:Model.t -> Expr.t list -> bool
 (** [sat t cs] is true only on a definitive [Sat] answer ([Unknown]

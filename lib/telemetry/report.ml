@@ -177,3 +177,55 @@ let diff a b =
   if !changed = 0 then line "  identical metrics (%d compared)" compared
   else line "  %d of %d metrics changed" !changed compared;
   Buffer.contents buf
+
+(* --- regression gates ------------------------------------------------------ *)
+
+type gate = {
+  gate_metric : string;
+  gate_pct : int; (* +N: fail if B grows more than N%; -N: fail if B drops more *)
+}
+
+let parse_gates spec =
+  let parse_one clause =
+    let fail () =
+      Error
+        (Printf.sprintf "bad gate %S (want METRIC:+N%% or METRIC:-N%%)" clause)
+    in
+    match String.index_opt clause ':' with
+    | None -> fail ()
+    | Some i ->
+      let name = String.sub clause 0 i in
+      let v = String.sub clause (i + 1) (String.length clause - i - 1) in
+      let v =
+        let n = String.length v in
+        if n > 0 && v.[n - 1] = '%' then String.sub v 0 (n - 1) else v
+      in
+      (match int_of_string_opt v with
+       | Some pct when name <> "" && pct <> 0 -> Ok { gate_metric = name; gate_pct = pct }
+       | Some _ | None -> fail ())
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest -> (
+      match parse_one c with Ok g -> collect (g :: acc) rest | Error e -> Error e)
+  in
+  collect []
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' (String.trim spec)))
+
+let check_gates gates a b =
+  (* integer cross-multiplication, no float drift: growth gate +N fails
+     when 100*(vb-va) > N*|va|, drop gate -N when 100*(vb-va) < -N*|va| *)
+  List.filter_map
+    (fun g ->
+      let va = metric a g.gate_metric and vb = metric b g.gate_metric in
+      let delta100 = 100 * (vb - va) in
+      let threshold = g.gate_pct * abs va in
+      let violated =
+        if g.gate_pct > 0 then delta100 > threshold else delta100 < threshold
+      in
+      if violated then
+        Some
+          (Printf.sprintf "%s: %d -> %d exceeds %+d%% threshold" g.gate_metric va vb
+             g.gate_pct)
+      else None)
+    gates

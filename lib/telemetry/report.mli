@@ -47,3 +47,17 @@ val diff : t -> t -> string
 (** Human-readable regression summary between two reports: changed
     metadata, every changed metric with absolute and percent delta, and
     per-phase dwell/coverage movement. *)
+
+type gate
+(** One regression threshold on a metric: [+N] fails when the metric
+    grows by more than N% from A to B, [-N] when it drops by more. *)
+
+val parse_gates : string -> (gate list, string) result
+(** Parses a comma-separated spec like
+    ["coverage.blocks:-10%,solver.work:+75%"]; the [%] suffix is
+    optional, a zero threshold is an error. *)
+
+val check_gates : gate list -> t -> t -> string list
+(** Violation messages for each gate B breaks relative to A (empty list:
+    all gates hold). Integer arithmetic throughout, so CI gating is
+    deterministic. An absent metric counts as zero on either side. *)

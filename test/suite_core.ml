@@ -131,7 +131,7 @@ let test_driver_config_variants () =
     [
       { Driver.default_config with Driver.mode = Pbse_phase.Phase.Bbv_only };
       { Driver.default_config with Driver.dedup_seed_states = false };
-      { Driver.default_config with Driver.round_robin = false };
+      { Driver.default_config with Driver.scheduler = "sequential" };
       { Driver.default_config with Driver.phase_searcher = "dfs" };
       { Driver.default_config with Driver.max_k = 4 };
       { Driver.default_config with Driver.interval_length = Some 40 };

@@ -321,6 +321,46 @@ let test_stats_populated () =
 
 let _ = exit_codes
 
+(* --- copy-on-write state forks ---------------------------------------------- *)
+
+let cow_state () =
+  let st =
+    State.create ~id:0 ~nregs:4 ~mem:Mem.empty ~model:Pbse_smt.Model.empty ~fidx:0
+      ~born:0
+  in
+  ignore (State.write_reg st 0 (Expr.const 1L));
+  st
+
+let reg st i = Expr.is_const (State.current_regs st).(i)
+
+let test_cow_fork_isolation () =
+  let parent = cow_state () in
+  let child = State.fork parent ~id:1 ~born:0 ~fork_gid:0 in
+  Alcotest.(check bool) "regs shared right after fork" true
+    (State.current_regs parent == State.current_regs child);
+  (* parent's first post-fork write copies; the child must not see it *)
+  Alcotest.(check bool) "parent write copies" true
+    (State.write_reg parent 0 (Expr.const 7L));
+  Alcotest.(check (option int64)) "child unchanged" (Some 1L) (reg child 0);
+  Alcotest.(check (option int64)) "parent updated" (Some 7L) (reg parent 0);
+  (* the child's array is still marked shared, so its first write copies
+     too; after that, writes are in place *)
+  Alcotest.(check bool) "child write copies" true
+    (State.write_reg child 1 (Expr.const 9L));
+  Alcotest.(check bool) "second child write is in place" false
+    (State.write_reg child 2 (Expr.const 3L));
+  Alcotest.(check (option int64)) "parent reg 1 untouched" (Some 0L) (reg parent 1)
+
+let test_cow_sibling_isolation () =
+  let parent = cow_state () in
+  let a = State.fork parent ~id:1 ~born:0 ~fork_gid:0 in
+  let b = State.fork parent ~id:2 ~born:0 ~fork_gid:0 in
+  ignore (State.write_reg a 0 (Expr.const 10L));
+  ignore (State.write_reg b 0 (Expr.const 20L));
+  Alcotest.(check (option int64)) "sibling a" (Some 10L) (reg a 0);
+  Alcotest.(check (option int64)) "sibling b" (Some 20L) (reg b 0);
+  Alcotest.(check (option int64)) "parent untouched" (Some 1L) (reg parent 0)
+
 let suite =
   [
     Alcotest.test_case "concrete oob read" `Quick test_concrete_oob_read;
@@ -346,5 +386,7 @@ let suite =
     Alcotest.test_case "coverage grows" `Quick test_coverage_grows_and_dedups;
     Alcotest.test_case "switch forks all arms" `Quick test_switch_forks_all_arms;
     Alcotest.test_case "stats populated" `Quick test_stats_populated;
+    Alcotest.test_case "cow fork isolation" `Quick test_cow_fork_isolation;
+    Alcotest.test_case "cow sibling isolation" `Quick test_cow_sibling_isolation;
     QCheck_alcotest.to_alcotest prop_symbolic_matches_concrete_behaviours;
   ]

@@ -9,6 +9,33 @@ let test_ptr_roundtrip () =
   Alcotest.(check bool) "null is null" true (Mem.Ptr.is_null Mem.Ptr.null);
   Alcotest.(check bool) "small ints look null" true (Mem.Ptr.is_null 42L)
 
+let test_ptr_packing_edges () =
+  (* the offset field is 40 bits wide *)
+  let max_off = (1 lsl 40) - 1 in
+  let p = Mem.Ptr.make 3 max_off in
+  Alcotest.(check int) "max offset round-trips" max_off (Mem.Ptr.off p);
+  Alcotest.(check int) "obj intact at max offset" 3 (Mem.Ptr.obj p);
+  (* one past the field: masked, never a carry into the object id *)
+  let p = Mem.Ptr.make 3 (max_off + 1) in
+  Alcotest.(check int) "offset overflow is masked" 0 (Mem.Ptr.off p);
+  Alcotest.(check int) "obj survives offset overflow" 3 (Mem.Ptr.obj p);
+  (* the object id gets the remaining 24 bits *)
+  let max_obj = (1 lsl 24) - 1 in
+  let p = Mem.Ptr.make max_obj max_off in
+  Alcotest.(check int) "max obj round-trips" max_obj (Mem.Ptr.obj p);
+  Alcotest.(check int) "max offset beside max obj" max_off (Mem.Ptr.off p);
+  (* object-id overflow shifts out entirely: the pointer degrades to a
+     null-looking value rather than aliasing a small id *)
+  let p = Mem.Ptr.make (1 lsl 24) 5 in
+  Alcotest.(check int) "obj overflow wraps to 0" 0 (Mem.Ptr.obj p);
+  Alcotest.(check bool) "overflowed pointer is null-like" true (Mem.Ptr.is_null p);
+  (* null round-trip: obj 0 is the null object whatever the offset *)
+  Alcotest.(check int) "null obj" 0 (Mem.Ptr.obj Mem.Ptr.null);
+  Alcotest.(check int) "null off" 0 (Mem.Ptr.off Mem.Ptr.null);
+  Alcotest.(check bool) "make 0 0 is null" true (Mem.Ptr.make 0 0 = Mem.Ptr.null);
+  Alcotest.(check bool) "obj-0 with offset still null" true
+    (Mem.Ptr.is_null (Mem.Ptr.make 0 77))
+
 let prop_ptr_roundtrip =
   QCheck.Test.make ~count:500 ~name:"pointer encode/decode roundtrip"
     QCheck.(pair (int_range 1 100000) (int_range 0 1000000))
@@ -139,6 +166,7 @@ let prop_store_load_roundtrip =
 let suite =
   [
     Alcotest.test_case "ptr roundtrip" `Quick test_ptr_roundtrip;
+    Alcotest.test_case "ptr packing edges" `Quick test_ptr_packing_edges;
     Alcotest.test_case "alloc and byte roundtrip" `Quick test_alloc_and_byte_roundtrip;
     Alcotest.test_case "little endian widths" `Quick test_little_endian_widths;
     Alcotest.test_case "persistence on fork" `Quick test_persistence_on_fork;

@@ -68,6 +68,29 @@ let test_quarantine_min_strikes () =
   Alcotest.(check bool) "immediate eviction" true (Quarantine.strike q 1);
   Alcotest.(check int) "evicted" 1 (Quarantine.evicted q)
 
+let test_quarantine_epoch_site_persistence () =
+  let q = Quarantine.create ~max_strikes:3 in
+  ignore (Quarantine.strike q ~site:100 1);
+  ignore (Quarantine.strike q ~site:100 1);
+  Alcotest.(check bool) "third strike evicts" true (Quarantine.strike q ~site:100 1);
+  Alcotest.(check int) "site eviction recorded" 1 (Quarantine.site_evictions q 100);
+  (* a strike left open on another state, then a new epoch *)
+  ignore (Quarantine.strike q ~site:200 2);
+  Quarantine.epoch q;
+  Alcotest.(check int) "per-state strikes cleared" 0 (Quarantine.strikes_of q 2);
+  Alcotest.(check int) "totals persist" 4 (Quarantine.total_strikes q);
+  Alcotest.(check int) "evictions persist" 1 (Quarantine.evicted q);
+  Alcotest.(check int) "site record persists" 1 (Quarantine.site_evictions q 100);
+  (* the recorded site lowers the effective limit: two strikes now evict *)
+  Alcotest.(check bool) "bad-site strike 1" false (Quarantine.strike q ~site:100 9);
+  Alcotest.(check bool) "bad-site strike 2 evicts" true
+    (Quarantine.strike q ~site:100 9);
+  (* a fresh site still gets the full limit *)
+  Alcotest.(check bool) "fresh-site strike 1" false (Quarantine.strike q ~site:300 10);
+  Alcotest.(check bool) "fresh-site strike 2" false (Quarantine.strike q ~site:300 10);
+  Alcotest.(check bool) "fresh-site strike 3 evicts" true
+    (Quarantine.strike q ~site:300 10)
+
 (* --- inject plans --------------------------------------------------------- *)
 
 let test_inject_parse_roundtrip () =
@@ -137,6 +160,40 @@ let test_inject_zero_rate_never_fires () =
     Alcotest.(check bool) "mem silent" false (Inject.fire_mem_pressure t)
   done;
   Alcotest.(check int) "nothing fired" 0 (Inject.fired t)
+
+let test_inject_concolic_channel () =
+  (match Inject.parse "seed=3,concolic=0.5" with
+   | Error e -> Alcotest.fail e
+   | Ok plan ->
+     Alcotest.(check (float 1e-9)) "rate parsed" 0.5 plan.Inject.concolic_drop_rate;
+     Alcotest.(check bool) "active" true (Inject.is_active plan);
+     (match Inject.parse (Inject.to_string plan) with
+      | Ok plan' -> Alcotest.(check bool) "round-trips" true (plan = plan')
+      | Error e -> Alcotest.fail ("round-trip: " ^ e));
+     let t = Inject.create plan in
+     let fired = ref 0 in
+     for _ = 1 to 200 do
+       if Inject.fire_concolic_drop t then incr fired
+     done;
+     Alcotest.(check bool) "some fired" true (!fired > 0);
+     Alcotest.(check bool) "not all fired" true (!fired < 200);
+     Alcotest.(check int) "fired counted" !fired (Inject.fired t));
+  (* the concolic stream is split off last: adding the clause must not
+     shift the decisions of the existing channels *)
+  let draw spec =
+    let plan = match Inject.parse spec with Ok p -> p | Error e -> failwith e in
+    let t = Inject.create plan in
+    let seq = ref [] in
+    for _ = 1 to 100 do
+      seq :=
+        Inject.fire_mem_pressure t :: Inject.fire_exec_abort t
+        :: Inject.fire_solver_unknown t :: !seq
+    done;
+    !seq
+  in
+  Alcotest.(check bool) "other channels unshifted" true
+    (draw "seed=11,solver=0.3,abort=0.2,mem=0.1"
+    = draw "seed=11,solver=0.3,abort=0.2,mem=0.1,concolic=0.9")
 
 (* --- solver retry escalation ---------------------------------------------- *)
 
@@ -241,6 +298,44 @@ let test_driver_quarantines_under_total_solver_failure () =
   Alcotest.(check bool) "strikes recorded" true
     (report.Driver.strikes >= 2 * report.Driver.quarantined)
 
+let test_driver_contains_concolic_drops () =
+  (* dropped lazy-fork seedStates are contained faults: the run completes
+     and records every drop *)
+  let report = run_injected ~deadline:60_000 "seed=4,concolic=0.6" in
+  Alcotest.(check bool) "drops recorded" true
+    (Fault.count report.Driver.faults Fault.Concolic_injected > 0);
+  (* same plan, same drops: the concolic channel is deterministic too *)
+  let again = run_injected ~deadline:60_000 "seed=4,concolic=0.6" in
+  Alcotest.(check int) "deterministic drop count"
+    (Fault.count report.Driver.faults Fault.Concolic_injected)
+    (Fault.count again.Driver.faults Fault.Concolic_injected)
+
+let test_shared_quarantine_across_runs () =
+  (* one quarantine threaded through consecutive runs (as run_pool does):
+     per-run reports are deltas and site records carry over *)
+  let q = Quarantine.create ~max_strikes:2 in
+  let config = { Driver.default_config with Driver.inject = plan_of "seed=3,solver=1.0" } in
+  let run () =
+    Driver.run ~config ~quarantine:q (mini_program ()) ~seed:(mini_seed ())
+      ~deadline:60_000
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "first run evicts" true (a.Driver.quarantined > 0);
+  (* per-run values are deltas: they sum to the quarantine's lifetime totals *)
+  Alcotest.(check int) "evictions sum to total"
+    (Quarantine.evicted q)
+    (a.Driver.quarantined + b.Driver.quarantined);
+  Alcotest.(check int) "strikes sum to total"
+    (Quarantine.total_strikes q)
+    (a.Driver.strikes + b.Driver.strikes);
+  (* recorded sites lower the limit, so the second epoch never needs more
+     strikes per eviction than the first *)
+  Alcotest.(check bool) "site records persist" true
+    (b.Driver.quarantined = 0
+    || b.Driver.strikes * a.Driver.quarantined
+       <= a.Driver.strikes * b.Driver.quarantined)
+
 let test_driver_report_deterministic_under_injection () =
   let run () = run_injected "seed=9,solver=0.25,abort=0.15,mem=0.1" in
   let a = run () in
@@ -306,6 +401,8 @@ let suite =
     Alcotest.test_case "fault log recent capped" `Quick test_fault_log_recent_capped;
     Alcotest.test_case "quarantine eviction" `Quick test_quarantine_eviction;
     Alcotest.test_case "quarantine min strikes" `Quick test_quarantine_min_strikes;
+    Alcotest.test_case "quarantine epoch and site persistence" `Quick
+      test_quarantine_epoch_site_persistence;
     Alcotest.test_case "inject parse roundtrip" `Quick test_inject_parse_roundtrip;
     Alcotest.test_case "inject parse defaults" `Quick test_inject_parse_defaults;
     Alcotest.test_case "inject parse errors" `Quick test_inject_parse_errors;
@@ -313,6 +410,7 @@ let suite =
       test_inject_streams_deterministic;
     Alcotest.test_case "inject zero rate never fires" `Quick
       test_inject_zero_rate_never_fires;
+    Alcotest.test_case "inject concolic channel" `Quick test_inject_concolic_channel;
     Alcotest.test_case "solver retry escalates to sat" `Quick
       test_solver_retry_escalates_to_sat;
     Alcotest.test_case "solver retry cap bounds escalation" `Quick
@@ -321,6 +419,10 @@ let suite =
       test_solver_retry_deterministic;
     Alcotest.test_case "driver quarantines under total solver failure" `Quick
       test_driver_quarantines_under_total_solver_failure;
+    Alcotest.test_case "driver contains concolic drops" `Quick
+      test_driver_contains_concolic_drops;
+    Alcotest.test_case "shared quarantine across runs" `Quick
+      test_shared_quarantine_across_runs;
     Alcotest.test_case "driver report deterministic under injection" `Quick
       test_driver_report_deterministic_under_injection;
     Alcotest.test_case "driver bug dedup survives faults" `Quick

@@ -316,6 +316,57 @@ let test_solver_cache_hits () =
   Alcotest.(check bool) "cache hit on repeat" true
     ((Solver.stats solver).Solver.cache_hits >= 1)
 
+let test_cache_key_collisions () =
+  let a = Expr.bin T.Eq (Expr.read 0) (Expr.const 1L) in
+  let b = Expr.bin T.Eq (Expr.read 1) (Expr.const 2L) in
+  (* permutations of one constraint set must collide (that is the point
+     of sorting), distinct sets must not *)
+  Alcotest.(check (list int))
+    "order-insensitive" (Simplify.cache_key [ a; b ])
+    (Simplify.cache_key [ b; a ]);
+  Alcotest.(check bool) "subset gets its own key" true
+    (Simplify.cache_key [ a ] <> Simplify.cache_key [ a; b ]);
+  Alcotest.(check bool) "different singletons differ" true
+    (Simplify.cache_key [ a ] <> Simplify.cache_key [ b ]);
+  Alcotest.(check bool) "duplicate constraint changes the key" true
+    (Simplify.cache_key [ a; a ] <> Simplify.cache_key [ a ]);
+  (* hash consing: a structurally equal rebuild reuses the id, so the
+     keys collide across separately constructed conjunctions *)
+  let a' = Expr.bin T.Eq (Expr.read 0) (Expr.const 1L) in
+  Alcotest.(check (list int))
+    "hash-consed rebuild collides" (Simplify.cache_key [ a ])
+    (Simplify.cache_key [ a' ])
+
+let test_prefix_reuse_on_extension () =
+  let solver = Solver.create () in
+  let b0 = Expr.read 0 in
+  let gt n = Expr.bin T.Ult (Expr.const (Int64.of_int n)) b0 in
+  (* default hint (byte 0 = 0) falsifies every extra, so each query
+     reaches the prefix machinery *)
+  let p1 = [ gt 3 ] in
+  (match Solver.check_assuming solver ~path:p1 [ gt 10 ] with
+   | Solver.Sat _, _ -> ()
+   | (Solver.Unsat | Solver.Unknown), _ -> Alcotest.fail "first query must be sat");
+  let st = Solver.stats solver in
+  Alcotest.(check int) "first query builds its prefix" 1 st.Solver.prefix_builds;
+  let hits_before = st.Solver.prefix_hits in
+  (* extend the same physical spine by one constraint: the indexed
+     prefix is found by identity and only the delta is indexed *)
+  let p2 = gt 10 :: p1 in
+  (match Solver.check_assuming solver ~path:p2 [ gt 20 ] with
+   | Solver.Sat _, _ -> ()
+   | (Solver.Unsat | Solver.Unknown), _ -> Alcotest.fail "second query must be sat");
+  let st = Solver.stats solver in
+  Alcotest.(check bool) "extension reuses the indexed prefix" true
+    (st.Solver.prefix_hits > hits_before);
+  Alcotest.(check int) "extension indexes only the delta" 2 st.Solver.prefix_builds;
+  (* an exact repeat builds nothing *)
+  (match Solver.check_assuming solver ~path:p2 [ gt 30 ] with
+   | Solver.Sat _, _ -> ()
+   | (Solver.Unsat | Solver.Unknown), _ -> Alcotest.fail "third query must be sat");
+  Alcotest.(check int) "exact repeat builds nothing" 2
+    (Solver.stats solver).Solver.prefix_builds
+
 let test_solver_unsat_chain () =
   let solver = Solver.create () in
   let a = Expr.bin T.Ult (Expr.read 0) (Expr.const 10L) in
@@ -336,6 +387,8 @@ let suite =
     Alcotest.test_case "solver independence slicing" `Quick test_solver_independence_slicing;
     Alcotest.test_case "solver budget unknown" `Quick test_solver_budget_unknown;
     Alcotest.test_case "solver cache hits" `Quick test_solver_cache_hits;
+    Alcotest.test_case "cache key collisions" `Quick test_cache_key_collisions;
+    Alcotest.test_case "prefix reuse on extension" `Quick test_prefix_reuse_on_extension;
     Alcotest.test_case "solver unsat chain" `Quick test_solver_unsat_chain;
     Alcotest.test_case "bits of field composition" `Quick test_bits_of_field_composition;
     Alcotest.test_case "solver u32 magic" `Quick test_solver_u32_magic;

@@ -199,21 +199,29 @@ let test_diff_self () =
 
 (* --- end-to-end determinism ------------------------------------------------ *)
 
-let driver_report_json () =
+let driver_report_json ?(scheduler = Driver.default_config.Driver.scheduler) () =
   with_registry ~enabled:true (fun () ->
+      let config = { Driver.default_config with Driver.scheduler } in
       let report =
-        Driver.run
+        Driver.run ~config
           (Suite_core.mini_program ())
           ~seed:(Suite_core.mini_seed ()) ~deadline:80_000
       in
       Report.to_json
         (Driver.run_report ~meta:[ ("target", "mini") ] report))
 
+(* every scheduling policy must be deterministic: same seed, same
+   byte-identical report *)
 let test_identical_runs_identical_reports () =
-  let a = driver_report_json () in
-  let b = driver_report_json () in
-  Alcotest.(check bool) "nonempty" true (String.length a > 0);
-  Alcotest.(check string) "byte-identical reports" a b
+  List.iter
+    (fun scheduler ->
+      let a = driver_report_json ~scheduler () in
+      let b = driver_report_json ~scheduler () in
+      Alcotest.(check bool) (scheduler ^ ": nonempty") true (String.length a > 0);
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical reports (%s)" scheduler)
+        a b)
+    Pbse_sched.Scheduler.names
 
 let test_driver_report_has_core_metrics () =
   let json = driver_report_json () in

@@ -10,6 +10,7 @@ let () =
       ("exec", Suite_exec.suite);
       ("concolic", Suite_concolic.suite);
       ("phase", Suite_phase.suite);
+      ("sched", Suite_sched.suite);
       ("telemetry", Suite_telemetry.suite);
       ("core", Suite_core.suite);
       ("robust", Suite_robust.suite);
