@@ -89,6 +89,23 @@ let note_run ~suite ~name ~deadline report =
   in
   run_rows := row :: !run_rows
 
+(* Pool campaigns contribute the same CSV columns, harvested through the
+   aggregate Driver.pool_run_report (merged coverage, deduplicated bugs,
+   summed engine totals); seed_bytes is the whole pool's size. *)
+let note_pool_run ~suite ~name ~deadline pool =
+  let rr = Driver.pool_run_report pool in
+  let pool_bytes =
+    List.fold_left
+      (fun acc (s : Report.seed_row) -> acc + s.Report.bytes)
+      0 pool.Driver.seed_rows
+  in
+  let row =
+    String.concat ","
+      ([ suite; name; string_of_int pool_bytes; string_of_int deadline ]
+      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics)
+  in
+  run_rows := row :: !run_rows
+
 let flush_runs ?(file = "runs.csv") () =
   match !run_rows with
   | [] -> ()
@@ -501,12 +518,15 @@ let ablate () =
     Printf.printf "  ... %s done\n%!" label
   in
   run "pbSE (default)" Driver.default_config;
-  run "BBV-only vectors" { Driver.default_config with Driver.mode = Phase.Bbv_only };
-  run "no seedState dedup" { Driver.default_config with Driver.dedup_seed_states = false };
-  run "sequential phases" { Driver.default_config with Driver.scheduler = "sequential" };
+  run "BBV-only vectors"
+    Driver.(with_concolic (fun c -> { c with mode = Phase.Bbv_only }) default_config);
+  run "no seedState dedup"
+    Driver.(with_search (fun s -> { s with dedup_seed_states = false }) default_config);
+  run "sequential phases"
+    Driver.(with_search (fun s -> { s with scheduler = "sequential" }) default_config);
   run "coverage-greedy phases"
-    { Driver.default_config with Driver.scheduler = "coverage-greedy" };
-  run "fixed k = 4" { Driver.default_config with Driver.max_k = 4 };
+    Driver.(with_search (fun s -> { s with scheduler = "coverage-greedy" }) default_config);
+  run "fixed k = 4" Driver.(with_search (fun s -> { s with max_k = 4 }) default_config);
   Tablefmt.print table
 
 (* --- Robustness: fault-injected sweep ------------------------------------------- *)
@@ -521,7 +541,7 @@ let robust () =
     | Error e -> failwith e
   in
   Printf.printf "  plan: %s\n%!" (Inject.to_string plan);
-  let config = { Driver.default_config with Driver.inject = plan } in
+  let config = Driver.(with_robust (fun r -> { r with inject = plan }) default_config) in
   let table =
     Tablefmt.create
       [ "target"; "cov clean"; "cov injected"; "bugs"; "faults"; "evicted" ]
@@ -624,6 +644,47 @@ let bechamel () =
         analysis)
     tests
 
+(* --- Pool campaigns ---------------------------------------------------------------- *)
+
+(* Seed-level scheduling policies compared on one multi-seed target: the
+   whole benign pool under the same deadline, one campaign per policy.
+   The acceptance bar (results/runs.csv rows, suite "pool") is that
+   coverage-greedy reaches merged coverage at least equal to the paper's
+   equal-split smallest-first pass. *)
+let pool_bench () =
+  heading "Pool campaigns: seed schedulers on dwarfdump's benign pool";
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seeds = List.map snd t.Registry.seeds in
+  let deadline = ten_hours in
+  let table =
+    Tablefmt.create
+      [ "policy"; "runs"; "turns"; "merged cov"; "bugs"; "spent" ]
+  in
+  let merged = ref [] in
+  List.iter
+    (fun scheduler ->
+      let pool = Driver.run_pool ~scheduler prog ~seeds ~deadline in
+      note_pool_run ~suite:"pool" ~name:(t.Registry.name ^ "/" ^ scheduler) ~deadline
+        pool;
+      merged := (scheduler, pool.Driver.merged_coverage) :: !merged;
+      Tablefmt.add_row table
+        [
+          scheduler;
+          string_of_int (List.length pool.Driver.runs);
+          string_of_int pool.Driver.pool_stats.Pbse_campaign.Pool_scheduler.turns;
+          string_of_int pool.Driver.merged_coverage;
+          string_of_int (List.length pool.Driver.merged_bugs);
+          string_of_int pool.Driver.pool_spent;
+        ];
+      Printf.printf "  ... %s done\n%!" scheduler)
+    Pbse_campaign.Pool_scheduler.names;
+  Tablefmt.print table;
+  let cov name = try List.assoc name !merged with Not_found -> 0 in
+  Printf.printf "  coverage-greedy vs smallest-first: %d vs %d (%s)\n%!"
+    (cov "coverage-greedy") (cov "smallest-first")
+    (if cov "coverage-greedy" >= cov "smallest-first" then "OK" else "BEHIND")
+
 (* --- Smoke (CI) ----------------------------------------------------------------- *)
 
 (* One tiny end-to-end run with telemetry enabled; used by the CI
@@ -654,7 +715,31 @@ let smoke () =
   in
   write_file "smoke_report.json" (Report.to_json rr);
   Printf.printf "smoke report -> results/smoke_report.json (%d metrics)\n%!"
-    (List.length rr.Report.metrics)
+    (List.length rr.Report.metrics);
+  (* and one tiny pool campaign, so the aggregate-report path is gated
+     in CI too *)
+  Telemetry.set_enabled true;
+  let pool =
+    Driver.run_pool ~scheduler:"coverage-greedy" (Registry.program t)
+      ~seeds:(List.map snd t.Registry.seeds)
+      ~deadline:small
+  in
+  Telemetry.set_enabled false;
+  note_pool_run ~suite:"smoke-pool" ~name:t.Registry.name ~deadline:small pool;
+  let pr =
+    Driver.pool_run_report
+      ~meta:
+        [
+          ("target", t.Registry.name);
+          ("suite", "smoke-pool");
+          ("deadline", string_of_int small);
+        ]
+      pool
+  in
+  write_file "pool_smoke_report.json" (Report.to_json pr);
+  Printf.printf "pool smoke report -> results/pool_smoke_report.json (%d seeds, %d metrics)\n%!"
+    (List.length pr.Report.seeds)
+    (List.length pr.Report.metrics)
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -670,6 +755,7 @@ let () =
    | "fig5" -> fig5 ()
    | "ablate" -> ablate ()
    | "robust" -> robust ()
+   | "pool" -> pool_bench ()
    | "smoke" -> smoke ()
    | "bechamel" -> bechamel ()
    | "all" ->
@@ -681,11 +767,12 @@ let () =
      fig5 ();
      ablate ();
      robust ();
+     pool_bench ();
      bechamel ()
    | other ->
      Printf.eprintf
        "unknown benchmark %s (try \
-        table1|table2|table3|fig1|fig4|fig5|ablate|robust|smoke|bechamel|all)\n"
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|smoke|bechamel|all)\n"
        other;
      exit 1);
   flush_runs ()

@@ -20,6 +20,7 @@ module Bug = Pbse_exec.Bug
 module Phase = Pbse_phase.Phase
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
+module Pool_scheduler = Pbse_campaign.Pool_scheduler
 module Telemetry = Pbse_telemetry.Telemetry
 module Report = Pbse_telemetry.Report
 
@@ -71,43 +72,66 @@ let scheduler_arg =
   in
   Arg.(
     value
-    & opt string Driver.default_config.Driver.scheduler
+    & opt string Driver.default_config.Driver.search.Driver.scheduler
     & info [ "scheduler" ] ~docv:"POLICY" ~doc)
 
 let max_strikes_arg =
   let doc = "Faults a state survives before it is quarantined." in
   Arg.(
     value
-    & opt int Driver.default_config.Driver.max_strikes
+    & opt int Driver.default_config.Driver.robust.Driver.max_strikes
     & info [ "max-strikes" ] ~docv:"N" ~doc)
+
+let intervals_target_arg =
+  let doc = "BBVs aimed for when auto-sizing the concolic interval." in
+  Arg.(
+    value
+    & opt int Driver.default_config.Driver.concolic.Driver.intervals_target
+    & info [ "intervals-target" ] ~docv:"N" ~doc)
 
 let report_arg =
   let doc =
     "Enable telemetry and write the JSON run report to $(docv) \
-     (schema pbse-report/1; see docs/telemetry.md). Compare two \
-     reports with `pbse report --diff A B'."
+     (schema pbse-report/1; see docs/telemetry.md). With --pool this is \
+     the aggregate campaign report. Compare two reports with \
+     `pbse report --diff A B'."
   in
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
-let write_report ~path ~meta report =
-  let json = Report.to_json (Driver.run_report ~meta report) in
+let write_report_json ~path json =
   let oc = open_out path in
   output_string oc json;
   close_out oc;
   Printf.printf "run report written to %s\n" path
 
-let config_of ~inject ~max_strikes ~scheduler =
-  if not (List.mem scheduler Pbse_sched.Scheduler.names) then
-    Error
-      (Printf.sprintf "unknown scheduler %s (available: %s)" scheduler
-         (String.concat ", " Pbse_sched.Scheduler.names))
-  else
-    match inject with
-    | None -> Ok { Driver.default_config with max_strikes; scheduler }
-    | Some spec -> (
-      match Inject.parse spec with
-      | Ok plan -> Ok { Driver.default_config with max_strikes; scheduler; inject = plan }
-      | Error e -> Error (Printf.sprintf "bad --inject plan: %s" e))
+(* One shared term assembles the driver configuration for every
+   subcommand that runs the engine, so flags compose identically
+   everywhere and new ones are added in exactly one place. Evaluates to
+   a [(Driver.config, string) result]. *)
+let config_term =
+  let combine inject max_strikes scheduler intervals_target =
+    if not (List.mem scheduler Pbse_sched.Scheduler.names) then
+      Error
+        (Printf.sprintf "unknown scheduler %s (available: %s)" scheduler
+           (String.concat ", " Pbse_sched.Scheduler.names))
+    else
+      let config =
+        Driver.default_config
+        |> Driver.with_search (fun s -> { s with Driver.scheduler })
+        |> Driver.with_robust (fun r -> { r with Driver.max_strikes })
+        |> Driver.with_concolic (fun c -> { c with Driver.intervals_target })
+      in
+      match inject with
+      | None -> Ok config
+      | Some spec -> (
+        match Inject.parse spec with
+        | Ok plan ->
+          Ok (Driver.with_robust (fun r -> { r with Driver.inject = plan }) config)
+        | Error e -> Error (Printf.sprintf "bad --inject plan: %s" e))
+  in
+  Term.(
+    const combine $ inject_arg $ max_strikes_arg $ scheduler_arg
+    $ intervals_target_arg)
 
 (* --- targets ------------------------------------------------------------------ *)
 
@@ -161,34 +185,81 @@ let print_report (report : Driver.report) =
         Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
       bugs
 
+let print_seed_rows rows =
+  let table =
+    Pbse_util.Tablefmt.create
+      [ "seed"; "bytes"; "turns"; "granted"; "dwell"; "new-blocks"; "bugs";
+        "faults"; "evicted"; "strikes" ]
+  in
+  List.iter
+    (fun (s : Report.seed_row) ->
+      Pbse_util.Tablefmt.add_row table
+        [
+          string_of_int s.Report.ordinal;
+          string_of_int s.Report.bytes;
+          string_of_int s.Report.turns;
+          string_of_int s.Report.granted;
+          string_of_int s.Report.dwell;
+          string_of_int s.Report.new_blocks;
+          string_of_int s.Report.bugs;
+          string_of_int s.Report.faults;
+          string_of_int s.Report.quarantined;
+          string_of_int s.Report.strikes;
+        ])
+    rows;
+  Pbse_util.Tablefmt.print table
+
 let run_cmd =
   let pool_arg =
-    let doc = "Run the whole benign seed pool (Algorithm 1's outer loop)." in
+    let doc = "Run the whole benign seed pool as a scheduled campaign." in
     Arg.(value & flag & info [ "pool" ] ~doc)
   in
-  let run name seed_label hours pool inject max_strikes scheduler report_file =
-    match (lookup_target name, config_of ~inject ~max_strikes ~scheduler) with
+  let pool_scheduler_arg =
+    let doc =
+      Printf.sprintf "Seed-level scheduling policy for --pool: %s."
+        (String.concat ", " Pool_scheduler.names)
+    in
+    Arg.(
+      value
+      & opt string Pool_scheduler.default
+      & info [ "pool-scheduler" ] ~docv:"POLICY" ~doc)
+  in
+  let run name seed_label hours pool pool_scheduler config report_file =
+    match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | _, _ when pool && report_file <> None ->
-      prerr_endline "--report is per-run; it cannot be combined with --pool";
+    | _, _ when pool && not (List.mem pool_scheduler Pool_scheduler.names) ->
+      Printf.eprintf "unknown pool scheduler %s (available: %s)\n" pool_scheduler
+        (String.concat ", " Pool_scheduler.names);
       1
     | Ok t, Ok config ->
       if report_file <> None then Telemetry.set_enabled true;
+      let deadline = deadline_of_hours hours in
+      let meta seed_label =
+        [ ("target", name); ("seed", seed_label); ("deadline", string_of_int deadline) ]
+      in
       if pool then begin
         let report =
-          Driver.run_pool ~config (Registry.program t)
+          Driver.run_pool ~config ~scheduler:pool_scheduler (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
-            ~deadline:(deadline_of_hours hours)
+            ~deadline
         in
-        Printf.printf "%d seed(s) run; merged coverage: %d blocks\n"
+        Printf.printf "%s campaign: %d of %d seed(s) run; merged coverage: %d blocks\n"
+          report.Driver.pool_scheduler
           (List.length report.Driver.runs)
+          (List.length report.Driver.seed_rows)
           report.Driver.merged_coverage;
+        print_seed_rows report.Driver.seed_rows;
         List.iter
           (fun ((bug : Bug.t), phase) ->
             Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
           report.Driver.merged_bugs;
+        (match report_file with
+         | Some path ->
+           write_report_json ~path
+             (Report.to_json (Driver.pool_run_report ~meta:(meta "pool") report))
+         | None -> ());
         0
       end
       else begin
@@ -197,21 +268,12 @@ let run_cmd =
           prerr_endline e;
           1
         | Ok seed ->
-          let report =
-            Driver.run ~config (Registry.program t) ~seed
-              ~deadline:(deadline_of_hours hours)
-          in
+          let report = Driver.run ~config (Registry.program t) ~seed ~deadline in
           print_report report;
           (match report_file with
            | Some path ->
-             write_report ~path
-               ~meta:
-                 [
-                   ("target", name);
-                   ("seed", seed_label);
-                   ("deadline", string_of_int (deadline_of_hours hours));
-                 ]
-               report
+             write_report_json ~path
+               (Report.to_json (Driver.run_report ~meta:(meta seed_label) report))
            | None -> ());
           0
       end
@@ -219,8 +281,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
-      const run $ target_arg $ seed_arg $ hours_arg $ pool_arg $ inject_arg
-      $ max_strikes_arg $ scheduler_arg $ report_arg)
+      const run $ target_arg $ seed_arg $ hours_arg $ pool_arg
+      $ pool_scheduler_arg $ config_term $ report_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 
@@ -262,12 +324,12 @@ let klee_cmd =
 (* --- phases ---------------------------------------------------------------------- *)
 
 let phases_cmd =
-  let run name seed_label =
-    match lookup_target name with
-    | Error e ->
+  let run name seed_label config =
+    match (lookup_target name, config) with
+    | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | Ok t -> (
+    | Ok t, Ok config -> (
       match lookup_seed t seed_label with
       | Error e ->
         prerr_endline e;
@@ -276,14 +338,17 @@ let phases_cmd =
         let prog = Registry.program t in
         let clock = Pbse_util.Vclock.create () in
         let exec = Executor.create ~clock prog ~input:seed in
-        let probe = Pbse_exec.Concrete.run prog ~input:seed in
-        let interval_length = max 50 (probe.Pbse_exec.Concrete.steps / 120) in
+        (* same interval sizing as the driver, honouring --intervals-target *)
+        let interval_length = Driver.interval_length_for config prog ~seed in
         let concolic =
           Pbse_concolic.Concolic.run ~interval_length exec
             (Pbse_concolic.Trace.indexer ())
         in
         let division =
-          Phase.divide (Pbse_util.Rng.create 1) concolic.Pbse_concolic.Concolic.bbvs
+          Phase.divide ~mode:config.Driver.concolic.Driver.mode
+            ~max_k:config.Driver.search.Driver.max_k
+            (Pbse_util.Rng.create config.Driver.rng_seed)
+            concolic.Pbse_concolic.Concolic.bbvs
         in
         Printf.printf "concolic run: %d virtual time units, %d BBVs, %d seedStates\n"
           concolic.Pbse_concolic.Concolic.c_time
@@ -303,7 +368,7 @@ let phases_cmd =
   in
   Cmd.v
     (Cmd.info "phases" ~doc:"Concolic execution and phase division only")
-    Term.(const run $ target_arg $ seed_arg)
+    Term.(const run $ target_arg $ seed_arg $ config_term)
 
 (* --- bugs ------------------------------------------------------------------------- *)
 
@@ -317,8 +382,8 @@ let hexdump bytes =
   Buffer.contents buf
 
 let bugs_cmd =
-  let run name seed_label hours inject max_strikes scheduler =
-    match (lookup_target name, config_of ~inject ~max_strikes ~scheduler) with
+  let run name seed_label hours config =
+    match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
@@ -344,9 +409,7 @@ let bugs_cmd =
   in
   Cmd.v
     (Cmd.info "bugs" ~doc:"Hunt bugs with pbSE and print witness inputs")
-    Term.(
-      const run $ target_arg $ seed_arg $ hours_arg $ inject_arg
-      $ max_strikes_arg $ scheduler_arg)
+    Term.(const run $ target_arg $ seed_arg $ hours_arg $ config_term)
 
 (* --- report ---------------------------------------------------------------------- *)
 
@@ -362,6 +425,7 @@ let load_report path =
 let print_report_summary (r : Report.t) =
   List.iter (fun (k, v) -> Printf.printf "%s: %s\n" k v) r.Report.meta;
   List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) r.Report.metrics;
+  (match r.Report.seeds with [] -> () | rows -> print_seed_rows rows);
   match r.Report.phases with
   | [] -> ()
   | phases ->

@@ -1,0 +1,48 @@
+type outcome = {
+  spent : int;
+  new_blocks : int;
+  finished : bool;
+}
+
+(* The generic campaign loop: policy decisions live behind
+   [Pool_scheduler.t], engine execution behind the [turn] callback, and
+   this loop owns every slot counter. Termination is guaranteed: each
+   iteration either consumes budget (monotone progress toward the
+   deadline) or retires a slot (zero-budget shares and no-progress turns
+   leave the rotation), and the rotation is finite. *)
+let run ~sched ~deadline turn =
+  let spent_total = ref 0 in
+  let rec loop () =
+    let remaining = deadline - !spent_total in
+    if remaining > 0 then
+      match sched.Pool_scheduler.select ~remaining with
+      | None -> ()
+      | Some { Pool_scheduler.slot; budget } ->
+        let budget = min budget remaining in
+        if budget <= 0 then begin
+          (* a share too small to run: the seed is skipped, its claim
+             flows back to the pool *)
+          slot.Seed_slot.retired <- true;
+          sched.Pool_scheduler.retire slot;
+          loop ()
+        end
+        else begin
+          slot.Seed_slot.turns <- slot.Seed_slot.turns + 1;
+          slot.Seed_slot.granted <- slot.Seed_slot.granted + budget;
+          let o = turn slot ~budget in
+          slot.Seed_slot.dwell <- slot.Seed_slot.dwell + o.spent;
+          slot.Seed_slot.new_blocks <- slot.Seed_slot.new_blocks + o.new_blocks;
+          spent_total := !spent_total + o.spent;
+          if o.finished || o.spent <= 0 then begin
+            (* drained, or a turn that made no progress: either way the
+               seed must leave the rotation or the loop could live-lock *)
+            slot.Seed_slot.retired <- true;
+            sched.Pool_scheduler.retire slot
+          end
+          else
+            sched.Pool_scheduler.credit slot ~spent:o.spent ~new_blocks:o.new_blocks;
+          loop ()
+        end
+  in
+  loop ();
+  !spent_total

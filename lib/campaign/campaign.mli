@@ -1,0 +1,28 @@
+(** The campaign loop: scheduled, budget-reallocating execution over a
+    seed pool.
+
+    Generic over both the policy ({!Pool_scheduler.t}) and the engine: a
+    caller-supplied [turn] callback runs one seed for one budgeted turn
+    and reports what happened. The loop owns all {!Seed_slot} counter
+    updates (turns, granted, dwell, new_blocks, retired); the callback
+    only executes.
+
+    [Pbse.Driver.run_pool] supplies a callback that opens a resumable
+    driver session per seed on its first turn and steps it on later
+    ones, keeping this library free of any engine dependency. *)
+
+type outcome = {
+  spent : int; (* virtual time the turn consumed (may overshoot budget) *)
+  new_blocks : int; (* blocks the turn added to the merged coverage set *)
+  finished : bool; (* the seed's engine drained; no more turns wanted *)
+}
+
+val run :
+  sched:Pool_scheduler.t ->
+  deadline:int ->
+  (Seed_slot.t -> budget:int -> outcome) ->
+  int
+(** [run ~sched ~deadline turn] grants turns until the budget is spent
+    or every slot is retired, and returns the total virtual time spent.
+    Zero-budget shares and turns that make no progress retire their slot
+    (never the campaign), so the loop always terminates. *)

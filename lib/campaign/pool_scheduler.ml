@@ -1,0 +1,167 @@
+module Telemetry = Pbse_telemetry.Telemetry
+
+let tm_turns = Telemetry.counter "campaign.turns"
+let tm_rotations = Telemetry.counter "campaign.rotations"
+let tm_retirements = Telemetry.counter "campaign.retirements"
+
+type turn = {
+  slot : Seed_slot.t;
+  budget : int;
+}
+
+type stats = {
+  mutable turns : int;
+  mutable rotations : int;
+  mutable retirements : int;
+}
+
+type t = {
+  name : string;
+  select : remaining:int -> turn option;
+  credit : Seed_slot.t -> spent:int -> new_blocks:int -> unit;
+  retire : Seed_slot.t -> unit;
+  drained : unit -> bool;
+  active : unit -> Seed_slot.t list;
+  stats : stats;
+}
+
+let stats_create () = { turns = 0; rotations = 0; retirements = 0 }
+
+let note_turn st =
+  st.turns <- st.turns + 1;
+  Telemetry.incr tm_turns
+
+let note_rotation st =
+  st.rotations <- st.rotations + 1;
+  Telemetry.incr tm_rotations
+
+let note_retirement st =
+  st.retirements <- st.retirements + 1;
+  Telemetry.incr tm_retirements
+
+(* Remove one slot (matched by ordinal) from the array, preserving order. *)
+let array_remove slots (s : Seed_slot.t) =
+  let n = Array.length !slots in
+  match
+    Array.to_list !slots
+    |> List.mapi (fun i x -> (i, x))
+    |> List.find_opt (fun (_, (x : Seed_slot.t)) -> x.Seed_slot.ordinal = s.Seed_slot.ordinal)
+  with
+  | None -> ()
+  | Some (idx, _) ->
+    slots := Array.init (n - 1) (fun i -> if i < idx then !slots.(i) else !slots.(i + 1))
+
+(* Algorithm 1's outer loop, as a policy: the head seed (slots arrive in
+   smallest-first order) gets one turn sized to an equal share of the
+   remaining budget, then leaves the rotation whether or not its engine
+   drained. Unused budget stays in the pool, so later seeds inherit it
+   through the shrinking divisor. *)
+let smallest_first ~time_period:_ slot_list =
+  let slots = ref (Array.of_list slot_list) in
+  let stats = stats_create () in
+  {
+    name = "smallest-first";
+    select =
+      (fun ~remaining ->
+        if Array.length !slots = 0 then None
+        else begin
+          note_turn stats;
+          Some { slot = !slots.(0); budget = remaining / Array.length !slots }
+        end);
+    credit =
+      (fun s ~spent:_ ~new_blocks:_ ->
+        (* one turn per seed: the share was final *)
+        note_retirement stats;
+        array_remove slots s);
+    retire =
+      (fun s ->
+        note_retirement stats;
+        array_remove slots s);
+    drained = (fun () -> Array.length !slots = 0);
+    active = (fun () -> Array.to_list !slots);
+    stats;
+  }
+
+(* Fair rotation: every seed gets [time_period]-sized turns in pool
+   order, with its own unused budget rolled forward onto its next turn
+   (an engine that stops early keeps its claim; one that overshoots
+   starts from zero carry). *)
+let round_robin ~time_period slot_list =
+  let slots = ref (Array.of_list slot_list) in
+  let pos = ref 0 in
+  let stats = stats_create () in
+  let wrap () =
+    if !pos >= Array.length !slots then begin
+      pos := 0;
+      if Array.length !slots > 0 then note_rotation stats
+    end
+  in
+  {
+    name = "round-robin";
+    select =
+      (fun ~remaining:_ ->
+        if Array.length !slots = 0 then None
+        else begin
+          note_turn stats;
+          let s = !slots.(!pos) in
+          Some { slot = s; budget = time_period + Seed_slot.carry s }
+        end);
+    credit =
+      (fun _s ~spent:_ ~new_blocks:_ ->
+        incr pos;
+        wrap ());
+    retire =
+      (fun s ->
+        note_retirement stats;
+        array_remove slots s;
+        wrap ());
+    drained = (fun () -> Array.length !slots = 0);
+    active = (fun () -> Array.to_list !slots);
+    stats;
+  }
+
+(* Greedy reallocation: the next turn goes to the seed with the best
+   new-blocks-per-dwell ratio, (new_blocks + 1) / (dwell + time_period),
+   compared by integer cross-multiplication; ties break toward the lower
+   ordinal (the smaller seed). A seed whose marginal coverage dries up
+   loses the comparison and its remaining budget flows to the others.
+   Budgets grow with the slot's own turn count so a productive seed
+   earns longer stretches. *)
+let coverage_greedy ~time_period slot_list =
+  let slots = ref (Array.of_list slot_list) in
+  let stats = stats_create () in
+  let better (a : Seed_slot.t) (b : Seed_slot.t) =
+    let lhs = (a.Seed_slot.new_blocks + 1) * (b.Seed_slot.dwell + time_period) in
+    let rhs = (b.Seed_slot.new_blocks + 1) * (a.Seed_slot.dwell + time_period) in
+    if lhs <> rhs then lhs > rhs else a.Seed_slot.ordinal < b.Seed_slot.ordinal
+  in
+  {
+    name = "coverage-greedy";
+    select =
+      (fun ~remaining:_ ->
+        if Array.length !slots = 0 then None
+        else begin
+          note_turn stats;
+          let best =
+            Array.fold_left (fun acc s -> if better s acc then s else acc) !slots.(0) !slots
+          in
+          Some { slot = best; budget = (best.Seed_slot.turns + 1) * time_period }
+        end);
+    credit = (fun _s ~spent:_ ~new_blocks:_ -> ());
+    retire =
+      (fun s ->
+        note_retirement stats;
+        array_remove slots s);
+    drained = (fun () -> Array.length !slots = 0);
+    active = (fun () -> Array.to_list !slots);
+    stats;
+  }
+
+let default = "smallest-first"
+let names = [ "smallest-first"; "round-robin"; "coverage-greedy" ]
+
+let by_name = function
+  | "smallest-first" -> Some smallest_first
+  | "round-robin" -> Some round_robin
+  | "coverage-greedy" -> Some coverage_greedy
+  | _ -> None

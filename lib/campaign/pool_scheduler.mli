@@ -1,0 +1,59 @@
+(** Seed-pool scheduling policies behind one interface.
+
+    The seed-level mirror of {!Pbse_sched.Scheduler}: the campaign loop
+    repeatedly asks [select] for the next seed turn and its budget, runs
+    that seed's engine for the turn, then reports back — [credit] when
+    the seed stays schedulable, [retire] when it leaves the pool (engine
+    drained, zero budget, or no progress). Policies read the counters on
+    {!Seed_slot} (the campaign loop owns them) and are deterministic:
+    identical call sequences yield identical selections, which the
+    byte-identical aggregate-report test relies on. *)
+
+type turn = {
+  slot : Seed_slot.t;
+  budget : int; (* virtual-time allowance for this turn *)
+}
+
+type stats = {
+  mutable turns : int; (* turns granted *)
+  mutable rotations : int; (* full rotations (policy-specific) *)
+  mutable retirements : int; (* slots retired from the rotation *)
+}
+
+type t = {
+  name : string;
+  select : remaining:int -> turn option;
+      (** Next seed to run and its budget, given the campaign's
+          remaining budget; [None] when no slots remain. *)
+  credit : Seed_slot.t -> spent:int -> new_blocks:int -> unit;
+      (** The turn ended and the seed stays schedulable (under
+          [smallest-first] the seed's single share is spent, so credit
+          also retires it). *)
+  retire : Seed_slot.t -> unit;  (** Remove the seed from the rotation. *)
+  drained : unit -> bool;  (** No slots left to schedule. *)
+  active : unit -> Seed_slot.t list;
+      (** Slots still schedulable, in policy order. *)
+  stats : stats;
+}
+
+val smallest_first : time_period:int -> Seed_slot.t list -> t
+(** The paper's Algorithm 1 (today's equal split): each seed, smallest
+    first, gets one turn sized to an equal share of the remaining
+    budget. [time_period] is unused. *)
+
+val round_robin : time_period:int -> Seed_slot.t list -> t
+(** Fair rotation: [time_period]-sized turns in pool order, per-seed
+    unused budget rolled forward onto the seed's next turn. *)
+
+val coverage_greedy : time_period:int -> Seed_slot.t list -> t
+(** Adaptive reallocation: best new-blocks-per-dwell ratio first
+    (integer cross-multiplied, ties to the lower ordinal), budgets
+    growing with the slot's own turn count. *)
+
+val default : string
+(** ["smallest-first"] — the paper's behaviour. *)
+
+val names : string list
+(** All policy names accepted by {!by_name}. *)
+
+val by_name : string -> (time_period:int -> Seed_slot.t list -> t) option

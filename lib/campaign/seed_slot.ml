@@ -1,0 +1,48 @@
+module Report = Pbse_telemetry.Report
+
+type t = {
+  ordinal : int;
+  seed : bytes;
+  size : int;
+  mutable turns : int;
+  mutable granted : int;
+  mutable dwell : int;
+  mutable new_blocks : int;
+  mutable bugs : int;
+  mutable faults : int;
+  mutable quarantined : int;
+  mutable strikes : int;
+  mutable retired : bool;
+}
+
+let create ~ordinal seed =
+  {
+    ordinal;
+    seed;
+    size = Bytes.length seed;
+    turns = 0;
+    granted = 0;
+    dwell = 0;
+    new_blocks = 0;
+    bugs = 0;
+    faults = 0;
+    quarantined = 0;
+    strikes = 0;
+    retired = false;
+  }
+
+let carry slot = max 0 (slot.granted - slot.dwell)
+
+let stat_row slot =
+  {
+    Report.ordinal = slot.ordinal;
+    bytes = slot.size;
+    turns = slot.turns;
+    granted = slot.granted;
+    dwell = slot.dwell;
+    new_blocks = slot.new_blocks;
+    bugs = slot.bugs;
+    faults = slot.faults;
+    quarantined = slot.quarantined;
+    strikes = slot.strikes;
+  }

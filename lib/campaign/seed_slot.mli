@@ -1,0 +1,30 @@
+(** Per-seed accounting for a campaign over a seed pool.
+
+    A slot is the seed-level analogue of {!Pbse_sched.Phase_queue}: one
+    record per pool seed holding the counters the pool scheduling
+    policies read ([dwell], [new_blocks], [turns]) and the tallies the
+    aggregate pool report serialises. The campaign loop owns all
+    mutation; policies only read. *)
+
+type t = {
+  ordinal : int; (* 1-based position in pool order (smallest seed first) *)
+  seed : bytes;
+  size : int; (* seed length in bytes *)
+  mutable turns : int; (* campaign turns granted *)
+  mutable granted : int; (* budget granted across those turns *)
+  mutable dwell : int; (* virtual time actually consumed *)
+  mutable new_blocks : int; (* blocks this seed added to the merged set *)
+  mutable bugs : int; (* merged bugs first found under this seed *)
+  mutable faults : int; (* contained faults in this seed's engine *)
+  mutable quarantined : int; (* quarantine evictions during its turns *)
+  mutable strikes : int; (* quarantine strikes during its turns *)
+  mutable retired : bool; (* no longer schedulable (drained or skipped) *)
+}
+
+val create : ordinal:int -> bytes -> t
+
+val carry : t -> int
+(** Unused budget rolled forward: [max 0 (granted - dwell)]. *)
+
+val stat_row : t -> Pbse_telemetry.Report.seed_row
+(** Snapshot the tallies into the aggregate report's per-seed row. *)

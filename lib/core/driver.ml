@@ -9,6 +9,9 @@ module Trace = Pbse_concolic.Trace
 module Phase = Pbse_phase.Phase
 module Phase_queue = Pbse_sched.Phase_queue
 module Scheduler = Pbse_sched.Scheduler
+module Seed_slot = Pbse_campaign.Seed_slot
+module Pool_scheduler = Pbse_campaign.Pool_scheduler
+module Campaign = Pbse_campaign.Campaign
 module Vclock = Pbse_util.Vclock
 module Rng = Pbse_util.Rng
 module Fault = Pbse_robust.Fault
@@ -22,42 +25,76 @@ let tm_concolic = Telemetry.span "driver.concolic"
 let tm_phase_analysis = Telemetry.span "driver.phase_analysis"
 let tm_turn = Telemetry.span "driver.turn"
 
-type config = {
+(* --- configuration --------------------------------------------------------- *)
+
+type concolic_config = {
   interval_length : int option; (* None: size from a concrete pre-run *)
   intervals_target : int; (* BBVs aimed for when auto-sizing *)
   time_period : int;
-  phase_searcher : string;
   mode : Phase.mode;
-  dedup_seed_states : bool;
+}
+
+type search_config = {
+  phase_searcher : string;
   scheduler : string;
-  max_k : int;
-  rng_seed : int;
   max_live : int;
-  solver_budget : int;
-  solver_retry_cap : int;
+  dedup_seed_states : bool;
+  max_k : int;
+}
+
+type solver_config = {
+  budget : int;
+  retry_cap : int;
+}
+
+type robust_config = {
   confirm_bugs : bool;
   max_strikes : int;
   inject : Inject.plan;
 }
 
+type config = {
+  concolic : concolic_config;
+  search : search_config;
+  solver : solver_config;
+  robust : robust_config;
+  rng_seed : int;
+}
+
 let default_config =
   {
-    interval_length = None;
-    intervals_target = 120;
-    time_period = 10_000;
-    phase_searcher = "default";
-    mode = Phase.Bbv_with_coverage;
-    dedup_seed_states = true;
-    scheduler = "round-robin";
-    max_k = 20;
+    concolic =
+      {
+        interval_length = None;
+        intervals_target = 120;
+        time_period = 10_000;
+        mode = Phase.Bbv_with_coverage;
+      };
+    search =
+      {
+        phase_searcher = "default";
+        scheduler = "round-robin";
+        max_live = 8192;
+        dedup_seed_states = true;
+        max_k = 20;
+      };
+    solver = { budget = 60_000; retry_cap = 480_000 };
+    robust = { confirm_bugs = true; max_strikes = 4; inject = Inject.none };
     rng_seed = 1;
-    max_live = 8192;
-    solver_budget = 60_000;
-    solver_retry_cap = 480_000;
-    confirm_bugs = true;
-    max_strikes = 4;
-    inject = Inject.none;
   }
+
+let with_concolic f config = { config with concolic = f config.concolic }
+let with_search f config = { config with search = f config.search }
+let with_solver f config = { config with solver = f config.solver }
+let with_robust f config = { config with robust = f config.robust }
+let with_rng_seed rng_seed config = { config with rng_seed }
+
+let interval_length_for config prog ~seed =
+  match config.concolic.interval_length with
+  | Some l -> l
+  | None ->
+    let probe = Pbse_exec.Concrete.run prog ~input:seed ~fuel:20_000_000 in
+    max 50 (probe.Pbse_exec.Concrete.steps / max 1 config.concolic.intervals_target)
 
 type report = {
   config : config;
@@ -87,14 +124,15 @@ let coverage_at report t =
   scan 0 report.coverage_samples
 
 let make_phase_searcher config rng exec =
-  match Searcher.by_name config.phase_searcher with
+  match Searcher.by_name config.search.phase_searcher with
   | Some make -> make (Rng.split rng) (Executor.cfg exec) (Executor.coverage exec)
-  | None -> invalid_arg ("Driver: unknown phase searcher " ^ config.phase_searcher)
+  | None ->
+    invalid_arg ("Driver: unknown phase searcher " ^ config.search.phase_searcher)
 
 let make_scheduler config =
-  match Scheduler.by_name config.scheduler with
+  match Scheduler.by_name config.search.scheduler with
   | Some make -> make
-  | None -> invalid_arg ("Driver: unknown scheduler " ^ config.scheduler)
+  | None -> invalid_arg ("Driver: unknown scheduler " ^ config.search.scheduler)
 
 let map_seed_states config ~interval_length division bbvs
     (seed_states : Concolic.seed_state list) =
@@ -110,7 +148,7 @@ let map_seed_states config ~interval_length division bbvs
         | None -> None)
       seed_states
   in
-  if not config.dedup_seed_states then tagged
+  if not config.search.dedup_seed_states then tagged
   else begin
     (* keep the earliest seedState per (phase, fork location) *)
     let seen = Hashtbl.create 256 in
@@ -224,30 +262,56 @@ let schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress =
   in
   turns ()
 
-let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
+(* --- resumable sessions ---------------------------------------------------- *)
+
+(* A session is one seed's engine with its setup (concolic pass, phase
+   division, seeded queues) done and its scheduling state live, so the
+   campaign layer can grant it turn-granular budget instead of one
+   deadline: open once, step any number of times, finish into the same
+   report [run] produces. *)
+type session = {
+  s_config : config;
+  s_seed : bytes;
+  s_clock : Vclock.t;
+  s_exec : Executor.t;
+  s_sched : Scheduler.t;
+  s_quarantine : Quarantine.t;
+  s_evicted0 : int;
+  s_strikes0 : int;
+  s_c_time : int;
+  s_p_time : int;
+  s_division : Phase.division;
+  s_bbvs : Bbv.t list;
+  s_trace : Trace.t;
+  s_seed_state_count : int;
+  s_interval_length : int;
+  s_queues : Phase_queue.t list;
+  s_samples : (int * int) list ref;
+  s_bug_phases : (int * string, int) Hashtbl.t;
+  s_note_progress : int -> unit;
+}
+
+let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true) prog
+    ~seed ~deadline =
   (* validate the policy name before the expensive concolic step *)
   let scheduler_factory = make_scheduler config in
   (* instrumented runs snapshot the registry into their report, so start
-     each run from zero; uninstrumented runs skip the reset too *)
-  if Telemetry.enabled () then Telemetry.reset ();
+     each run from zero; uninstrumented runs skip the reset too. A pool
+     campaign resets once for the whole campaign instead
+     ([reset_telemetry = false] here). *)
+  if reset_telemetry && Telemetry.enabled () then Telemetry.reset ();
   let clock = Vclock.create () in
   let exec =
-    Executor.create ~max_live:config.max_live ~solver_budget:config.solver_budget
-      ~solver_retry_cap:config.solver_retry_cap ~confirm_bugs:config.confirm_bugs
-      ~inject:config.inject ~clock prog ~input:seed
+    Executor.create ~max_live:config.search.max_live ~solver_budget:config.solver.budget
+      ~solver_retry_cap:config.solver.retry_cap ~confirm_bugs:config.robust.confirm_bugs
+      ~inject:config.robust.inject ~clock prog ~input:seed
   in
   let rng = Rng.create config.rng_seed in
   (* step 1: concolic execution. The BBV interval is sized from a cheap
      concrete pre-run so every seed yields a comparable number of BBVs
      (the paper gathers over wall-clock intervals; runs lasting longer
      simply produce more vectors). *)
-  let interval_length =
-    match config.interval_length with
-    | Some l -> l
-    | None ->
-      let probe = Pbse_exec.Concrete.run prog ~input:seed ~fuel:20_000_000 in
-      max 50 (probe.Pbse_exec.Concrete.steps / config.intervals_target)
-  in
+  let interval_length = interval_length_for config prog ~seed in
   let indexer = Trace.indexer () in
   let now () = Vclock.now clock in
   let concolic =
@@ -260,10 +324,11 @@ let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
   let division =
     Telemetry.with_span tm_phase_analysis ~now (fun () ->
         let d =
-          Phase.divide ~mode:config.mode ~max_k:config.max_k (Rng.split rng)
-            concolic.Concolic.bbvs
+          Phase.divide ~mode:config.concolic.mode ~max_k:config.search.max_k
+            (Rng.split rng) concolic.Concolic.bbvs
         in
-        Vclock.advance clock (50 * List.length concolic.Concolic.bbvs * config.max_k / 20);
+        Vclock.advance clock
+          (50 * List.length concolic.Concolic.bbvs * config.search.max_k / 20);
         d)
   in
   let p_time = Vclock.now clock - p_start + 1 in
@@ -299,7 +364,7 @@ let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
       | None -> ())
     seed_states;
   let sched =
-    scheduler_factory ~time_period:config.time_period
+    scheduler_factory ~time_period:config.concolic.time_period
       (List.filter (fun q -> Phase_queue.size q > 0) queue_list)
   in
   Executor.set_live_counter exec (fun () ->
@@ -333,59 +398,90 @@ let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
     end
   in
   note_progress 0;
-  (* step 4: phase-scheduled symbolic execution. A caller-supplied
-     quarantine (run_pool) persists across runs: per-state strikes reset
-     with the epoch, site records and totals carry over. *)
+  (* a caller-supplied quarantine (run_pool) persists across runs: per-state
+     strikes reset with the epoch, site records and totals carry over *)
   let quarantine =
     match quarantine with
     | Some q ->
       Quarantine.epoch q;
       q
-    | None -> Quarantine.create ~max_strikes:config.max_strikes
-  in
-  let evicted0 = Quarantine.evicted quarantine in
-  let strikes0 = Quarantine.total_strikes quarantine in
-  schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress;
-  let bugs =
-    List.map
-      (fun bug ->
-        let ordinal =
-          match Hashtbl.find_opt bug_phases (Bug.dedup_key bug) with
-          | Some o -> o
-          | None -> 0
-        in
-        (bug, ordinal))
-      (Executor.bugs exec)
+    | None -> Quarantine.create ~max_strikes:config.robust.max_strikes
   in
   {
-    config;
-    seed_size = Bytes.length seed;
-    c_time;
-    p_time;
-    division;
-    bbvs = concolic.Concolic.bbvs;
-    trace = concolic.Concolic.trace;
-    seed_state_count = List.length seed_states;
-    interval_length;
-    coverage_samples = List.rev !samples;
-    bugs;
-    executor = exec;
-    faults = Executor.faults exec;
-    quarantined = Quarantine.evicted quarantine - evicted0;
-    strikes = Quarantine.total_strikes quarantine - strikes0;
-    sched_stats = sched.Scheduler.stats;
-    phase_stats = List.map Phase_queue.stat_row queue_list;
+    s_config = config;
+    s_seed = seed;
+    s_clock = clock;
+    s_exec = exec;
+    s_sched = sched;
+    s_quarantine = quarantine;
+    s_evicted0 = Quarantine.evicted quarantine;
+    s_strikes0 = Quarantine.total_strikes quarantine;
+    s_c_time = c_time;
+    s_p_time = p_time;
+    s_division = division;
+    s_bbvs = concolic.Concolic.bbvs;
+    s_trace = concolic.Concolic.trace;
+    s_seed_state_count = List.length seed_states;
+    s_interval_length = interval_length;
+    s_queues = queue_list;
+    s_samples = samples;
+    s_bug_phases = bug_phases;
+    s_note_progress = note_progress;
   }
+
+let step_session s ~deadline =
+  (* step 4: phase-scheduled symbolic execution, up to [deadline] on the
+     session's own clock; resumable — the scheduling policy keeps its
+     rotation state between steps *)
+  schedule_phases ~clock:s.s_clock ~deadline ~sched:s.s_sched
+    ~quarantine:s.s_quarantine s.s_exec s.s_note_progress
+
+let session_time s = Vclock.now s.s_clock
+let session_drained s = s.s_sched.Scheduler.drained ()
+let session_executor s = s.s_exec
+
+let session_bug_phase s bug =
+  match Hashtbl.find_opt s.s_bug_phases (Bug.dedup_key bug) with
+  | Some o -> o
+  | None -> 0
+
+let finish_session s =
+  let bugs =
+    List.map (fun bug -> (bug, session_bug_phase s bug)) (Executor.bugs s.s_exec)
+  in
+  {
+    config = s.s_config;
+    seed_size = Bytes.length s.s_seed;
+    c_time = s.s_c_time;
+    p_time = s.s_p_time;
+    division = s.s_division;
+    bbvs = s.s_bbvs;
+    trace = s.s_trace;
+    seed_state_count = s.s_seed_state_count;
+    interval_length = s.s_interval_length;
+    coverage_samples = List.rev !(s.s_samples);
+    bugs;
+    executor = s.s_exec;
+    faults = Executor.faults s.s_exec;
+    quarantined = Quarantine.evicted s.s_quarantine - s.s_evicted0;
+    strikes = Quarantine.total_strikes s.s_quarantine - s.s_strikes0;
+    sched_stats = s.s_sched.Scheduler.stats;
+    phase_stats = List.map Phase_queue.stat_row s.s_queues;
+  }
+
+let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
+  let s = open_session ~config ?quarantine prog ~seed ~deadline in
+  step_session s ~deadline;
+  finish_session s
 
 (* --- run reports ---------------------------------------------------------- *)
 
-(* Assemble the structured run report (docs/telemetry.md). The scalar
-   metrics are harvested from the per-run stats structs — authoritative
-   whether or not the registry was enabled — while spans and histograms
-   come from the registry snapshot and are only populated on
-   instrumented runs. Construction order is fixed, so two identical
-   seeded runs serialise byte-identically. *)
-let run_report ?(meta = []) report =
+(* The scalar metric families of a run report, harvested from the
+   per-run stats structs — authoritative whether or not the registry was
+   enabled. Construction order is fixed, so two identical seeded runs
+   serialise byte-identically; the aggregate pool report sums these same
+   families across runs. *)
+let scalar_metrics report =
   let exec = report.executor in
   let sst = Solver.stats (Executor.solver exec) in
   let est = Executor.stats exec in
@@ -399,121 +495,246 @@ let run_report ?(meta = []) report =
       0 report.phase_stats
   in
   let sum f = List.fold_left (fun acc p -> acc + f p) 0 report.phase_stats in
-  let metrics =
-    [
-      ("seed.bytes", report.seed_size);
-      ("run.c_time", report.c_time);
-      ("run.p_time", report.p_time);
-      ("run.interval_length", report.interval_length);
-      ("run.seed_states", report.seed_state_count);
-      ("phase.count", report.division.Phase.k);
-      ("phase.traps", report.division.Phase.trap_count);
-      ("phase.turns", sum (fun p -> p.Report.turns));
-      ("phase.slices", sum (fun p -> p.Report.slices));
-      ("phase.new_cover", sum (fun p -> p.Report.new_cover));
-      ("phase.dwell", sum (fun p -> p.Report.dwell));
-      ("phase.trap_dwell", trap_dwell);
-      ("sched.turns", scs.Scheduler.turns);
-      ("sched.rotations", scs.Scheduler.rotations);
-      ("sched.evictions", scs.Scheduler.evictions);
-      ("sched.failovers", scs.Scheduler.failovers);
-      ("coverage.blocks", Coverage.count (Executor.coverage exec));
-      ("bugs.total", List.length report.bugs);
-      ("bugs.confirmed", confirmed);
-      ("exec.states", Executor.state_count exec);
-      ("exec.instructions", est.Executor.instructions);
-      ("exec.slices", est.Executor.slices);
-      ("exec.forks", est.Executor.forks);
-      ("exec.dropped_forks", est.Executor.dropped_forks);
-      ("exec.cow_copies", est.Executor.cow_copies);
-      ("exec.term_exit", est.Executor.term_exit);
-      ("exec.term_bug", est.Executor.term_bug);
-      ("exec.term_abort", est.Executor.term_abort);
-      ("exec.term_infeasible", est.Executor.term_infeasible);
-      ("exec.concretized_addrs", est.Executor.concretized_addrs);
-      ("verify.verified", est.Executor.verify_verified);
-      ("verify.infeasible", est.Executor.verify_infeasible);
-      ("verify.undecided", est.Executor.verify_undecided);
-      ("solver.queries", sst.Solver.queries);
-      ("solver.sat", sst.Solver.sat);
-      ("solver.unsat", sst.Solver.unsat);
-      ("solver.unknown", sst.Solver.unknown);
-      ("solver.cache_hits", sst.Solver.cache_hits);
-      ("solver.hint_hits", sst.Solver.hint_hits);
-      ("solver.prefix_hits", sst.Solver.prefix_hits);
-      ("solver.prefix_builds", sst.Solver.prefix_builds);
-      ("solver.prefix_model_hits", sst.Solver.prefix_model_hits);
-      ("solver.search_nodes", sst.Solver.search_nodes);
-      ("solver.work", sst.Solver.work);
-      ("solver.retries", sst.Solver.retries);
-      ("solver.escalations", sst.Solver.escalations);
-      ("solver.retry_resolved", sst.Solver.retry_resolved);
-      ("quarantine.evicted", report.quarantined);
-      ("quarantine.strikes", report.strikes);
-    ]
-    @ List.map
-        (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
-        Fault.all
-    @ List.concat_map
-        (fun (name, count, total) ->
-          [ ("span." ^ name ^ ".count", count); ("span." ^ name ^ ".total", total) ])
-        (Telemetry.snapshot_spans ())
-  in
+  [
+    ("seed.bytes", report.seed_size);
+    ("run.c_time", report.c_time);
+    ("run.p_time", report.p_time);
+    ("run.interval_length", report.interval_length);
+    ("run.seed_states", report.seed_state_count);
+    ("phase.count", report.division.Phase.k);
+    ("phase.traps", report.division.Phase.trap_count);
+    ("phase.turns", sum (fun p -> p.Report.turns));
+    ("phase.slices", sum (fun p -> p.Report.slices));
+    ("phase.new_cover", sum (fun p -> p.Report.new_cover));
+    ("phase.dwell", sum (fun p -> p.Report.dwell));
+    ("phase.trap_dwell", trap_dwell);
+    ("sched.turns", scs.Scheduler.turns);
+    ("sched.rotations", scs.Scheduler.rotations);
+    ("sched.evictions", scs.Scheduler.evictions);
+    ("sched.failovers", scs.Scheduler.failovers);
+    ("coverage.blocks", Coverage.count (Executor.coverage exec));
+    ("bugs.total", List.length report.bugs);
+    ("bugs.confirmed", confirmed);
+    ("exec.states", Executor.state_count exec);
+    ("exec.instructions", est.Executor.instructions);
+    ("exec.slices", est.Executor.slices);
+    ("exec.forks", est.Executor.forks);
+    ("exec.dropped_forks", est.Executor.dropped_forks);
+    ("exec.cow_copies", est.Executor.cow_copies);
+    ("exec.term_exit", est.Executor.term_exit);
+    ("exec.term_bug", est.Executor.term_bug);
+    ("exec.term_abort", est.Executor.term_abort);
+    ("exec.term_infeasible", est.Executor.term_infeasible);
+    ("exec.concretized_addrs", est.Executor.concretized_addrs);
+    ("verify.verified", est.Executor.verify_verified);
+    ("verify.infeasible", est.Executor.verify_infeasible);
+    ("verify.undecided", est.Executor.verify_undecided);
+    ("solver.queries", sst.Solver.queries);
+    ("solver.sat", sst.Solver.sat);
+    ("solver.unsat", sst.Solver.unsat);
+    ("solver.unknown", sst.Solver.unknown);
+    ("solver.cache_hits", sst.Solver.cache_hits);
+    ("solver.hint_hits", sst.Solver.hint_hits);
+    ("solver.prefix_hits", sst.Solver.prefix_hits);
+    ("solver.prefix_builds", sst.Solver.prefix_builds);
+    ("solver.prefix_model_hits", sst.Solver.prefix_model_hits);
+    ("solver.search_nodes", sst.Solver.search_nodes);
+    ("solver.work", sst.Solver.work);
+    ("solver.retries", sst.Solver.retries);
+    ("solver.escalations", sst.Solver.escalations);
+    ("solver.retry_resolved", sst.Solver.retry_resolved);
+    ("quarantine.evicted", report.quarantined);
+    ("quarantine.strikes", report.strikes);
+  ]
+  @ List.map
+      (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
+      Fault.all
+
+let span_metrics () =
+  List.concat_map
+    (fun (name, count, total) ->
+      [ ("span." ^ name ^ ".count", count); ("span." ^ name ^ ".total", total) ])
+    (Telemetry.snapshot_spans ())
+
+(* Assemble the structured run report (docs/telemetry.md). The scalar
+   metrics are authoritative whether or not the registry was enabled,
+   while spans and histograms come from the registry snapshot and are
+   only populated on instrumented runs. *)
+let run_report ?(meta = []) report =
   {
     Report.meta;
-    metrics;
+    metrics = scalar_metrics report @ span_metrics ();
     phases = report.phase_stats;
+    seeds = [];
     histograms = Telemetry.snapshot_histograms ();
   }
+
+(* --- seed pools ------------------------------------------------------------ *)
 
 type pool_report = {
   runs : (bytes * report) list;
   merged_coverage : int;
   merged_bugs : (Bug.t * int) list;
+  pool_scheduler : string;
+  seed_rows : Report.seed_row list;
+  pool_stats : Pool_scheduler.stats;
+  pool_deadline : int;
+  pool_spent : int;
 }
 
-(* Algorithm 1's outer loop: pop seeds (smallest first, the paper's
-   heuristic bias), giving each remaining seed an equal share of the
-   remaining budget. Coverage is merged as a union of global block ids;
-   bugs are deduplicated across runs on (location, kind). One quarantine
-   is threaded through every run, so eviction records persist across
-   seeds instead of resetting (each run reports its own delta). *)
-let run_pool ?(config = default_config) prog ~seeds ~deadline =
+(* Algorithm 1's outer loop over a seed pool, generalised into a
+   campaign: seeds (ordered smallest first, the paper's heuristic bias)
+   become slots of a seed-level scheduling policy, each turn opens or
+   resumes that seed's session, and coverage is merged as a union of
+   global block ids after every turn — so adaptive policies can compare
+   seeds on the marginal blocks they contribute. Bugs are deduplicated
+   across runs on (location, kind) and attributed to the seed whose turn
+   first surfaced them. One quarantine is threaded through every
+   session, so fork sites that struck out under one seed are retired
+   faster under later seeds. *)
+let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default) prog
+    ~seeds ~deadline =
+  let factory =
+    match Pool_scheduler.by_name scheduler with
+    | Some f -> f
+    | None -> invalid_arg ("Driver: unknown pool scheduler " ^ scheduler)
+  in
+  if Telemetry.enabled () then Telemetry.reset ();
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
   in
-  let quarantine = Quarantine.create ~max_strikes:config.max_strikes in
+  let slots = List.mapi (fun i seed -> Seed_slot.create ~ordinal:(i + 1) seed) ordered in
+  let quarantine = Quarantine.create ~max_strikes:config.robust.max_strikes in
   let merged = Hashtbl.create 1024 in
   let bug_keys = Hashtbl.create 32 in
-  let runs = ref [] in
-  let bugs = ref [] in
-  let spent = ref 0 in
-  let remaining_seeds = ref (List.length ordered) in
+  let merged_bugs = ref [] in
+  let sessions : (int, session) Hashtbl.t = Hashtbl.create 8 in
+  let opened = ref [] in
+  let merge_coverage session =
+    List.fold_left
+      (fun fresh gid ->
+        if Hashtbl.mem merged gid then fresh
+        else begin
+          Hashtbl.replace merged gid ();
+          fresh + 1
+        end)
+      0
+      (Coverage.covered_ids (Executor.coverage session.s_exec))
+  in
+  let harvest_bugs (slot : Seed_slot.t) session =
+    List.iter
+      (fun bug ->
+        let key = Bug.dedup_key bug in
+        if not (Hashtbl.mem bug_keys key) then begin
+          Hashtbl.replace bug_keys key ();
+          slot.Seed_slot.bugs <- slot.Seed_slot.bugs + 1;
+          merged_bugs := (bug, session_bug_phase session bug) :: !merged_bugs
+        end)
+      (Executor.bugs session.s_exec)
+  in
+  let turn (slot : Seed_slot.t) ~budget =
+    let evicted0 = Quarantine.evicted quarantine in
+    let strikes0 = Quarantine.total_strikes quarantine in
+    let session, start =
+      match Hashtbl.find_opt sessions slot.Seed_slot.ordinal with
+      | Some s -> (s, Vclock.now s.s_clock)
+      | None ->
+        (* first turn: the session's setup (concolic pass, phase
+           division, seeding) is charged against this turn's budget *)
+        let s =
+          open_session ~config ~quarantine ~reset_telemetry:false prog
+            ~seed:slot.Seed_slot.seed ~deadline:budget
+        in
+        Hashtbl.replace sessions slot.Seed_slot.ordinal s;
+        opened := slot :: !opened;
+        (s, 0)
+    in
+    step_session session ~deadline:(start + budget);
+    slot.Seed_slot.quarantined <-
+      slot.Seed_slot.quarantined + (Quarantine.evicted quarantine - evicted0);
+    slot.Seed_slot.strikes <-
+      slot.Seed_slot.strikes + (Quarantine.total_strikes quarantine - strikes0);
+    harvest_bugs slot session;
+    {
+      Campaign.spent = Vclock.now session.s_clock - start;
+      new_blocks = merge_coverage session;
+      finished = session_drained session;
+    }
+  in
+  let sched = factory ~time_period:config.concolic.time_period slots in
+  let spent = Campaign.run ~sched ~deadline turn in
   List.iter
-    (fun seed ->
-      let budget = (deadline - !spent) / max 1 !remaining_seeds in
-      decr remaining_seeds;
-      if budget > 0 then begin
-        let report = run ~config ~quarantine prog ~seed ~deadline:budget in
-        spent := !spent + Vclock.now (Executor.clock report.executor);
-        runs := (seed, report) :: !runs;
-        List.iter
-          (fun gid -> Hashtbl.replace merged gid ())
-          (Coverage.covered_ids (Executor.coverage report.executor));
-        List.iter
-          (fun ((bug : Bug.t), phase) ->
-            let key = Bug.dedup_key bug in
-            if not (Hashtbl.mem bug_keys key) then begin
-              Hashtbl.replace bug_keys key ();
-              bugs := (bug, phase) :: !bugs
-            end)
-          report.bugs
-      end)
-    ordered;
+    (fun (slot : Seed_slot.t) ->
+      match Hashtbl.find_opt sessions slot.Seed_slot.ordinal with
+      | Some s -> slot.Seed_slot.faults <- Fault.total (Executor.faults s.s_exec)
+      | None -> ())
+    slots;
+  let runs =
+    List.rev_map
+      (fun (slot : Seed_slot.t) ->
+        ( slot.Seed_slot.seed,
+          finish_session (Hashtbl.find sessions slot.Seed_slot.ordinal) ))
+      !opened
+  in
   {
-    runs = List.rev !runs;
+    runs;
     merged_coverage = Hashtbl.length merged;
-    merged_bugs = List.rev !bugs;
+    merged_bugs = List.rev !merged_bugs;
+    pool_scheduler = sched.Pool_scheduler.name;
+    seed_rows = List.map Seed_slot.stat_row slots;
+    pool_stats = sched.Pool_scheduler.stats;
+    pool_deadline = deadline;
+    pool_spent = spent;
+  }
+
+(* Aggregate pool report: pool-level metrics first (merged coverage and
+   deduplicated bugs replace the per-run values, which would double
+   count), then the element-wise sum of every per-run scalar family,
+   plus the per-seed rows. Span and histogram sections snapshot the
+   registry, which a pool campaign resets once at the start — they cover
+   the whole campaign on instrumented runs. *)
+let pool_run_report ?(meta = []) pool =
+  let reports = List.map snd pool.runs in
+  let summed =
+    match List.map scalar_metrics reports with
+    | [] -> []
+    | first :: rest ->
+      List.fold_left
+        (fun acc m -> List.map2 (fun (k, a) (_, b) -> (k, a + b)) acc m)
+        first rest
+  in
+  (* merged values replace their summed counterparts; per-run interval
+     lengths don't aggregate meaningfully *)
+  let dropped =
+    [ "coverage.blocks"; "bugs.total"; "bugs.confirmed"; "run.interval_length" ]
+  in
+  let summed = List.filter (fun (k, _) -> not (List.mem k dropped)) summed in
+  let confirmed =
+    List.length
+      (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) pool.merged_bugs)
+  in
+  let st = pool.pool_stats in
+  let metrics =
+    [
+      ("pool.seeds", List.length pool.seed_rows);
+      ("pool.runs", List.length pool.runs);
+      ("pool.turns", st.Pool_scheduler.turns);
+      ("pool.rotations", st.Pool_scheduler.rotations);
+      ("pool.retirements", st.Pool_scheduler.retirements);
+      ("pool.deadline", pool.pool_deadline);
+      ("pool.spent", pool.pool_spent);
+      ("coverage.blocks", pool.merged_coverage);
+      ("bugs.total", List.length pool.merged_bugs);
+      ("bugs.confirmed", confirmed);
+    ]
+    @ summed @ span_metrics ()
+  in
+  {
+    Report.meta = ("pool_scheduler", pool.pool_scheduler) :: meta;
+    metrics;
+    phases = [];
+    seeds = pool.seed_rows;
+    histograms = Telemetry.snapshot_histograms ();
   }
 
 let select_seed seeds ~coverage_of =

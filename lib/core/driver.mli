@@ -20,31 +20,81 @@
     that faults repeatedly is quarantined (removed from its searcher)
     after [max_strikes]; a searcher that raises forfeits its whole phase
     (the rotation fails over to the remaining queues). Degenerate phase
-    division (no BBVs) falls back to a single phase instead of raising. *)
+    division (no BBVs) falls back to a single phase instead of raising.
 
-type config = {
+    Above single runs sits the campaign layer: {!run_pool} drives a seed
+    pool through seed-level scheduling policies
+    ({!Pbse_campaign.Pool_scheduler}) built on resumable
+    {!type:session}s, and {!pool_run_report} renders the aggregate into
+    the same [pbse-report/1] document single runs use. *)
+
+(** {1 Configuration}
+
+    The configuration is grouped by concern. Build one from
+    {!default_config} with the [with_*] helpers:
+    {[
+      Driver.default_config
+      |> Driver.with_concolic (fun c -> { c with time_period = 500 })
+      |> Driver.with_search (fun s -> { s with scheduler = "sequential" })
+    ]} *)
+
+type concolic_config = {
   interval_length : int option; (* BBV interval; None sizes it from a
                                    concrete pre-run of the seed *)
   intervals_target : int; (* BBVs aimed for when auto-sizing (default 120) *)
-  time_period : int; (* Algorithm 3's TimePeriod *)
-  phase_searcher : string; (* searcher used inside each phase *)
+  time_period : int; (* Algorithm 3's TimePeriod; also the seed-level
+                        turn quantum of pool schedulers *)
   mode : Pbse_phase.Phase.mode; (* BBV-only or coverage-augmented vectors *)
-  dedup_seed_states : bool; (* keep earliest per fork point (paper) *)
+}
+(** The concolic pass and phase-division inputs. *)
+
+type search_config = {
+  phase_searcher : string; (* searcher used inside each phase *)
   scheduler : string; (* scheduling policy (Pbse_sched.Scheduler.names);
                          "round-robin" is the paper's Algorithm 3,
                          "sequential" the ablation, "coverage-greedy"
-                         the greedy alternative *)
-  max_k : int; (* k-means upper bound (paper: 20) *)
-  rng_seed : int;
+                         the greedy alternative, "trap-first" the
+                         trap-prioritising rotation *)
   max_live : int;
-  solver_budget : int;
-  solver_retry_cap : int; (* upper bound for escalating solver retries *)
+  dedup_seed_states : bool; (* keep earliest per fork point (paper) *)
+  max_k : int; (* k-means upper bound (paper: 20) *)
+}
+(** State search and phase scheduling. *)
+
+type solver_config = {
+  budget : int; (* work units per query *)
+  retry_cap : int; (* upper bound for escalating solver retries *)
+}
+
+type robust_config = {
   confirm_bugs : bool;
   max_strikes : int; (* faults a state survives before quarantine *)
   inject : Pbse_robust.Inject.plan; (* deterministic fault injection *)
 }
 
+type config = {
+  concolic : concolic_config;
+  search : search_config;
+  solver : solver_config;
+  robust : robust_config;
+  rng_seed : int;
+}
+
 val default_config : config
+
+val with_concolic : (concolic_config -> concolic_config) -> config -> config
+val with_search : (search_config -> search_config) -> config -> config
+val with_solver : (solver_config -> solver_config) -> config -> config
+val with_robust : (robust_config -> robust_config) -> config -> config
+val with_rng_seed : int -> config -> config
+
+val interval_length_for :
+  config -> Pbse_ir.Types.program -> seed:bytes -> int
+(** The BBV interval the driver will use for [seed]: the configured
+    [interval_length] if set, otherwise sized from a concrete pre-run so
+    the run yields about [intervals_target] BBVs. *)
+
+(** {1 Single runs} *)
 
 type report = {
   config : config;
@@ -89,6 +139,50 @@ val run :
     run gets a fresh quarantine. The report's [quarantined]/[strikes]
     are this run's deltas either way. *)
 
+(** {1 Resumable sessions}
+
+    [run] is [open_session] + one [step_session] + [finish_session]. The
+    split lets a caller (the campaign layer) grant a seed's engine
+    budget in turns rather than one deadline: the scheduling policy's
+    rotation state survives between steps, so a resumed session
+    continues exactly where it paused. *)
+
+type session
+(** One seed's engine with setup done (concolic pass, phase division,
+    seeded queues) and scheduling state live. *)
+
+val open_session :
+  ?config:config ->
+  ?quarantine:Pbse_robust.Quarantine.t ->
+  ?reset_telemetry:bool ->
+  Pbse_ir.Types.program ->
+  seed:bytes ->
+  deadline:int ->
+  session
+(** Runs the concolic and phase-analysis steps (charged to the
+    session's clock) and seeds the phase queues; [deadline] bounds the
+    concolic pass only. [reset_telemetry] (default [true]) resets the
+    registry when telemetry is enabled — pool campaigns pass [false]
+    and reset once for the whole campaign. *)
+
+val step_session : session -> deadline:int -> unit
+(** Phase-scheduled symbolic execution until [deadline] on the
+    session's own clock (an absolute virtual time, not a delta).
+    Returns early if the scheduler drains. *)
+
+val session_time : session -> int
+(** Current virtual time of the session's clock. *)
+
+val session_drained : session -> bool
+(** True when every phase queue has left the rotation; further steps
+    are no-ops. *)
+
+val session_executor : session -> Pbse_exec.Executor.t
+
+val finish_session : session -> report
+(** Assemble the run report from the session's current state. The
+    session stays usable; finishing again after more steps is valid. *)
+
 val run_report :
   ?meta:(string * string) list -> report -> Pbse_telemetry.Report.t
 (** Assemble the structured run report: solver query/retry/escalation
@@ -102,19 +196,49 @@ val select_seed : bytes list -> coverage_of:(bytes -> int) -> bytes option
 (** The paper's seed-selection heuristic (§III-B4): consider the 10
     smallest seeds, pick the one with the best coverage. *)
 
+(** {1 Seed-pool campaigns} *)
+
 type pool_report = {
-  runs : (bytes * report) list; (* in execution order *)
+  runs : (bytes * report) list; (* in first-turn order *)
   merged_coverage : int; (* union of covered blocks across runs *)
-  merged_bugs : (Pbse_exec.Bug.t * int) list; (* deduplicated *)
+  merged_bugs : (Pbse_exec.Bug.t * int) list; (* deduplicated, with the
+                                                 phase ordinal of the run
+                                                 that first found each *)
+  pool_scheduler : string; (* policy that drove the campaign *)
+  seed_rows : Pbse_telemetry.Report.seed_row list; (* ordinal order,
+                                                      every seed (also
+                                                      never-run ones) *)
+  pool_stats : Pbse_campaign.Pool_scheduler.stats;
+  pool_deadline : int;
+  pool_spent : int; (* virtual time actually consumed *)
 }
 
 val run_pool :
   ?config:config ->
+  ?scheduler:string ->
   Pbse_ir.Types.program ->
   seeds:bytes list ->
   deadline:int ->
   pool_report
-(** Algorithm 1's outer loop over a seed pool: seeds run smallest-first,
-    each receiving an equal share of the remaining budget. One quarantine
-    is threaded through every run, so fork sites that struck out under
-    one seed are retired faster under later seeds. *)
+(** Algorithm 1's outer loop over a seed pool, generalised into a
+    scheduled campaign. Seeds are ordered smallest-first and become
+    slots of the named seed-level policy
+    ({!Pbse_campaign.Pool_scheduler.names}; default
+    {!Pbse_campaign.Pool_scheduler.default}, the paper's equal-share
+    smallest-first pass). Each turn opens or resumes the seed's
+    {!type:session}; coverage merges into a global block set after every
+    turn, so adaptive policies compare seeds on their marginal blocks.
+    Bugs are deduplicated across runs and attributed to the seed whose
+    turn first surfaced them. One quarantine is threaded through every
+    session. Raises [Invalid_argument] on an unknown policy name. *)
+
+val pool_run_report :
+  ?meta:(string * string) list -> pool_report -> Pbse_telemetry.Report.t
+(** Aggregate campaign report in the same [pbse-report/1] document
+    single runs use, so [--report], [report --diff] and [--fail-on]
+    work unchanged on pool runs: [pool.*] metrics (seeds, runs, turns,
+    rotations, retirements, deadline, spent), merged [coverage.blocks]
+    and deduplicated [bugs.*], the element-wise sum of every per-run
+    scalar metric family, and a [seeds] section of per-seed rows. The
+    pool scheduler's name is recorded in the metadata. Deterministic:
+    identical seeded campaigns yield byte-identical JSON. *)

@@ -158,10 +158,65 @@ let coverage_greedy ~time_period queue_list =
     stats;
   }
 
-let names = [ "round-robin"; "sequential"; "coverage-greedy" ]
+(* Round-robin with trap priority: every phase still gets exactly one
+   turn per rotation with the same growing budget, but within each
+   rotation the trap phases (the paper's prime bug habitat) take their
+   turns first, in appearance order, followed by the non-trap phases.
+   The pending list is rebuilt at each rotation boundary from the
+   still-live queues, so evictions never starve the order. *)
+let trap_first ~time_period queue_list =
+  let queues = ref (Array.of_list queue_list) in
+  let rotation = ref 1 in
+  let stats = stats_create () in
+  let order () =
+    let live = Array.to_list !queues in
+    List.filter (fun (q : Phase_queue.t) -> q.Phase_queue.trap) live
+    @ List.filter (fun (q : Phase_queue.t) -> not q.Phase_queue.trap) live
+  in
+  let pending = ref (order ()) in
+  let drop q =
+    pending :=
+      List.filter
+        (fun (x : Phase_queue.t) -> x.Phase_queue.ordinal <> q.Phase_queue.ordinal)
+        !pending
+  in
+  let refill_if_done () =
+    if !pending = [] && Array.length !queues > 0 then begin
+      incr rotation;
+      note_rotation stats;
+      pending := order ()
+    end
+  in
+  {
+    name = "trap-first";
+    select =
+      (fun () ->
+        if Array.length !queues = 0 then None
+        else begin
+          refill_if_done ();
+          note_turn stats;
+          Some { queue = List.hd !pending; budget = !rotation * time_period }
+        end);
+    credit =
+      (fun q ~elapsed:_ ~new_cover:_ ->
+        drop q;
+        refill_if_done ());
+    evict =
+      (fun q ~failed ->
+        note_eviction stats ~failed;
+        array_remove queues q;
+        drop q;
+        refill_if_done ());
+    drained = (fun () -> Array.length !queues = 0);
+    remaining = (fun () -> Array.to_list !queues);
+    stats;
+  }
+
+let names = [ "round-robin"; "sequential"; "coverage-greedy"; "trap-first" ]
 
 let by_name = function
   | "round-robin" -> Some round_robin
   | "sequential" -> Some sequential
   | "coverage-greedy" -> Some coverage_greedy
+  | "trap-first" -> Some trap_first
   | _ -> None

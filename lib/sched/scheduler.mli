@@ -51,6 +51,10 @@ val coverage_greedy : time_period:int -> Phase_queue.t list -> t
 (** Greedy alternative: highest new-cover-per-dwell ratio first
     (integer cross-multiplied, ties to the lower ordinal). *)
 
+val trap_first : time_period:int -> Phase_queue.t list -> t
+(** Round-robin rotations and budgets, but trap phases take their turns
+    first within each rotation (appearance order within each class). *)
+
 val names : string list
 (** All policy names accepted by {!by_name}. *)
 

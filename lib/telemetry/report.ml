@@ -10,10 +10,24 @@ type phase_row = {
   quarantined : int;
 }
 
+type seed_row = {
+  ordinal : int;
+  bytes : int;
+  turns : int;
+  granted : int;
+  dwell : int;
+  new_blocks : int;
+  bugs : int;
+  faults : int;
+  quarantined : int;
+  strikes : int;
+}
+
 type t = {
   meta : (string * string) list;
   metrics : (string * int) list;
   phases : phase_row list;
+  seeds : seed_row list;
   histograms : Telemetry.histogram_snapshot list;
 }
 
@@ -35,6 +49,21 @@ let phase_to_json (p : phase_row) =
       ("quarantined", Json.Int p.quarantined);
     ]
 
+let seed_to_json (s : seed_row) =
+  Json.Obj
+    [
+      ("ordinal", Json.Int s.ordinal);
+      ("bytes", Json.Int s.bytes);
+      ("turns", Json.Int s.turns);
+      ("granted", Json.Int s.granted);
+      ("dwell", Json.Int s.dwell);
+      ("new_blocks", Json.Int s.new_blocks);
+      ("bugs", Json.Int s.bugs);
+      ("faults", Json.Int s.faults);
+      ("quarantined", Json.Int s.quarantined);
+      ("strikes", Json.Int s.strikes);
+    ]
+
 let histogram_to_json (h : Telemetry.histogram_snapshot) =
   ( h.Telemetry.hs_name,
     Json.Obj
@@ -51,15 +80,23 @@ let histogram_to_json (h : Telemetry.histogram_snapshot) =
       ] )
 
 let to_json t =
+  (* the per-seed section only appears on aggregate pool reports, so
+     single-run documents are unchanged by the pool extension *)
+  let seeds =
+    match t.seeds with
+    | [] -> []
+    | rows -> [ ("seeds", Json.List (List.map seed_to_json rows)) ]
+  in
   Json.to_string_pretty
     (Json.Obj
-       [
-         ("schema", Json.Str schema);
-         ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.meta));
-         ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics));
-         ("phases", Json.List (List.map phase_to_json t.phases));
-         ("histograms", Json.Obj (List.map histogram_to_json t.histograms));
-       ])
+       ([
+          ("schema", Json.Str schema);
+          ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.meta));
+          ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.metrics));
+          ("phases", Json.List (List.map phase_to_json t.phases));
+        ]
+       @ seeds
+       @ [ ("histograms", Json.Obj (List.map histogram_to_json t.histograms)) ]))
 
 (* --- parsing -------------------------------------------------------------- *)
 
@@ -80,6 +117,20 @@ let phase_of_json json =
     new_cover = get_int "new_cover" json;
     dwell = get_int "dwell" json;
     quarantined = get_int "quarantined" json;
+  }
+
+let seed_of_json json =
+  {
+    ordinal = get_int "ordinal" json;
+    bytes = get_int "bytes" json;
+    turns = get_int "turns" json;
+    granted = get_int "granted" json;
+    dwell = get_int "dwell" json;
+    new_blocks = get_int "new_blocks" json;
+    bugs = get_int "bugs" json;
+    faults = get_int "faults" json;
+    quarantined = get_int "quarantined" json;
+    strikes = get_int "strikes" json;
   }
 
 let histogram_of_json name json =
@@ -124,8 +175,13 @@ let of_json text =
         | None -> []
         | Some items -> List.map phase_of_json items
       in
+      let seeds =
+        match Option.bind (Json.member "seeds" json) Json.to_list with
+        | None -> []
+        | Some items -> List.map seed_of_json items
+      in
       let histograms = List.map (fun (k, v) -> histogram_of_json k v) (assoc "histograms") in
-      Ok { meta; metrics; phases; histograms }
+      Ok { meta; metrics; phases; seeds; histograms }
     | Some s -> Error (Printf.sprintf "unsupported report schema %S (want %S)" s schema)
     | None -> Error "missing \"schema\" field")
 
@@ -167,13 +223,26 @@ let diff a b =
       end)
     keys;
   (* phase movement *)
-  let traps l = List.length (List.filter (fun p -> p.trap) l) in
-  let dwell l = List.fold_left (fun acc p -> acc + p.dwell) 0 l in
-  let cover l = List.fold_left (fun acc p -> acc + p.new_cover) 0 l in
+  let traps l = List.length (List.filter (fun (p : phase_row) -> p.trap) l) in
+  let dwell l = List.fold_left (fun acc (p : phase_row) -> acc + p.dwell) 0 l in
+  let cover l = List.fold_left (fun acc (p : phase_row) -> acc + p.new_cover) 0 l in
   if a.phases <> [] || b.phases <> [] then
     line "  phases: %d -> %d (traps %d -> %d, dwell %d -> %d, new-cover slices %d -> %d)"
       (List.length a.phases) (List.length b.phases) (traps a.phases) (traps b.phases)
       (dwell a.phases) (dwell b.phases) (cover a.phases) (cover b.phases);
+  (* seed-pool movement (aggregate pool reports only) *)
+  let seed_sum f l = List.fold_left (fun acc s -> acc + f s) 0 l in
+  if a.seeds <> [] || b.seeds <> [] then
+    line "  seeds: %d -> %d (turns %d -> %d, dwell %d -> %d, new blocks %d -> %d, bugs %d -> %d)"
+      (List.length a.seeds) (List.length b.seeds)
+      (seed_sum (fun s -> s.turns) a.seeds)
+      (seed_sum (fun s -> s.turns) b.seeds)
+      (seed_sum (fun s -> s.dwell) a.seeds)
+      (seed_sum (fun s -> s.dwell) b.seeds)
+      (seed_sum (fun s -> s.new_blocks) a.seeds)
+      (seed_sum (fun s -> s.new_blocks) b.seeds)
+      (seed_sum (fun s -> s.bugs) a.seeds)
+      (seed_sum (fun s -> s.bugs) b.seeds);
   if !changed = 0 then line "  identical metrics (%d compared)" compared
   else line "  %d of %d metrics changed" !changed compared;
   Buffer.contents buf

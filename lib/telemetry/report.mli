@@ -22,10 +22,27 @@ type phase_row = {
   quarantined : int; (* states evicted while this phase ran *)
 }
 
+type seed_row = {
+  ordinal : int; (* 1-based pool order (smallest seed first) *)
+  bytes : int; (* seed size *)
+  turns : int; (* campaign turns granted *)
+  granted : int; (* budget granted across those turns *)
+  dwell : int; (* virtual time actually consumed *)
+  new_blocks : int; (* blocks this seed added to the merged set *)
+  bugs : int; (* merged bugs first found under this seed *)
+  faults : int; (* contained faults in this seed's engine *)
+  quarantined : int; (* quarantine evictions during its turns *)
+  strikes : int; (* quarantine strikes during its turns *)
+}
+(** Per-seed row of an aggregate pool report ([Driver.pool_run_report]).
+    Single-run reports leave [seeds] empty and serialise exactly as
+    before the pool extension. *)
+
 type t = {
   meta : (string * string) list;
   metrics : (string * int) list;
   phases : phase_row list;
+  seeds : seed_row list;
   histograms : Telemetry.histogram_snapshot list;
 }
 
@@ -45,8 +62,9 @@ val metric : t -> string -> int
 
 val diff : t -> t -> string
 (** Human-readable regression summary between two reports: changed
-    metadata, every changed metric with absolute and percent delta, and
-    per-phase dwell/coverage movement. *)
+    metadata, every changed metric with absolute and percent delta,
+    per-phase dwell/coverage movement, and — for aggregate pool
+    reports — per-seed turn/dwell/new-block movement. *)
 
 type gate
 (** One regression threshold on a metric: [+N] fails when the metric

@@ -129,12 +129,15 @@ let test_driver_config_variants () =
       Alcotest.(check bool) "coverage positive" true
         (Coverage.count (Executor.coverage report.Driver.executor) > 0))
     [
-      { Driver.default_config with Driver.mode = Pbse_phase.Phase.Bbv_only };
-      { Driver.default_config with Driver.dedup_seed_states = false };
-      { Driver.default_config with Driver.scheduler = "sequential" };
-      { Driver.default_config with Driver.phase_searcher = "dfs" };
-      { Driver.default_config with Driver.max_k = 4 };
-      { Driver.default_config with Driver.interval_length = Some 40 };
+      Driver.(
+        with_concolic
+          (fun c -> { c with mode = Pbse_phase.Phase.Bbv_only })
+          default_config);
+      Driver.(with_search (fun s -> { s with dedup_seed_states = false }) default_config);
+      Driver.(with_search (fun s -> { s with scheduler = "sequential" }) default_config);
+      Driver.(with_search (fun s -> { s with phase_searcher = "dfs" }) default_config);
+      Driver.(with_search (fun s -> { s with max_k = 4 }) default_config);
+      Driver.(with_concolic (fun c -> { c with interval_length = Some 40 }) default_config);
     ]
 
 let test_driver_unknown_phase_searcher () =
@@ -142,7 +145,9 @@ let test_driver_unknown_phase_searcher () =
     (try
        ignore
          (run_driver
-            ~config:{ Driver.default_config with Driver.phase_searcher = "zigzag" }
+            ~config:
+              Driver.(
+                with_search (fun s -> { s with phase_searcher = "zigzag" }) default_config)
             ());
        false
      with Invalid_argument _ -> true)

@@ -283,7 +283,10 @@ let plan_of spec =
 
 let run_injected ?(deadline = 120_000) ?(max_strikes = 2) spec =
   let config =
-    { Driver.default_config with Driver.inject = plan_of spec; max_strikes }
+    Driver.(
+      with_robust
+        (fun r -> { r with inject = plan_of spec; max_strikes })
+        default_config)
   in
   Driver.run ~config (mini_program ()) ~seed:(mini_seed ()) ~deadline
 
@@ -314,7 +317,10 @@ let test_shared_quarantine_across_runs () =
   (* one quarantine threaded through consecutive runs (as run_pool does):
      per-run reports are deltas and site records carry over *)
   let q = Quarantine.create ~max_strikes:2 in
-  let config = { Driver.default_config with Driver.inject = plan_of "seed=3,solver=1.0" } in
+  let config =
+    Driver.(
+      with_robust (fun r -> { r with inject = plan_of "seed=3,solver=1.0" }) default_config)
+  in
   let run () =
     Driver.run ~config ~quarantine:q (mini_program ()) ~seed:(mini_seed ())
       ~deadline:60_000
@@ -370,7 +376,7 @@ let test_registry_sweep_never_crashes () =
   (* acceptance criterion: under a plan forcing solver Unknowns and
      executor aborts, Driver.run completes on every bundled target *)
   let plan = sweep_plan () in
-  let config = { Driver.default_config with Driver.inject = plan } in
+  let config = Driver.(with_robust (fun r -> { r with inject = plan }) default_config) in
   let injected = ref 0 in
   List.iter
     (fun t ->

@@ -12,8 +12,8 @@ let dummy_state id =
   State.create ~id ~nregs:1 ~mem:Mem.empty ~model:Pbse_smt.Model.empty ~fidx:0
     ~born:0
 
-let queue ?(states = 1) ordinal =
-  let q = Phase_queue.create ~ordinal ~pid:ordinal ~trap:false (Searcher.dfs ()) in
+let queue ?(states = 1) ?(trap = false) ordinal =
+  let q = Phase_queue.create ~ordinal ~pid:ordinal ~trap (Searcher.dfs ()) in
   for i = 1 to states do
     Phase_queue.seed q (dummy_state ((100 * ordinal) + i))
   done;
@@ -121,6 +121,52 @@ let test_coverage_greedy_prefers_productive () =
   q1.Phase_queue.new_cover <- 2;
   Alcotest.(check int) "lead changes with the ratio" 1 (select_ordinal sched)
 
+let test_trap_first_orders_traps_ahead () =
+  let qs () = [ queue 1; queue ~trap:true 2; queue 3; queue ~trap:true 4 ] in
+  let drive sched n =
+    List.init n (fun _ ->
+        match sched.Scheduler.select () with
+        | Some t ->
+          sched.Scheduler.credit t.Scheduler.queue ~elapsed:1 ~new_cover:0;
+          (t.Scheduler.queue.Phase_queue.ordinal, t.Scheduler.budget)
+        | None -> Alcotest.fail "expected a turn")
+  in
+  let sched = make "trap-first" (qs ()) in
+  (* traps 2 and 4 lead every rotation; budgets grow per rotation *)
+  Alcotest.(check (list (pair int int)))
+    "traps first, appearance order within class, growing budgets"
+    [
+      (2, tp); (4, tp); (1, tp); (3, tp);
+      (2, 2 * tp); (4, 2 * tp); (1, 2 * tp); (3, 2 * tp);
+    ]
+    (drive sched 8);
+  Alcotest.(check int) "rotations counted" 2 sched.Scheduler.stats.Scheduler.rotations;
+  (* determinism: an identical call sequence yields identical selections *)
+  let a = drive (make "trap-first" (qs ())) 10 in
+  let b = drive (make "trap-first" (qs ())) 10 in
+  Alcotest.(check (list (pair int int))) "deterministic selection sequence" a b
+
+let test_trap_first_eviction_keeps_rotation () =
+  let sched = make "trap-first" [ queue 1; queue ~trap:true 2; queue 3 ] in
+  Alcotest.(check int) "trap leads" 2 (select_ordinal sched);
+  (* evicting the trap mid-rotation hands the turn to the non-traps *)
+  (match sched.Scheduler.select () with
+   | Some t -> sched.Scheduler.evict t.Scheduler.queue ~failed:false
+   | None -> Alcotest.fail "expected a turn");
+  let step () =
+    let o = select_ordinal sched in
+    sched.Scheduler.credit
+      (List.find
+         (fun (q : Phase_queue.t) -> q.Phase_queue.ordinal = o)
+         (sched.Scheduler.remaining ()))
+      ~elapsed:1 ~new_cover:0;
+    o
+  in
+  Alcotest.(check (list int)) "remaining rotation, then plain round-robin"
+    [ 1; 3; 1; 3 ]
+    (List.init 4 (fun _ -> step ()));
+  Alcotest.(check bool) "not drained" false (sched.Scheduler.drained ())
+
 let test_by_name_covers_names () =
   List.iter
     (fun name ->
@@ -145,5 +191,9 @@ let suite =
       test_sequential_drains_head_first;
     Alcotest.test_case "coverage-greedy prefers productive" `Quick
       test_coverage_greedy_prefers_productive;
+    Alcotest.test_case "trap-first orders traps ahead" `Quick
+      test_trap_first_orders_traps_ahead;
+    Alcotest.test_case "trap-first eviction keeps rotation" `Quick
+      test_trap_first_eviction_keeps_rotation;
     Alcotest.test_case "by_name covers names" `Quick test_by_name_covers_names;
   ]

@@ -140,6 +140,7 @@ let sample_report () =
           quarantined = 0;
         };
       ];
+    seeds = [];
     histograms =
       [
         {
@@ -199,9 +200,12 @@ let test_diff_self () =
 
 (* --- end-to-end determinism ------------------------------------------------ *)
 
-let driver_report_json ?(scheduler = Driver.default_config.Driver.scheduler) () =
+let driver_report_json ?(scheduler = Driver.default_config.Driver.search.Driver.scheduler)
+    () =
   with_registry ~enabled:true (fun () ->
-      let config = { Driver.default_config with Driver.scheduler } in
+      let config =
+        Driver.(with_search (fun s -> { s with scheduler }) default_config)
+      in
       let report =
         Driver.run ~config
           (Suite_core.mini_program ())

@@ -13,6 +13,7 @@ let () =
       ("sched", Suite_sched.suite);
       ("telemetry", Suite_telemetry.suite);
       ("core", Suite_core.suite);
+      ("campaign", Suite_campaign.suite);
       ("robust", Suite_robust.suite);
       ("targets", Suite_targets.suite);
     ]
