@@ -68,10 +68,13 @@ let run_csv_metrics =
     "exec.cow_copies";
   ]
 
+(* jobs / wall_ms / speedup_pct close every row: single runs are always
+   jobs=1 and unmeasured (0), the pool --jobs sweep fills them in *)
 let run_csv_header =
   String.concat ","
     ([ "suite"; "target"; "seed_bytes"; "deadline" ]
-    @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics)
+    @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics
+    @ [ "jobs"; "wall_ms"; "speedup_pct" ])
 
 let run_rows : string list ref = ref []
 
@@ -85,14 +88,16 @@ let note_run ~suite ~name ~deadline report =
          string_of_int report.Driver.seed_size;
          string_of_int deadline;
        ]
-      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics)
+      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
+      @ [ "1"; "0"; "0" ])
   in
   run_rows := row :: !run_rows
 
 (* Pool campaigns contribute the same CSV columns, harvested through the
    aggregate Driver.pool_run_report (merged coverage, deduplicated bugs,
    summed engine totals); seed_bytes is the whole pool's size. *)
-let note_pool_run ~suite ~name ~deadline pool =
+let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ~suite ~name
+    ~deadline pool =
   let rr = Driver.pool_run_report pool in
   let pool_bytes =
     List.fold_left
@@ -102,7 +107,8 @@ let note_pool_run ~suite ~name ~deadline pool =
   let row =
     String.concat ","
       ([ suite; name; string_of_int pool_bytes; string_of_int deadline ]
-      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics)
+      @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
+      @ [ string_of_int jobs; string_of_int wall_ms; string_of_int speedup_pct ])
   in
   run_rows := row :: !run_rows
 
@@ -685,12 +691,77 @@ let pool_bench () =
     (cov "coverage-greedy") (cov "smallest-first")
     (if cov "coverage-greedy" >= cov "smallest-first" then "OK" else "BEHIND")
 
+(* --- Pool --jobs sweep ------------------------------------------------------------- *)
+
+(* The domain-pool determinism-and-throughput sweep: the same campaign at
+   --jobs 1/2/4, wall-clocked, with the byte-identical report contract
+   checked inline (docs/parallelism.md). Speedup is reported honestly:
+   on a single-core runner the widths tie (modulo domain overhead), and
+   the column exists so multi-core runs of the same harness show the
+   scaling. *)
+let pool_jobs_bench () =
+  heading "Pool campaign at --jobs 1/2/4: determinism and wall-clock";
+  Printf.printf "  (host reports %d recognisable core(s))
+%!"
+    (Domain.recommended_domain_count ());
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seeds = List.map snd t.Registry.seeds in
+  let deadline = ten_hours in
+  let table =
+    Tablefmt.create [ "jobs"; "merged cov"; "rounds"; "wall ms"; "speedup"; "report" ]
+  in
+  let base_json = ref "" and base_wall = ref 0 in
+  List.iter
+    (fun jobs ->
+      let t0 = Unix.gettimeofday () in
+      let pool = Driver.run_pool ~jobs prog ~seeds ~deadline in
+      let wall_ms =
+        int_of_float (1000. *. (Unix.gettimeofday () -. t0))
+      in
+      let json = Report.to_json (Driver.pool_run_report pool) in
+      let verdict =
+        if jobs = 1 then begin
+          base_json := json;
+          base_wall := wall_ms;
+          "baseline"
+        end
+        else if json = !base_json then "identical"
+        else "MISMATCH"
+      in
+      let speedup_pct =
+        if wall_ms <= 0 then 0 else 100 * !base_wall / wall_ms
+      in
+      note_pool_run ~jobs ~wall_ms ~speedup_pct ~suite:"pool-jobs"
+        ~name:(Printf.sprintf "%s/jobs-%d" t.Registry.name jobs)
+        ~deadline pool;
+      Tablefmt.add_row table
+        [
+          string_of_int jobs;
+          string_of_int pool.Driver.merged_coverage;
+          string_of_int pool.Driver.pool_rounds;
+          string_of_int wall_ms;
+          Printf.sprintf "%d.%02dx" (speedup_pct / 100) (speedup_pct mod 100);
+          verdict;
+        ];
+      Printf.printf "  ... jobs=%d done (%d ms, %s)
+%!" jobs wall_ms verdict;
+      if verdict = "MISMATCH" then begin
+        prerr_endline "pool reports diverged across --jobs; determinism bug";
+        exit 1
+      end)
+    [ 1; 2; 4 ];
+  Tablefmt.print table;
+  Printf.printf
+    "  every width produced byte-identical reports; speedup only reflects \
+     the host's core count\n%!"
+
 (* --- Smoke (CI) ----------------------------------------------------------------- *)
 
 (* One tiny end-to-end run with telemetry enabled; used by the CI
    bench-smoke job, which checks results/runs.csv and
    results/smoke_report.json for the telemetry columns. *)
-let smoke () =
+let smoke ?(jobs = 1) () =
   heading "Smoke: one tiny telemetry-instrumented run (CI artifact)";
   (* big enough that the concolic pass and phase analysis (~14k units on
      gif2tiff) leave budget for phase scheduling, so solver/phase metrics
@@ -720,12 +791,13 @@ let smoke () =
      in CI too *)
   Telemetry.set_enabled true;
   let pool =
-    Driver.run_pool ~scheduler:"coverage-greedy" (Registry.program t)
+    Driver.run_pool ~scheduler:"coverage-greedy" ~jobs (Registry.program t)
       ~seeds:(List.map snd t.Registry.seeds)
       ~deadline:small
   in
   Telemetry.set_enabled false;
-  note_pool_run ~suite:"smoke-pool" ~name:t.Registry.name ~deadline:small pool;
+  note_pool_run ~jobs ~suite:"smoke-pool" ~name:t.Registry.name ~deadline:small
+    pool;
   let pr =
     Driver.pool_run_report
       ~meta:
@@ -745,6 +817,16 @@ let smoke () =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* one flag, shared by the subcommands that campaign: --jobs N *)
+  let jobs =
+    let rec scan i =
+      if i + 1 >= Array.length Sys.argv then 1
+      else if Sys.argv.(i) = "--jobs" then
+        try max 1 (int_of_string Sys.argv.(i + 1)) with Failure _ -> 1
+      else scan (i + 1)
+    in
+    scan 1
+  in
   Printf.printf "pbSE benchmark harness: 1h = %d virtual time units (PBSE_HOUR)\n" hour;
   (match what with
    | "table1" -> table1 ()
@@ -756,7 +838,8 @@ let () =
    | "ablate" -> ablate ()
    | "robust" -> robust ()
    | "pool" -> pool_bench ()
-   | "smoke" -> smoke ()
+   | "pool-jobs" -> pool_jobs_bench ()
+   | "smoke" -> smoke ~jobs ()
    | "bechamel" -> bechamel ()
    | "all" ->
      table1 ();
@@ -768,11 +851,12 @@ let () =
      ablate ();
      robust ();
      pool_bench ();
+     pool_jobs_bench ();
      bechamel ()
    | other ->
      Printf.eprintf
        "unknown benchmark %s (try \
-        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|smoke|bechamel|all)\n"
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|smoke|bechamel|all)\n"
        other;
      exit 1);
   flush_runs ()

@@ -89,6 +89,16 @@ let intervals_target_arg =
     & opt int Driver.default_config.Driver.concolic.Driver.intervals_target
     & info [ "intervals-target" ] ~docv:"N" ~doc)
 
+let prefix_cap_arg =
+  let doc =
+    "Bound on the solver's prefix-context LRU (distinct path prefixes \
+     cached per session); evictions are counted as smt.prefix_evictions."
+  in
+  Arg.(
+    value
+    & opt int Driver.default_config.Driver.solver.Driver.prefix_cap
+    & info [ "prefix-cap" ] ~docv:"N" ~doc)
+
 let report_arg =
   let doc =
     "Enable telemetry and write the JSON run report to $(docv) \
@@ -109,7 +119,7 @@ let write_report_json ~path json =
    everywhere and new ones are added in exactly one place. Evaluates to
    a [(Driver.config, string) result]. *)
 let config_term =
-  let combine inject max_strikes scheduler intervals_target =
+  let combine inject max_strikes scheduler intervals_target prefix_cap =
     if not (List.mem scheduler Pbse_sched.Scheduler.names) then
       Error
         (Printf.sprintf "unknown scheduler %s (available: %s)" scheduler
@@ -120,6 +130,7 @@ let config_term =
         |> Driver.with_search (fun s -> { s with Driver.scheduler })
         |> Driver.with_robust (fun r -> { r with Driver.max_strikes })
         |> Driver.with_concolic (fun c -> { c with Driver.intervals_target })
+        |> Driver.with_solver (fun s -> { s with Driver.prefix_cap })
       in
       match inject with
       | None -> Ok config
@@ -131,7 +142,7 @@ let config_term =
   in
   Term.(
     const combine $ inject_arg $ max_strikes_arg $ scheduler_arg
-    $ intervals_target_arg)
+    $ intervals_target_arg $ prefix_cap_arg)
 
 (* --- targets ------------------------------------------------------------------ *)
 
@@ -224,10 +235,20 @@ let run_cmd =
       & opt string Pool_scheduler.default
       & info [ "pool-scheduler" ] ~docv:"POLICY" ~doc)
   in
-  let run name seed_label hours pool pool_scheduler config report_file =
+  let jobs_arg =
+    let doc =
+      "Domains running --pool campaign turns concurrently. Reports are \
+       byte-identical for every value (docs/parallelism.md)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let run name seed_label hours pool pool_scheduler jobs config report_file =
     match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
+      1
+    | _, _ when pool && jobs < 1 ->
+      prerr_endline "--jobs must be at least 1";
       1
     | _, _ when pool && not (List.mem pool_scheduler Pool_scheduler.names) ->
       Printf.eprintf "unknown pool scheduler %s (available: %s)\n" pool_scheduler
@@ -241,7 +262,8 @@ let run_cmd =
       in
       if pool then begin
         let report =
-          Driver.run_pool ~config ~scheduler:pool_scheduler (Registry.program t)
+          Driver.run_pool ~config ~scheduler:pool_scheduler ~jobs
+            (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
             ~deadline
         in
@@ -282,7 +304,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg
-      $ pool_scheduler_arg $ config_term $ report_arg)
+      $ pool_scheduler_arg $ jobs_arg $ config_term $ report_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 

@@ -46,3 +46,65 @@ let run ~sched ~deadline turn =
   in
   loop ();
   !spent_total
+
+(* The round-barrier variant: the policy plans a whole round up front
+   (one turn per live slot, outcome-independent), the turns run — on up
+   to [jobs] domains — and the results merge back at the barrier in plan
+   order. Budgets are clamped against the round's opening balance in
+   plan order, so the clamp too is independent of how turns inside the
+   round actually went; every [jobs] width therefore grants, runs and
+   merges the identical sequence. Retirement mirrors {!run}: a clamped
+   share of zero skips the slot out of the rotation, and a finished or
+   progress-free turn retires it at the barrier. *)
+let run_rounds ?(on_round = fun _ -> ()) ~sched ~deadline ~jobs ~run ~merge () =
+  let spent_total = ref 0 in
+  let rec loop () =
+    let remaining = deadline - !spent_total in
+    if remaining > 0 then begin
+      match sched.Pool_scheduler.plan ~remaining with
+      | [] -> ()
+      | planned ->
+        (* split the plan into runnable turns and zero-share skips,
+           draining the opening balance in plan order *)
+        let avail = ref remaining in
+        let runnable =
+          List.filter_map
+            (fun { Pool_scheduler.slot; budget } ->
+              let budget = min budget !avail in
+              if budget <= 0 then begin
+                slot.Seed_slot.retired <- true;
+                sched.Pool_scheduler.retire slot;
+                None
+              end
+              else begin
+                avail := !avail - budget;
+                slot.Seed_slot.turns <- slot.Seed_slot.turns + 1;
+                slot.Seed_slot.granted <- slot.Seed_slot.granted + budget;
+                Some (slot, budget)
+              end)
+            planned
+        in
+        if runnable <> [] then begin
+          on_round (List.length runnable);
+          let results =
+            Domain_pool.map ~jobs (fun (slot, budget) -> run slot ~budget) runnable
+          in
+          List.iter2
+            (fun (slot, budget) result ->
+              let o = merge slot ~budget result in
+              slot.Seed_slot.dwell <- slot.Seed_slot.dwell + o.spent;
+              slot.Seed_slot.new_blocks <- slot.Seed_slot.new_blocks + o.new_blocks;
+              spent_total := !spent_total + o.spent;
+              if o.finished || o.spent <= 0 then begin
+                slot.Seed_slot.retired <- true;
+                sched.Pool_scheduler.retire slot
+              end
+              else
+                sched.Pool_scheduler.credit slot ~spent:o.spent ~new_blocks:o.new_blocks)
+            runnable results;
+          loop ()
+        end
+    end
+  in
+  loop ();
+  !spent_total

@@ -26,3 +26,33 @@ val run :
     or every slot is retired, and returns the total virtual time spent.
     Zero-budget shares and turns that make no progress retire their slot
     (never the campaign), so the loop always terminates. *)
+
+val run_rounds :
+  ?on_round:(int -> unit) ->
+  sched:Pool_scheduler.t ->
+  deadline:int ->
+  jobs:int ->
+  run:(Seed_slot.t -> budget:int -> 'r) ->
+  merge:(Seed_slot.t -> budget:int -> 'r -> outcome) ->
+  unit ->
+  int
+(** [run_rounds ~sched ~deadline ~jobs ~run ~merge ()] is the
+    round-barrier campaign loop behind [--jobs]: each iteration asks the
+    policy to {!Pool_scheduler.t.plan} a whole round, clamps the round's
+    budgets against the opening balance in plan order (zero shares
+    skip-retire their slot without running), executes the surviving
+    turns with {!Domain_pool.map} on up to [jobs] domains, then merges
+    results at the barrier {e in plan order}: [merge] turns each [run]
+    result into an {!outcome} (performing any shared-state merging —
+    coverage union, bug harvest — as a side effect), after which the
+    loop updates the slot's counters and retires or credits it exactly
+    as {!run} would. Because plans, clamps and merges never observe
+    intra-round outcomes or completion order, the spent total, every
+    slot counter and every merge effect are identical for every [jobs]
+    value, including 1 — the byte-identical pool-report contract
+    (docs/parallelism.md).
+
+    [run] executes on a worker domain and must touch only the slot's own
+    session state (its runtime context); [merge] runs on the calling
+    domain. [on_round] fires before each executed round with the number
+    of runnable turns in it. *)

@@ -1,0 +1,65 @@
+(* Work-stealing map over OCaml 5 domains.
+
+   The input list becomes an array of tasks claimed through one atomic
+   cursor: each worker domain repeatedly takes the next unclaimed index
+   and runs the function on it, so a slow task never blocks the others
+   (work-stealing in the degenerate single-queue form, which is all a
+   turn barrier needs). Results land in a slot array indexed by input
+   position — callers consume them in input order, which is what makes
+   the surrounding merge deterministic regardless of which domain ran
+   which task or in what order they finished.
+
+   Exceptions are captured per task and re-raised (first in input order)
+   after every domain has been joined, so a failing task can never leak
+   a running domain. *)
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let run_task f tasks results i =
+  match f tasks.(i) with
+  | v -> results.(i) <- Done v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    results.(i) <- Failed (e, bt)
+
+let collect results =
+  Array.to_list
+    (Array.map
+       (function
+         | Done v -> v
+         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Pending -> assert false)
+       results)
+
+let map ~jobs f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let results = Array.make n Pending in
+  let workers = min (max 1 jobs) n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      run_task f tasks results i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec steal () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          run_task f tasks results i;
+          steal ()
+        end
+      in
+      steal ()
+    in
+    (* [workers - 1] spawned domains plus the calling one; Domain.join
+       gives the happens-before edge that publishes every result slot
+       (and everything the tasks mutated) back to the caller. *)
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  collect results

@@ -1,0 +1,20 @@
+(** Work-stealing parallel map over OCaml 5 domains.
+
+    The turn executor behind {!Campaign.run_rounds}: a round's turns are
+    claimed from one atomic cursor by [jobs] workers (the calling domain
+    plus up to [jobs - 1] spawned ones), so turn durations never skew
+    which worker runs what. Results are returned in {e input} order —
+    completion order is invisible to the caller, which is the
+    determinism contract (docs/parallelism.md) — and [Domain.join]
+    publishes everything the tasks wrote before [map] returns.
+
+    Tasks must not share mutable state with each other; each should own
+    its session's runtime context ({!Pbse}'s [Runtime]). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs], running up to
+    [jobs] applications concurrently (clamped to at least 1 and at most
+    [List.length xs]; [jobs <= 1] runs inline without spawning). If any
+    application raises, every domain is still joined and then the
+    exception of the earliest failing input is re-raised with its
+    backtrace. *)

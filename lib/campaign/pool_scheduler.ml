@@ -1,9 +1,5 @@
 module Telemetry = Pbse_telemetry.Telemetry
 
-let tm_turns = Telemetry.counter "campaign.turns"
-let tm_rotations = Telemetry.counter "campaign.rotations"
-let tm_retirements = Telemetry.counter "campaign.retirements"
-
 type turn = {
   slot : Seed_slot.t;
   budget : int;
@@ -18,6 +14,7 @@ type stats = {
 type t = {
   name : string;
   select : remaining:int -> turn option;
+  plan : remaining:int -> turn list;
   credit : Seed_slot.t -> spent:int -> new_blocks:int -> unit;
   retire : Seed_slot.t -> unit;
   drained : unit -> bool;
@@ -27,17 +24,35 @@ type t = {
 
 let stats_create () = { turns = 0; rotations = 0; retirements = 0 }
 
-let note_turn st =
+(* Campaign telemetry lives in the registry the factory was given, so a
+   pool registry never aliases the per-session ones. *)
+type instruments = {
+  i_turns : Telemetry.counter;
+  i_rotations : Telemetry.counter;
+  i_retirements : Telemetry.counter;
+}
+
+let instruments ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  {
+    i_turns = Telemetry.Registry.counter registry "campaign.turns";
+    i_rotations = Telemetry.Registry.counter registry "campaign.rotations";
+    i_retirements = Telemetry.Registry.counter registry "campaign.retirements";
+  }
+
+let note_turn ins st =
   st.turns <- st.turns + 1;
-  Telemetry.incr tm_turns
+  Telemetry.incr ins.i_turns
 
-let note_rotation st =
+let note_rotation ins st =
   st.rotations <- st.rotations + 1;
-  Telemetry.incr tm_rotations
+  Telemetry.incr ins.i_rotations
 
-let note_retirement st =
+let note_retirement ins st =
   st.retirements <- st.retirements + 1;
-  Telemetry.incr tm_retirements
+  Telemetry.incr ins.i_retirements
 
 (* Remove one slot (matched by ordinal) from the array, preserving order. *)
 let array_remove slots (s : Seed_slot.t) =
@@ -56,7 +71,8 @@ let array_remove slots (s : Seed_slot.t) =
    remaining budget, then leaves the rotation whether or not its engine
    drained. Unused budget stays in the pool, so later seeds inherit it
    through the shrinking divisor. *)
-let smallest_first ~time_period:_ slot_list =
+let smallest_first ?registry ~time_period:_ slot_list =
+  let ins = instruments ?registry () in
   let slots = ref (Array.of_list slot_list) in
   let stats = stats_create () in
   {
@@ -65,17 +81,34 @@ let smallest_first ~time_period:_ slot_list =
       (fun ~remaining ->
         if Array.length !slots = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           Some { slot = !slots.(0); budget = remaining / Array.length !slots }
+        end);
+    (* One round: every live slot, in pool order, with an equal share of
+       the budget the round started with. The plan depends only on the
+       live-slot set and [remaining], never on the outcomes of turns
+       inside the round, so every [--jobs] width plans identically. *)
+    plan =
+      (fun ~remaining ->
+        let n = Array.length !slots in
+        if n = 0 then []
+        else begin
+          let share = remaining / n in
+          Array.to_list
+            (Array.map
+               (fun slot ->
+                 note_turn ins stats;
+                 { slot; budget = share })
+               !slots)
         end);
     credit =
       (fun s ~spent:_ ~new_blocks:_ ->
         (* one turn per seed: the share was final *)
-        note_retirement stats;
+        note_retirement ins stats;
         array_remove slots s);
     retire =
       (fun s ->
-        note_retirement stats;
+        note_retirement ins stats;
         array_remove slots s);
     drained = (fun () -> Array.length !slots = 0);
     active = (fun () -> Array.to_list !slots);
@@ -86,14 +119,15 @@ let smallest_first ~time_period:_ slot_list =
    order, with its own unused budget rolled forward onto its next turn
    (an engine that stops early keeps its claim; one that overshoots
    starts from zero carry). *)
-let round_robin ~time_period slot_list =
+let round_robin ?registry ~time_period slot_list =
+  let ins = instruments ?registry () in
   let slots = ref (Array.of_list slot_list) in
   let pos = ref 0 in
   let stats = stats_create () in
   let wrap () =
     if !pos >= Array.length !slots then begin
       pos := 0;
-      if Array.length !slots > 0 then note_rotation stats
+      if Array.length !slots > 0 then note_rotation ins stats
     end
   in
   {
@@ -102,9 +136,23 @@ let round_robin ~time_period slot_list =
       (fun ~remaining:_ ->
         if Array.length !slots = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           let s = !slots.(!pos) in
           Some { slot = s; budget = time_period + Seed_slot.carry s }
+        end);
+    (* One round = one full rotation: every live slot once, in pool
+       order, with the fair period plus its rolled-forward carry. *)
+    plan =
+      (fun ~remaining:_ ->
+        if Array.length !slots = 0 then []
+        else begin
+          note_rotation ins stats;
+          Array.to_list
+            (Array.map
+               (fun s ->
+                 note_turn ins stats;
+                 { slot = s; budget = time_period + Seed_slot.carry s })
+               !slots)
         end);
     credit =
       (fun _s ~spent:_ ~new_blocks:_ ->
@@ -112,7 +160,7 @@ let round_robin ~time_period slot_list =
         wrap ());
     retire =
       (fun s ->
-        note_retirement stats;
+        note_retirement ins stats;
         array_remove slots s;
         wrap ());
     drained = (fun () -> Array.length !slots = 0);
@@ -127,7 +175,8 @@ let round_robin ~time_period slot_list =
    loses the comparison and its remaining budget flows to the others.
    Budgets grow with the slot's own turn count so a productive seed
    earns longer stretches. *)
-let coverage_greedy ~time_period slot_list =
+let coverage_greedy ?registry ~time_period slot_list =
+  let ins = instruments ?registry () in
   let slots = ref (Array.of_list slot_list) in
   let stats = stats_create () in
   let better (a : Seed_slot.t) (b : Seed_slot.t) =
@@ -141,16 +190,29 @@ let coverage_greedy ~time_period slot_list =
       (fun ~remaining:_ ->
         if Array.length !slots = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           let best =
             Array.fold_left (fun acc s -> if better s acc then s else acc) !slots.(0) !slots
           in
           Some { slot = best; budget = (best.Seed_slot.turns + 1) * time_period }
         end);
+    (* One round: every live slot, most-productive ratio first (same
+       comparison as [select]), each budgeted by its own turn count. The
+       ordering uses only counters frozen at the round barrier. *)
+    plan =
+      (fun ~remaining:_ ->
+        let live = Array.copy !slots in
+        Array.sort (fun a b -> if better a b then -1 else if better b a then 1 else 0) live;
+        Array.to_list
+          (Array.map
+             (fun s ->
+               note_turn ins stats;
+               { slot = s; budget = (s.Seed_slot.turns + 1) * time_period })
+             live));
     credit = (fun _s ~spent:_ ~new_blocks:_ -> ());
     retire =
       (fun s ->
-        note_retirement stats;
+        note_retirement ins stats;
         array_remove slots s);
     drained = (fun () -> Array.length !slots = 0);
     active = (fun () -> Array.to_list !slots);

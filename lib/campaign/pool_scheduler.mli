@@ -25,6 +25,14 @@ type t = {
   select : remaining:int -> turn option;
       (** Next seed to run and its budget, given the campaign's
           remaining budget; [None] when no slots remain. *)
+  plan : remaining:int -> turn list;
+      (** The whole next {e round} at once: one turn per live slot, in
+          policy order, budgets fixed from the state at the barrier.
+          Because the plan never depends on the outcomes of turns inside
+          the round, the turns can run concurrently (one domain each)
+          and merge deterministically — every [--jobs] width sees the
+          same plans. An empty list means the pool is drained. Use
+          either [select] or [plan] on a given instance, not both. *)
   credit : Seed_slot.t -> spent:int -> new_blocks:int -> unit;
       (** The turn ended and the seed stays schedulable (under
           [smallest-first] the seed's single share is spent, so credit
@@ -36,16 +44,28 @@ type t = {
   stats : stats;
 }
 
-val smallest_first : time_period:int -> Seed_slot.t list -> t
+val smallest_first :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Seed_slot.t list ->
+  t
 (** The paper's Algorithm 1 (today's equal split): each seed, smallest
     first, gets one turn sized to an equal share of the remaining
     budget. [time_period] is unused. *)
 
-val round_robin : time_period:int -> Seed_slot.t list -> t
+val round_robin :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Seed_slot.t list ->
+  t
 (** Fair rotation: [time_period]-sized turns in pool order, per-seed
     unused budget rolled forward onto the seed's next turn. *)
 
-val coverage_greedy : time_period:int -> Seed_slot.t list -> t
+val coverage_greedy :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Seed_slot.t list ->
+  t
 (** Adaptive reallocation: best new-blocks-per-dwell ratio first
     (integer cross-multiplied, ties to the lower ordinal), budgets
     growing with the slot's own turn count. *)
@@ -56,4 +76,12 @@ val default : string
 val names : string list
 (** All policy names accepted by {!by_name}. *)
 
-val by_name : string -> (time_period:int -> Seed_slot.t list -> t) option
+val by_name :
+  string ->
+  (?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Seed_slot.t list ->
+  t)
+  option
+(** Factories accept the registry that owns their [campaign.*] counters
+    (default {!Pbse_telemetry.Telemetry.Registry.default}). *)

@@ -21,10 +21,6 @@ module Solver = Pbse_smt.Solver
 module Telemetry = Pbse_telemetry.Telemetry
 module Report = Pbse_telemetry.Report
 
-let tm_concolic = Telemetry.span "driver.concolic"
-let tm_phase_analysis = Telemetry.span "driver.phase_analysis"
-let tm_turn = Telemetry.span "driver.turn"
-
 (* --- configuration --------------------------------------------------------- *)
 
 type concolic_config = {
@@ -45,6 +41,7 @@ type search_config = {
 type solver_config = {
   budget : int;
   retry_cap : int;
+  prefix_cap : int;
 }
 
 type robust_config = {
@@ -78,7 +75,7 @@ let default_config =
         dedup_seed_states = true;
         max_k = 20;
       };
-    solver = { budget = 60_000; retry_cap = 480_000 };
+    solver = { budget = 60_000; retry_cap = 480_000; prefix_cap = 16_384 };
     robust = { confirm_bugs = true; max_strikes = 4; inject = Inject.none };
     rng_seed = 1;
   }
@@ -114,6 +111,7 @@ type report = {
   strikes : int;
   sched_stats : Scheduler.stats;
   phase_stats : Report.phase_row list; (* scheduling stats, ordinal order *)
+  registry : Telemetry.Registry.t; (* the session's instruments *)
 }
 
 let coverage_at report t =
@@ -170,9 +168,10 @@ let map_seed_states config ~interval_length division bbvs
    contained and recorded; a faulting state costs at worst itself
    (quarantine after [max_strikes]) and a broken searcher costs its
    phase (fail-over via [evict]), never the run. *)
-let schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress =
+let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_progress =
   let faults = Executor.faults exec in
   let now () = Vclock.now clock in
+  let tm_turn = Telemetry.Registry.span registry "driver.turn" in
   let rec turns () =
     if Vclock.now clock >= deadline then ()
     else
@@ -251,7 +250,9 @@ let schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress =
             if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
         in
         Telemetry.with_span tm_turn ~now drain;
-        q.Phase_queue.dwell <- q.Phase_queue.dwell + (Vclock.now clock - turn_start);
+        let elapsed = Vclock.now clock - turn_start in
+        q.Phase_queue.dwell <- q.Phase_queue.dwell + elapsed;
+        Telemetry.observe q.Phase_queue.turn_dwell elapsed;
         if !queue_failed || Phase_queue.size q = 0 then
           sched.Scheduler.evict q ~failed:!queue_failed
         else
@@ -271,6 +272,7 @@ let schedule_phases ~clock ~deadline ~sched ~quarantine exec note_progress =
    report [run] produces. *)
 type session = {
   s_config : config;
+  s_runtime : Runtime.t;
   s_seed : bytes;
   s_clock : Vclock.t;
   s_exec : Executor.t;
@@ -291,22 +293,46 @@ type session = {
   s_note_progress : int -> unit;
 }
 
-let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true) prog
-    ~seed ~deadline =
+let open_session ?(config = default_config) ?quarantine ?runtime
+    ?(reset_telemetry = true) prog ~seed ~deadline =
   (* validate the policy name before the expensive concolic step *)
   let scheduler_factory = make_scheduler config in
+  (* a caller-supplied quarantine persists across runs: per-state strikes
+     reset with the epoch, site records and totals carry over *)
+  (match quarantine with Some q -> Quarantine.epoch q | None -> ());
+  let rt =
+    match runtime with
+    | Some rt -> (
+      match quarantine with
+      | Some q -> { rt with Runtime.quarantine = q }
+      | None -> rt)
+    | None ->
+      Runtime.create ~rng_seed:config.rng_seed ~inject:config.robust.inject
+        ?quarantine ~max_strikes:config.robust.max_strikes
+        ~prefix_cap:config.solver.prefix_cap ()
+  in
+  (* the session's expressions intern into its own arena from here on *)
+  Runtime.activate rt;
+  let registry = rt.Runtime.registry in
   (* instrumented runs snapshot the registry into their report, so start
      each run from zero; uninstrumented runs skip the reset too. A pool
      campaign resets once for the whole campaign instead
      ([reset_telemetry = false] here). *)
-  if reset_telemetry && Telemetry.enabled () then Telemetry.reset ();
+  if reset_telemetry && Telemetry.Registry.enabled registry then
+    Telemetry.Registry.reset registry;
+  let tm_concolic = Telemetry.Registry.span registry "driver.concolic" in
+  let tm_phase_analysis = Telemetry.Registry.span registry "driver.phase_analysis" in
   let clock = Vclock.create () in
   let exec =
     Executor.create ~max_live:config.search.max_live ~solver_budget:config.solver.budget
-      ~solver_retry_cap:config.solver.retry_cap ~confirm_bugs:config.robust.confirm_bugs
-      ~inject:config.robust.inject ~clock prog ~input:seed
+      ~solver_retry_cap:config.solver.retry_cap
+      ~solver_prefix_cap:config.solver.prefix_cap
+      ~confirm_bugs:config.robust.confirm_bugs ~inject:rt.Runtime.inject ~registry
+      ~clock prog ~input:seed
   in
-  let rng = Rng.create config.rng_seed in
+  (* every stochastic choice below (k-means restarts, searcher splits)
+     derives from the runtime's RNG, itself seeded from config.rng_seed *)
+  let rng = rt.Runtime.rng in
   (* step 1: concolic execution. The BBV interval is sized from a cheap
      concrete pre-run so every seed yields a comparable number of BBVs
      (the paper gathers over wall-clock intervals; runs lasting longer
@@ -324,7 +350,7 @@ let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true
   let division =
     Telemetry.with_span tm_phase_analysis ~now (fun () ->
         let d =
-          Phase.divide ~mode:config.concolic.mode ~max_k:config.search.max_k
+          Phase.divide ~registry ~mode:config.concolic.mode ~max_k:config.search.max_k
             (Rng.split rng) concolic.Concolic.bbvs
         in
         Vclock.advance clock
@@ -349,7 +375,8 @@ let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true
   let queue_list =
     List.mapi
       (fun i (p : Phase.phase) ->
-        Phase_queue.create ~ordinal:(i + 1) ~pid:p.Phase.pid ~trap:p.Phase.trap
+        Phase_queue.create ~registry ~ordinal:(i + 1) ~pid:p.Phase.pid
+          ~trap:p.Phase.trap
           (make_phase_searcher config rng exec))
       division.Phase.phases
   in
@@ -364,7 +391,7 @@ let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true
       | None -> ())
     seed_states;
   let sched =
-    scheduler_factory ~time_period:config.concolic.time_period
+    scheduler_factory ~registry ~time_period:config.concolic.time_period
       (List.filter (fun q -> Phase_queue.size q > 0) queue_list)
   in
   Executor.set_live_counter exec (fun () ->
@@ -398,17 +425,10 @@ let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true
     end
   in
   note_progress 0;
-  (* a caller-supplied quarantine (run_pool) persists across runs: per-state
-     strikes reset with the epoch, site records and totals carry over *)
-  let quarantine =
-    match quarantine with
-    | Some q ->
-      Quarantine.epoch q;
-      q
-    | None -> Quarantine.create ~max_strikes:config.robust.max_strikes
-  in
+  let quarantine = rt.Runtime.quarantine in
   {
     s_config = config;
+    s_runtime = rt;
     s_seed = seed;
     s_clock = clock;
     s_exec = exec;
@@ -432,9 +452,14 @@ let open_session ?(config = default_config) ?quarantine ?(reset_telemetry = true
 let step_session s ~deadline =
   (* step 4: phase-scheduled symbolic execution, up to [deadline] on the
      session's own clock; resumable — the scheduling policy keeps its
-     rotation state between steps *)
-  schedule_phases ~clock:s.s_clock ~deadline ~sched:s.s_sched
-    ~quarantine:s.s_quarantine s.s_exec s.s_note_progress
+     rotation state between steps. Re-activate the session's arena: the
+     campaign layer may step the same session from a different domain on
+     every round. *)
+  Runtime.activate s.s_runtime;
+  schedule_phases ~registry:s.s_runtime.Runtime.registry ~clock:s.s_clock ~deadline
+    ~sched:s.s_sched ~quarantine:s.s_quarantine s.s_exec s.s_note_progress
+
+let session_runtime s = s.s_runtime
 
 let session_time s = Vclock.now s.s_clock
 let session_drained s = s.s_sched.Scheduler.drained ()
@@ -467,10 +492,11 @@ let finish_session s =
     strikes = Quarantine.total_strikes s.s_quarantine - s.s_strikes0;
     sched_stats = s.s_sched.Scheduler.stats;
     phase_stats = List.map Phase_queue.stat_row s.s_queues;
+    registry = s.s_runtime.Runtime.registry;
   }
 
-let run ?(config = default_config) ?quarantine prog ~seed ~deadline =
-  let s = open_session ~config ?quarantine prog ~seed ~deadline in
+let run ?(config = default_config) ?quarantine ?runtime prog ~seed ~deadline =
+  let s = open_session ~config ?quarantine ?runtime prog ~seed ~deadline in
   step_session s ~deadline;
   finish_session s
 
@@ -543,6 +569,7 @@ let scalar_metrics report =
     ("solver.retries", sst.Solver.retries);
     ("solver.escalations", sst.Solver.escalations);
     ("solver.retry_resolved", sst.Solver.retry_resolved);
+    ("solver.prefix_evictions", sst.Solver.prefix_evictions);
     ("quarantine.evicted", report.quarantined);
     ("quarantine.strikes", report.strikes);
   ]
@@ -550,11 +577,11 @@ let scalar_metrics report =
       (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
       Fault.all
 
-let span_metrics () =
+let span_metrics registry =
   List.concat_map
     (fun (name, count, total) ->
       [ ("span." ^ name ^ ".count", count); ("span." ^ name ^ ".total", total) ])
-    (Telemetry.snapshot_spans ())
+    (Telemetry.Registry.snapshot_spans registry)
 
 (* Assemble the structured run report (docs/telemetry.md). The scalar
    metrics are authoritative whether or not the registry was enabled,
@@ -563,10 +590,10 @@ let span_metrics () =
 let run_report ?(meta = []) report =
   {
     Report.meta;
-    metrics = scalar_metrics report @ span_metrics ();
+    metrics = scalar_metrics report @ span_metrics report.registry;
     phases = report.phase_stats;
     seeds = [];
-    histograms = Telemetry.snapshot_histograms ();
+    histograms = Telemetry.Registry.snapshot_histograms report.registry;
   }
 
 (* --- seed pools ------------------------------------------------------------ *)
@@ -580,46 +607,87 @@ type pool_report = {
   pool_stats : Pool_scheduler.stats;
   pool_deadline : int;
   pool_spent : int;
+  pool_rounds : int;
+  pool_parallel_turns : int;
+  pool_merge_blocks : int;
+  pool_merge_bugs : int;
+  pool_merge_registries : int;
+  pool_registry : Telemetry.Registry.t;
 }
 
 (* Algorithm 1's outer loop over a seed pool, generalised into a
-   campaign: seeds (ordered smallest first, the paper's heuristic bias)
-   become slots of a seed-level scheduling policy, each turn opens or
-   resumes that seed's session, and coverage is merged as a union of
-   global block ids after every turn — so adaptive policies can compare
-   seeds on the marginal blocks they contribute. Bugs are deduplicated
-   across runs on (location, kind) and attributed to the seed whose turn
-   first surfaced them. One quarantine is threaded through every
-   session, so fork sites that struck out under one seed are retired
-   faster under later seeds. *)
-let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default) prog
-    ~seeds ~deadline =
+   campaign and run in deterministic rounds: the pool policy plans every
+   round up front (one turn per live seed), the turns execute on up to
+   [jobs] domains — each seed's session owns a private {!Runtime}
+   (registry, RNG, quarantine, expression arena), so concurrent turns
+   share no mutable state — and the results merge back at the round
+   barrier in plan order. Coverage merges as a union of global block
+   ids; bugs deduplicate on (location, kind) and are attributed to the
+   seed whose turn first surfaced them; per-session registries merge
+   into the pool registry in ordinal order when the campaign ends.
+   Every observable outcome is therefore identical for every [jobs]
+   value, including 1 (docs/parallelism.md). *)
+let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
+    ?runtime ?(jobs = 1) prog ~seeds ~deadline =
   let factory =
     match Pool_scheduler.by_name scheduler with
     | Some f -> f
     | None -> invalid_arg ("Driver: unknown pool scheduler " ^ scheduler)
   in
-  if Telemetry.enabled () then Telemetry.reset ();
+  let pool_rt =
+    match runtime with
+    | Some rt -> rt
+    | None ->
+      Runtime.create ~rng_seed:config.rng_seed ~inject:config.robust.inject
+        ~max_strikes:config.robust.max_strikes
+        ~prefix_cap:config.solver.prefix_cap ()
+  in
+  let pool_registry = pool_rt.Runtime.registry in
+  if Telemetry.Registry.enabled pool_registry then Telemetry.Registry.reset pool_registry;
+  let tm_rounds = Telemetry.Registry.counter pool_registry "pool.rounds" in
+  let tm_parallel_turns =
+    Telemetry.Registry.counter pool_registry "pool.parallel_turns"
+  in
+  let tm_merge_blocks = Telemetry.Registry.counter pool_registry "pool.merge_blocks" in
+  let tm_merge_bugs = Telemetry.Registry.counter pool_registry "pool.merge_bugs" in
+  let tm_merge_registries =
+    Telemetry.Registry.counter pool_registry "pool.merge_registries"
+  in
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
   in
   let slots = List.mapi (fun i seed -> Seed_slot.create ~ordinal:(i + 1) seed) ordered in
-  let quarantine = Quarantine.create ~max_strikes:config.robust.max_strikes in
+  let nslots = List.length slots in
   let merged = Hashtbl.create 1024 in
   let bug_keys = Hashtbl.create 32 in
   let merged_bugs = ref [] in
-  let sessions : (int, session) Hashtbl.t = Hashtbl.create 8 in
+  (* Sessions indexed by slot ordinal. A cell is written once, by the
+     worker domain running its slot's first turn, and only ever touched
+     by that slot's turns afterwards; distinct slots use distinct cells
+     and [Domain_pool.map]'s join publishes the writes before the
+     barrier reads them, so the array needs no lock. *)
+  let sessions : (Runtime.t * session) option array = Array.make (nslots + 1) None in
   let opened = ref [] in
+  let rounds = ref 0 in
+  let parallel_turns = ref 0 in
+  let merge_blocks = ref 0 in
+  let merge_bug_count = ref 0 in
+  let merge_registries = ref 0 in
   let merge_coverage session =
-    List.fold_left
-      (fun fresh gid ->
-        if Hashtbl.mem merged gid then fresh
-        else begin
-          Hashtbl.replace merged gid ();
-          fresh + 1
-        end)
-      0
-      (Coverage.covered_ids (Executor.coverage session.s_exec))
+    let fresh =
+      List.fold_left
+        (fun fresh gid ->
+          if Hashtbl.mem merged gid then fresh
+          else begin
+            Hashtbl.replace merged gid ();
+            fresh + 1
+          end)
+        0
+        (Coverage.covered_ids (Executor.coverage session.s_exec))
+    in
+    merge_blocks := !merge_blocks + fresh;
+    Telemetry.add tm_merge_blocks fresh;
+    fresh
   in
   let harvest_bugs (slot : Seed_slot.t) session =
     List.iter
@@ -628,32 +696,58 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default) pr
         if not (Hashtbl.mem bug_keys key) then begin
           Hashtbl.replace bug_keys key ();
           slot.Seed_slot.bugs <- slot.Seed_slot.bugs + 1;
+          incr merge_bug_count;
+          Telemetry.incr tm_merge_bugs;
           merged_bugs := (bug, session_bug_phase session bug) :: !merged_bugs
         end)
       (Executor.bugs session.s_exec)
   in
-  let turn (slot : Seed_slot.t) ~budget =
-    let evicted0 = Quarantine.evicted quarantine in
-    let strikes0 = Quarantine.total_strikes quarantine in
-    let session, start =
-      match Hashtbl.find_opt sessions slot.Seed_slot.ordinal with
-      | Some s -> (s, Vclock.now s.s_clock)
-      | None ->
-        (* first turn: the session's setup (concolic pass, phase
-           division, seeding) is charged against this turn's budget *)
-        let s =
-          open_session ~config ~quarantine ~reset_telemetry:false prog
-            ~seed:slot.Seed_slot.seed ~deadline:budget
-        in
-        Hashtbl.replace sessions slot.Seed_slot.ordinal s;
-        opened := slot :: !opened;
-        (s, 0)
+  (* The worker half of a turn: everything here touches only the slot's
+     own session and its private runtime, so it is safe on any domain. *)
+  let exec_turn (slot : Seed_slot.t) ~budget =
+    match sessions.(slot.Seed_slot.ordinal) with
+    | Some (rt, s) ->
+      let start = Vclock.now s.s_clock in
+      let ev0 = Quarantine.evicted rt.Runtime.quarantine in
+      let st0 = Quarantine.total_strikes rt.Runtime.quarantine in
+      step_session s ~deadline:(start + budget);
+      (start, ev0, st0, false)
+    | None ->
+      (* first turn: the session's setup (concolic pass, phase
+         division, seeding) is charged against this turn's budget. The
+         session's runtime is private — fresh registry, RNG reseeded
+         from the config so every seed's run is reproducible in
+         isolation, fresh quarantine, fresh arena. *)
+      let rt =
+        Runtime.derive
+          ~registry:
+            (Telemetry.Registry.create
+               ~enabled:(Telemetry.Registry.enabled pool_registry)
+               ())
+          ~rng_seed:config.rng_seed pool_rt
+      in
+      let s =
+        open_session ~config ~runtime:rt ~reset_telemetry:false prog
+          ~seed:slot.Seed_slot.seed ~deadline:budget
+      in
+      sessions.(slot.Seed_slot.ordinal) <- Some (rt, s);
+      step_session s ~deadline:budget;
+      (0, 0, 0, true)
+  in
+  (* The barrier half: runs on the coordinating domain, in plan order,
+     after every turn of the round has been joined. *)
+  let merge_turn (slot : Seed_slot.t) ~budget:_ (start, ev0, st0, opened_now) =
+    let rt, session =
+      match sessions.(slot.Seed_slot.ordinal) with
+      | Some pair -> pair
+      | None -> assert false
     in
-    step_session session ~deadline:(start + budget);
+    if opened_now then opened := slot :: !opened;
     slot.Seed_slot.quarantined <-
-      slot.Seed_slot.quarantined + (Quarantine.evicted quarantine - evicted0);
+      slot.Seed_slot.quarantined + (Quarantine.evicted rt.Runtime.quarantine - ev0);
     slot.Seed_slot.strikes <-
-      slot.Seed_slot.strikes + (Quarantine.total_strikes quarantine - strikes0);
+      slot.Seed_slot.strikes
+      + (Quarantine.total_strikes rt.Runtime.quarantine - st0);
     harvest_bugs slot session;
     {
       Campaign.spent = Vclock.now session.s_clock - start;
@@ -661,19 +755,39 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default) pr
       finished = session_drained session;
     }
   in
-  let sched = factory ~time_period:config.concolic.time_period slots in
-  let spent = Campaign.run ~sched ~deadline turn in
+  let on_round n =
+    incr rounds;
+    Telemetry.incr tm_rounds;
+    if n >= 2 then begin
+      parallel_turns := !parallel_turns + n;
+      Telemetry.add tm_parallel_turns n
+    end
+  in
+  let sched =
+    factory ~registry:pool_registry ~time_period:config.concolic.time_period slots
+  in
+  let spent =
+    Campaign.run_rounds ~on_round ~sched ~deadline ~jobs ~run:exec_turn
+      ~merge:merge_turn ()
+  in
   List.iter
     (fun (slot : Seed_slot.t) ->
-      match Hashtbl.find_opt sessions slot.Seed_slot.ordinal with
-      | Some s -> slot.Seed_slot.faults <- Fault.total (Executor.faults s.s_exec)
+      match sessions.(slot.Seed_slot.ordinal) with
+      | Some (rt, s) ->
+        slot.Seed_slot.faults <- Fault.total (Executor.faults s.s_exec);
+        (* fold the session's instruments into the pool registry, in
+           ordinal order — the aggregate report covers the campaign *)
+        Telemetry.Registry.merge_into ~into:pool_registry rt.Runtime.registry;
+        incr merge_registries;
+        Telemetry.incr tm_merge_registries
       | None -> ())
     slots;
   let runs =
     List.rev_map
       (fun (slot : Seed_slot.t) ->
-        ( slot.Seed_slot.seed,
-          finish_session (Hashtbl.find sessions slot.Seed_slot.ordinal) ))
+        match sessions.(slot.Seed_slot.ordinal) with
+        | Some (_, s) -> (slot.Seed_slot.seed, finish_session s)
+        | None -> assert false)
       !opened
   in
   {
@@ -685,6 +799,12 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default) pr
     pool_stats = sched.Pool_scheduler.stats;
     pool_deadline = deadline;
     pool_spent = spent;
+    pool_rounds = !rounds;
+    pool_parallel_turns = !parallel_turns;
+    pool_merge_blocks = !merge_blocks;
+    pool_merge_bugs = !merge_bug_count;
+    pool_merge_registries = !merge_registries;
+    pool_registry;
   }
 
 (* Aggregate pool report: pool-level metrics first (merged coverage and
@@ -723,18 +843,24 @@ let pool_run_report ?(meta = []) pool =
       ("pool.retirements", st.Pool_scheduler.retirements);
       ("pool.deadline", pool.pool_deadline);
       ("pool.spent", pool.pool_spent);
+      ("pool.rounds", pool.pool_rounds);
+      ("pool.parallel_turns", pool.pool_parallel_turns);
+      ("pool.merge_blocks", pool.pool_merge_blocks);
+      ("pool.merge_bugs", pool.pool_merge_bugs);
+      ("pool.merge_registries", pool.pool_merge_registries);
       ("coverage.blocks", pool.merged_coverage);
       ("bugs.total", List.length pool.merged_bugs);
       ("bugs.confirmed", confirmed);
     ]
-    @ summed @ span_metrics ()
+    @ summed
+    @ span_metrics pool.pool_registry
   in
   {
     Report.meta = ("pool_scheduler", pool.pool_scheduler) :: meta;
     metrics;
     phases = [];
     seeds = pool.seed_rows;
-    histograms = Telemetry.snapshot_histograms ();
+    histograms = Telemetry.Registry.snapshot_histograms pool.pool_registry;
   }
 
 let select_seed seeds ~coverage_of =

@@ -64,6 +64,7 @@ type search_config = {
 type solver_config = {
   budget : int; (* work units per query *)
   retry_cap : int; (* upper bound for escalating solver retries *)
+  prefix_cap : int; (* prefix-context LRU bound (Pbse_smt.Prefix_ctx) *)
 }
 
 type robust_config = {
@@ -117,6 +118,9 @@ type report = {
       (* per-phase scheduling stats in ordinal order: turns granted,
          slices run, new-cover slices, dwell time, quarantine evictions.
          Always collected (a few ints per phase). *)
+  registry : Pbse_telemetry.Telemetry.Registry.t;
+      (* the session's instruments; {!run_report} snapshots its spans
+         and histograms *)
 }
 
 val coverage_at : report -> int -> int
@@ -126,18 +130,21 @@ val coverage_at : report -> int -> int
 val run :
   ?config:config ->
   ?quarantine:Pbse_robust.Quarantine.t ->
+  ?runtime:Runtime.t ->
   Pbse_ir.Types.program ->
   seed:bytes ->
   deadline:int ->
   report
 (** End-to-end pbSE on one seed. The deadline is in virtual time and
-    includes the concolic and analysis steps. When telemetry is enabled
-    ({!Pbse_telemetry.Telemetry.set_enabled}), the registry is reset at
-    the start of the run so {!run_report} snapshots this run only.
-    [quarantine] lets a caller persist quarantine records across runs
-    (a new {!Pbse_robust.Quarantine.epoch} is started); by default each
-    run gets a fresh quarantine. The report's [quarantined]/[strikes]
-    are this run's deltas either way. *)
+    includes the concolic and analysis steps. [runtime] is the explicit
+    context the run executes in ({!Runtime}); by default one is built
+    from the config over the process-global registry, so when telemetry
+    is enabled ({!Pbse_telemetry.Telemetry.set_enabled}) the registry is
+    reset at the start of the run and {!run_report} snapshots this run
+    only. [quarantine] lets a caller persist quarantine records across
+    runs (a new {!Pbse_robust.Quarantine.epoch} is started); by default
+    each run gets a fresh quarantine. The report's
+    [quarantined]/[strikes] are this run's deltas either way. *)
 
 (** {1 Resumable sessions}
 
@@ -154,6 +161,7 @@ type session
 val open_session :
   ?config:config ->
   ?quarantine:Pbse_robust.Quarantine.t ->
+  ?runtime:Runtime.t ->
   ?reset_telemetry:bool ->
   Pbse_ir.Types.program ->
   seed:bytes ->
@@ -161,9 +169,13 @@ val open_session :
   session
 (** Runs the concolic and phase-analysis steps (charged to the
     session's clock) and seeds the phase queues; [deadline] bounds the
-    concolic pass only. [reset_telemetry] (default [true]) resets the
-    registry when telemetry is enabled — pool campaigns pass [false]
-    and reset once for the whole campaign. *)
+    concolic pass only. [runtime] is the session's context — registry,
+    RNG, inject plan, quarantine, expression arena ({!Runtime.activate}
+    is called on the opening domain); omitted, one is built from the
+    config ([quarantine], when given, overrides the runtime's).
+    [reset_telemetry] (default [true]) resets the session's registry
+    when telemetry is enabled — pool campaigns pass [false] and reset
+    the pool registry once for the whole campaign. *)
 
 val step_session : session -> deadline:int -> unit
 (** Phase-scheduled symbolic execution until [deadline] on the
@@ -178,6 +190,9 @@ val session_drained : session -> bool
     are no-ops. *)
 
 val session_executor : session -> Pbse_exec.Executor.t
+
+val session_runtime : session -> Runtime.t
+(** The context the session was opened with. *)
 
 val finish_session : session -> report
 (** Assemble the run report from the session's current state. The
@@ -211,26 +226,43 @@ type pool_report = {
   pool_stats : Pbse_campaign.Pool_scheduler.stats;
   pool_deadline : int;
   pool_spent : int; (* virtual time actually consumed *)
+  pool_rounds : int; (* campaign rounds executed *)
+  pool_parallel_turns : int; (* turns in rounds that planned >= 2 turns *)
+  pool_merge_blocks : int; (* blocks added to the union at merge barriers *)
+  pool_merge_bugs : int; (* deduplicated bugs harvested at merge barriers *)
+  pool_merge_registries : int; (* session registries folded into the pool's *)
+  pool_registry : Pbse_telemetry.Telemetry.Registry.t;
+      (* campaign-wide instruments: pool counters plus every session
+         registry, merged in ordinal order *)
 }
 
 val run_pool :
   ?config:config ->
   ?scheduler:string ->
+  ?runtime:Runtime.t ->
+  ?jobs:int ->
   Pbse_ir.Types.program ->
   seeds:bytes list ->
   deadline:int ->
   pool_report
 (** Algorithm 1's outer loop over a seed pool, generalised into a
-    scheduled campaign. Seeds are ordered smallest-first and become
-    slots of the named seed-level policy
+    scheduled campaign run in deterministic rounds. Seeds are ordered
+    smallest-first and become slots of the named seed-level policy
     ({!Pbse_campaign.Pool_scheduler.names}; default
     {!Pbse_campaign.Pool_scheduler.default}, the paper's equal-share
-    smallest-first pass). Each turn opens or resumes the seed's
-    {!type:session}; coverage merges into a global block set after every
-    turn, so adaptive policies compare seeds on their marginal blocks.
-    Bugs are deduplicated across runs and attributed to the seed whose
-    turn first surfaced them. One quarantine is threaded through every
-    session. Raises [Invalid_argument] on an unknown policy name. *)
+    smallest-first pass). Each round the policy plans one turn per live
+    seed; the turns execute on up to [jobs] domains (default 1) via
+    {!Pbse_campaign.Campaign.run_rounds}, each seed's session under its
+    own private {!Runtime} (registry, RNG, quarantine, arena), and
+    results merge at the round barrier in plan order: coverage into a
+    global block union, bugs deduplicated on (location, kind) and
+    attributed to the seed whose turn first surfaced them. When the
+    campaign ends, per-session registries fold into [runtime]'s
+    registry (default: a fresh runtime over the process-global
+    registry) in ordinal order. Every field of the result — and the
+    byte-exact {!pool_run_report} JSON — is identical for every [jobs]
+    value (docs/parallelism.md). Raises [Invalid_argument] on an
+    unknown policy name. *)
 
 val pool_run_report :
   ?meta:(string * string) list -> pool_report -> Pbse_telemetry.Report.t

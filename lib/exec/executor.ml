@@ -9,11 +9,6 @@ module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
 module Telemetry = Pbse_telemetry.Telemetry
 
-let tm_slice_steps = Telemetry.histogram "exec.slice_steps"
-let tm_forks = Telemetry.counter "exec.forks"
-let tm_fork_cost = Telemetry.histogram "exec.fork_cost"
-let tm_cow_copies = Telemetry.counter "exec.cow_copies"
-
 type finish_reason =
   | Exited of int64
   | Buggy of Bug.t
@@ -63,6 +58,11 @@ type t = {
   mutable testcases : (bytes * string) list; (* newest first, capped *)
   inj : Inject.t option; (* fault injection, None when inactive *)
   faults : Fault.log;
+  registry : Telemetry.Registry.t;
+  tm_slice_steps : Telemetry.histogram;
+  tm_forks : Telemetry.counter;
+  tm_fork_cost : Telemetry.histogram;
+  tm_cow_copies : Telemetry.counter;
 }
 
 let max_testcases = 4096
@@ -77,14 +77,20 @@ let solver_charge_divisor = 128
 let max_call_depth = 512
 
 let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
-    ?(confirm_bugs = true) ?rng_seed:_ ?(inject = Inject.none) ~clock prog ~input =
+    ?solver_prefix_cap ?(confirm_bugs = true) ?rng_seed:_ ?(inject = Inject.none)
+    ?registry ~clock prog ~input =
   Pbse_ir.Validate.check_exn prog;
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   let cfg = Cfg.build prog in
   {
     prog;
     cfg;
     clock;
-    solver = Solver.create ~budget:solver_budget ?retry_cap:solver_retry_cap ();
+    solver =
+      Solver.create ~budget:solver_budget ?retry_cap:solver_retry_cap
+        ?prefix_cap:solver_prefix_cap ~registry ();
     coverage = Coverage.create (Cfg.nblocks cfg);
     findex = func_index prog;
     input;
@@ -116,7 +122,12 @@ let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
     record_testcases = false;
     testcases = [];
     inj = (if Inject.is_active inject then Some (Inject.create inject) else None);
-    faults = Fault.log_create ();
+    faults = Fault.log_create ~registry ();
+    registry;
+    tm_slice_steps = Telemetry.Registry.histogram registry "exec.slice_steps";
+    tm_forks = Telemetry.Registry.counter registry "exec.forks";
+    tm_fork_cost = Telemetry.Registry.histogram registry "exec.fork_cost";
+    tm_cow_copies = Telemetry.Registry.counter registry "exec.cow_copies";
   }
 
 let cfg t = t.cfg
@@ -368,7 +379,7 @@ let operand st = function
 let note_cow t copied =
   if copied then begin
     t.st.cow_copies <- t.st.cow_copies + 1;
-    Telemetry.incr tm_cow_copies
+    Telemetry.incr t.tm_cow_copies
   end
 
 let set_reg t st r v = note_cow t (State.write_reg st r v)
@@ -570,7 +581,7 @@ let fork_state t st ~constraint_ ~model ~target =
       ~fork_gid:(Cfg.id t.cfg st.State.fidx st.State.bidx)
   in
   (* CoW fork cost: frame records allocated (no register arrays copied) *)
-  Telemetry.observe tm_fork_cost (List.length child.State.frames);
+  Telemetry.observe t.tm_fork_cost (List.length child.State.frames);
   State.assume child constraint_;
   child.State.model <- model;
   child.State.bidx <- target;
@@ -578,7 +589,7 @@ let fork_state t st ~constraint_ ~model ~target =
   (* coverage and trace are recorded when the child actually runs *)
   child.State.entered <- false;
   t.st.forks <- t.st.forks + 1;
-  Telemetry.incr tm_forks;
+  Telemetry.incr t.tm_forks;
   child
 
 let exec_br t st cond then_b else_b =
@@ -778,11 +789,11 @@ let run_slice_inner t st =
   end
 
 let run_slice t st =
-  if not (Telemetry.enabled ()) then run_slice_inner t st
+  if not (Telemetry.Registry.enabled t.registry) then run_slice_inner t st
   else begin
     let before = st.State.steps in
     let result = run_slice_inner t st in
-    Telemetry.observe tm_slice_steps (st.State.steps - before);
+    Telemetry.observe t.tm_slice_steps (st.State.steps - before);
     result
   end
 

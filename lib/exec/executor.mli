@@ -55,9 +55,11 @@ val create :
   ?max_live:int ->
   ?solver_budget:int ->
   ?solver_retry_cap:int ->
+  ?solver_prefix_cap:int ->
   ?confirm_bugs:bool ->
   ?rng_seed:int ->
   ?inject:Pbse_robust.Inject.plan ->
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
   clock:Pbse_util.Vclock.t ->
   Pbse_ir.Types.program ->
   input:bytes ->
@@ -65,8 +67,11 @@ val create :
 (** [create ~clock program ~input] prepares an engine whose symbolic file
     has the size and seed content of [input]. [max_live] caps live states
     (forks beyond it continue on the taken side only; default 8192).
-    [solver_retry_cap] bounds the solver's escalating retry budget.
-    [inject] activates deterministic fault injection (default: none). *)
+    [solver_retry_cap] bounds the solver's escalating retry budget;
+    [solver_prefix_cap] bounds its prefix-context LRU. [inject] activates
+    deterministic fault injection (default: none). [registry] owns the
+    engine's telemetry instruments (default
+    {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val cfg : t -> Pbse_ir.Cfg.t
 val coverage : t -> Coverage.t

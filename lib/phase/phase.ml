@@ -99,12 +99,14 @@ let one_phase_division mode =
 
 module Telemetry = Pbse_telemetry.Telemetry
 
-let tm_divisions = Telemetry.counter "phase.divisions"
-let tm_bbvs = Telemetry.histogram "phase.bbvs_per_division"
-let tm_chosen_k = Telemetry.gauge "phase.chosen_k"
-let tm_traps = Telemetry.gauge "phase.trap_count"
-
-let divide ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
+let divide ?registry ?(mode = Bbv_with_coverage) ?(max_k = 20) rng bbvs =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  let tm_divisions = Telemetry.Registry.counter registry "phase.divisions" in
+  let tm_bbvs = Telemetry.Registry.histogram registry "phase.bbvs_per_division" in
+  let tm_chosen_k = Telemetry.Registry.gauge registry "phase.chosen_k" in
+  let tm_traps = Telemetry.Registry.gauge registry "phase.trap_count" in
   Telemetry.incr tm_divisions;
   Telemetry.observe tm_bbvs (List.length bbvs);
   if bbvs = [] then one_phase_division mode

@@ -32,6 +32,7 @@ val trap_run_threshold : int -> int
 (** [trap_run_threshold nbbvs] — 5% of the BBV count, at least 2. *)
 
 val divide :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
   ?mode:mode ->
   ?max_k:int ->
   Pbse_util.Rng.t ->
@@ -40,7 +41,8 @@ val divide :
 (** Total: an empty BBV list yields a degenerate one-phase division
     (pid 0, no trap) instead of raising, so a run whose concolic step
     produced nothing still schedules. [max_k] defaults to 20 (the paper
-    tries k in 1..20). *)
+    tries k in 1..20). [registry] owns the division telemetry
+    (default {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val phase_of_interval : division -> Pbse_concolic.Bbv.t list -> int -> int option
 (** [phase_of_interval division bbvs interval] maps an interval index to

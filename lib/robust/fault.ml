@@ -42,12 +42,7 @@ let label = function
   | Concolic_injected -> "concolic-injected"
   | Degenerate_phase -> "degenerate-phase"
 
-(* One registry counter per kind, mirroring the per-log counts into the
-   process-wide telemetry view (docs/telemetry.md). *)
-let telemetry_counters =
-  List.map
-    (fun k -> (rank k, Pbse_telemetry.Telemetry.counter ("fault." ^ label k)))
-    all
+module Telemetry = Pbse_telemetry.Telemetry
 
 type t = {
   kind : kind;
@@ -64,15 +59,26 @@ type log = {
   mutable cur : t list; (* newest first *)
   mutable cur_len : int;
   mutable older : t list; (* previous full block, newest first *)
+  (* one registry counter per kind, mirroring the per-log counts into
+     the owning registry's view (docs/telemetry.md) *)
+  tm : Telemetry.counter array;
 }
 
 let max_recent = 256
 
-let log_create () = { counts = Array.make nkinds 0; cur = []; cur_len = 0; older = [] }
+let log_create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  let tm =
+    Array.of_list
+      (List.map (fun k -> Telemetry.Registry.counter registry ("fault." ^ label k)) all)
+  in
+  { counts = Array.make nkinds 0; cur = []; cur_len = 0; older = []; tm }
 
 let record log ?(detail = "") ~vtime kind =
   log.counts.(rank kind) <- log.counts.(rank kind) + 1;
-  Pbse_telemetry.Telemetry.incr (List.assq (rank kind) telemetry_counters);
+  Telemetry.incr log.tm.(rank kind);
   log.cur <- { kind; detail; vtime } :: log.cur;
   log.cur_len <- log.cur_len + 1;
   if log.cur_len >= max_recent then begin

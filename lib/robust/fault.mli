@@ -32,7 +32,9 @@ type t = {
 
 type log
 
-val log_create : unit -> log
+val log_create : ?registry:Pbse_telemetry.Telemetry.Registry.t -> unit -> log
+(** [registry] owns the per-kind fault counters (default
+    {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val record : log -> ?detail:string -> vtime:int -> kind -> unit
 

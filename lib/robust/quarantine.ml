@@ -1,5 +1,4 @@
-let tm_strikes = Pbse_telemetry.Telemetry.counter "quarantine.strikes"
-let tm_evictions = Pbse_telemetry.Telemetry.counter "quarantine.evictions"
+module Telemetry = Pbse_telemetry.Telemetry
 
 type t = {
   limit : int;
@@ -7,15 +6,22 @@ type t = {
   sites : (int, int) Hashtbl.t; (* fork site -> evictions, persistent *)
   mutable total : int;
   mutable evictions : int;
+  tm_strikes : Telemetry.counter;
+  tm_evictions : Telemetry.counter;
 }
 
-let create ~max_strikes =
+let create ?registry ~max_strikes () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   {
     limit = max 1 max_strikes;
     strikes = Hashtbl.create 64;
     sites = Hashtbl.create 64;
     total = 0;
     evictions = 0;
+    tm_strikes = Telemetry.Registry.counter registry "quarantine.strikes";
+    tm_evictions = Telemetry.Registry.counter registry "quarantine.evictions";
   }
 
 let epoch t = Hashtbl.reset t.strikes
@@ -34,12 +40,12 @@ let effective_limit t ~site =
 let strike t ?(site = -1) id =
   let s = (match Hashtbl.find_opt t.strikes id with Some s -> s | None -> 0) + 1 in
   t.total <- t.total + 1;
-  Pbse_telemetry.Telemetry.incr tm_strikes;
+  Telemetry.incr t.tm_strikes;
   if s >= effective_limit t ~site then begin
     Hashtbl.remove t.strikes id;
     t.evictions <- t.evictions + 1;
     if site >= 0 then Hashtbl.replace t.sites site (site_evictions t site + 1);
-    Pbse_telemetry.Telemetry.incr tm_evictions;
+    Telemetry.incr t.tm_evictions;
     true
   end
   else begin

@@ -8,14 +8,21 @@
 
     A quarantine can outlive one run: {!epoch} clears the per-state
     strike counts (state ids restart per run) while the cumulative
-    totals and the per-site eviction records persist. [Driver.run_pool]
-    threads one quarantine through every seed's run this way, so a fork
-    site that struck out under one seed fails fast under the next. *)
+    totals and the per-site eviction records persist. Callers that run
+    seeds sequentially ([Driver.run ?quarantine] across invocations) can
+    thread one quarantine this way so a fork site that struck out under
+    one seed fails fast under the next. [Driver.run_pool] does {e not}:
+    each pool session owns a private quarantine inside its runtime
+    context, the price of running turns on concurrent domains with
+    byte-identical reports at every [--jobs] width
+    (docs/parallelism.md). *)
 
 type t
 
-val create : max_strikes:int -> t
-(** [max_strikes] is clamped to at least 1. *)
+val create : ?registry:Pbse_telemetry.Telemetry.Registry.t -> max_strikes:int -> unit -> t
+(** [max_strikes] is clamped to at least 1. [registry] owns the
+    strike/eviction counters (default
+    {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val epoch : t -> unit
 (** Start a new run against the same quarantine: per-state strikes are

@@ -1,12 +1,14 @@
 module Searcher = Pbse_exec.Searcher
 module State = Pbse_exec.State
 module Report = Pbse_telemetry.Report
+module Telemetry = Pbse_telemetry.Telemetry
 
 type t = {
   ordinal : int;
   pid : int;
   trap : bool;
   searcher : Searcher.t;
+  turn_dwell : Telemetry.histogram;
   mutable seeded : int;
   mutable turns : int;
   mutable slices : int;
@@ -15,12 +17,18 @@ type t = {
   mutable quarantined : int;
 }
 
-let create ~ordinal ~pid ~trap searcher =
+let create ?registry ~ordinal ~pid ~trap searcher =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
   {
     ordinal;
     pid;
     trap;
     searcher;
+    turn_dwell =
+      Telemetry.Registry.histogram registry
+        (Printf.sprintf "phase.%d.turn_dwell" ordinal);
     seeded = 0;
     turns = 0;
     slices = 0;

@@ -10,6 +10,8 @@ type t = {
   pid : int; (* cluster id from the phase division *)
   trap : bool;
   searcher : Pbse_exec.Searcher.t;
+  turn_dwell : Pbse_telemetry.Telemetry.histogram;
+      (* per-turn dwell distribution, named [phase.<ordinal>.turn_dwell] *)
   mutable seeded : int; (* seedStates initially mapped here *)
   mutable turns : int;
   mutable slices : int;
@@ -18,8 +20,16 @@ type t = {
   mutable quarantined : int; (* states evicted while this phase ran *)
 }
 
-val create : ordinal:int -> pid:int -> trap:bool -> Pbse_exec.Searcher.t -> t
-(** All counters start at zero. *)
+val create :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  ordinal:int ->
+  pid:int ->
+  trap:bool ->
+  Pbse_exec.Searcher.t ->
+  t
+(** All counters start at zero. [registry] owns the per-phase
+    [turn_dwell] histogram (default
+    {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val seed : t -> Pbse_exec.State.t -> unit
 (** Adds a seedState to the phase's searcher and counts it. *)

@@ -1,10 +1,5 @@
 module Telemetry = Pbse_telemetry.Telemetry
 
-let tm_turns = Telemetry.counter "sched.turns"
-let tm_rotations = Telemetry.counter "sched.rotations"
-let tm_evictions = Telemetry.counter "sched.evictions"
-let tm_failovers = Telemetry.counter "sched.failovers"
-
 type turn = {
   queue : Phase_queue.t;
   budget : int;
@@ -29,20 +24,40 @@ type t = {
 
 let stats_create () = { turns = 0; rotations = 0; evictions = 0; failovers = 0 }
 
-let note_turn st =
+(* Policy telemetry lives in the registry the factory was given, so
+   concurrent sessions (one per domain) never share instrument state. *)
+type instruments = {
+  i_turns : Telemetry.counter;
+  i_rotations : Telemetry.counter;
+  i_evictions : Telemetry.counter;
+  i_failovers : Telemetry.counter;
+}
+
+let instruments ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  {
+    i_turns = Telemetry.Registry.counter registry "sched.turns";
+    i_rotations = Telemetry.Registry.counter registry "sched.rotations";
+    i_evictions = Telemetry.Registry.counter registry "sched.evictions";
+    i_failovers = Telemetry.Registry.counter registry "sched.failovers";
+  }
+
+let note_turn ins st =
   st.turns <- st.turns + 1;
-  Telemetry.incr tm_turns
+  Telemetry.incr ins.i_turns
 
-let note_rotation st =
+let note_rotation ins st =
   st.rotations <- st.rotations + 1;
-  Telemetry.incr tm_rotations
+  Telemetry.incr ins.i_rotations
 
-let note_eviction st ~failed =
+let note_eviction ins st ~failed =
   st.evictions <- st.evictions + 1;
-  Telemetry.incr tm_evictions;
+  Telemetry.incr ins.i_evictions;
   if failed then begin
     st.failovers <- st.failovers + 1;
-    Telemetry.incr tm_failovers
+    Telemetry.incr ins.i_failovers
   end
 
 (* Remove one queue (matched by ordinal) from the array, preserving order. *)
@@ -62,7 +77,8 @@ let array_remove queues (q : Phase_queue.t) =
    order; every full rotation grows the per-turn budget by one
    [time_period]. On eviction the next queue shifts into the vacated
    slot, so the cursor stays put. *)
-let round_robin ~time_period queue_list =
+let round_robin ?registry ~time_period queue_list =
+  let ins = instruments ?registry () in
   let queues = ref (Array.of_list queue_list) in
   let pos = ref 0 in
   let rotation = ref 1 in
@@ -71,7 +87,7 @@ let round_robin ~time_period queue_list =
     if !pos >= Array.length !queues then begin
       pos := 0;
       incr rotation;
-      note_rotation stats
+      note_rotation ins stats
     end
   in
   {
@@ -80,7 +96,7 @@ let round_robin ~time_period queue_list =
       (fun () ->
         if Array.length !queues = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           Some { queue = !queues.(!pos); budget = !rotation * time_period }
         end);
     credit =
@@ -89,7 +105,7 @@ let round_robin ~time_period queue_list =
         wrap ());
     evict =
       (fun q ~failed ->
-        note_eviction stats ~failed;
+        note_eviction ins stats ~failed;
         array_remove queues q;
         wrap ());
     drained = (fun () -> Array.length !queues = 0);
@@ -99,7 +115,8 @@ let round_robin ~time_period queue_list =
 
 (* Ablation policy: drain the head queue to exhaustion before moving on;
    the budget grows only as whole phases retire. *)
-let sequential ~time_period queue_list =
+let sequential ?registry ~time_period queue_list =
+  let ins = instruments ?registry () in
   let queues = ref (Array.of_list queue_list) in
   let rotation = ref 0 in
   let stats = stats_create () in
@@ -109,16 +126,16 @@ let sequential ~time_period queue_list =
       (fun () ->
         if Array.length !queues = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           Some { queue = !queues.(0); budget = (!rotation + 1) * time_period }
         end);
     credit = (fun _q ~elapsed:_ ~new_cover:_ -> ());
     evict =
       (fun q ~failed ->
-        note_eviction stats ~failed;
+        note_eviction ins stats ~failed;
         array_remove queues q;
         incr rotation;
-        note_rotation stats);
+        note_rotation ins stats);
     drained = (fun () -> Array.length !queues = 0);
     remaining = (fun () -> Array.to_list !queues);
     stats;
@@ -130,7 +147,8 @@ let sequential ~time_period queue_list =
    rounding; ties break toward the lower ordinal. Each queue's budget
    grows with its own turn count, so a productive phase earns longer
    stretches without starving the comparison. *)
-let coverage_greedy ~time_period queue_list =
+let coverage_greedy ?registry ~time_period queue_list =
+  let ins = instruments ?registry () in
   let queues = ref (Array.of_list queue_list) in
   let stats = stats_create () in
   let better (a : Phase_queue.t) (b : Phase_queue.t) =
@@ -144,14 +162,14 @@ let coverage_greedy ~time_period queue_list =
       (fun () ->
         if Array.length !queues = 0 then None
         else begin
-          note_turn stats;
+          note_turn ins stats;
           let best = Array.fold_left (fun acc q -> if better q acc then q else acc) !queues.(0) !queues in
           Some { queue = best; budget = (best.Phase_queue.turns + 1) * time_period }
         end);
     credit = (fun _q ~elapsed:_ ~new_cover:_ -> ());
     evict =
       (fun q ~failed ->
-        note_eviction stats ~failed;
+        note_eviction ins stats ~failed;
         array_remove queues q);
     drained = (fun () -> Array.length !queues = 0);
     remaining = (fun () -> Array.to_list !queues);
@@ -164,7 +182,8 @@ let coverage_greedy ~time_period queue_list =
    turns first, in appearance order, followed by the non-trap phases.
    The pending list is rebuilt at each rotation boundary from the
    still-live queues, so evictions never starve the order. *)
-let trap_first ~time_period queue_list =
+let trap_first ?registry ~time_period queue_list =
+  let ins = instruments ?registry () in
   let queues = ref (Array.of_list queue_list) in
   let rotation = ref 1 in
   let stats = stats_create () in
@@ -183,7 +202,7 @@ let trap_first ~time_period queue_list =
   let refill_if_done () =
     if !pending = [] && Array.length !queues > 0 then begin
       incr rotation;
-      note_rotation stats;
+      note_rotation ins stats;
       pending := order ()
     end
   in
@@ -194,7 +213,7 @@ let trap_first ~time_period queue_list =
         if Array.length !queues = 0 then None
         else begin
           refill_if_done ();
-          note_turn stats;
+          note_turn ins stats;
           Some { queue = List.hd !pending; budget = !rotation * time_period }
         end);
     credit =
@@ -203,7 +222,7 @@ let trap_first ~time_period queue_list =
         refill_if_done ());
     evict =
       (fun q ~failed ->
-        note_eviction stats ~failed;
+        note_eviction ins stats ~failed;
         array_remove queues q;
         drop q;
         refill_if_done ());

@@ -40,22 +40,46 @@ type t = {
   stats : stats;
 }
 
-val round_robin : time_period:int -> Phase_queue.t list -> t
+val round_robin :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Phase_queue.t list ->
+  t
 (** The paper's Algorithm 3: first-appearance order, budget grows by one
     [time_period] per full rotation. *)
 
-val sequential : time_period:int -> Phase_queue.t list -> t
+val sequential :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Phase_queue.t list ->
+  t
 (** Ablation policy: drain each phase to exhaustion in order. *)
 
-val coverage_greedy : time_period:int -> Phase_queue.t list -> t
+val coverage_greedy :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Phase_queue.t list ->
+  t
 (** Greedy alternative: highest new-cover-per-dwell ratio first
     (integer cross-multiplied, ties to the lower ordinal). *)
 
-val trap_first : time_period:int -> Phase_queue.t list -> t
+val trap_first :
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Phase_queue.t list ->
+  t
 (** Round-robin rotations and budgets, but trap phases take their turns
     first within each rotation (appearance order within each class). *)
 
 val names : string list
 (** All policy names accepted by {!by_name}. *)
 
-val by_name : string -> (time_period:int -> Phase_queue.t list -> t) option
+val by_name :
+  string ->
+  (?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  time_period:int ->
+  Phase_queue.t list ->
+  t)
+  option
+(** Factories accept the registry that owns their [sched.*] counters
+    (default {!Pbse_telemetry.Telemetry.Registry.default}). *)

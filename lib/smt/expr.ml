@@ -36,15 +36,30 @@ let node_hash = function
   | Un (op, a) -> combine (combine 4 (Hashtbl.hash op)) a.id
   | Ite (c, t, e) -> combine (combine (combine 5 c.id) t.id) e.id
 
-module Table = Weak.Make (struct
-  type nonrec t = t
+module Table = Hashtbl.Make (struct
+  type nonrec t = node
 
-  let equal a b = node_equal a.node b.node
-  let hash a = a.hkey
+  let equal = node_equal
+  let hash = node_hash
 end)
 
-let table = Table.create 65536
-let next_id = ref 0
+(* Hash-consing arena: one interning table per execution context. Each
+   driver session owns an arena and installs it (domain-locally) before
+   running, so parallel campaign turns never contend on a shared table
+   and a session's interning behaviour is identical regardless of which
+   domain — or how many — executes its turns. The table holds strong
+   references: an arena's expressions live exactly as long as the arena
+   (a session), which keeps solver caches keyed on ids immune to
+   re-interning nondeterminism. Ids are drawn from one process-wide
+   atomic source, so ids are globally unique and id equality implies
+   physical equality even across arenas (e.g. the shared [zero]/[one]
+   constants interned at module initialisation). *)
+type arena = { table : t Table.t }
+
+let next_id = Atomic.make 0
+let arena () = { table = Table.create 4096 }
+let dls_arena : arena Domain.DLS.key = Domain.DLS.new_key arena
+let use_arena a = Domain.DLS.set dls_arena a
 
 (* Smallest all-ones mask covering [v] (unsigned). *)
 let smear v =
@@ -113,15 +128,18 @@ let make node =
     | Ite (c, t, e) ->
       (max c.max_read (max t.max_read e.max_read), 1 + c.nodes + t.nodes + e.nodes)
   in
-  let candidate =
-    { id = !next_id; hkey = node_hash node land max_int; node; max_read; nodes;
-      bits = bits_of node }
-  in
-  let interned = Table.merge table candidate in
-  if interned == candidate then incr next_id;
-  interned
+  let table = (Domain.DLS.get dls_arena).table in
+  match Table.find_opt table node with
+  | Some interned -> interned
+  | None ->
+    let interned =
+      { id = Atomic.fetch_and_add next_id 1; hkey = node_hash node land max_int;
+        node; max_read; nodes; bits = bits_of node }
+    in
+    Table.add table node interned;
+    interned
 
-let table_stats () = Table.count table
+let table_stats () = Table.length (Domain.DLS.get dls_arena).table
 
 (* --- constructors with simplification ----------------------------------- *)
 

@@ -63,5 +63,24 @@ val eval : (int -> int) -> t -> int64
 
 val to_string : t -> string
 
+(** {1 Arenas}
+
+    Interning is arena-scoped: every expression is hash-consed in the
+    arena currently installed in the running domain (each domain starts
+    with a private default arena). A driver session owns one arena and
+    re-installs it before every turn, so its interning — and therefore
+    every id-keyed solver cache — behaves identically no matter which
+    domain executes the turn. Ids are drawn from a process-wide atomic
+    counter: globally unique, so id equality implies physical equality
+    even for expressions crossing arenas (the module-level constants). *)
+
+type arena
+
+val arena : unit -> arena
+(** A fresh, empty interning arena. *)
+
+val use_arena : arena -> unit
+(** Install [a] as the running domain's interning arena. *)
+
 val table_stats : unit -> int
-(** Number of live hash-consed nodes (diagnostic). *)
+(** Number of hash-consed nodes in the current arena (diagnostic). *)

@@ -36,15 +36,21 @@ type entry = {
   creads : int list Imap.t; (* constraint id -> its reads *)
   bounds : Interval.t Imap.t; (* learned per-byte intervals *)
   mutable model : Model.t option; (* last Sat model under this prefix *)
+  mutable last_use : int; (* LRU clock tick of the last lookup hit *)
 }
 
 type t = {
   table : (int, entry list) Hashtbl.t; (* head expr id -> entries *)
   mutable entries : int;
+  mutable tick : int; (* LRU clock, advanced per lookup/insert *)
+  mutable evictions : int; (* entries dropped by the LRU bound *)
+  cap : int;
   root : entry;
 }
 
-let root_entry =
+let default_cap = 16_384
+
+let make_root () =
   {
     path = [];
     depth = 0;
@@ -52,17 +58,65 @@ let root_entry =
     creads = Imap.empty;
     bounds = Imap.empty;
     model = None;
+    last_use = 0;
   }
 
-let create () =
-  { table = Hashtbl.create 1024; entries = 0; root = { root_entry with path = [] } }
+let create ?(cap = default_cap) () =
+  {
+    table = Hashtbl.create 1024;
+    entries = 0;
+    tick = 0;
+    evictions = 0;
+    cap = max 16 cap;
+    root = make_root ();
+  }
 
 let clear t =
   Hashtbl.reset t.table;
   t.entries <- 0;
   t.root.model <- None
 
-let max_entries = 16_384
+let evictions t = t.evictions
+
+let size t = t.entries
+
+(* Bounded LRU: at capacity, drop the least-recently-used quarter in one
+   batch (instead of the old wholesale reset), so long campaigns keep
+   their hot prefixes. O(n log n) every n/4 inserts — amortised O(log n)
+   per insert. Survivors keep their ticks; the relative order is all the
+   LRU needs, and ticks are per-context, so eviction is deterministic
+   for a given query sequence. *)
+let evict_lru t =
+  let all = Hashtbl.fold (fun _ es acc -> List.rev_append es acc) t.table [] in
+  let ages = List.sort Int.compare (List.map (fun e -> e.last_use) all) in
+  let drop_target = max 1 (t.entries / 4) in
+  (* evict everything at or below the drop-target age; ties share a tick
+     (entries built by one extension walk), so the batch can exceed the
+     quarter — the condition is per-entry, independent of table order *)
+  let threshold = List.nth ages (min (drop_target - 1) (List.length ages - 1)) in
+  let dropped = ref 0 in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] in
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t.table k with
+      | None -> ()
+      | Some es -> (
+        let kept =
+          List.filter
+            (fun e ->
+              if e.last_use <= threshold then begin
+                incr dropped;
+                false
+              end
+              else true)
+            es
+        in
+        match kept with
+        | [] -> Hashtbl.remove t.table k
+        | _ -> Hashtbl.replace t.table k kept))
+    keys;
+  t.entries <- t.entries - !dropped;
+  t.evictions <- t.evictions + !dropped
 
 (* Endpoint trimming of one byte's interval against one constraint:
    advance the endpoints while the constraint is definitely false there,
@@ -100,7 +154,7 @@ let extend ~reads cost path (c : Expr.t) parent =
   match Expr.is_const c with
   | Some _ ->
     (* constants never join a component; the context only re-anchors *)
-    { parent with path; depth = parent.depth + 1; model = parent.model }
+    { parent with path; depth = parent.depth + 1; model = parent.model; last_use = 0 }
   | None ->
     let r = reads c in
     cost := !cost + 1 + List.length r;
@@ -136,7 +190,7 @@ let extend ~reads cost path (c : Expr.t) parent =
         if Model.satisfies m [ c ] then Some m else None
       | None -> None
     in
-    { path; depth = parent.depth + 1; by_var; creads; bounds; model }
+    { path; depth = parent.depth + 1; by_var; creads; bounds; model; last_use = 0 }
 
 let head_id (path : Expr.t list) =
   match path with [] -> assert false | e :: _ -> e.Expr.id
@@ -148,7 +202,8 @@ let lookup t path =
   | Some entries -> List.find_opt (fun e -> e.path == path) entries
 
 let insert t entry =
-  if t.entries >= max_entries then clear t;
+  if t.entries >= t.cap then evict_lru t;
+  entry.last_use <- t.tick;
   let hid = head_id entry.path in
   let existing = match Hashtbl.find_opt t.table hid with Some l -> l | None -> [] in
   Hashtbl.replace t.table hid (entry :: existing);
@@ -167,12 +222,15 @@ type outcome = {
    few constraints, query again — finds the previous query's context
    after a few steps. *)
 let find_or_build t ~reads path =
+  t.tick <- t.tick + 1;
   let rec walk path pending =
     match path with
     | [] -> (t.root, false, pending)
     | c :: rest -> (
       match lookup t path with
-      | Some e -> (e, true, pending)
+      | Some e ->
+        e.last_use <- t.tick;
+        (e, true, pending)
       | None -> walk rest ((path, c) :: pending))
   in
   let base, hit_table, pending = walk path [] in

@@ -17,16 +17,26 @@
     Lookup walks the path's physical spine: paths are persistent
     cons-lists shared between a state and its forks, so identity
     comparison finds the deepest indexed prefix without comparing
-    constraint sets. The table is bounded and resets wholesale, like the
-    solver's query cache. *)
+    constraint sets. The table is a bounded LRU: at [cap] entries the
+    least-recently-used quarter is dropped in one batch, so long
+    campaigns keep their hot prefixes instead of resetting wholesale.
+    Eviction is deterministic for a given query sequence (the LRU clock
+    is per-context, never wall time). *)
 
 type entry
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> unit -> t
+(** [cap] bounds the number of cached contexts (default 16384, floor 16). *)
 
 val clear : t -> unit
+
+val size : t -> int
+(** Number of cached contexts. *)
+
+val evictions : t -> int
+(** Total contexts dropped by the LRU bound since creation. *)
 
 type outcome = {
   ctx : entry;

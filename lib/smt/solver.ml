@@ -1,12 +1,5 @@
 module Telemetry = Pbse_telemetry.Telemetry
 
-(* Registry instruments (docs/telemetry.md); every mutation is gated on
-   [Telemetry.enabled], so uninstrumented runs pay one boolean load. *)
-let tm_query_work = Telemetry.histogram "solver.query_work"
-let tm_retry_budget = Telemetry.histogram "solver.retry_budget"
-let tm_unknown = Telemetry.counter "solver.unknown"
-let tm_prefix_hits = Telemetry.counter "solver.prefix_hits"
-
 type result =
   | Sat of Model.t
   | Unsat
@@ -27,6 +20,7 @@ type stats = {
   mutable retries : int;
   mutable escalations : int;
   mutable retry_resolved : int;
+  mutable prefix_evictions : int;
 }
 
 type t = {
@@ -37,13 +31,24 @@ type t = {
   reads_memo : (int, int list) Hashtbl.t; (* expr id -> sorted input indices *)
   retryable : (int list, int) Hashtbl.t; (* query key -> budget it failed at *)
   prefixes : Prefix_ctx.t;
+  (* registry instruments (docs/telemetry.md); mutation is gated on the
+     owning registry's enabled flag, so uninstrumented runs pay one
+     boolean load *)
+  tm_query_work : Telemetry.histogram;
+  tm_retry_budget : Telemetry.histogram;
+  tm_unknown : Telemetry.counter;
+  tm_prefix_hits : Telemetry.counter;
+  tm_prefix_evictions : Telemetry.counter;
 }
 
 exception Out_of_budget = Search_core.Out_of_budget
 
-let create ?(budget = 60_000) ?retry_cap () =
+let create ?(budget = 60_000) ?retry_cap ?prefix_cap ?registry () =
   let retry_cap =
     match retry_cap with Some c -> max budget c | None -> 8 * budget
+  in
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
   in
   {
     budget;
@@ -64,11 +69,17 @@ let create ?(budget = 60_000) ?retry_cap () =
         retries = 0;
         escalations = 0;
         retry_resolved = 0;
+        prefix_evictions = 0;
       };
     cache = Hashtbl.create 4096;
     reads_memo = Hashtbl.create 4096;
     retryable = Hashtbl.create 256;
-    prefixes = Prefix_ctx.create ();
+    prefixes = Prefix_ctx.create ?cap:prefix_cap ();
+    tm_query_work = Telemetry.Registry.histogram registry "solver.query_work";
+    tm_retry_budget = Telemetry.Registry.histogram registry "solver.retry_budget";
+    tm_unknown = Telemetry.Registry.counter registry "solver.unknown";
+    tm_prefix_hits = Telemetry.Registry.counter registry "solver.prefix_hits";
+    tm_prefix_evictions = Telemetry.Registry.counter registry "smt.prefix_evictions";
   }
 
 let stats t = t.st
@@ -157,7 +168,7 @@ let with_meter t ?retry_key body =
           let escalated = min t.retry_cap (2 * prev) in
           if escalated > prev then begin
             t.st.escalations <- t.st.escalations + 1;
-            Telemetry.observe tm_retry_budget escalated
+            Telemetry.observe t.tm_retry_budget escalated
           end;
           escalated)
   in
@@ -168,8 +179,8 @@ let with_meter t ?retry_key body =
    | Unsat -> t.st.unsat <- t.st.unsat + 1
    | Unknown ->
      t.st.unknown <- t.st.unknown + 1;
-     Telemetry.incr tm_unknown);
-  Telemetry.observe tm_query_work meter.Search_core.spent;
+     Telemetry.incr t.tm_unknown);
+  Telemetry.observe t.tm_query_work meter.Search_core.spent;
   (match result with
    | Unknown -> (
      match Lazy.force key with
@@ -223,9 +234,14 @@ let check_assuming t ?(hint = Model.empty) ~path extra =
           let entry = o.Prefix_ctx.ctx in
           if o.Prefix_ctx.reused then begin
             t.st.prefix_hits <- t.st.prefix_hits + 1;
-            Telemetry.incr tm_prefix_hits
+            Telemetry.incr t.tm_prefix_hits
           end;
           t.st.prefix_builds <- t.st.prefix_builds + o.Prefix_ctx.built;
+          let ev = Prefix_ctx.evictions t.prefixes in
+          if ev > t.st.prefix_evictions then begin
+            Telemetry.add t.tm_prefix_evictions (ev - t.st.prefix_evictions);
+            t.st.prefix_evictions <- ev
+          end;
           (* charged after the contexts are cached: if the charge
              exhausts the budget, the retry hits instead of rebuilding *)
           Search_core.spend meter o.Prefix_ctx.cost;

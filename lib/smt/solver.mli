@@ -52,14 +52,23 @@ type stats = {
   mutable retries : int; (* re-issues of a previously Unknown query *)
   mutable escalations : int; (* retries that ran with a raised budget *)
   mutable retry_resolved : int; (* retryable queries later answered *)
+  mutable prefix_evictions : int; (* prefix contexts dropped by the LRU bound *)
 }
 
 type t
 
-val create : ?budget:int -> ?retry_cap:int -> unit -> t
+val create :
+  ?budget:int ->
+  ?retry_cap:int ->
+  ?prefix_cap:int ->
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  unit ->
+  t
 (** [budget] is the work allowance per [check] call (default 60_000).
     [retry_cap] bounds the escalating retry budget (default
-    [8 * budget]; clamped to at least [budget]). *)
+    [8 * budget]; clamped to at least [budget]). [prefix_cap] bounds the
+    prefix-context LRU ({!Prefix_ctx.create}). [registry] owns the
+    solver's telemetry instruments (default {!Telemetry.Registry.default}). *)
 
 val stats : t -> stats
 

@@ -1,16 +1,10 @@
-let enabled_flag = ref false
-let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+(* Instruments carry the owning registry's enabled flag, so hot-path
+   mutation is one boolean load regardless of which registry owns the
+   instrument, and a registry can be switched on/off without touching
+   its instruments. *)
 
-(* --- counters ------------------------------------------------------------- *)
-
-type counter = { c_name : string; mutable c_value : int }
-
-(* --- gauges --------------------------------------------------------------- *)
-
-type gauge = { g_name : string; mutable g_value : int }
-
-(* --- histograms ----------------------------------------------------------- *)
+type counter = { c_name : string; c_en : bool ref; mutable c_value : int }
+type gauge = { g_name : string; g_en : bool ref; mutable g_value : int }
 
 (* Bucket 0 holds v <= 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]. OCaml
    ints are 63-bit, so max_int = 2^62 - 1 needs 62 value bits: 63 buckets
@@ -34,6 +28,7 @@ let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
 
 type histogram = {
   h_name : string;
+  h_en : bool ref;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : int;
@@ -50,63 +45,176 @@ type histogram_snapshot = {
   hs_buckets : (int * int) list;
 }
 
-(* --- spans ---------------------------------------------------------------- *)
+type span = {
+  s_name : string;
+  s_en : bool ref;
+  mutable s_count : int;
+  mutable s_total : int;
+}
 
-type span = { s_name : string; mutable s_count : int; mutable s_total : int }
+let histogram_snapshot h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  {
+    hs_name = h.h_name;
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_min = h.h_min;
+    hs_max = h.h_max;
+    hs_buckets = !buckets;
+  }
 
-(* --- registry ------------------------------------------------------------- *)
+(* --- registries ------------------------------------------------------------ *)
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let spans : (string, span) Hashtbl.t = Hashtbl.create 16
+module Registry = struct
+  type t = {
+    en : bool ref;
+    counters : (string, counter) Hashtbl.t;
+    gauges : (string, gauge) Hashtbl.t;
+    histograms : (string, histogram) Hashtbl.t;
+    spans : (string, span) Hashtbl.t;
+  }
 
-let intern table name make =
-  match Hashtbl.find_opt table name with
-  | Some v -> v
-  | None ->
-    let v = make name in
-    Hashtbl.replace table name v;
-    v
+  let create ?(enabled = false) () =
+    {
+      en = ref enabled;
+      counters = Hashtbl.create 64;
+      gauges = Hashtbl.create 16;
+      histograms = Hashtbl.create 16;
+      spans = Hashtbl.create 16;
+    }
 
-let counter name = intern counters name (fun c_name -> { c_name; c_value = 0 })
-let gauge name = intern gauges name (fun g_name -> { g_name; g_value = 0 })
+  (* The one process-global registry, kept only so pre-context code
+     paths (CLI solo runs, tests, examples) have a registry without
+     threading one. Everything context-threaded gets its own
+     [create]. This back-compat shim is the single piece of module
+     state in the library. *)
+  let default_instance = lazy (create ())
+  let default () = Lazy.force default_instance
 
-let histogram name =
-  intern histograms name (fun h_name ->
-      { h_name; h_buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0;
-        h_min = 0; h_max = 0 })
+  let enabled t = !(t.en)
+  let set_enabled t b = t.en := b
 
-let span name = intern spans name (fun s_name -> { s_name; s_count = 0; s_total = 0 })
+  let intern table name make =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+      let v = make name in
+      Hashtbl.replace table name v;
+      v
 
-let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g_value <- 0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.h_buckets 0 nbuckets 0;
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_min <- 0;
-      h.h_max <- 0)
-    histograms;
-  Hashtbl.iter
-    (fun _ s ->
-      s.s_count <- 0;
-      s.s_total <- 0)
-    spans
+  let counter t name =
+    intern t.counters name (fun c_name -> { c_name; c_en = t.en; c_value = 0 })
+
+  let gauge t name =
+    intern t.gauges name (fun g_name -> { g_name; g_en = t.en; g_value = 0 })
+
+  let histogram t name =
+    intern t.histograms name (fun h_name ->
+        { h_name; h_en = t.en; h_buckets = Array.make nbuckets 0; h_count = 0;
+          h_sum = 0; h_min = 0; h_max = 0 })
+
+  let span t name =
+    intern t.spans name (fun s_name -> { s_name; s_en = t.en; s_count = 0; s_total = 0 })
+
+  let reset t =
+    Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
+    Hashtbl.iter (fun _ g -> g.g_value <- 0) t.gauges;
+    Hashtbl.iter
+      (fun _ h ->
+        Array.fill h.h_buckets 0 nbuckets 0;
+        h.h_count <- 0;
+        h.h_sum <- 0;
+        h.h_min <- 0;
+        h.h_max <- 0)
+      t.histograms;
+    Hashtbl.iter
+      (fun _ s ->
+        s.s_count <- 0;
+        s.s_total <- 0)
+      t.spans
+
+  (* Merge laws (docs/parallelism.md): counters and spans add, gauges
+     keep the max, histograms add bucket-wise with min/max hulls. Every
+     law is commutative and associative with the zero instrument as
+     identity, so merging per-session registries in any grouping yields
+     the same totals — the pool merges in seed-ordinal order purely for
+     reproducibility of intermediate states. Merging bypasses the
+     enabled gate: it is bookkeeping, not hot-path instrumentation. *)
+  let merge_into ~into src =
+    Hashtbl.iter
+      (fun name (c : counter) ->
+        let dst = counter into name in
+        dst.c_value <- dst.c_value + c.c_value)
+      src.counters;
+    Hashtbl.iter
+      (fun name (g : gauge) ->
+        let dst = gauge into name in
+        dst.g_value <- max dst.g_value g.g_value)
+      src.gauges;
+    Hashtbl.iter
+      (fun name (h : histogram) ->
+        let dst = histogram into name in
+        if h.h_count > 0 then begin
+          if dst.h_count = 0 then begin
+            dst.h_min <- h.h_min;
+            dst.h_max <- h.h_max
+          end
+          else begin
+            if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+            if h.h_max > dst.h_max then dst.h_max <- h.h_max
+          end;
+          dst.h_count <- dst.h_count + h.h_count;
+          dst.h_sum <- dst.h_sum + h.h_sum;
+          Array.iteri
+            (fun i n -> if n > 0 then dst.h_buckets.(i) <- dst.h_buckets.(i) + n)
+            h.h_buckets
+        end)
+      src.histograms;
+    Hashtbl.iter
+      (fun name (s : span) ->
+        let dst = span into name in
+        dst.s_count <- dst.s_count + s.s_count;
+        dst.s_total <- dst.s_total + s.s_total)
+      src.spans
+
+  let sorted_values table = Hashtbl.fold (fun _ v acc -> v :: acc) table []
+
+  let snapshot_counters t =
+    sorted_values t.counters
+    |> List.map (fun c -> (c.c_name, c.c_value))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let snapshot_gauges t =
+    sorted_values t.gauges
+    |> List.map (fun g -> (g.g_name, g.g_value))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let snapshot_spans t =
+    sorted_values t.spans
+    |> List.map (fun s -> (s.s_name, s.s_count, s.s_total))
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+  let snapshot_histograms t =
+    sorted_values t.histograms
+    |> List.filter (fun h -> h.h_count > 0)
+    |> List.map histogram_snapshot
+    |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
+end
 
 (* --- mutation (gated) ----------------------------------------------------- *)
 
-let incr c = if !enabled_flag then c.c_value <- c.c_value + 1
-let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+let incr c = if !(c.c_en) then c.c_value <- c.c_value + 1
+let add c n = if !(c.c_en) then c.c_value <- c.c_value + n
 let counter_value c = c.c_value
 
-let set_gauge g v = if !enabled_flag then g.g_value <- v
+let set_gauge g v = if !(g.g_en) then g.g_value <- v
 let gauge_value g = g.g_value
 
 let observe h v =
-  if !enabled_flag then begin
+  if !(h.h_en) then begin
     let i = bucket_index v in
     h.h_buckets.(i) <- h.h_buckets.(i) + 1;
     if h.h_count = 0 then begin
@@ -122,7 +230,7 @@ let observe h v =
   end
 
 let with_span s ~now f =
-  if not !enabled_flag then f ()
+  if not !(s.s_en) then f ()
   else begin
     let t0 = now () in
     let record () =
@@ -141,42 +249,16 @@ let with_span s ~now f =
 let span_count s = s.s_count
 let span_total s = s.s_total
 
-(* --- snapshots ------------------------------------------------------------ *)
+(* --- process-global shims (Registry.default) ------------------------------- *)
 
-let sorted_values table =
-  Hashtbl.fold (fun _ v acc -> v :: acc) table []
-
-let snapshot_counters () =
-  sorted_values counters
-  |> List.map (fun c -> (c.c_name, c.c_value))
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let snapshot_gauges () =
-  sorted_values gauges
-  |> List.map (fun g -> (g.g_name, g.g_value))
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let snapshot_spans () =
-  sorted_values spans
-  |> List.map (fun s -> (s.s_name, s.s_count, s.s_total))
-  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
-
-let histogram_snapshot h =
-  let buckets = ref [] in
-  for i = nbuckets - 1 downto 0 do
-    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
-  done;
-  {
-    hs_name = h.h_name;
-    hs_count = h.h_count;
-    hs_sum = h.h_sum;
-    hs_min = h.h_min;
-    hs_max = h.h_max;
-    hs_buckets = !buckets;
-  }
-
-let snapshot_histograms () =
-  sorted_values histograms
-  |> List.filter (fun h -> h.h_count > 0)
-  |> List.map histogram_snapshot
-  |> List.sort (fun a b -> String.compare a.hs_name b.hs_name)
+let enabled () = Registry.enabled (Registry.default ())
+let set_enabled b = Registry.set_enabled (Registry.default ()) b
+let reset () = Registry.reset (Registry.default ())
+let counter name = Registry.counter (Registry.default ()) name
+let gauge name = Registry.gauge (Registry.default ()) name
+let histogram name = Registry.histogram (Registry.default ()) name
+let span name = Registry.span (Registry.default ()) name
+let snapshot_counters () = Registry.snapshot_counters (Registry.default ())
+let snapshot_gauges () = Registry.snapshot_gauges (Registry.default ())
+let snapshot_spans () = Registry.snapshot_spans (Registry.default ())
+let snapshot_histograms () = Registry.snapshot_histograms (Registry.default ())

@@ -1,0 +1,257 @@
+(* Parallelism tests: the domain-pool turn executor, the byte-identical
+   [--jobs N] contract of Driver.run_pool (including under adversarial
+   fault injection), the solver's prefix-context LRU bound, per-phase
+   report histograms, and expression-arena isolation across domains. *)
+
+module Domain_pool = Pbse_campaign.Domain_pool
+module Pool_scheduler = Pbse_campaign.Pool_scheduler
+module Driver = Pbse.Driver
+module Runtime = Pbse.Runtime
+module Report = Pbse_telemetry.Report
+module Telemetry = Pbse_telemetry.Telemetry
+module Solver = Pbse_smt.Solver
+module Expr = Pbse_smt.Expr
+module Inject = Pbse_robust.Inject
+module T = Pbse_ir.Types
+
+let mini_program = Suite_core.mini_program
+let pool_seeds = Suite_campaign.pool_seeds
+
+(* --- Domain_pool.map -------------------------------------------------------- *)
+
+(* Deterministic busy work (no wall clock): enough iterations that a
+   skewed distribution actually interleaves domain completion order. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let test_map_results_in_input_order () =
+  (* adversarial skew: the first tasks are the slowest, so with several
+     workers the later tasks finish first — results must still come back
+     in input order *)
+  let inputs = List.init 16 (fun i -> i) in
+  let f i =
+    ignore (spin ((16 - i) * 20_000));
+    i * i
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "input order at jobs=%d" jobs)
+        (List.map (fun i -> i * i) inputs)
+        (Domain_pool.map ~jobs f inputs))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_map_reraises_earliest_failure () =
+  (* two failing tasks; the one earliest in input order wins, regardless
+     of which domain hit its exception first *)
+  let f i =
+    ignore (spin ((8 - i) * 10_000));
+    if i = 2 || i = 5 then raise (Boom i);
+    i
+  in
+  List.iter
+    (fun jobs ->
+      match Domain_pool.map ~jobs f (List.init 8 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "earliest failure at jobs=%d" jobs)
+          2 i)
+    [ 1; 4 ]
+
+let test_map_clamps_jobs () =
+  (* more workers than tasks, and degenerate widths, all behave *)
+  let xs = [ 10; 20; 30 ] in
+  let double x = x * 2 in
+  Alcotest.(check (list int)) "jobs=64 on 3 tasks" [ 20; 40; 60 ]
+    (Domain_pool.map ~jobs:64 double xs);
+  Alcotest.(check (list int)) "jobs=0 runs inline" [ 20; 40; 60 ]
+    (Domain_pool.map ~jobs:0 double xs);
+  Alcotest.(check (list int)) "empty input" []
+    (Domain_pool.map ~jobs:4 double [])
+
+(* --- byte-identical pool reports across --jobs ------------------------------ *)
+
+let pool_json ?config ?(scheduler = Pool_scheduler.default) ~jobs () =
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_enabled false)
+    (fun () ->
+      let pool =
+        Driver.run_pool ?config ~scheduler ~jobs (mini_program ())
+          ~seeds:(pool_seeds ()) ~deadline:150_000
+      in
+      Report.to_json (Driver.pool_run_report ~meta:[ ("target", "mini") ] pool))
+
+let test_pool_reports_identical_across_jobs () =
+  (* the determinism contract (docs/parallelism.md): [--jobs N] is
+     invisible in the report bytes, for every seed-level policy *)
+  List.iter
+    (fun scheduler ->
+      let baseline = pool_json ~scheduler ~jobs:1 () in
+      Alcotest.(check bool) (scheduler ^ ": nonempty") true
+        (String.length baseline > 0);
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: jobs=%d matches jobs=1" scheduler jobs)
+            baseline
+            (pool_json ~scheduler ~jobs ()))
+        [ 2; 4 ])
+    Pool_scheduler.names
+
+let test_pool_identical_under_fault_injection () =
+  (* adversarial turn durations: injected faults skew how long each
+     seed's turns take and which states survive, and the plan must still
+     merge byte-identically at every width *)
+  let inject =
+    match Inject.parse "seed=7,solver=0.3,abort=0.2,mem=0.1,concolic=0.1" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let config =
+    Driver.(with_robust (fun r -> { r with inject }) default_config)
+  in
+  let baseline = pool_json ~config ~jobs:1 () in
+  Alcotest.(check string) "faulted campaign: jobs=4 matches jobs=1" baseline
+    (pool_json ~config ~jobs:4 ());
+  (* and the faults actually fired, or the test proves nothing *)
+  match Report.of_json baseline with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let injected =
+      List.fold_left
+        (fun acc (name, v) ->
+          if String.length name > 6 && String.sub name 0 6 = "fault." then
+            acc + v
+          else acc)
+        0 r.Report.metrics
+    in
+    Alcotest.(check bool) "faults were injected" true (injected > 0)
+
+let test_pool_counters_jobs_independent () =
+  let metrics json =
+    match Report.of_json json with
+    | Error e -> Alcotest.fail e
+    | Ok r ->
+      List.map
+        (fun m -> (m, Report.metric r m))
+        [
+          "pool.rounds";
+          "pool.parallel_turns";
+          "pool.merge_blocks";
+          "pool.merge_bugs";
+          "pool.merge_registries";
+        ]
+  in
+  let a = metrics (pool_json ~jobs:1 ()) in
+  Alcotest.(check (list (pair string int)))
+    "pool.* counters identical at jobs=4" a
+    (metrics (pool_json ~jobs:4 ()));
+  Alcotest.(check bool) "rounds counted" true
+    (List.assoc "pool.rounds" a > 0);
+  Alcotest.(check bool) "registries merged per seed" true
+    (List.assoc "pool.merge_registries" a >= 3)
+
+(* --- solver prefix-context LRU ---------------------------------------------- *)
+
+(* an [extra] the empty hint model cannot satisfy, so check_assuming
+   must actually consult the prefix context *)
+let hard_extra k = [ Expr.bin T.Eq (Expr.read 1) (Expr.of_int (1 + (k land 0x7f))) ]
+
+let test_prefix_lru_evicts () =
+  (* many distinct path prefixes against the smallest cap (the solver
+     clamps [prefix_cap] to at least 16): the LRU must stay bounded and
+     count what it dropped *)
+  let s = Solver.create ~prefix_cap:16 () in
+  for k = 0 to 63 do
+    let path = [ Expr.bin T.Eq (Expr.read 0) (Expr.of_int (k land 0xff)) ] in
+    ignore (Solver.check_assuming s ~path (hard_extra k))
+  done;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "contexts were built" true (st.Solver.prefix_builds >= 48);
+  Alcotest.(check bool) "evictions counted" true (st.Solver.prefix_evictions > 0)
+
+let test_prefix_lru_eviction_metric () =
+  let registry = Telemetry.Registry.create ~enabled:true () in
+  let s = Solver.create ~prefix_cap:16 ~registry () in
+  for k = 0 to 63 do
+    let path = [ Expr.bin T.Eq (Expr.read 0) (Expr.of_int k) ] in
+    ignore (Solver.check_assuming s ~path (hard_extra k))
+  done;
+  let evictions = (Solver.stats s).Solver.prefix_evictions in
+  Alcotest.(check bool) "stats count evictions" true (evictions > 0);
+  Alcotest.(check int) "smt.prefix_evictions mirrors stats" evictions
+    (Telemetry.counter_value (Telemetry.Registry.counter registry "smt.prefix_evictions"))
+
+(* --- per-phase report histograms -------------------------------------------- *)
+
+let test_run_report_has_phase_dwell_histograms () =
+  let registry = Telemetry.Registry.create ~enabled:true () in
+  let runtime = Runtime.create ~registry () in
+  let r =
+    Driver.run ~runtime (mini_program ()) ~seed:(Suite_core.mini_seed ())
+      ~deadline:150_000
+  in
+  let report = Driver.run_report r in
+  let is_dwell h =
+    let n = h.Telemetry.hs_name in
+    String.length n > 6
+    && String.sub n 0 6 = "phase."
+    && String.length n > 11
+    && String.sub n (String.length n - 10) 10 = "turn_dwell"
+  in
+  let dwell = List.filter is_dwell report.Report.histograms in
+  Alcotest.(check bool) "per-phase turn_dwell histograms present" true
+    (List.length dwell > 0);
+  Alcotest.(check bool) "dwell histograms carry observations" true
+    (List.exists (fun h -> h.Telemetry.hs_count > 0) dwell)
+
+(* --- expression-arena isolation --------------------------------------------- *)
+
+let test_arena_isolation_across_domains () =
+  (* run inside a spawned domain so [use_arena] never disturbs the main
+     domain's per-domain default arena *)
+  let outcome =
+    Domain.spawn (fun () ->
+        let a1 = Expr.arena () and a2 = Expr.arena () in
+        Expr.use_arena a1;
+        let e1 = Expr.bin T.Add (Expr.read 0) (Expr.of_int 7) in
+        Expr.use_arena a2;
+        let e2 = Expr.bin T.Add (Expr.read 0) (Expr.of_int 7) in
+        let e2' = Expr.bin T.Add (Expr.read 0) (Expr.of_int 7) in
+        (e1.Expr.id, e2.Expr.id, e2 == e2'))
+    |> Domain.join
+  in
+  let id1, id2, interned = outcome in
+  Alcotest.(check bool) "distinct arenas assign distinct ids" true (id1 <> id2);
+  Alcotest.(check bool) "same arena hash-conses to the same node" true interned
+
+let suite =
+  [
+    Alcotest.test_case "map keeps input order under skew" `Quick
+      test_map_results_in_input_order;
+    Alcotest.test_case "map re-raises the earliest failure" `Quick
+      test_map_reraises_earliest_failure;
+    Alcotest.test_case "map clamps the job count" `Quick test_map_clamps_jobs;
+    Alcotest.test_case "pool reports byte-identical across jobs" `Slow
+      test_pool_reports_identical_across_jobs;
+    Alcotest.test_case "pool identical under fault injection" `Slow
+      test_pool_identical_under_fault_injection;
+    Alcotest.test_case "pool counters independent of jobs" `Slow
+      test_pool_counters_jobs_independent;
+    Alcotest.test_case "prefix LRU evicts at the cap" `Quick
+      test_prefix_lru_evicts;
+    Alcotest.test_case "prefix eviction metric mirrors stats" `Quick
+      test_prefix_lru_eviction_metric;
+    Alcotest.test_case "run report has per-phase dwell histograms" `Quick
+      test_run_report_has_phase_dwell_histograms;
+    Alcotest.test_case "expression arenas are isolated" `Quick
+      test_arena_isolation_across_domains;
+  ]

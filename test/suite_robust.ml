@@ -49,7 +49,7 @@ let test_fault_log_recent_capped () =
 (* --- quarantine ----------------------------------------------------------- *)
 
 let test_quarantine_eviction () =
-  let q = Quarantine.create ~max_strikes:3 in
+  let q = Quarantine.create ~max_strikes:3 () in
   Alcotest.(check bool) "strike 1" false (Quarantine.strike q 42);
   Alcotest.(check bool) "strike 2" false (Quarantine.strike q 42);
   Alcotest.(check int) "strikes so far" 2 (Quarantine.strikes_of q 42);
@@ -64,12 +64,12 @@ let test_quarantine_eviction () =
 
 let test_quarantine_min_strikes () =
   (* max_strikes is clamped to >= 1: the first strike evicts *)
-  let q = Quarantine.create ~max_strikes:0 in
+  let q = Quarantine.create ~max_strikes:0 () in
   Alcotest.(check bool) "immediate eviction" true (Quarantine.strike q 1);
   Alcotest.(check int) "evicted" 1 (Quarantine.evicted q)
 
 let test_quarantine_epoch_site_persistence () =
-  let q = Quarantine.create ~max_strikes:3 in
+  let q = Quarantine.create ~max_strikes:3 () in
   ignore (Quarantine.strike q ~site:100 1);
   ignore (Quarantine.strike q ~site:100 1);
   Alcotest.(check bool) "third strike evicts" true (Quarantine.strike q ~site:100 1);
@@ -316,7 +316,7 @@ let test_driver_contains_concolic_drops () =
 let test_shared_quarantine_across_runs () =
   (* one quarantine threaded through consecutive runs (as run_pool does):
      per-run reports are deltas and site records carry over *)
-  let q = Quarantine.create ~max_strikes:2 in
+  let q = Quarantine.create ~max_strikes:2 () in
   let config =
     Driver.(
       with_robust (fun r -> { r with inject = plan_of "seed=3,solver=1.0" }) default_config)

@@ -241,6 +241,97 @@ let test_driver_report_has_core_metrics () =
     Alcotest.(check bool) "span.driver.concolic recorded" true
       (Report.metric r "span.driver.concolic.count" > 0)
 
+(* --- registry merge laws ---------------------------------------------------- *)
+
+(* Build a registry with one instrument of each kind, loaded with the
+   given values. Enabled while loading so the gated mutators record. *)
+let loaded ~c ~g ~h ~sp =
+  let r = Telemetry.Registry.create ~enabled:true () in
+  Telemetry.add (Telemetry.Registry.counter r "c") c;
+  Telemetry.set_gauge (Telemetry.Registry.gauge r "g") g;
+  List.iter (Telemetry.observe (Telemetry.Registry.histogram r "h")) h;
+  let span = Telemetry.Registry.span r "s" in
+  let t = ref 0 in
+  Telemetry.with_span span ~now:(fun () -> !t) (fun () -> t := sp);
+  r
+
+let merge_snapshot r =
+  ( Telemetry.Registry.snapshot_counters r,
+    Telemetry.Registry.snapshot_gauges r,
+    Telemetry.Registry.snapshot_spans r,
+    List.map
+      (fun h ->
+        Telemetry.
+          (h.hs_name, h.hs_count, h.hs_sum, h.hs_min, h.hs_max, h.hs_buckets))
+      (Telemetry.Registry.snapshot_histograms r) )
+
+let test_merge_laws () =
+  let a () = loaded ~c:3 ~g:7 ~h:[ 1; 100 ] ~sp:5 in
+  let b () = loaded ~c:4 ~g:2 ~h:[ 50 ] ~sp:9 in
+  let into = Telemetry.Registry.create ~enabled:true () in
+  Telemetry.Registry.merge_into ~into (a ());
+  Telemetry.Registry.merge_into ~into (b ());
+  Alcotest.(check (list (pair string int)))
+    "counters add" [ ("c", 7) ]
+    (Telemetry.Registry.snapshot_counters into);
+  Alcotest.(check (list (pair string int)))
+    "gauges keep the max" [ ("g", 7) ]
+    (Telemetry.Registry.snapshot_gauges into);
+  (match Telemetry.Registry.snapshot_spans into with
+   | [ ("s", count, total) ] ->
+     Alcotest.(check int) "span counts add" 2 count;
+     Alcotest.(check int) "span totals add" 14 total
+   | other -> Alcotest.fail (Printf.sprintf "span rows: %d" (List.length other)));
+  (match Telemetry.Registry.snapshot_histograms into with
+   | [ h ] ->
+     Alcotest.(check int) "histogram counts add" 3 h.Telemetry.hs_count;
+     Alcotest.(check int) "histogram sums add" 151 h.Telemetry.hs_sum;
+     Alcotest.(check int) "min hull" 1 h.Telemetry.hs_min;
+     Alcotest.(check int) "max hull" 100 h.Telemetry.hs_max
+   | other -> Alcotest.fail (Printf.sprintf "histogram rows: %d" (List.length other)))
+
+let test_merge_commutes () =
+  let ab = Telemetry.Registry.create () in
+  Telemetry.Registry.merge_into ~into:ab (loaded ~c:3 ~g:7 ~h:[ 1; 100 ] ~sp:5);
+  Telemetry.Registry.merge_into ~into:ab (loaded ~c:4 ~g:2 ~h:[ 50 ] ~sp:9);
+  let ba = Telemetry.Registry.create () in
+  Telemetry.Registry.merge_into ~into:ba (loaded ~c:4 ~g:2 ~h:[ 50 ] ~sp:9);
+  Telemetry.Registry.merge_into ~into:ba (loaded ~c:3 ~g:7 ~h:[ 1; 100 ] ~sp:5);
+  Alcotest.(check bool) "merge is commutative" true
+    (merge_snapshot ab = merge_snapshot ba)
+
+let test_merge_associates () =
+  let parts () =
+    [
+      loaded ~c:1 ~g:9 ~h:[ 4 ] ~sp:2;
+      loaded ~c:2 ~g:3 ~h:[ 8; 8 ] ~sp:4;
+      loaded ~c:5 ~g:6 ~h:[] ~sp:0;
+    ]
+  in
+  (* ((a+b)+c) vs (a+(b+c)): merge the middle pair first *)
+  let left = Telemetry.Registry.create () in
+  List.iter (fun r -> Telemetry.Registry.merge_into ~into:left r) (parts ());
+  let right = Telemetry.Registry.create () in
+  (match parts () with
+   | [ ra; rb; rc ] ->
+     Telemetry.Registry.merge_into ~into:rb rc;
+     Telemetry.Registry.merge_into ~into:right ra;
+     Telemetry.Registry.merge_into ~into:right rb
+   | _ -> assert false);
+  Alcotest.(check bool) "merge is associative" true
+    (merge_snapshot left = merge_snapshot right)
+
+let test_merge_ignores_enabled_gate () =
+  (* a disabled aggregate must still absorb worker values: merges happen
+     at barriers, after the gated hot paths *)
+  let src = loaded ~c:6 ~g:1 ~h:[ 2 ] ~sp:3 in
+  Telemetry.Registry.set_enabled src false;
+  let into = Telemetry.Registry.create () in
+  Telemetry.Registry.merge_into ~into src;
+  Alcotest.(check (list (pair string int)))
+    "disabled registries still merge" [ ("c", 6) ]
+    (Telemetry.Registry.snapshot_counters into)
+
 let suite =
   [
     Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
@@ -257,4 +348,9 @@ let suite =
       test_identical_runs_identical_reports;
     Alcotest.test_case "driver report has core metrics" `Quick
       test_driver_report_has_core_metrics;
+    Alcotest.test_case "registry merge laws" `Quick test_merge_laws;
+    Alcotest.test_case "registry merge commutes" `Quick test_merge_commutes;
+    Alcotest.test_case "registry merge associates" `Quick test_merge_associates;
+    Alcotest.test_case "merge ignores enabled gate" `Quick
+      test_merge_ignores_enabled_gate;
   ]
