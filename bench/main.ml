@@ -68,13 +68,15 @@ let run_csv_metrics =
     "exec.cow_copies";
   ]
 
-(* jobs / wall_ms / speedup_pct close every row: single runs are always
-   jobs=1 and unmeasured (0), the pool --jobs sweep fills them in *)
+(* jobs / wall_ms / speedup_pct / snapshot_ms / resumes close every row:
+   single runs are always jobs=1 and unmeasured (0), the pool --jobs
+   sweep fills in the timing columns and the crash-resume drill the
+   durability ones *)
 let run_csv_header =
   String.concat ","
     ([ "suite"; "target"; "seed_bytes"; "deadline" ]
     @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics
-    @ [ "jobs"; "wall_ms"; "speedup_pct" ])
+    @ [ "jobs"; "wall_ms"; "speedup_pct"; "snapshot_ms"; "resumes" ])
 
 let run_rows : string list ref = ref []
 
@@ -89,15 +91,15 @@ let note_run ~suite ~name ~deadline report =
          string_of_int deadline;
        ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
-      @ [ "1"; "0"; "0" ])
+      @ [ "1"; "0"; "0"; "0"; "0" ])
   in
   run_rows := row :: !run_rows
 
 (* Pool campaigns contribute the same CSV columns, harvested through the
    aggregate Driver.pool_run_report (merged coverage, deduplicated bugs,
    summed engine totals); seed_bytes is the whole pool's size. *)
-let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ~suite ~name
-    ~deadline pool =
+let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ?(snapshot_ms = 0)
+    ?(resumes = 0) ~suite ~name ~deadline pool =
   let rr = Driver.pool_run_report pool in
   let pool_bytes =
     List.fold_left
@@ -108,7 +110,10 @@ let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ~suite ~name
     String.concat ","
       ([ suite; name; string_of_int pool_bytes; string_of_int deadline ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
-      @ [ string_of_int jobs; string_of_int wall_ms; string_of_int speedup_pct ])
+      @ [
+          string_of_int jobs; string_of_int wall_ms; string_of_int speedup_pct;
+          string_of_int snapshot_ms; string_of_int resumes;
+        ])
   in
   run_rows := row :: !run_rows
 
@@ -756,6 +761,70 @@ let pool_jobs_bench () =
     "  every width produced byte-identical reports; speedup only reflects \
      the host's core count\n%!"
 
+(* --- Crash-resume durability ------------------------------------------------------ *)
+
+(* The crash-durability drill the CI crash-resume job also drives with a
+   real SIGKILL: here the kill is simulated in-process (the checkpoint
+   halts the campaign at a round barrier), the latest snapshot is loaded
+   back and resumed, and the resumed pool report must be byte-identical
+   to an uninterrupted run of the same campaign (docs/robustness.md).
+   The runs.csv row carries the serialisation cost (snapshot_ms) and the
+   resume count. *)
+let crash_resume_bench ?(jobs = 2) () =
+  heading "Crash-resume: checkpoint every turn, kill at a barrier, resume, compare";
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seeds = List.map snd t.Registry.seeds in
+  let deadline = ten_hours in
+  let scheduler = "round-robin" in
+  Telemetry.set_enabled true;
+  let baseline = Driver.run_pool ~scheduler ~jobs prog ~seeds ~deadline in
+  Telemetry.set_enabled false;
+  let base_json = Report.to_json (Driver.pool_run_report baseline) in
+  let path = Filename.temp_file "pbse_bench_ck" ".json" in
+  let snapshot_ms = ref 0 in
+  let ck =
+    Driver.checkpoint ~halt_after:2
+      ~note_ms:(fun ms -> snapshot_ms := !snapshot_ms + ms)
+      ~path ~every:1 ()
+  in
+  Telemetry.set_enabled true;
+  let _killed : Driver.pool_report =
+    Driver.run_pool ~scheduler ~jobs ~checkpoint:ck prog ~seeds ~deadline
+  in
+  Telemetry.set_enabled false;
+  Printf.printf "  ... halted at the round-2 barrier (%d ms in snapshot writes)\n%!"
+    !snapshot_ms;
+  match Driver.load_snapshot ~path with
+  | Error e ->
+    Printf.eprintf "checkpoint unreadable: %s\n" e;
+    exit 1
+  | Ok (sn, fallback) ->
+    (match fallback with
+     | Some why -> Printf.printf "  ... resumed from the .bak rotation: %s\n%!" why
+     | None -> ());
+    Telemetry.set_enabled true;
+    let resumed =
+      match Driver.resume_pool ~jobs sn prog ~seeds with
+      | Ok pool -> pool
+      | Error e ->
+        Telemetry.set_enabled false;
+        Printf.eprintf "resume failed: %s\n" e;
+        exit 1
+    in
+    Telemetry.set_enabled false;
+    let resumed_json = Report.to_json (Driver.pool_run_report resumed) in
+    if resumed_json <> base_json then begin
+      prerr_endline "resumed pool report diverged from the uninterrupted run";
+      exit 1
+    end;
+    note_pool_run ~jobs ~snapshot_ms:!snapshot_ms ~resumes:1 ~suite:"crash-resume"
+      ~name:(t.Registry.name ^ "/" ^ scheduler) ~deadline resumed;
+    Printf.printf
+      "  kill@round-2 + resume reproduced the uninterrupted report byte for byte \
+       (%d bytes)\n%!"
+      (String.length base_json)
+
 (* --- Smoke (CI) ----------------------------------------------------------------- *)
 
 (* One tiny end-to-end run with telemetry enabled; used by the CI
@@ -839,6 +908,7 @@ let () =
    | "robust" -> robust ()
    | "pool" -> pool_bench ()
    | "pool-jobs" -> pool_jobs_bench ()
+   | "crash-resume" -> crash_resume_bench ~jobs ()
    | "smoke" -> smoke ~jobs ()
    | "bechamel" -> bechamel ()
    | "all" ->
@@ -852,11 +922,12 @@ let () =
      robust ();
      pool_bench ();
      pool_jobs_bench ();
+     crash_resume_bench ();
      bechamel ()
    | other ->
      Printf.eprintf
        "unknown benchmark %s (try \
-        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|smoke|bechamel|all)\n"
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|crash-resume|smoke|bechamel|all)\n"
        other;
      exit 1);
   flush_runs ()

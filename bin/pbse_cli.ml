@@ -3,6 +3,7 @@
    Subcommands:
      targets            list bundled target programs
      run TARGET         phase-based symbolic execution (the paper's system)
+     resume SNAPSHOT    continue a checkpointed --pool campaign
      klee TARGET        baseline run with one KLEE-style searcher
      phases TARGET      concolic execution + phase division only
      bugs TARGET        bug hunt, printing each witness as a hex dump
@@ -60,8 +61,10 @@ let deadline_of_hours h = int_of_float (h *. float_of_int default_hour)
 let inject_arg =
   let doc =
     "Deterministic fault-injection plan: comma-separated clauses of \
-     seed=N, solver=RATE, abort=RATE, mem=RATE, concolic=RATE (rates in \
-     [0,1]); see docs/robustness.md."
+     seed=N, solver=RATE, abort=RATE, mem=RATE, concolic=RATE, \
+     crash=RATE (campaign turns killed at entry), snapshot=RATE \
+     (checkpoint writes corrupted on disk); rates in [0,1]; see \
+     docs/robustness.md."
   in
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"PLAN" ~doc)
 
@@ -200,7 +203,7 @@ let print_seed_rows rows =
   let table =
     Pbse_util.Tablefmt.create
       [ "seed"; "bytes"; "turns"; "granted"; "dwell"; "new-blocks"; "bugs";
-        "faults"; "evicted"; "strikes" ]
+        "faults"; "evicted"; "strikes"; "timeouts" ]
   in
   List.iter
     (fun (s : Report.seed_row) ->
@@ -216,9 +219,47 @@ let print_seed_rows rows =
           string_of_int s.Report.faults;
           string_of_int s.Report.quarantined;
           string_of_int s.Report.strikes;
+          string_of_int s.Report.timeouts;
         ])
     rows;
   Pbse_util.Tablefmt.print table
+
+let print_pool_campaign (report : Driver.pool_report) =
+  Printf.printf "%s campaign: %d of %d seed(s) run; merged coverage: %d blocks\n"
+    report.Driver.pool_scheduler
+    (List.length report.Driver.runs)
+    (List.length report.Driver.seed_rows)
+    report.Driver.merged_coverage;
+  (match Fault.summary report.Driver.pool_faults with
+   | "no faults" -> ()
+   | faults -> Printf.printf "pool faults: %s\n" faults);
+  print_seed_rows report.Driver.seed_rows;
+  List.iter
+    (fun ((bug : Bug.t), phase) ->
+      Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
+    report.Driver.merged_bugs
+
+(* --checkpoint/--checkpoint-every, shared by `run --pool' and `resume' *)
+let checkpoint_args =
+  let path_arg =
+    let doc =
+      "Checkpoint the campaign to $(docv) at round barriers (schema \
+       pbse-snapshot/1; previous checkpoint kept as $(docv).bak). Resume \
+       with `pbse resume $(docv)'."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let every_arg =
+    let doc = "Campaign turns between checkpoint writes." in
+    Arg.(value & opt int 8 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+  in
+  let combine path every = (path, every) in
+  Term.(const combine $ path_arg $ every_arg)
+
+let build_checkpoint ~target (path, every) =
+  Option.map
+    (fun path -> Driver.checkpoint ~meta:[ ("target", target) ] ~path ~every ())
+    path
 
 let run_cmd =
   let pool_arg =
@@ -242,7 +283,7 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let run name seed_label hours pool pool_scheduler jobs config report_file =
+  let run name seed_label hours pool pool_scheduler jobs ck config report_file =
     match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -254,6 +295,9 @@ let run_cmd =
       Printf.eprintf "unknown pool scheduler %s (available: %s)\n" pool_scheduler
         (String.concat ", " Pool_scheduler.names);
       1
+    | _, _ when (not pool) && fst ck <> None ->
+      prerr_endline "--checkpoint needs --pool (single runs are not checkpointed)";
+      1
     | Ok t, Ok config ->
       if report_file <> None then Telemetry.set_enabled true;
       let deadline = deadline_of_hours hours in
@@ -263,20 +307,12 @@ let run_cmd =
       if pool then begin
         let report =
           Driver.run_pool ~config ~scheduler:pool_scheduler ~jobs
+            ?checkpoint:(build_checkpoint ~target:name ck)
             (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
             ~deadline
         in
-        Printf.printf "%s campaign: %d of %d seed(s) run; merged coverage: %d blocks\n"
-          report.Driver.pool_scheduler
-          (List.length report.Driver.runs)
-          (List.length report.Driver.seed_rows)
-          report.Driver.merged_coverage;
-        print_seed_rows report.Driver.seed_rows;
-        List.iter
-          (fun ((bug : Bug.t), phase) ->
-            Printf.printf "  phase %d: %s\n" phase (Bug.to_string bug))
-          report.Driver.merged_bugs;
+        print_pool_campaign report;
         (match report_file with
          | Some path ->
            write_report_json ~path
@@ -304,7 +340,114 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg
-      $ pool_scheduler_arg $ jobs_arg $ config_term $ report_arg)
+      $ pool_scheduler_arg $ jobs_arg $ checkpoint_args $ config_term $ report_arg)
+
+(* --- resume ---------------------------------------------------------------------- *)
+
+let resume_cmd =
+  let snapshot_arg =
+    let doc = "Campaign checkpoint written by `pbse run --pool --checkpoint'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Domain-pool width; defaults to the width the snapshot records." in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let fresh_target_arg =
+    let doc =
+      "Fallback target when the snapshot (and its .bak) is unusable: \
+       restart the campaign fresh on $(docv), recording the lost \
+       checkpoint as a snapshot-corrupt fault instead of failing."
+    in
+    Arg.(value & opt (some string) None & info [ "fresh-target" ] ~docv:"TARGET" ~doc)
+  in
+  let fresh_hours_arg =
+    let doc = "Virtual-time budget for a --fresh-target restart." in
+    Arg.(value & opt float 1.0 & info [ "fresh-hours" ] ~docv:"H" ~doc)
+  in
+  let finish ~meta report_file report =
+    print_pool_campaign report;
+    (match report_file with
+     | Some path ->
+       write_report_json ~path (Report.to_json (Driver.pool_run_report ~meta report))
+     | None -> ());
+    0
+  in
+  (* total checkpoint loss: restart from nothing, fault on record *)
+  let fresh_start ~detail target hours ck jobs report_file =
+    match lookup_target target with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok t ->
+      if report_file <> None then Telemetry.set_enabled true;
+      let deadline = deadline_of_hours hours in
+      let report =
+        Driver.run_pool ~jobs:(Option.value jobs ~default:1)
+          ?checkpoint:(build_checkpoint ~target ck)
+          ~preload_faults:[ (Fault.Snapshot_corrupt, detail) ]
+          (Registry.program t)
+          ~seeds:(List.map snd t.Registry.seeds)
+          ~deadline
+      in
+      finish
+        ~meta:
+          [ ("target", target); ("seed", "pool"); ("deadline", string_of_int deadline) ]
+        report_file report
+  in
+  let run path jobs ck fresh_target fresh_hours report_file =
+    match Driver.load_snapshot ~path with
+    | Error e -> (
+      match fresh_target with
+      | Some target ->
+        Printf.eprintf "checkpoint unusable (%s); restarting fresh on %s\n" e target;
+        fresh_start ~detail:e target fresh_hours ck jobs report_file
+      | None ->
+        Printf.eprintf "cannot resume %s: %s\n" path e;
+        1)
+    | Ok (sn, fallback) -> (
+      (match fallback with
+       | Some why -> Printf.eprintf "primary checkpoint bad (%s); resuming from %s.bak\n" why path
+       | None -> ());
+      let meta_of key = List.assoc_opt key sn.Pbse_campaign.Snapshot.sn_meta in
+      match meta_of "target" with
+      | None ->
+        prerr_endline "snapshot records no target name; cannot rebuild the campaign";
+        1
+      | Some target -> (
+        match lookup_target target with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok t ->
+          (* match the original process's telemetry switch so the resumed
+             report is byte-identical to the uninterrupted run's *)
+          if meta_of "telemetry" = Some "1" || report_file <> None then
+            Telemetry.set_enabled true;
+          let meta =
+            [
+              ("target", target);
+              ("seed", "pool");
+              ("deadline", Option.value (meta_of "deadline") ~default:"0");
+            ]
+          in
+          (match
+             Driver.resume_pool ?jobs
+               ?checkpoint:(build_checkpoint ~target ck)
+               ?fallback sn (Registry.program t)
+               ~seeds:(List.map snd t.Registry.seeds)
+           with
+           | Ok report -> finish ~meta report_file report
+           | Error e ->
+             prerr_endline ("cannot resume: " ^ e);
+             1)))
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Continue a checkpointed --pool campaign (crash recovery)")
+    Term.(
+      const run $ snapshot_arg $ jobs_arg $ checkpoint_args $ fresh_target_arg
+      $ fresh_hours_arg $ report_arg)
 
 (* --- klee ----------------------------------------------------------------------- *)
 
@@ -602,8 +745,8 @@ let () =
   let group =
     Cmd.group info
       [
-        targets_cmd; run_cmd; klee_cmd; phases_cmd; bugs_cmd; report_cmd; compile_cmd;
-        exec_cmd;
+        targets_cmd; run_cmd; resume_cmd; klee_cmd; phases_cmd; bugs_cmd; report_cmd;
+        compile_cmd; exec_cmd;
       ]
   in
   exit (Cmd.eval' group)

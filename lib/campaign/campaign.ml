@@ -56,7 +56,8 @@ let run ~sched ~deadline turn =
    merges the identical sequence. Retirement mirrors {!run}: a clamped
    share of zero skips the slot out of the rotation, and a finished or
    progress-free turn retires it at the barrier. *)
-let run_rounds ?(on_round = fun _ -> ()) ~sched ~deadline ~jobs ~run ~merge () =
+let run_rounds ?(on_round = fun _ -> ()) ?(after_round = fun () -> true) ~sched
+    ~deadline ~jobs ~run ~merge () =
   let spent_total = ref 0 in
   let rec loop () =
     let remaining = deadline - !spent_total in
@@ -87,7 +88,9 @@ let run_rounds ?(on_round = fun _ -> ()) ~sched ~deadline ~jobs ~run ~merge () =
         if runnable <> [] then begin
           on_round (List.length runnable);
           let results =
-            Domain_pool.map ~jobs (fun (slot, budget) -> run slot ~budget) runnable
+            Domain_pool.map ~jobs:(jobs ())
+              (fun (slot, budget) -> run slot ~budget)
+              runnable
           in
           List.iter2
             (fun (slot, budget) result ->
@@ -102,7 +105,7 @@ let run_rounds ?(on_round = fun _ -> ()) ~sched ~deadline ~jobs ~run ~merge () =
               else
                 sched.Pool_scheduler.credit slot ~spent:o.spent ~new_blocks:o.new_blocks)
             runnable results;
-          loop ()
+          if after_round () then loop ()
         end
     end
   in

@@ -29,9 +29,10 @@ val run :
 
 val run_rounds :
   ?on_round:(int -> unit) ->
+  ?after_round:(unit -> bool) ->
   sched:Pool_scheduler.t ->
   deadline:int ->
-  jobs:int ->
+  jobs:(unit -> int) ->
   run:(Seed_slot.t -> budget:int -> 'r) ->
   merge:(Seed_slot.t -> budget:int -> 'r -> outcome) ->
   unit ->
@@ -55,4 +56,11 @@ val run_rounds :
     [run] executes on a worker domain and must touch only the slot's own
     session state (its runtime context); [merge] runs on the calling
     domain. [on_round] fires before each executed round with the number
-    of runnable turns in it. *)
+    of runnable turns in it.
+
+    [jobs] is consulted once per round, so a caller may narrow the
+    domain-pool width mid-campaign (graceful degradation) — the width is
+    invisible to plans and merges, so reports are unaffected.
+    [after_round] fires after each executed round's merges; returning
+    [false] stops the campaign at that barrier (checkpoint-and-halt),
+    leaving all slot state consistent for a later resume. *)

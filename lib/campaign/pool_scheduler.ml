@@ -20,9 +20,14 @@ type t = {
   drained : unit -> bool;
   active : unit -> Seed_slot.t list;
   stats : stats;
+  state : unit -> (string * int) list;
+  restore_state : (string * int) list -> unit;
 }
 
 let stats_create () = { turns = 0; rotations = 0; retirements = 0 }
+
+(* stateless policies: nothing beyond the live-slot set and [stats] *)
+let no_state = ((fun () -> []), fun _ -> ())
 
 (* Campaign telemetry lives in the registry the factory was given, so a
    pool registry never aliases the per-session ones. *)
@@ -113,6 +118,8 @@ let smallest_first ?registry ~time_period:_ slot_list =
     drained = (fun () -> Array.length !slots = 0);
     active = (fun () -> Array.to_list !slots);
     stats;
+    state = fst no_state;
+    restore_state = snd no_state;
   }
 
 (* Fair rotation: every seed gets [time_period]-sized turns in pool
@@ -166,6 +173,10 @@ let round_robin ?registry ~time_period slot_list =
     drained = (fun () -> Array.length !slots = 0);
     active = (fun () -> Array.to_list !slots);
     stats;
+    state = (fun () -> [ ("pos", !pos) ]);
+    restore_state =
+      (fun kvs ->
+        match List.assoc_opt "pos" kvs with Some p -> pos := p | None -> ());
   }
 
 (* Greedy reallocation: the next turn goes to the seed with the best
@@ -217,6 +228,8 @@ let coverage_greedy ?registry ~time_period slot_list =
     drained = (fun () -> Array.length !slots = 0);
     active = (fun () -> Array.to_list !slots);
     stats;
+    state = fst no_state;
+    restore_state = snd no_state;
   }
 
 let default = "smallest-first"

@@ -42,6 +42,14 @@ type t = {
   active : unit -> Seed_slot.t list;
       (** Slots still schedulable, in policy order. *)
   stats : stats;
+  state : unit -> (string * int) list;
+      (** Policy-internal position beyond [stats] and the live-slot set
+          (campaign snapshots persist it): [round-robin] exposes its
+          rotation cursor, the other policies are stateless. *)
+  restore_state : (string * int) list -> unit;
+      (** Reinstate a {!state} capture on a freshly built instance over
+          the same live slots (campaign resume). Unknown keys are
+          ignored. *)
 }
 
 val smallest_first :

@@ -12,6 +12,7 @@ type t = {
   mutable faults : int;
   mutable quarantined : int;
   mutable strikes : int;
+  mutable timeouts : int;
   mutable retired : bool;
 }
 
@@ -28,6 +29,7 @@ let create ~ordinal seed =
     faults = 0;
     quarantined = 0;
     strikes = 0;
+    timeouts = 0;
     retired = false;
   }
 
@@ -45,4 +47,5 @@ let stat_row slot =
     faults = slot.faults;
     quarantined = slot.quarantined;
     strikes = slot.strikes;
+    timeouts = slot.timeouts;
   }

@@ -18,6 +18,7 @@ type t = {
   mutable faults : int; (* contained faults in this seed's engine *)
   mutable quarantined : int; (* quarantine evictions during its turns *)
   mutable strikes : int; (* quarantine strikes during its turns *)
+  mutable timeouts : int; (* watchdog strikes: overran or crashed turns *)
   mutable retired : bool; (* no longer schedulable (drained or skipped) *)
 }
 

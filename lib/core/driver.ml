@@ -12,6 +12,8 @@ module Scheduler = Pbse_sched.Scheduler
 module Seed_slot = Pbse_campaign.Seed_slot
 module Pool_scheduler = Pbse_campaign.Pool_scheduler
 module Campaign = Pbse_campaign.Campaign
+module Snapshot = Pbse_campaign.Snapshot
+module Domain_pool = Pbse_campaign.Domain_pool
 module Vclock = Pbse_util.Vclock
 module Rng = Pbse_util.Rng
 module Fault = Pbse_robust.Fault
@@ -48,6 +50,9 @@ type robust_config = {
   confirm_bugs : bool;
   max_strikes : int;
   inject : Inject.plan;
+  watchdog_factor : int;
+  watchdog_strikes : int;
+  degrade_after : int;
 }
 
 type config = {
@@ -76,7 +81,15 @@ let default_config =
         max_k = 20;
       };
     solver = { budget = 60_000; retry_cap = 480_000; prefix_cap = 16_384 };
-    robust = { confirm_bugs = true; max_strikes = 4; inject = Inject.none };
+    robust =
+      {
+        confirm_bugs = true;
+        max_strikes = 4;
+        inject = Inject.none;
+        watchdog_factor = 4;
+        watchdog_strikes = 3;
+        degrade_after = 4;
+      };
     rng_seed = 1;
   }
 
@@ -85,6 +98,107 @@ let with_search f config = { config with search = f config.search }
 let with_solver f config = { config with solver = f config.solver }
 let with_robust f config = { config with robust = f config.robust }
 let with_rng_seed rng_seed config = { config with rng_seed }
+
+(* Flat (key, value) rendering of a config, for campaign snapshots: a
+   resumed process must rebuild the exact config or replay diverges. *)
+let config_to_kvs config =
+  [
+    ( "concolic.interval_length",
+      match config.concolic.interval_length with
+      | Some l -> string_of_int l
+      | None -> "auto" );
+    ("concolic.intervals_target", string_of_int config.concolic.intervals_target);
+    ("concolic.time_period", string_of_int config.concolic.time_period);
+    ( "concolic.mode",
+      match config.concolic.mode with
+      | Phase.Bbv_only -> "bbv"
+      | Phase.Bbv_with_coverage -> "bbv+cov" );
+    ("search.phase_searcher", config.search.phase_searcher);
+    ("search.scheduler", config.search.scheduler);
+    ("search.max_live", string_of_int config.search.max_live);
+    ("search.dedup_seed_states", if config.search.dedup_seed_states then "1" else "0");
+    ("search.max_k", string_of_int config.search.max_k);
+    ("solver.budget", string_of_int config.solver.budget);
+    ("solver.retry_cap", string_of_int config.solver.retry_cap);
+    ("solver.prefix_cap", string_of_int config.solver.prefix_cap);
+    ("robust.confirm_bugs", if config.robust.confirm_bugs then "1" else "0");
+    ("robust.max_strikes", string_of_int config.robust.max_strikes);
+    ("robust.inject", Inject.to_string config.robust.inject);
+    ("robust.watchdog_factor", string_of_int config.robust.watchdog_factor);
+    ("robust.watchdog_strikes", string_of_int config.robust.watchdog_strikes);
+    ("robust.degrade_after", string_of_int config.robust.degrade_after);
+    ("rng_seed", string_of_int config.rng_seed);
+  ]
+
+let config_of_kvs kvs =
+  (* keys that aren't config fields (snapshot meta like the target name
+     or scheduler) pass through untouched; bad values are errors *)
+  let int_field key v k =
+    match int_of_string_opt v with
+    | Some i -> Ok (k i)
+    | None -> Error (Printf.sprintf "bad integer %S for %s" v key)
+  in
+  let bool_field key v k =
+    match v with
+    | "1" | "true" -> Ok (k true)
+    | "0" | "false" -> Ok (k false)
+    | _ -> Error (Printf.sprintf "bad flag %S for %s" v key)
+  in
+  List.fold_left
+    (fun acc (key, v) ->
+      Result.bind acc (fun config ->
+          let concolic f = with_concolic f config in
+          let search f = with_search f config in
+          let solver f = with_solver f config in
+          let robust f = with_robust f config in
+          match key with
+          | "concolic.interval_length" ->
+            if v = "auto" then Ok (concolic (fun c -> { c with interval_length = None }))
+            else
+              int_field key v (fun i ->
+                  concolic (fun c -> { c with interval_length = Some i }))
+          | "concolic.intervals_target" ->
+            int_field key v (fun i -> concolic (fun c -> { c with intervals_target = i }))
+          | "concolic.time_period" ->
+            int_field key v (fun i -> concolic (fun c -> { c with time_period = i }))
+          | "concolic.mode" -> (
+            match v with
+            | "bbv" -> Ok (concolic (fun c -> { c with mode = Phase.Bbv_only }))
+            | "bbv+cov" ->
+              Ok (concolic (fun c -> { c with mode = Phase.Bbv_with_coverage }))
+            | _ -> Error (Printf.sprintf "bad mode %S (want bbv|bbv+cov)" v))
+          | "search.phase_searcher" ->
+            Ok (search (fun s -> { s with phase_searcher = v }))
+          | "search.scheduler" -> Ok (search (fun s -> { s with scheduler = v }))
+          | "search.max_live" ->
+            int_field key v (fun i -> search (fun s -> { s with max_live = i }))
+          | "search.dedup_seed_states" ->
+            bool_field key v (fun b -> search (fun s -> { s with dedup_seed_states = b }))
+          | "search.max_k" ->
+            int_field key v (fun i -> search (fun s -> { s with max_k = i }))
+          | "solver.budget" ->
+            int_field key v (fun i -> solver (fun s -> { s with budget = i }))
+          | "solver.retry_cap" ->
+            int_field key v (fun i -> solver (fun s -> { s with retry_cap = i }))
+          | "solver.prefix_cap" ->
+            int_field key v (fun i -> solver (fun s -> { s with prefix_cap = i }))
+          | "robust.confirm_bugs" ->
+            bool_field key v (fun b -> robust (fun r -> { r with confirm_bugs = b }))
+          | "robust.max_strikes" ->
+            int_field key v (fun i -> robust (fun r -> { r with max_strikes = i }))
+          | "robust.inject" ->
+            Result.map
+              (fun plan -> robust (fun r -> { r with inject = plan }))
+              (Inject.parse v)
+          | "robust.watchdog_factor" ->
+            int_field key v (fun i -> robust (fun r -> { r with watchdog_factor = i }))
+          | "robust.watchdog_strikes" ->
+            int_field key v (fun i -> robust (fun r -> { r with watchdog_strikes = i }))
+          | "robust.degrade_after" ->
+            int_field key v (fun i -> robust (fun r -> { r with degrade_after = i }))
+          | "rng_seed" -> int_field key v (fun i -> with_rng_seed i config)
+          | _ -> Ok config))
+    (Ok default_config) kvs
 
 let interval_length_for config prog ~seed =
   match config.concolic.interval_length with
@@ -192,7 +306,7 @@ let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_prog
         let contain st exn =
           (* charge a tick so fault loops always advance toward the deadline *)
           Vclock.advance clock 1;
-          Fault.record faults ~detail:(Printexc.to_string exn)
+          Fault.record faults ~detail:(Fault.normalize_exn exn)
             ~vtime:(Vclock.now clock) Fault.Exec_exception;
           quarantine_strike st
         in
@@ -206,7 +320,7 @@ let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_prog
             | `Searcher_error exn ->
               (* a broken searcher forfeits its whole phase *)
               Vclock.advance clock 1;
-              Fault.record faults ~detail:(Printexc.to_string exn)
+              Fault.record faults ~detail:(Fault.normalize_exn exn)
                 ~vtime:(Vclock.now clock) Fault.Exec_exception;
               queue_failed := true
             | `Selected None -> ()
@@ -612,8 +726,26 @@ type pool_report = {
   pool_merge_blocks : int;
   pool_merge_bugs : int;
   pool_merge_registries : int;
+  pool_faults : Fault.log;
   pool_registry : Telemetry.Registry.t;
 }
+
+type checkpoint = {
+  ck_path : string;
+  ck_every : int; (* turns between checkpoint writes *)
+  ck_meta : (string * string) list;
+  ck_halt_after : int option; (* stop at this round barrier (tests) *)
+  ck_note_ms : (int -> unit) option; (* serialisation-cost probe (bench) *)
+}
+
+let checkpoint ?(meta = []) ?halt_after ?note_ms ~path ~every () =
+  {
+    ck_path = path;
+    ck_every = max 1 every;
+    ck_meta = meta;
+    ck_halt_after = halt_after;
+    ck_note_ms = note_ms;
+  }
 
 (* Algorithm 1's outer loop over a seed pool, generalised into a
    campaign and run in deterministic rounds: the pool policy plans every
@@ -626,9 +758,22 @@ type pool_report = {
    seed whose turn first surfaced them; per-session registries merge
    into the pool registry in ordinal order when the campaign ends.
    Every observable outcome is therefore identical for every [jobs]
-   value, including 1 (docs/parallelism.md). *)
+   value, including 1 (docs/parallelism.md).
+
+   Crash durability (docs/robustness.md) rides on the same determinism:
+   [checkpoint] serialises the campaign at round barriers — slot
+   counters, each session's granted-turn ledger, merged-bug keys,
+   scheduler state — and [resume] reinstates the counters then replays
+   each ledger against the same seeds, reconstructing engine state the
+   snapshot never stored. A clean kill-and-resume therefore yields a
+   pool report byte-identical to the uninterrupted run. Watchdogged
+   turns (spent > factor x budget), injected turn kills and contained
+   turn exceptions all strike their seed toward forced retirement and
+   step the effective [--jobs] and prefix cap down (graceful
+   degradation) without ever aborting the campaign. *)
 let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
-    ?runtime ?(jobs = 1) prog ~seeds ~deadline =
+    ?runtime ?(jobs = 1) ?checkpoint ?resume ?(preload_faults = []) prog ~seeds
+    ~deadline =
   let factory =
     match Pool_scheduler.by_name scheduler with
     | Some f -> f
@@ -653,26 +798,274 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
   let tm_merge_registries =
     Telemetry.Registry.counter pool_registry "pool.merge_registries"
   in
+  let pool_faults = Fault.log_create ~registry:pool_registry () in
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
   in
   let slots = List.mapi (fun i seed -> Seed_slot.create ~ordinal:(i + 1) seed) ordered in
   let nslots = List.length slots in
+  let slot_arr = Array.of_list slots in
   let merged = Hashtbl.create 1024 in
   let bug_keys = Hashtbl.create 32 in
   let merged_bugs = ref [] in
+  let bug_refs = ref [] in
   (* Sessions indexed by slot ordinal. A cell is written once, by the
      worker domain running its slot's first turn, and only ever touched
      by that slot's turns afterwards; distinct slots use distinct cells
      and [Domain_pool.map]'s join publishes the writes before the
      barrier reads them, so the array needs no lock. *)
   let sessions : (Runtime.t * session) option array = Array.make (nslots + 1) None in
+  (* Turn-crash injection draws from a per-slot stream (plan seed +
+     ordinal) so a draw's position never depends on which domain ran
+     which turn; the snapshot-corruption channel draws once per
+     checkpoint write, on the coordinating domain. *)
+  let slot_plan ordinal =
+    { config.robust.inject with Inject.seed = config.robust.inject.Inject.seed + ordinal }
+  in
+  let crash_injects = Array.init (nslots + 1) (fun i -> Inject.create (slot_plan i)) in
+  let pool_inject = Inject.create config.robust.inject in
+  (* Per-ordinal durability records: RNG draws to re-burn on resume, the
+     granted-turn ledger (newest first) and the prefix cap each session
+     opened under (-1 = unbounded). *)
+  let crash_draws = Array.make (nslots + 1) 0 in
+  let turn_events : Snapshot.turn_event list array = Array.make (nslots + 1) [] in
+  let opened_caps = Array.make (nslots + 1) (-1) in
   let opened = ref [] in
   let rounds = ref 0 in
   let parallel_turns = ref 0 in
   let merge_blocks = ref 0 in
   let merge_bug_count = ref 0 in
   let merge_registries = ref 0 in
+  let base_spent = ref 0 in
+  let spent_acc = ref 0 in
+  let turns_since_ck = ref 0 in
+  let checkpoints_written = ref 0 in
+  let degrade_faults = ref 0 in
+  (* Graceful degradation: every watchdog strike, crashed turn or
+     pool-level fault widens [degrade_faults]; each [degrade_after]
+     faults halve the domain-pool width and the solver prefix cap.
+     Neither knob is visible to plans or merges, so reports are
+     unaffected. *)
+  let degrade_steps () =
+    if config.robust.degrade_after <= 0 then 0
+    else !degrade_faults / config.robust.degrade_after
+  in
+  let eff_jobs () = max 1 (jobs asr degrade_steps ()) in
+  let eff_prefix_cap () =
+    match pool_rt.Runtime.prefix_cap with
+    | None -> None
+    | Some cap -> Some (max 16 (cap asr degrade_steps ()))
+  in
+  let watchdog_overran ~budget ~spent =
+    config.robust.watchdog_factor > 0 && spent > config.robust.watchdog_factor * budget
+  in
+  (* Contain a real exception escaping the engine: the engine is
+     deterministic in virtual time, so replaying the same turn after a
+     resume re-raises and re-contains the same fault. *)
+  let step_contained s ~deadline =
+    try
+      step_session s ~deadline;
+      `Stepped
+    with exn ->
+      Fault.record (Executor.faults s.s_exec) ~detail:(Fault.normalize_exn exn)
+        ~vtime:(Vclock.now s.s_clock) Fault.Exec_exception;
+      `Failed
+  in
+  (* The watchdog fires at the merge barrier (and identically during
+     resume replay): a turn that ran past factor x budget records a
+     session-level fault and strikes its seed. *)
+  let watchdog_check s ~start ~budget =
+    let spent = Vclock.now s.s_clock - start in
+    if watchdog_overran ~budget ~spent then begin
+      Fault.record (Executor.faults s.s_exec) ~detail:"turn-timeout"
+        ~vtime:(Vclock.now s.s_clock) Fault.Turn_timeout;
+      true
+    end
+    else false
+  in
+  let replay_crash s detail =
+    (* an injected kill charged one tick and touched nothing else *)
+    Vclock.advance s.s_clock 1;
+    Fault.record (Executor.faults s.s_exec) ~detail ~vtime:(Vclock.now s.s_clock)
+      Fault.Exec_exception
+  in
+  let derive_session_rt ~prefix_cap =
+    let registry =
+      Telemetry.Registry.create ~enabled:(Telemetry.Registry.enabled pool_registry) ()
+    in
+    match prefix_cap with
+    | Some cap -> Runtime.derive ~registry ~rng_seed:config.rng_seed ~prefix_cap:cap pool_rt
+    | None -> Runtime.derive ~registry ~rng_seed:config.rng_seed pool_rt
+  in
+  (* Re-execute one opened session's ledger from scratch: open under the
+     recorded prefix cap, then grant exactly the recorded turns. Runs on
+     a worker domain (the session is slot-private). *)
+  let replay_slot (slot : Seed_slot.t) (st : Snapshot.slot_state) =
+    match st.Snapshot.sl_events with
+    | [] -> None
+    | Snapshot.Crash _ :: _ -> None (* the opening turn is always a Step *)
+    | Snapshot.Step { deadline = first_deadline; budget = first_budget } :: rest ->
+      let prefix_cap = if st.Snapshot.sl_prefix_cap >= 0 then Some st.Snapshot.sl_prefix_cap else None in
+      let rt = derive_session_rt ~prefix_cap in
+      let s =
+        open_session ~config ~runtime:rt ~reset_telemetry:false prog
+          ~seed:slot.Seed_slot.seed ~deadline:first_deadline
+      in
+      ignore (step_contained s ~deadline:first_deadline);
+      ignore (watchdog_check s ~start:0 ~budget:first_budget);
+      List.iter
+        (fun ev ->
+          match ev with
+          | Snapshot.Crash detail -> replay_crash s detail
+          | Snapshot.Step { deadline; budget } ->
+            let start = Vclock.now s.s_clock in
+            ignore (step_contained s ~deadline);
+            ignore (watchdog_check s ~start ~budget))
+        rest;
+      Some (rt, s)
+  in
+  (* --- resume: reinstate the snapshot, then replay the ledgers ------- *)
+  let apply_resume (sn : Snapshot.t) fallback =
+    let compatible =
+      List.length sn.Snapshot.sn_slots = nslots
+      && List.for_all2
+           (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
+             st.Snapshot.sl_ordinal = slot.Seed_slot.ordinal
+             && st.Snapshot.sl_bytes = slot.Seed_slot.size)
+           sn.Snapshot.sn_slots slots
+    in
+    if not compatible then begin
+      (* the snapshot describes a different pool: degrade to a fresh
+         start with the mismatch on record, never a crash *)
+      Fault.record pool_faults ~detail:"pool-shape" ~vtime:0 Fault.Resume_mismatch;
+      incr degrade_faults
+    end
+    else begin
+      Fault.restore_counts pool_faults sn.Snapshot.sn_pool_faults;
+      Telemetry.Registry.restore_counters pool_registry sn.Snapshot.sn_counters;
+      base_spent := sn.Snapshot.sn_spent;
+      spent_acc := sn.Snapshot.sn_spent;
+      rounds := sn.Snapshot.sn_rounds;
+      parallel_turns := sn.Snapshot.sn_parallel_turns;
+      merge_blocks := sn.Snapshot.sn_merge_blocks;
+      merge_bug_count := sn.Snapshot.sn_merge_bugs;
+      checkpoints_written := sn.Snapshot.sn_checkpoints;
+      degrade_faults := sn.Snapshot.sn_degrade_faults;
+      (match fallback with
+       | Some detail ->
+         (* the primary checkpoint was bad; we are running from [.bak] *)
+         Fault.record pool_faults ~detail ~vtime:sn.Snapshot.sn_spent
+           Fault.Snapshot_corrupt;
+         incr degrade_faults
+       | None -> ());
+      (* reposition the injection streams where the original left them *)
+      for _ = 1 to sn.Snapshot.sn_checkpoints do
+        ignore (Inject.fire_snapshot_corrupt pool_inject)
+      done;
+      List.iter2
+        (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
+          let ordinal = slot.Seed_slot.ordinal in
+          slot.Seed_slot.turns <- st.Snapshot.sl_turns;
+          slot.Seed_slot.granted <- st.Snapshot.sl_granted;
+          slot.Seed_slot.dwell <- st.Snapshot.sl_dwell;
+          slot.Seed_slot.new_blocks <- st.Snapshot.sl_new_blocks;
+          slot.Seed_slot.bugs <- st.Snapshot.sl_bugs;
+          slot.Seed_slot.quarantined <- st.Snapshot.sl_quarantined;
+          slot.Seed_slot.strikes <- st.Snapshot.sl_strikes;
+          slot.Seed_slot.timeouts <- st.Snapshot.sl_timeouts;
+          slot.Seed_slot.retired <- st.Snapshot.sl_retired;
+          opened_caps.(ordinal) <- st.Snapshot.sl_prefix_cap;
+          crash_draws.(ordinal) <- st.Snapshot.sl_crash_draws;
+          turn_events.(ordinal) <- List.rev st.Snapshot.sl_events;
+          for _ = 1 to st.Snapshot.sl_crash_draws do
+            ignore (Inject.fire_turn_crash crash_injects.(ordinal))
+          done)
+        sn.Snapshot.sn_slots slots;
+      let by_ordinal = Array.make (nslots + 1) None in
+      List.iter
+        (fun (st : Snapshot.slot_state) -> by_ordinal.(st.Snapshot.sl_ordinal) <- Some st)
+        sn.Snapshot.sn_slots;
+      (* replay opened sessions concurrently, like the turns they rerun *)
+      let replayed =
+        Domain_pool.map ~jobs:(eff_jobs ())
+          (fun ordinal ->
+            match by_ordinal.(ordinal) with
+            | Some st when ordinal >= 1 && ordinal <= nslots ->
+              (ordinal, replay_slot slot_arr.(ordinal - 1) st)
+            | _ -> (ordinal, None))
+          sn.Snapshot.sn_opened
+      in
+      List.iter
+        (fun (ordinal, result) ->
+          match result with
+          | None ->
+            Fault.record pool_faults ~detail:"missing-session" ~vtime:!base_spent
+              Fault.Resume_mismatch;
+            incr degrade_faults
+          | Some (rt, s) ->
+            sessions.(ordinal) <- Some (rt, s);
+            opened := slot_arr.(ordinal - 1) :: !opened;
+            (* the replayed engine must land exactly where the snapshot
+               recorded it; divergence is survivable but on record *)
+            let st = Option.get by_ordinal.(ordinal) in
+            if Vclock.now s.s_clock <> st.Snapshot.sl_clock then begin
+              Fault.record pool_faults ~detail:"clock" ~vtime:!base_spent
+                Fault.Resume_mismatch;
+              incr degrade_faults
+            end;
+            if Coverage.count (Executor.coverage s.s_exec) <> st.Snapshot.sl_coverage
+            then begin
+              Fault.record pool_faults ~detail:"coverage" ~vtime:!base_spent
+                Fault.Resume_mismatch;
+              incr degrade_faults
+            end)
+        replayed;
+      (* the merged coverage set is the union over the replayed sessions
+         (membership is order-insensitive; the fresh-block counters were
+         restored above, so later merges count against the same set) *)
+      List.iter
+        (fun (ordinal, _) ->
+          match sessions.(ordinal) with
+          | Some (_, s) ->
+            List.iter
+              (fun gid -> Hashtbl.replace merged gid ())
+              (Coverage.covered_ids (Executor.coverage s.s_exec))
+          | None -> ())
+        replayed;
+      (* merged bugs, reattached in recorded harvest order *)
+      List.iter
+        (fun (br : Snapshot.bug_ref) ->
+          let key = (br.Snapshot.br_gid, br.Snapshot.br_kind) in
+          Hashtbl.replace bug_keys key ();
+          bug_refs := (br.Snapshot.br_slot, br.Snapshot.br_gid, br.Snapshot.br_kind) :: !bug_refs;
+          let reattached =
+            match sessions.(br.Snapshot.br_slot) with
+            | Some (_, s) -> (
+              match
+                List.find_opt
+                  (fun b -> Bug.dedup_key b = key)
+                  (Executor.bugs s.s_exec)
+              with
+              | Some bug ->
+                merged_bugs := (bug, session_bug_phase s bug) :: !merged_bugs;
+                true
+              | None -> false)
+            | None -> false
+          in
+          if not reattached then begin
+            Fault.record pool_faults ~detail:"bug" ~vtime:!base_spent
+              Fault.Resume_mismatch;
+            incr degrade_faults
+          end)
+        sn.Snapshot.sn_bugs
+    end
+  in
+  (match resume with Some (sn, fallback) -> apply_resume sn fallback | None -> ());
+  List.iter
+    (fun (kind, detail) ->
+      Fault.record pool_faults ~detail ~vtime:0 kind;
+      incr degrade_faults)
+    preload_faults;
   let merge_coverage session =
     let fresh =
       List.fold_left
@@ -692,68 +1085,119 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
   let harvest_bugs (slot : Seed_slot.t) session =
     List.iter
       (fun bug ->
-        let key = Bug.dedup_key bug in
+        let ((gid, bkind) as key) = Bug.dedup_key bug in
         if not (Hashtbl.mem bug_keys key) then begin
           Hashtbl.replace bug_keys key ();
           slot.Seed_slot.bugs <- slot.Seed_slot.bugs + 1;
           incr merge_bug_count;
           Telemetry.incr tm_merge_bugs;
-          merged_bugs := (bug, session_bug_phase session bug) :: !merged_bugs
+          merged_bugs := (bug, session_bug_phase session bug) :: !merged_bugs;
+          bug_refs := (slot.Seed_slot.ordinal, gid, bkind) :: !bug_refs
         end)
       (Executor.bugs session.s_exec)
   in
   (* The worker half of a turn: everything here touches only the slot's
-     own session and its private runtime, so it is safe on any domain. *)
+     own session, its private runtime and its own cells of the
+     per-ordinal arrays, so it is safe on any domain. *)
   let exec_turn (slot : Seed_slot.t) ~budget =
-    match sessions.(slot.Seed_slot.ordinal) with
+    let ordinal = slot.Seed_slot.ordinal in
+    crash_draws.(ordinal) <- crash_draws.(ordinal) + 1;
+    let crashed = Inject.fire_turn_crash crash_injects.(ordinal) in
+    match sessions.(ordinal) with
     | Some (rt, s) ->
       let start = Vclock.now s.s_clock in
       let ev0 = Quarantine.evicted rt.Runtime.quarantine in
       let st0 = Quarantine.total_strikes rt.Runtime.quarantine in
-      step_session s ~deadline:(start + budget);
-      (start, ev0, st0, false)
+      if crashed then begin
+        replay_crash s "injected-crash";
+        (start, ev0, st0, false, `Injected)
+      end
+      else (start, ev0, st0, false, step_contained s ~deadline:(start + budget))
     | None ->
-      (* first turn: the session's setup (concolic pass, phase
-         division, seeding) is charged against this turn's budget. The
-         session's runtime is private — fresh registry, RNG reseeded
-         from the config so every seed's run is reproducible in
-         isolation, fresh quarantine, fresh arena. *)
-      let rt =
-        Runtime.derive
-          ~registry:
-            (Telemetry.Registry.create
-               ~enabled:(Telemetry.Registry.enabled pool_registry)
-               ())
-          ~rng_seed:config.rng_seed pool_rt
-      in
-      let s =
-        open_session ~config ~runtime:rt ~reset_telemetry:false prog
-          ~seed:slot.Seed_slot.seed ~deadline:budget
-      in
-      sessions.(slot.Seed_slot.ordinal) <- Some (rt, s);
-      step_session s ~deadline:budget;
-      (0, 0, 0, true)
+      if crashed then
+        (* killed before the session ever opened: nothing to ledger *)
+        (0, 0, 0, false, `Entry_crash)
+      else begin
+        (* first turn: the session's setup (concolic pass, phase
+           division, seeding) is charged against this turn's budget. The
+           session's runtime is private — fresh registry, RNG reseeded
+           from the config so every seed's run is reproducible in
+           isolation, fresh quarantine, fresh arena — and its prefix cap
+           is the pool's current (possibly degraded) one, recorded for
+           replay. *)
+        let cap = eff_prefix_cap () in
+        opened_caps.(ordinal) <- (match cap with Some c -> c | None -> -1);
+        let rt = derive_session_rt ~prefix_cap:cap in
+        let s =
+          open_session ~config ~runtime:rt ~reset_telemetry:false prog
+            ~seed:slot.Seed_slot.seed ~deadline:budget
+        in
+        sessions.(ordinal) <- Some (rt, s);
+        (0, 0, 0, true, step_contained s ~deadline:budget)
+      end
   in
   (* The barrier half: runs on the coordinating domain, in plan order,
      after every turn of the round has been joined. *)
-  let merge_turn (slot : Seed_slot.t) ~budget:_ (start, ev0, st0, opened_now) =
-    let rt, session =
-      match sessions.(slot.Seed_slot.ordinal) with
-      | Some pair -> pair
-      | None -> assert false
-    in
-    if opened_now then opened := slot :: !opened;
-    slot.Seed_slot.quarantined <-
-      slot.Seed_slot.quarantined + (Quarantine.evicted rt.Runtime.quarantine - ev0);
-    slot.Seed_slot.strikes <-
-      slot.Seed_slot.strikes
-      + (Quarantine.total_strikes rt.Runtime.quarantine - st0);
-    harvest_bugs slot session;
-    {
-      Campaign.spent = Vclock.now session.s_clock - start;
-      new_blocks = merge_coverage session;
-      finished = session_drained session;
-    }
+  let merge_turn (slot : Seed_slot.t) ~budget (start, ev0, st0, opened_now, status) =
+    let ordinal = slot.Seed_slot.ordinal in
+    incr turns_since_ck;
+    match status with
+    | `Entry_crash ->
+      (* charge one tick (a zero-spent turn would silently retire the
+         seed; this way it retries opening next round) and record the
+         kill at pool level — there is no session to carry the fault *)
+      spent_acc := !spent_acc + 1;
+      Fault.record pool_faults ~detail:"injected-crash" ~vtime:!spent_acc
+        Fault.Exec_exception;
+      slot.Seed_slot.timeouts <- slot.Seed_slot.timeouts + 1;
+      incr degrade_faults;
+      let force_retire =
+        config.robust.watchdog_strikes > 0
+        && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
+      in
+      { Campaign.spent = 1; new_blocks = 0; finished = force_retire }
+    | (`Stepped | `Failed | `Injected) as status ->
+      let rt, session =
+        match sessions.(ordinal) with Some pair -> pair | None -> assert false
+      in
+      if opened_now then opened := slot :: !opened;
+      let spent = Vclock.now session.s_clock - start in
+      (* ledger the turn for resume replay: injected kills replay as a
+         tick, everything else (including real contained crashes, which
+         are deterministic) replays as a normal step *)
+      let event =
+        match status with
+        | `Injected -> Snapshot.Crash "injected-crash"
+        | `Stepped | `Failed -> Snapshot.Step { deadline = start + budget; budget }
+      in
+      turn_events.(ordinal) <- event :: turn_events.(ordinal);
+      slot.Seed_slot.quarantined <-
+        slot.Seed_slot.quarantined + (Quarantine.evicted rt.Runtime.quarantine - ev0);
+      slot.Seed_slot.strikes <-
+        slot.Seed_slot.strikes
+        + (Quarantine.total_strikes rt.Runtime.quarantine - st0);
+      harvest_bugs slot session;
+      let fresh = merge_coverage session in
+      let overran =
+        match status with
+        | `Injected -> false
+        | `Stepped | `Failed -> watchdog_check session ~start ~budget
+      in
+      let struck = overran || status <> `Stepped in
+      if struck then begin
+        slot.Seed_slot.timeouts <- slot.Seed_slot.timeouts + 1;
+        incr degrade_faults
+      end;
+      spent_acc := !spent_acc + spent;
+      let force_retire =
+        config.robust.watchdog_strikes > 0
+        && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
+      in
+      {
+        Campaign.spent;
+        new_blocks = fresh;
+        finished = session_drained session || force_retire;
+      }
   in
   let on_round n =
     incr rounds;
@@ -764,10 +1208,115 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
     end
   in
   let sched =
-    factory ~registry:pool_registry ~time_period:config.concolic.time_period slots
+    factory ~registry:pool_registry ~time_period:config.concolic.time_period
+      (List.filter (fun (sl : Seed_slot.t) -> not sl.Seed_slot.retired) slots)
+  in
+  (match resume with
+   | Some (sn, _) ->
+     sched.Pool_scheduler.stats.Pool_scheduler.turns <- sn.Snapshot.sn_sched_turns;
+     sched.Pool_scheduler.stats.Pool_scheduler.rotations <- sn.Snapshot.sn_sched_rotations;
+     sched.Pool_scheduler.stats.Pool_scheduler.retirements <-
+       sn.Snapshot.sn_sched_retirements;
+     sched.Pool_scheduler.restore_state sn.Snapshot.sn_sched_state
+   | None -> ());
+  let slot_state (slot : Seed_slot.t) =
+    let ordinal = slot.Seed_slot.ordinal in
+    let clock, coverage =
+      match sessions.(ordinal) with
+      | Some (_, s) ->
+        (Vclock.now s.s_clock, Coverage.count (Executor.coverage s.s_exec))
+      | None -> (0, 0)
+    in
+    {
+      Snapshot.sl_ordinal = ordinal;
+      sl_bytes = slot.Seed_slot.size;
+      sl_turns = slot.Seed_slot.turns;
+      sl_granted = slot.Seed_slot.granted;
+      sl_dwell = slot.Seed_slot.dwell;
+      sl_new_blocks = slot.Seed_slot.new_blocks;
+      sl_bugs = slot.Seed_slot.bugs;
+      sl_quarantined = slot.Seed_slot.quarantined;
+      sl_strikes = slot.Seed_slot.strikes;
+      sl_timeouts = slot.Seed_slot.timeouts;
+      sl_retired = slot.Seed_slot.retired;
+      sl_clock = clock;
+      sl_coverage = coverage;
+      sl_prefix_cap = opened_caps.(ordinal);
+      sl_crash_draws = crash_draws.(ordinal);
+      sl_events = List.rev turn_events.(ordinal);
+    }
+  in
+  let write_checkpoint ck =
+    let t0 = Sys.time () in
+    let sn =
+      {
+        Snapshot.sn_meta =
+          ck.ck_meta
+          @ [
+              ("scheduler", scheduler);
+              ("jobs", string_of_int jobs);
+              ("deadline", string_of_int deadline);
+              ( "telemetry",
+                if Telemetry.Registry.enabled pool_registry then "1" else "0" );
+            ]
+          @ config_to_kvs config;
+        sn_deadline = deadline;
+        sn_spent = !spent_acc;
+        sn_rounds = !rounds;
+        sn_parallel_turns = !parallel_turns;
+        sn_merge_blocks = !merge_blocks;
+        sn_merge_bugs = !merge_bug_count;
+        (* count this write too: resume burns one snapshot-channel draw
+           per write, including the one just below *)
+        sn_checkpoints = !checkpoints_written + 1;
+        sn_degrade_faults = !degrade_faults;
+        sn_sched_turns = sched.Pool_scheduler.stats.Pool_scheduler.turns;
+        sn_sched_rotations = sched.Pool_scheduler.stats.Pool_scheduler.rotations;
+        sn_sched_retirements = sched.Pool_scheduler.stats.Pool_scheduler.retirements;
+        sn_sched_state = sched.Pool_scheduler.state ();
+        sn_pool_faults =
+          List.map (fun k -> (Fault.label k, Fault.count pool_faults k)) Fault.all;
+        sn_opened =
+          List.rev_map (fun (sl : Seed_slot.t) -> sl.Seed_slot.ordinal) !opened;
+        sn_counters = Telemetry.Registry.snapshot_counters pool_registry;
+        sn_slots = List.map slot_state slots;
+        sn_bugs =
+          List.rev_map
+            (fun (ordinal, gid, kind) ->
+              { Snapshot.br_slot = ordinal; br_gid = gid; br_kind = kind })
+            !bug_refs;
+      }
+    in
+    let doc = Snapshot.to_string sn in
+    let doc =
+      if Inject.fire_snapshot_corrupt pool_inject then begin
+        (* flip one byte mid-document; the checksum catches it on load *)
+        let b = Bytes.of_string doc in
+        Bytes.set b (Bytes.length b / 2) '#';
+        Bytes.to_string b
+      end
+      else doc
+    in
+    Snapshot.save_string ~path:ck.ck_path doc;
+    incr checkpoints_written;
+    turns_since_ck := 0;
+    match ck.ck_note_ms with
+    | Some note -> note (int_of_float ((Sys.time () -. t0) *. 1000.0))
+    | None -> ()
+  in
+  let after_round () =
+    match checkpoint with
+    | None -> true
+    | Some ck ->
+      let halt =
+        match ck.ck_halt_after with Some n -> !rounds >= n | None -> false
+      in
+      if halt || !turns_since_ck >= ck.ck_every then write_checkpoint ck;
+      not halt
   in
   let spent =
-    Campaign.run_rounds ~on_round ~sched ~deadline ~jobs ~run:exec_turn
+    Campaign.run_rounds ~on_round ~after_round ~sched
+      ~deadline:(deadline - !base_spent) ~jobs:eff_jobs ~run:exec_turn
       ~merge:merge_turn ()
   in
   List.iter
@@ -798,12 +1347,13 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
     seed_rows = List.map Seed_slot.stat_row slots;
     pool_stats = sched.Pool_scheduler.stats;
     pool_deadline = deadline;
-    pool_spent = spent;
+    pool_spent = !base_spent + spent;
     pool_rounds = !rounds;
     pool_parallel_turns = !parallel_turns;
     pool_merge_blocks = !merge_blocks;
     pool_merge_bugs = !merge_bug_count;
     pool_merge_registries = !merge_registries;
+    pool_faults;
     pool_registry;
   }
 
@@ -852,6 +1402,9 @@ let pool_run_report ?(meta = []) pool =
       ("bugs.total", List.length pool.merged_bugs);
       ("bugs.confirmed", confirmed);
     ]
+    @ List.map
+        (fun kind -> ("pool.fault." ^ Fault.label kind, Fault.count pool.pool_faults kind))
+        Fault.all
     @ summed
     @ span_metrics pool.pool_registry
   in
@@ -862,6 +1415,53 @@ let pool_run_report ?(meta = []) pool =
     seeds = pool.seed_rows;
     histograms = Telemetry.Registry.snapshot_histograms pool.pool_registry;
   }
+
+(* --- crash recovery -------------------------------------------------------- *)
+
+(* Load a checkpoint with graceful degradation: a corrupt or
+   version-mismatched primary falls back to the [.bak] rotation (the
+   last good checkpoint), reporting the primary's failure so the resumed
+   campaign can put it on the fault record. *)
+let load_snapshot ~path =
+  match Snapshot.load ~path with
+  | Ok sn -> Ok (sn, None)
+  | Error primary -> (
+    let bak = path ^ ".bak" in
+    let primary_msg = Snapshot.error_message primary in
+    if Sys.file_exists bak then
+      match Snapshot.load ~path:bak with
+      | Ok sn -> Ok (sn, Some primary_msg)
+      | Error fb ->
+        Error
+          (Printf.sprintf "%s; fallback %s: %s" primary_msg bak
+             (Snapshot.error_message fb))
+    else Error primary_msg)
+
+let resume_pool ?jobs ?checkpoint ?fallback snapshot prog ~seeds =
+  let meta = snapshot.Snapshot.sn_meta in
+  match config_of_kvs meta with
+  | Error e -> Error ("snapshot config: " ^ e)
+  | Ok config -> (
+    let scheduler =
+      match List.assoc_opt "scheduler" meta with
+      | Some s -> s
+      | None -> Pool_scheduler.default
+    in
+    match Pool_scheduler.by_name scheduler with
+    | None -> Error (Printf.sprintf "snapshot names unknown pool scheduler %S" scheduler)
+    | Some _ ->
+      let jobs =
+        match jobs with
+        | Some j -> j
+        | None -> (
+          match Option.bind (List.assoc_opt "jobs" meta) int_of_string_opt with
+          | Some j -> j
+          | None -> 1)
+      in
+      Ok
+        (run_pool ~config ~scheduler ~jobs ?checkpoint
+           ~resume:(snapshot, fallback) prog ~seeds
+           ~deadline:snapshot.Snapshot.sn_deadline))
 
 let select_seed seeds ~coverage_of =
   match seeds with

@@ -71,6 +71,14 @@ type robust_config = {
   confirm_bugs : bool;
   max_strikes : int; (* faults a state survives before quarantine *)
   inject : Pbse_robust.Inject.plan; (* deterministic fault injection *)
+  watchdog_factor : int; (* a campaign turn spending more than
+                            factor x budget records a Turn_timeout and
+                            strikes its seed; 0 disables the watchdog *)
+  watchdog_strikes : int; (* watchdog/crash strikes before a seed is
+                             force-retired from the pool; 0 = never *)
+  degrade_after : int; (* pool-level faults per degradation step: each
+                          step halves the effective --jobs and the
+                          solver prefix cap; 0 disables degradation *)
 }
 
 type config = {
@@ -88,6 +96,16 @@ val with_search : (search_config -> search_config) -> config -> config
 val with_solver : (solver_config -> solver_config) -> config -> config
 val with_robust : (robust_config -> robust_config) -> config -> config
 val with_rng_seed : int -> config -> config
+
+val config_to_kvs : config -> (string * string) list
+(** Flat [(key, value)] rendering of every config field (e.g.
+    [("solver.prefix_cap", "256")]), stored in campaign snapshots so a
+    resumed process rebuilds the exact configuration. *)
+
+val config_of_kvs : (string * string) list -> (config, string) result
+(** Inverse of {!config_to_kvs} over {!default_config}. Unknown keys
+    are ignored (snapshot metadata carries non-config entries such as
+    the target name); a malformed value for a known key is an error. *)
 
 val interval_length_for :
   config -> Pbse_ir.Types.program -> seed:bytes -> int
@@ -231,16 +249,44 @@ type pool_report = {
   pool_merge_blocks : int; (* blocks added to the union at merge barriers *)
   pool_merge_bugs : int; (* deduplicated bugs harvested at merge barriers *)
   pool_merge_registries : int; (* session registries folded into the pool's *)
+  pool_faults : Pbse_robust.Fault.log;
+      (* pool-level faults: turn watchdog kills before a session opened,
+         snapshot corruption, resume divergence *)
   pool_registry : Pbse_telemetry.Telemetry.Registry.t;
       (* campaign-wide instruments: pool counters plus every session
          registry, merged in ordinal order *)
 }
+
+type checkpoint
+(** Where and how often a campaign checkpoints itself
+    (docs/robustness.md). *)
+
+val checkpoint :
+  ?meta:(string * string) list ->
+  ?halt_after:int ->
+  ?note_ms:(int -> unit) ->
+  path:string ->
+  every:int ->
+  unit ->
+  checkpoint
+(** Checkpoint to [path] every [every] campaign turns (clamped to at
+    least 1), atomically (tmp + rename, previous checkpoint rotated to
+    [path].bak). [meta] is carried verbatim in the snapshot — callers
+    store what they need to reconstruct the campaign (the CLI stores the
+    target name). [halt_after] stops the campaign at the first round
+    barrier once that many rounds have run, after writing a final
+    checkpoint — a deterministic in-process "kill" for tests and the
+    crash-resume bench. [note_ms] receives each write's serialisation
+    cost in milliseconds. *)
 
 val run_pool :
   ?config:config ->
   ?scheduler:string ->
   ?runtime:Runtime.t ->
   ?jobs:int ->
+  ?checkpoint:checkpoint ->
+  ?resume:Pbse_campaign.Snapshot.t * string option ->
+  ?preload_faults:(Pbse_robust.Fault.kind * string) list ->
   Pbse_ir.Types.program ->
   seeds:bytes list ->
   deadline:int ->
@@ -262,7 +308,47 @@ val run_pool :
     registry) in ordinal order. Every field of the result — and the
     byte-exact {!pool_run_report} JSON — is identical for every [jobs]
     value (docs/parallelism.md). Raises [Invalid_argument] on an
-    unknown policy name. *)
+    unknown policy name.
+
+    Robustness (docs/robustness.md): [checkpoint] snapshots the campaign
+    at round barriers; [resume] reinstates a snapshot — with an optional
+    fallback detail recorded as a [Snapshot_corrupt] fault when the
+    primary checkpoint was bad — and replays each opened session's
+    granted-turn ledger, so kill-and-resume reproduces the uninterrupted
+    run's report byte for byte (use {!resume_pool} rather than passing
+    [resume] directly). A turn overrunning [watchdog_factor] x budget,
+    an injected turn kill ([crash=R]) or a contained turn exception
+    strikes its seed toward forced retirement; accumulated faults step
+    the effective [jobs] and prefix cap down without aborting the
+    campaign. [preload_faults] enters faults on the pool record before
+    the first round — the CLI uses it when a campaign restarts fresh
+    because every checkpoint was unusable. *)
+
+val load_snapshot :
+  path:string -> (Pbse_campaign.Snapshot.t * string option, string) result
+(** Load a checkpoint for resumption, degrading gracefully: a corrupt or
+    version-mismatched [path] falls back to [path].bak (the previous
+    checkpoint), returning the primary's failure message alongside so
+    the resumed campaign records it. [Error] only when no usable
+    checkpoint exists at either location. *)
+
+val resume_pool :
+  ?jobs:int ->
+  ?checkpoint:checkpoint ->
+  ?fallback:string ->
+  Pbse_campaign.Snapshot.t ->
+  Pbse_ir.Types.program ->
+  seeds:bytes list ->
+  (pool_report, string) result
+(** Continue a checkpointed campaign: rebuild the config and pool
+    scheduler from the snapshot's metadata ([Error] if the metadata is
+    malformed or names an unknown policy), then {!run_pool} with the
+    snapshot's own deadline, replaying up to the checkpointed barrier
+    and running the remainder. [jobs] defaults to the snapshot's
+    recorded width; [fallback] is the failure message of a corrupt
+    primary checkpoint this snapshot replaced ({!load_snapshot}).
+    Telemetry enablement is the caller's responsibility (the snapshot
+    records it in the ["telemetry"] metadata key). *)
 
 val pool_run_report :
   ?meta:(string * string) list -> pool_report -> Pbse_telemetry.Report.t

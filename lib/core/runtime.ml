@@ -27,14 +27,17 @@ let create ?registry ?(rng_seed = 1) ?(inject = Inject.none) ?quarantine
 
 let activate t = Expr.use_arena t.arena
 
-let derive ?registry ?rng_seed t =
+let derive ?registry ?rng_seed ?prefix_cap t =
   let registry = match registry with Some r -> r | None -> t.registry in
   let rng = match rng_seed with Some s -> Rng.create s | None -> Rng.split t.rng in
+  let prefix_cap =
+    match prefix_cap with Some c -> Some c | None -> t.prefix_cap
+  in
   {
     registry;
     rng;
     inject = t.inject;
     quarantine = Quarantine.create ~registry ~max_strikes:(Quarantine.max_strikes t.quarantine) ();
     arena = Expr.arena ();
-    prefix_cap = t.prefix_cap;
+    prefix_cap;
   }

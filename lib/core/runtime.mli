@@ -46,8 +46,14 @@ val activate : t -> unit
     domains across campaign rounds always interns into its own arena. *)
 
 val derive :
-  ?registry:Pbse_telemetry.Telemetry.Registry.t -> ?rng_seed:int -> t -> t
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  ?rng_seed:int ->
+  ?prefix_cap:int ->
+  t ->
+  t
 (** A child runtime for one session of a campaign: fresh registry
     (default: share the parent's), RNG split from the parent (or seeded
     with [rng_seed]), fresh private quarantine with the parent's strike
-    limit, fresh arena; inject plan and prefix-cap are inherited. *)
+    limit, fresh arena; the inject plan is inherited, and the prefix-cap
+    is inherited unless [prefix_cap] overrides it (the pool driver
+    shrinks it under graceful degradation). *)

@@ -7,6 +7,9 @@ type kind =
   | Mem_pressure
   | Concolic_injected
   | Degenerate_phase
+  | Turn_timeout
+  | Snapshot_corrupt
+  | Resume_mismatch
 
 let all =
   [
@@ -18,6 +21,9 @@ let all =
     Mem_pressure;
     Concolic_injected;
     Degenerate_phase;
+    Turn_timeout;
+    Snapshot_corrupt;
+    Resume_mismatch;
   ]
 
 let nkinds = List.length all
@@ -31,6 +37,9 @@ let rank = function
   | Mem_pressure -> 5
   | Concolic_injected -> 6
   | Degenerate_phase -> 7
+  | Turn_timeout -> 8
+  | Snapshot_corrupt -> 9
+  | Resume_mismatch -> 10
 
 let label = function
   | Solver_unknown -> "solver-unknown"
@@ -41,6 +50,42 @@ let label = function
   | Mem_pressure -> "mem-pressure"
   | Concolic_injected -> "concolic-injected"
   | Degenerate_phase -> "degenerate-phase"
+  | Turn_timeout -> "turn-timeout"
+  | Snapshot_corrupt -> "snapshot-corrupt"
+  | Resume_mismatch -> "resume-mismatch"
+
+(* Fault details feed dedup keys and resume replay, so they must not
+   depend on Printexc's payload rendering (addresses, arguments, ...):
+   map an exception to a stable kebab-case label instead. *)
+let normalize_exn exn =
+  match exn with
+  | Failure _ -> "failure"
+  | Invalid_argument _ -> "invalid-argument"
+  | Not_found -> "not-found"
+  | Division_by_zero -> "division-by-zero"
+  | Stack_overflow -> "stack-overflow"
+  | Out_of_memory -> "out-of-memory"
+  | Assert_failure _ -> "assert-failure"
+  | Match_failure _ -> "match-failure"
+  | End_of_file -> "end-of-file"
+  | Sys_error _ -> "sys-error"
+  | exn ->
+    (* constructor name only: cut the payload, kebab-case the rest *)
+    let s = Printexc.to_string exn in
+    let cut =
+      match String.index_opt s '(' with Some i -> i | None -> String.length s
+    in
+    let s = String.trim (String.sub s 0 cut) in
+    let b = Bytes.of_string (String.lowercase_ascii s) in
+    Bytes.iteri
+      (fun i c ->
+        let keep =
+          (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '.' || c = '-'
+        in
+        if not keep then Bytes.set b i '-')
+      b;
+    let s = Bytes.to_string b in
+    if s = "" then "exception" else s
 
 module Telemetry = Pbse_telemetry.Telemetry
 
@@ -108,3 +153,14 @@ let summary log =
       all
   in
   match parts with [] -> "no faults" | _ -> String.concat " " parts
+
+let restore_counts log pairs =
+  (* campaign resume: reinstate per-kind counts from a snapshot. The
+     recent-entry ring is not restored (counts are the durable record);
+     mirrored registry counters are restored separately by the caller. *)
+  List.iter
+    (fun (lbl, c) ->
+      match List.find_opt (fun k -> label k = lbl) all with
+      | Some k -> log.counts.(rank k) <- c
+      | None -> ())
+    pairs

@@ -17,12 +17,20 @@ type kind =
   | Mem_pressure (* a fork suppressed by the live-state cap *)
   | Concolic_injected (* an injected concolic seedState drop *)
   | Degenerate_phase (* phase division fell back to one phase *)
+  | Turn_timeout (* a campaign turn overran its watchdog deadline *)
+  | Snapshot_corrupt (* a checkpoint failed its checksum or schema check *)
+  | Resume_mismatch (* resumed state diverged from the snapshot's record *)
 
 val all : kind list
 (** Every kind, in the fixed summary order. *)
 
 val label : kind -> string
 (** Stable kebab-case name, e.g. ["solver-unknown"]. *)
+
+val normalize_exn : exn -> string
+(** Stable kebab-case label for an exception — the constructor name
+    without its payload (e.g. [Failure "x"] is ["failure"]) — so fault
+    details are byte-identical across runs and resumes. *)
 
 type t = {
   kind : kind;
@@ -48,3 +56,9 @@ val recent : log -> t list
 val summary : log -> string
 (** Deterministic one-line rendering: ["kind=count ..."] for every kind
     with a nonzero count, or ["no faults"]. *)
+
+val restore_counts : log -> (string * int) list -> unit
+(** Reinstate per-kind counts from [(label, count)] pairs recorded in a
+    campaign snapshot. Unknown labels are ignored; the recent-entry ring
+    is left empty (counts are the durable record) and mirrored registry
+    counters are the caller's responsibility. *)

@@ -6,6 +6,8 @@ type plan = {
   exec_abort_rate : float;
   mem_pressure_rate : float;
   concolic_drop_rate : float;
+  turn_crash_rate : float;
+  snapshot_corrupt_rate : float;
 }
 
 let none =
@@ -15,11 +17,14 @@ let none =
     exec_abort_rate = 0.0;
     mem_pressure_rate = 0.0;
     concolic_drop_rate = 0.0;
+    turn_crash_rate = 0.0;
+    snapshot_corrupt_rate = 0.0;
   }
 
 let is_active p =
   p.solver_unknown_rate > 0.0 || p.exec_abort_rate > 0.0 || p.mem_pressure_rate > 0.0
-  || p.concolic_drop_rate > 0.0
+  || p.concolic_drop_rate > 0.0 || p.turn_crash_rate > 0.0
+  || p.snapshot_corrupt_rate > 0.0
 
 let parse s =
   let parse_clause plan clause =
@@ -44,9 +49,14 @@ let parse s =
        | "mem" -> Result.map (fun r -> { plan with mem_pressure_rate = r }) (rate ())
        | "concolic" ->
          Result.map (fun r -> { plan with concolic_drop_rate = r }) (rate ())
+       | "crash" -> Result.map (fun r -> { plan with turn_crash_rate = r }) (rate ())
+       | "snapshot" ->
+         Result.map (fun r -> { plan with snapshot_corrupt_rate = r }) (rate ())
        | _ ->
          Error
-           (Printf.sprintf "unknown key %S (want seed|solver|abort|mem|concolic)" key))
+           (Printf.sprintf
+              "unknown key %S (want seed|solver|abort|mem|concolic|crash|snapshot)"
+              key))
   in
   if String.trim s = "" then Ok none (* every clause is optional *)
   else
@@ -56,14 +66,17 @@ let parse s =
       (String.split_on_char ',' s)
 
 let to_string p =
-  Printf.sprintf "seed=%d,solver=%g,abort=%g,mem=%g,concolic=%g" p.seed
-    p.solver_unknown_rate p.exec_abort_rate p.mem_pressure_rate p.concolic_drop_rate
+  Printf.sprintf "seed=%d,solver=%g,abort=%g,mem=%g,concolic=%g,crash=%g,snapshot=%g"
+    p.seed p.solver_unknown_rate p.exec_abort_rate p.mem_pressure_rate
+    p.concolic_drop_rate p.turn_crash_rate p.snapshot_corrupt_rate
 
 type counts = {
   mutable solver : int;
   mutable abort : int;
   mutable mem : int;
   mutable concolic : int;
+  mutable crash : int;
+  mutable snapshot : int;
 }
 
 type t = {
@@ -72,6 +85,8 @@ type t = {
   abort_rng : Rng.t;
   mem_rng : Rng.t;
   concolic_rng : Rng.t;
+  crash_rng : Rng.t;
+  snapshot_rng : Rng.t;
   counts : counts;
 }
 
@@ -82,15 +97,19 @@ let create plan =
   let solver_rng = Rng.split root in
   let abort_rng = Rng.split root in
   let mem_rng = Rng.split root in
-  (* split last so pre-existing channels keep their streams *)
   let concolic_rng = Rng.split root in
+  (* split last so pre-existing channels keep their streams *)
+  let crash_rng = Rng.split root in
+  let snapshot_rng = Rng.split root in
   {
     plan;
     solver_rng;
     abort_rng;
     mem_rng;
     concolic_rng;
-    counts = { solver = 0; abort = 0; mem = 0; concolic = 0 };
+    crash_rng;
+    snapshot_rng;
+    counts = { solver = 0; abort = 0; mem = 0; concolic = 0; crash = 0; snapshot = 0 };
   }
 
 let plan t = t.plan
@@ -117,4 +136,16 @@ let fire_concolic_drop t =
   if hit then t.counts.concolic <- t.counts.concolic + 1;
   hit
 
-let fired t = t.counts.solver + t.counts.abort + t.counts.mem + t.counts.concolic
+let fire_turn_crash t =
+  let hit = fire t.crash_rng t.plan.turn_crash_rate in
+  if hit then t.counts.crash <- t.counts.crash + 1;
+  hit
+
+let fire_snapshot_corrupt t =
+  let hit = fire t.snapshot_rng t.plan.snapshot_corrupt_rate in
+  if hit then t.counts.snapshot <- t.counts.snapshot + 1;
+  hit
+
+let fired t =
+  t.counts.solver + t.counts.abort + t.counts.mem + t.counts.concolic + t.counts.crash
+  + t.counts.snapshot

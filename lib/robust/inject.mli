@@ -11,7 +11,7 @@
 
     Flag grammar (the CLI's [--inject] and the [PBSE_INJECT] variable):
 
-    {v seed=N,solver=R,abort=R,mem=R,concolic=R v}
+    {v seed=N,solver=R,abort=R,mem=R,concolic=R,crash=R,snapshot=R v}
 
     where each clause is optional, [N] is an integer RNG seed (default
     1) and each [R] is a rate in [0, 1] (default 0). *)
@@ -22,6 +22,8 @@ type plan = {
   exec_abort_rate : float;
   mem_pressure_rate : float;
   concolic_drop_rate : float; (* lazy-fork seedStates dropped (concolic pass) *)
+  turn_crash_rate : float; (* campaign turns killed at entry (pool driver) *)
+  snapshot_corrupt_rate : float; (* checkpoint writes corrupted on disk *)
 }
 
 val none : plan
@@ -46,6 +48,8 @@ val fire_solver_unknown : t -> bool
 val fire_exec_abort : t -> bool
 val fire_mem_pressure : t -> bool
 val fire_concolic_drop : t -> bool
+val fire_turn_crash : t -> bool
+val fire_snapshot_corrupt : t -> bool
 (** Each call draws one decision from the stream (no draw when the
     corresponding rate is zero, so disabled channels cost nothing and do
     not perturb the others). *)

@@ -21,6 +21,7 @@ type seed_row = {
   faults : int;
   quarantined : int;
   strikes : int;
+  timeouts : int;
 }
 
 type t = {
@@ -62,6 +63,7 @@ let seed_to_json (s : seed_row) =
       ("faults", Json.Int s.faults);
       ("quarantined", Json.Int s.quarantined);
       ("strikes", Json.Int s.strikes);
+      ("timeouts", Json.Int s.timeouts);
     ]
 
 let histogram_to_json (h : Telemetry.histogram_snapshot) =
@@ -131,6 +133,7 @@ let seed_of_json json =
     faults = get_int "faults" json;
     quarantined = get_int "quarantined" json;
     strikes = get_int "strikes" json;
+    timeouts = get_int "timeouts" json;
   }
 
 let histogram_of_json name json =

@@ -33,6 +33,7 @@ type seed_row = {
   faults : int; (* contained faults in this seed's engine *)
   quarantined : int; (* quarantine evictions during its turns *)
   strikes : int; (* quarantine strikes during its turns *)
+  timeouts : int; (* watchdog strikes: overran or crashed turns *)
 }
 (** Per-seed row of an aggregate pool report ([Driver.pool_run_report]).
     Single-run reports leave [seeds] empty and serialise exactly as

@@ -187,6 +187,12 @@ module Registry = struct
     |> List.map (fun c -> (c.c_name, c.c_value))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+  let restore_counters t pairs =
+    (* campaign resume: reinstate values captured by snapshot_counters,
+       creating missing counters; like merge_into this ignores the
+       enabled gate — the snapshot is authoritative *)
+    List.iter (fun (name, v) -> (counter t name).c_value <- v) pairs
+
   let snapshot_gauges t =
     sorted_values t.gauges
     |> List.map (fun g -> (g.g_name, g.g_value))

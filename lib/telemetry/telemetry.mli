@@ -71,6 +71,11 @@ module Registry : sig
   val snapshot_counters : t -> (string * int) list
   (** Every registered counter, sorted by name (zeros included). *)
 
+  val restore_counters : t -> (string * int) list -> unit
+  (** Reinstate values captured by {!snapshot_counters} (campaign
+      resume), creating missing counters. Like {!merge_into} this
+      bypasses the enabled gate: the snapshot is authoritative. *)
+
   val snapshot_gauges : t -> (string * int) list
 
   val snapshot_spans : t -> (string * int * int) list

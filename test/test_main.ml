@@ -17,4 +17,5 @@ let () =
       ("parallel", Suite_parallel.suite);
       ("robust", Suite_robust.suite);
       ("targets", Suite_targets.suite);
+      ("snapshot", Suite_snapshot.suite);
     ]
