@@ -68,15 +68,19 @@ let run_csv_metrics =
     "exec.cow_copies";
   ]
 
-(* jobs / wall_ms / speedup_pct / snapshot_ms / resumes close every row:
-   single runs are always jobs=1 and unmeasured (0), the pool --jobs
-   sweep fills in the timing columns and the crash-resume drill the
-   durability ones *)
+(* jobs / lease / wall_ms / speedup_pct / snapshot_ms / resumes /
+   pool_steals / pool_pinned / id_refills close every row: single runs
+   are always jobs=1, lease=1 and unmeasured (0), the pool --jobs sweep
+   fills in the timing and contention columns and the crash-resume drill
+   the durability ones. The contention columns come from the pool-report
+   diagnostics, which are wall-clock-side and deliberately absent from
+   the byte-identical report JSON (docs/parallelism.md). *)
 let run_csv_header =
   String.concat ","
     ([ "suite"; "target"; "seed_bytes"; "deadline" ]
     @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics
-    @ [ "jobs"; "wall_ms"; "speedup_pct"; "snapshot_ms"; "resumes" ])
+    @ [ "jobs"; "lease"; "wall_ms"; "speedup_pct"; "snapshot_ms"; "resumes";
+        "pool_steals"; "pool_pinned"; "id_refills" ])
 
 let run_rows : string list ref = ref []
 
@@ -91,15 +95,15 @@ let note_run ~suite ~name ~deadline report =
          string_of_int deadline;
        ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
-      @ [ "1"; "0"; "0"; "0"; "0" ])
+      @ [ "1"; "1"; "0"; "0"; "0"; "0"; "0"; "0"; "0" ])
   in
   run_rows := row :: !run_rows
 
 (* Pool campaigns contribute the same CSV columns, harvested through the
    aggregate Driver.pool_run_report (merged coverage, deduplicated bugs,
    summed engine totals); seed_bytes is the whole pool's size. *)
-let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ?(snapshot_ms = 0)
-    ?(resumes = 0) ~suite ~name ~deadline pool =
+let note_pool_run ?(jobs = 1) ?(lease = 1) ?(wall_ms = 0) ?(speedup_pct = 0)
+    ?(snapshot_ms = 0) ?(resumes = 0) ~suite ~name ~deadline pool =
   let rr = Driver.pool_run_report pool in
   let pool_bytes =
     List.fold_left
@@ -111,8 +115,12 @@ let note_pool_run ?(jobs = 1) ?(wall_ms = 0) ?(speedup_pct = 0) ?(snapshot_ms = 
       ([ suite; name; string_of_int pool_bytes; string_of_int deadline ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
       @ [
-          string_of_int jobs; string_of_int wall_ms; string_of_int speedup_pct;
-          string_of_int snapshot_ms; string_of_int resumes;
+          string_of_int jobs; string_of_int lease; string_of_int wall_ms;
+          string_of_int speedup_pct; string_of_int snapshot_ms;
+          string_of_int resumes;
+          string_of_int pool.Driver.pool_steal_count;
+          string_of_int pool.Driver.pool_pinned_turns;
+          string_of_int pool.Driver.pool_id_refills;
         ])
   in
   run_rows := row :: !run_rows
@@ -704,59 +712,79 @@ let pool_bench () =
    on a single-core runner the widths tie (modulo domain overhead), and
    the column exists so multi-core runs of the same harness show the
    scaling. *)
-let pool_jobs_bench () =
+let pool_jobs_bench ?(lease = 1) () =
   heading "Pool campaign at --jobs 1/2/4: determinism and wall-clock";
-  Printf.printf "  (host reports %d recognisable core(s))
-%!"
-    (Domain.recommended_domain_count ());
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  (host reports %d recognisable core(s))\n%!" cores;
+  if cores < 4 then
+    Printf.printf
+      "  warning: host has fewer than 4 cores, so --jobs 4 is clamped to %d \
+       worker domain(s); expect speedup ~1.0x there (the CI pool-speedup \
+       gate skips such runners)\n%!"
+      cores;
   let t = target "dwarfdump" in
   let prog = Registry.program t in
   let seeds = List.map snd t.Registry.seeds in
   let deadline = ten_hours in
-  let table =
-    Tablefmt.create [ "jobs"; "merged cov"; "rounds"; "wall ms"; "speedup"; "report" ]
+  let sweep ~lease =
+    let table =
+      Tablefmt.create
+        [ "jobs"; "lease"; "merged cov"; "rounds"; "wall ms"; "speedup"; "report" ]
+    in
+    let base_json = ref "" and base_wall = ref 0 in
+    List.iter
+      (fun jobs ->
+        let t0 = Unix.gettimeofday () in
+        let pool = Driver.run_pool ~jobs ~lease prog ~seeds ~deadline in
+        let wall_ms =
+          int_of_float (1000. *. (Unix.gettimeofday () -. t0))
+        in
+        let json = Report.to_json (Driver.pool_run_report pool) in
+        let verdict =
+          if jobs = 1 then begin
+            base_json := json;
+            base_wall := wall_ms;
+            "baseline"
+          end
+          else if json = !base_json then "identical"
+          else "MISMATCH"
+        in
+        let speedup_pct =
+          if wall_ms <= 0 then 0 else 100 * !base_wall / wall_ms
+        in
+        let name =
+          if lease = 1 then Printf.sprintf "%s/jobs-%d" t.Registry.name jobs
+          else Printf.sprintf "%s/jobs-%d-lease-%d" t.Registry.name jobs lease
+        in
+        note_pool_run ~jobs ~lease ~wall_ms ~speedup_pct ~suite:"pool-jobs"
+          ~name ~deadline pool;
+        Tablefmt.add_row table
+          [
+            string_of_int jobs;
+            string_of_int lease;
+            string_of_int pool.Driver.merged_coverage;
+            string_of_int pool.Driver.pool_rounds;
+            string_of_int wall_ms;
+            Printf.sprintf "%d.%02dx" (speedup_pct / 100) (speedup_pct mod 100);
+            verdict;
+          ];
+        Printf.printf "  ... jobs=%d lease=%d done (%d ms, %s)\n%!" jobs lease
+          wall_ms verdict;
+        if verdict = "MISMATCH" then begin
+          prerr_endline "pool reports diverged across --jobs; determinism bug";
+          exit 1
+        end)
+      [ 1; 2; 4 ];
+    Tablefmt.print table
   in
-  let base_json = ref "" and base_wall = ref 0 in
-  List.iter
-    (fun jobs ->
-      let t0 = Unix.gettimeofday () in
-      let pool = Driver.run_pool ~jobs prog ~seeds ~deadline in
-      let wall_ms =
-        int_of_float (1000. *. (Unix.gettimeofday () -. t0))
-      in
-      let json = Report.to_json (Driver.pool_run_report pool) in
-      let verdict =
-        if jobs = 1 then begin
-          base_json := json;
-          base_wall := wall_ms;
-          "baseline"
-        end
-        else if json = !base_json then "identical"
-        else "MISMATCH"
-      in
-      let speedup_pct =
-        if wall_ms <= 0 then 0 else 100 * !base_wall / wall_ms
-      in
-      note_pool_run ~jobs ~wall_ms ~speedup_pct ~suite:"pool-jobs"
-        ~name:(Printf.sprintf "%s/jobs-%d" t.Registry.name jobs)
-        ~deadline pool;
-      Tablefmt.add_row table
-        [
-          string_of_int jobs;
-          string_of_int pool.Driver.merged_coverage;
-          string_of_int pool.Driver.pool_rounds;
-          string_of_int wall_ms;
-          Printf.sprintf "%d.%02dx" (speedup_pct / 100) (speedup_pct mod 100);
-          verdict;
-        ];
-      Printf.printf "  ... jobs=%d done (%d ms, %s)
-%!" jobs wall_ms verdict;
-      if verdict = "MISMATCH" then begin
-        prerr_endline "pool reports diverged across --jobs; determinism bug";
-        exit 1
-      end)
-    [ 1; 2; 4 ];
-  Tablefmt.print table;
+  sweep ~lease;
+  if lease = 1 then begin
+    (* the same identity check with coarse work units: a different (but
+       equally deterministic) campaign, so it gets its own jobs=1
+       baseline *)
+    Printf.printf "  re-running the sweep with 3-turn leases\n%!";
+    sweep ~lease:3
+  end;
   Printf.printf
     "  every width produced byte-identical reports; speedup only reflects \
      the host's core count\n%!"
@@ -770,7 +798,7 @@ let pool_jobs_bench () =
    to an uninterrupted run of the same campaign (docs/robustness.md).
    The runs.csv row carries the serialisation cost (snapshot_ms) and the
    resume count. *)
-let crash_resume_bench ?(jobs = 2) () =
+let crash_resume_bench ?(jobs = 2) ?(lease = 2) () =
   heading "Crash-resume: checkpoint every turn, kill at a barrier, resume, compare";
   let t = target "dwarfdump" in
   let prog = Registry.program t in
@@ -778,7 +806,7 @@ let crash_resume_bench ?(jobs = 2) () =
   let deadline = ten_hours in
   let scheduler = "round-robin" in
   Telemetry.set_enabled true;
-  let baseline = Driver.run_pool ~scheduler ~jobs prog ~seeds ~deadline in
+  let baseline = Driver.run_pool ~scheduler ~jobs ~lease prog ~seeds ~deadline in
   Telemetry.set_enabled false;
   let base_json = Report.to_json (Driver.pool_run_report baseline) in
   let path = Filename.temp_file "pbse_bench_ck" ".json" in
@@ -790,7 +818,7 @@ let crash_resume_bench ?(jobs = 2) () =
   in
   Telemetry.set_enabled true;
   let _killed : Driver.pool_report =
-    Driver.run_pool ~scheduler ~jobs ~checkpoint:ck prog ~seeds ~deadline
+    Driver.run_pool ~scheduler ~jobs ~lease ~checkpoint:ck prog ~seeds ~deadline
   in
   Telemetry.set_enabled false;
   Printf.printf "  ... halted at the round-2 barrier (%d ms in snapshot writes)\n%!"
@@ -804,6 +832,9 @@ let crash_resume_bench ?(jobs = 2) () =
      | Some why -> Printf.printf "  ... resumed from the .bak rotation: %s\n%!" why
      | None -> ());
     Telemetry.set_enabled true;
+    (* no ~lease here on purpose: the resume must pick the lease back up
+       from the snapshot meta, or leased checkpoints would re-plan with
+       different work units and diverge *)
     let resumed =
       match Driver.resume_pool ~jobs sn prog ~seeds with
       | Ok pool -> pool
@@ -818,8 +849,9 @@ let crash_resume_bench ?(jobs = 2) () =
       prerr_endline "resumed pool report diverged from the uninterrupted run";
       exit 1
     end;
-    note_pool_run ~jobs ~snapshot_ms:!snapshot_ms ~resumes:1 ~suite:"crash-resume"
-      ~name:(t.Registry.name ^ "/" ^ scheduler) ~deadline resumed;
+    note_pool_run ~jobs ~lease ~snapshot_ms:!snapshot_ms ~resumes:1
+      ~suite:"crash-resume" ~name:(t.Registry.name ^ "/" ^ scheduler) ~deadline
+      resumed;
     Printf.printf
       "  kill@round-2 + resume reproduced the uninterrupted report byte for byte \
        (%d bytes)\n%!"
@@ -886,16 +918,19 @@ let smoke ?(jobs = 1) () =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (* one flag, shared by the subcommands that campaign: --jobs N *)
-  let jobs =
+  (* two flags, shared by the subcommands that campaign: --jobs N and
+     --lease K *)
+  let flag name default =
     let rec scan i =
-      if i + 1 >= Array.length Sys.argv then 1
-      else if Sys.argv.(i) = "--jobs" then
-        try max 1 (int_of_string Sys.argv.(i + 1)) with Failure _ -> 1
+      if i + 1 >= Array.length Sys.argv then default
+      else if Sys.argv.(i) = name then
+        try max 1 (int_of_string Sys.argv.(i + 1)) with Failure _ -> default
       else scan (i + 1)
     in
     scan 1
   in
+  let jobs = flag "--jobs" 1 in
+  let lease = flag "--lease" 1 in
   Printf.printf "pbSE benchmark harness: 1h = %d virtual time units (PBSE_HOUR)\n" hour;
   (match what with
    | "table1" -> table1 ()
@@ -907,7 +942,7 @@ let () =
    | "ablate" -> ablate ()
    | "robust" -> robust ()
    | "pool" -> pool_bench ()
-   | "pool-jobs" -> pool_jobs_bench ()
+   | "pool-jobs" -> pool_jobs_bench ~lease ()
    | "crash-resume" -> crash_resume_bench ~jobs ()
    | "smoke" -> smoke ~jobs ()
    | "bechamel" -> bechamel ()

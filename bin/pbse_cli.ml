@@ -233,6 +233,11 @@ let print_pool_campaign (report : Driver.pool_report) =
   (match Fault.summary report.Driver.pool_faults with
    | "no faults" -> ()
    | faults -> Printf.printf "pool faults: %s\n" faults);
+  (* wall-clock-side contention diagnostics; deliberately absent from the
+     byte-identical report JSON (docs/parallelism.md) *)
+  Printf.printf "pool workers: %d turn(s) pinned, %d stolen; %d id-block refill(s)\n"
+    report.Driver.pool_pinned_turns report.Driver.pool_steal_count
+    report.Driver.pool_id_refills;
   print_seed_rows report.Driver.seed_rows;
   List.iter
     (fun ((bug : Bug.t), phase) ->
@@ -283,13 +288,25 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let run name seed_label hours pool pool_scheduler jobs ck config report_file =
+  let lease_arg =
+    let doc =
+      "Consecutive same-budget turns granted per campaign dispatch: turns \
+       run unbroken on the seed's home domain and merge at the round \
+       barrier, amortising barrier overhead. Recorded in checkpoints so \
+       `pbse resume' continues under the same lease."
+    in
+    Arg.(value & opt int 1 & info [ "lease" ] ~docv:"K" ~doc)
+  in
+  let run name seed_label hours pool pool_scheduler jobs lease ck config report_file =
     match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       1
     | _, _ when pool && jobs < 1 ->
       prerr_endline "--jobs must be at least 1";
+      1
+    | _, _ when pool && lease < 1 ->
+      prerr_endline "--lease must be at least 1";
       1
     | _, _ when pool && not (List.mem pool_scheduler Pool_scheduler.names) ->
       Printf.eprintf "unknown pool scheduler %s (available: %s)\n" pool_scheduler
@@ -306,7 +323,7 @@ let run_cmd =
       in
       if pool then begin
         let report =
-          Driver.run_pool ~config ~scheduler:pool_scheduler ~jobs
+          Driver.run_pool ~config ~scheduler:pool_scheduler ~jobs ~lease
             ?checkpoint:(build_checkpoint ~target:name ck)
             (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
@@ -340,7 +357,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg
-      $ pool_scheduler_arg $ jobs_arg $ checkpoint_args $ config_term $ report_arg)
+      $ pool_scheduler_arg $ jobs_arg $ lease_arg $ checkpoint_args $ config_term
+      $ report_arg)
 
 (* --- resume ---------------------------------------------------------------------- *)
 

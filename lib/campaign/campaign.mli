@@ -30,6 +30,8 @@ val run :
 val run_rounds :
   ?on_round:(int -> unit) ->
   ?after_round:(unit -> bool) ->
+  ?lease:int ->
+  ?pool:Domain_pool.t ->
   sched:Pool_scheduler.t ->
   deadline:int ->
   jobs:(unit -> int) ->
@@ -42,25 +44,38 @@ val run_rounds :
     policy to {!Pool_scheduler.t.plan} a whole round, clamps the round's
     budgets against the opening balance in plan order (zero shares
     skip-retire their slot without running), executes the surviving
-    turns with {!Domain_pool.map} on up to [jobs] domains, then merges
-    results at the barrier {e in plan order}: [merge] turns each [run]
-    result into an {!outcome} (performing any shared-state merging —
-    coverage union, bug harvest — as a side effect), after which the
-    loop updates the slot's counters and retires or credits it exactly
-    as {!run} would. Because plans, clamps and merges never observe
-    intra-round outcomes or completion order, the spent total, every
-    slot counter and every merge effect are identical for every [jobs]
-    value, including 1 — the byte-identical pool-report contract
-    (docs/parallelism.md).
+    turns with {!Domain_pool.run} on up to [jobs] domains — each slot
+    homed on its ordinal, so a seed's turns stick to one worker domain
+    across rounds — then merges results at the barrier {e in plan
+    order}: [merge] turns each [run] result into an {!outcome}
+    (performing any shared-state merging — coverage union, bug harvest —
+    as a side effect), after which the loop updates the slot's counters
+    and retires or credits it exactly as {!run} would. Because plans,
+    clamps and merges never observe intra-round outcomes or completion
+    order, the spent total, every slot counter and every merge effect
+    are identical for every [jobs] value, including 1 — the
+    byte-identical pool-report contract (docs/parallelism.md).
+
+    [lease] (default 1, clamped to at least 1) coarsens work units: each
+    planned turn becomes up to [lease] consecutive same-budget sub-turns
+    (bounded by the remaining balance, claimed in plan order), which run
+    unbroken on one worker — [run] is called once per sub-turn, in order
+    — and merge sub-turn by sub-turn at the barrier. The scheduler sees
+    one aggregated credit-or-retire decision per lease, so policy
+    decisions and barrier overhead amortise over [lease] engine turns.
+    Reports remain byte-identical across [jobs] at any fixed [lease];
+    different leases are different (equally deterministic) campaigns.
 
     [run] executes on a worker domain and must touch only the slot's own
     session state (its runtime context); [merge] runs on the calling
     domain. [on_round] fires before each executed round with the number
-    of runnable turns in it.
+    of runnable leases in it.
 
-    [jobs] is consulted once per round, so a caller may narrow the
-    domain-pool width mid-campaign (graceful degradation) — the width is
-    invisible to plans and merges, so reports are unaffected.
-    [after_round] fires after each executed round's merges; returning
-    [false] stops the campaign at that barrier (checkpoint-and-halt),
-    leaving all slot state consistent for a later resume. *)
+    [pool] is the campaign's worker pool; when omitted a private pool is
+    created for the call and shut down before it returns. [jobs] is
+    consulted once per round, so a caller may narrow the pool width
+    mid-campaign (graceful degradation) — the width is invisible to
+    plans and merges, so reports are unaffected. [after_round] fires
+    after each executed round's merges; returning [false] stops the
+    campaign at that barrier (checkpoint-and-halt), leaving all slot
+    state consistent for a later resume. *)

@@ -1,17 +1,30 @@
-(* Work-stealing map over OCaml 5 domains.
+(* Persistent domain pool with home-queue affinity and work-stealing.
 
-   The input list becomes an array of tasks claimed through one atomic
-   cursor: each worker domain repeatedly takes the next unclaimed index
-   and runs the function on it, so a slow task never blocks the others
-   (work-stealing in the degenerate single-queue form, which is all a
-   turn barrier needs). Results land in a slot array indexed by input
-   position — callers consume them in input order, which is what makes
-   the surrounding merge deterministic regardless of which domain ran
-   which task or in what order they finished.
+   A pool spawns its worker domains once ([create]) and reuses them for
+   every round of a campaign ([run]), so round barriers cost a
+   mutex-and-condition handshake instead of a spawn-and-join per round.
+   Each run distributes its tasks into per-worker queues by the caller's
+   [home] key: a slot that always maps to the same key always executes
+   on the same domain (its session arena, prefix contexts and scratch
+   state stay hot in that domain's caches), and a worker only *steals*
+   from the other queues once its own runs dry. Pinned-vs-stolen counts
+   are kept as pool statistics ([pinned], [steals]) so affinity loss is
+   diagnosable from a run report.
 
-   Exceptions are captured per task and re-raised (first in input order)
-   after every domain has been joined, so a failing task can never leak
-   a running domain. *)
+   Determinism: results land in a slot array indexed by input position
+   and are consumed in input order, so which worker ran which task — and
+   whether it was pinned or stolen — is invisible to the caller
+   (docs/parallelism.md). Exceptions are captured per task and the
+   earliest (in input order) re-raised after the round barrier, so a
+   failing task can never leak a running domain and the pool stays
+   usable.
+
+   Memory publication: the coordinator installs a round's queues and
+   task closure under the pool mutex before bumping the epoch, and
+   workers acknowledge completion under the same mutex — each round's
+   writes (results, session mutations) happen-before the coordinator's
+   barrier read. Task indices are claimed from per-queue atomic cursors,
+   so a slow task never blocks the rest of its queue. *)
 
 type 'b slot =
   | Pending
@@ -34,32 +47,188 @@ let collect results =
          | Pending -> assert false)
        results)
 
-let map ~jobs f xs =
-  let tasks = Array.of_list xs in
-  let n = Array.length tasks in
-  let results = Array.make n Pending in
-  let workers = min (max 1 jobs) n in
-  if workers <= 1 then
-    for i = 0 to n - 1 do
-      run_task f tasks results i
-    done
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* a new epoch (or shutdown) is ready *)
+  idle : Condition.t; (* a worker finished the current epoch *)
+  mutable epoch : int;
+  mutable acked : int; (* spawned workers done with the current epoch *)
+  mutable active : int; (* workers participating in the current epoch *)
+  mutable queues : int array array; (* per-active-worker task indices *)
+  mutable cursors : int Atomic.t array;
+  mutable run_one : int -> unit; (* current epoch's task runner *)
+  mutable pinned : int; (* tasks run by their home worker *)
+  mutable steals : int; (* tasks run by a non-home worker *)
+  mutable closing : bool;
+  width : int; (* worker count including the coordinator *)
+  mutable domains : unit Domain.t array; (* the [width - 1] spawned ones *)
+}
+
+(* Drain the worker's own queue first (every task there counts as
+   pinned), then sweep the other active queues in cyclic order and steal
+   what is left. Runs outside the mutex: queues, cursors and [run_one]
+   were published by the epoch handshake, and distinct tasks never share
+   a result slot. *)
+let participate t w =
+  if w >= t.active then (0, 0)
   else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec steal () =
-        let i = Atomic.fetch_and_add next 1 in
+    let pinned = ref 0 and steals = ref 0 in
+    let drain qi counter =
+      let q = t.queues.(qi) in
+      let cursor = t.cursors.(qi) in
+      let n = Array.length q in
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          run_task f tasks results i;
-          steal ()
+          t.run_one q.(i);
+          incr counter;
+          go ()
         end
       in
-      steal ()
+      go ()
     in
-    (* [workers - 1] spawned domains plus the calling one; Domain.join
-       gives the happens-before edge that publishes every result slot
-       (and everything the tasks mutated) back to the caller. *)
-    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains
-  end;
-  collect results
+    drain w pinned;
+    for d = 1 to t.active - 1 do
+      drain ((w + d) mod t.active) steals
+    done;
+    (!pinned, !steals)
+  end
+
+let rec worker_loop t w seen_epoch =
+  Mutex.lock t.lock;
+  while (not t.closing) && t.epoch = seen_epoch do
+    Condition.wait t.work t.lock
+  done;
+  if t.closing then Mutex.unlock t.lock
+  else begin
+    let epoch = t.epoch in
+    Mutex.unlock t.lock;
+    let pinned, steals = participate t w in
+    Mutex.lock t.lock;
+    t.pinned <- t.pinned + pinned;
+    t.steals <- t.steals + steals;
+    t.acked <- t.acked + 1;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.lock;
+    worker_loop t w epoch
+  end
+
+let create ~jobs =
+  (* More domains than cores is pure overhead (the minor-GC barrier
+     synchronises every running domain), so the width is capped by the
+     hardware; [run]'s per-round [jobs] can only narrow it further. *)
+  let width = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      epoch = 0;
+      acked = 0;
+      active = 0;
+      queues = [||];
+      cursors = [||];
+      run_one = ignore;
+      pinned = 0;
+      steals = 0;
+      closing = false;
+      width;
+      domains = [||];
+    }
+  in
+  if width > 1 then
+    t.domains <-
+      Array.init (width - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1) 0));
+  t
+
+let width t = t.width
+
+let pinned t =
+  Mutex.lock t.lock;
+  let v = t.pinned in
+  Mutex.unlock t.lock;
+  v
+
+let steals t =
+  Mutex.lock t.lock;
+  let v = t.steals in
+  Mutex.unlock t.lock;
+  v
+
+let run t ~jobs ~home f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Pending in
+    let active = max 1 (min (min jobs t.width) n) in
+    if active <= 1 then begin
+      (* degraded or sequential round: run inline, spawned workers (if
+         any) sleep through it — the epoch never advances *)
+      for i = 0 to n - 1 do
+        run_task f tasks results i
+      done;
+      Mutex.lock t.lock;
+      t.pinned <- t.pinned + n;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let buckets = Array.make active [] in
+      (* bucket in reverse so each queue ends up in input order *)
+      for i = n - 1 downto 0 do
+        let h = ((home tasks.(i) mod active) + active) mod active in
+        buckets.(h) <- i :: buckets.(h)
+      done;
+      Mutex.lock t.lock;
+      t.queues <- Array.map Array.of_list buckets;
+      t.cursors <- Array.init active (fun _ -> Atomic.make 0);
+      t.active <- active;
+      t.run_one <- (fun i -> run_task f tasks results i);
+      t.acked <- 0;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock;
+      (* the coordinator is worker 0 *)
+      let pinned, steals = participate t 0 in
+      Mutex.lock t.lock;
+      t.pinned <- t.pinned + pinned;
+      t.steals <- t.steals + steals;
+      while t.acked < Array.length t.domains do
+        Condition.wait t.idle t.lock
+      done;
+      (* drop the round's closures so finished task state can be
+         collected between rounds *)
+      t.run_one <- ignore;
+      t.queues <- [||];
+      t.cursors <- [||];
+      Mutex.unlock t.lock
+    end;
+    collect results
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.closing then Mutex.unlock t.lock
+  else begin
+    t.closing <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+(* One-shot parallel map, for callers without a campaign-long pool (and
+   the pre-pool API). Tasks are homed by input index, so the work spreads
+   round-robin and stealing still balances stragglers. *)
+let map ~jobs f xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let t = create ~jobs:(min (max 1 jobs) n) in
+    Fun.protect
+      ~finally:(fun () -> shutdown t)
+      (fun () ->
+        let idx = ref (-1) in
+        let xs = List.map (fun x -> incr idx; (!idx, x)) xs in
+        run t ~jobs ~home:fst (fun (_, x) -> f x) xs)
+  end

@@ -20,6 +20,7 @@ module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
 module Quarantine = Pbse_robust.Quarantine
 module Solver = Pbse_smt.Solver
+module Expr = Pbse_smt.Expr
 module Telemetry = Pbse_telemetry.Telemetry
 module Report = Pbse_telemetry.Report
 
@@ -728,6 +729,15 @@ type pool_report = {
   pool_merge_registries : int;
   pool_faults : Fault.log;
   pool_registry : Telemetry.Registry.t;
+  (* Wall-clock-side diagnostics. These describe how the campaign
+     happened to execute — which worker ran what, how often a domain
+     refilled its id block — so they depend on [jobs] and scheduling
+     luck. They are deliberately NOT part of the pool-report JSON, which
+     is byte-identical across widths; the bench CSV and CLI surface
+     them. *)
+  pool_steal_count : int; (* turns run by a non-home pool worker *)
+  pool_pinned_turns : int; (* turns run by their slot's home worker *)
+  pool_id_refills : int; (* expr id-block refills during the campaign *)
 }
 
 type checkpoint = {
@@ -746,6 +756,22 @@ let checkpoint ?(meta = []) ?halt_after ?note_ms ~path ~every () =
     ck_halt_after = halt_after;
     ck_note_ms = note_ms;
   }
+
+(* Worker-side record of one executed sub-turn. Everything a merge needs
+   is captured at execution time: under a multi-turn lease the barrier
+   merge runs after {e later} sub-turns have already advanced the
+   session's clock and quarantine, so reading them at merge time would
+   smear one sub-turn's dwell and strike deltas over its successors. *)
+type turn_exec = {
+  tx_start : int; (* session clock entering the sub-turn *)
+  tx_stop : int; (* session clock leaving it *)
+  tx_ev0 : int; (* quarantine evictions before / after *)
+  tx_ev1 : int;
+  tx_st0 : int; (* quarantine strikes before / after *)
+  tx_st1 : int;
+  tx_opened : bool; (* this sub-turn opened the session *)
+  tx_status : [ `Stepped | `Failed | `Injected | `Entry_crash ];
+}
 
 (* Algorithm 1's outer loop over a seed pool, generalised into a
    campaign and run in deterministic rounds: the pool policy plans every
@@ -772,13 +798,26 @@ let checkpoint ?(meta = []) ?halt_after ?note_ms ~path ~every () =
    step the effective [--jobs] and prefix cap down (graceful
    degradation) without ever aborting the campaign. *)
 let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
-    ?runtime ?(jobs = 1) ?checkpoint ?resume ?(preload_faults = []) prog ~seeds
-    ~deadline =
+    ?runtime ?(jobs = 1) ?(lease = 1) ?checkpoint ?resume ?(preload_faults = [])
+    prog ~seeds ~deadline =
   let factory =
     match Pool_scheduler.by_name scheduler with
     | Some f -> f
     | None -> invalid_arg ("Driver: unknown pool scheduler " ^ scheduler)
   in
+  let lease = max 1 lease in
+  (* Per-domain minor heaps below ~8 MB thrash the stop-the-world minor
+     collection once several domains allocate at engine rates (every
+     domain must reach the barrier for every collection); widen once,
+     process-wide, and never shrink a user-tuned size. *)
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < 1 lsl 20 then
+    Gc.set { g with Gc.minor_heap_size = 1 lsl 20 };
+  (* One persistent worker pool for the whole campaign — replay and every
+     round reuse its domains; sessions are homed on their slot ordinal. *)
+  let pool = Domain_pool.create ~jobs in
+  let id_refills0 = Expr.id_block_refills () in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
   let pool_rt =
     match runtime with
     | Some rt -> rt
@@ -798,6 +837,10 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
   let tm_merge_registries =
     Telemetry.Registry.counter pool_registry "pool.merge_registries"
   in
+  (* contention diagnostics (width-dependent; excluded from report JSON) *)
+  let tm_steal_count = Telemetry.Registry.counter pool_registry "pool.steal_count" in
+  let tm_pinned_turns = Telemetry.Registry.counter pool_registry "pool.pinned_turns" in
+  let tm_id_refills = Telemetry.Registry.counter pool_registry "smt.id_block_refills" in
   let pool_faults = Fault.log_create ~registry:pool_registry () in
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
@@ -985,9 +1028,12 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
       List.iter
         (fun (st : Snapshot.slot_state) -> by_ordinal.(st.Snapshot.sl_ordinal) <- Some st)
         sn.Snapshot.sn_slots;
-      (* replay opened sessions concurrently, like the turns they rerun *)
+      (* replay opened sessions concurrently, like the turns they rerun —
+         homed on their ordinal so each lands on its campaign-long home
+         domain straight away *)
       let replayed =
-        Domain_pool.map ~jobs:(eff_jobs ())
+        Domain_pool.run pool ~jobs:(eff_jobs ())
+          ~home:(fun ordinal -> ordinal - 1)
           (fun ordinal ->
             match by_ordinal.(ordinal) with
             | Some st when ordinal >= 1 && ordinal <= nslots ->
@@ -1108,15 +1154,28 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
       let start = Vclock.now s.s_clock in
       let ev0 = Quarantine.evicted rt.Runtime.quarantine in
       let st0 = Quarantine.total_strikes rt.Runtime.quarantine in
-      if crashed then begin
-        replay_crash s "injected-crash";
-        (start, ev0, st0, false, `Injected)
-      end
-      else (start, ev0, st0, false, step_contained s ~deadline:(start + budget))
+      let status =
+        if crashed then begin
+          replay_crash s "injected-crash";
+          `Injected
+        end
+        else step_contained s ~deadline:(start + budget)
+      in
+      {
+        tx_start = start;
+        tx_stop = Vclock.now s.s_clock;
+        tx_ev0 = ev0;
+        tx_ev1 = Quarantine.evicted rt.Runtime.quarantine;
+        tx_st0 = st0;
+        tx_st1 = Quarantine.total_strikes rt.Runtime.quarantine;
+        tx_opened = false;
+        tx_status = status;
+      }
     | None ->
       if crashed then
         (* killed before the session ever opened: nothing to ledger *)
-        (0, 0, 0, false, `Entry_crash)
+        { tx_start = 0; tx_stop = 0; tx_ev0 = 0; tx_ev1 = 0; tx_st0 = 0;
+          tx_st1 = 0; tx_opened = false; tx_status = `Entry_crash }
       else begin
         (* first turn: the session's setup (concolic pass, phase
            division, seeding) is charged against this turn's budget. The
@@ -1133,15 +1192,27 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
             ~seed:slot.Seed_slot.seed ~deadline:budget
         in
         sessions.(ordinal) <- Some (rt, s);
-        (0, 0, 0, true, step_contained s ~deadline:budget)
+        let status = step_contained s ~deadline:budget in
+        {
+          tx_start = 0;
+          tx_stop = Vclock.now s.s_clock;
+          tx_ev0 = 0;
+          tx_ev1 = Quarantine.evicted rt.Runtime.quarantine;
+          tx_st0 = 0;
+          tx_st1 = Quarantine.total_strikes rt.Runtime.quarantine;
+          tx_opened = true;
+          tx_status = status;
+        }
       end
   in
   (* The barrier half: runs on the coordinating domain, in plan order,
-     after every turn of the round has been joined. *)
-  let merge_turn (slot : Seed_slot.t) ~budget (start, ev0, st0, opened_now, status) =
+     after every turn of the round has been joined. Works only from the
+     [turn_exec] capture — by merge time, later sub-turns of the same
+     lease have already advanced the session. *)
+  let merge_turn (slot : Seed_slot.t) ~budget tx =
     let ordinal = slot.Seed_slot.ordinal in
     incr turns_since_ck;
-    match status with
+    match tx.tx_status with
     | `Entry_crash ->
       (* charge one tick (a zero-spent turn would silently retire the
          seed; this way it retries opening next round) and record the
@@ -1157,31 +1228,38 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
       in
       { Campaign.spent = 1; new_blocks = 0; finished = force_retire }
     | (`Stepped | `Failed | `Injected) as status ->
-      let rt, session =
+      let _rt, session =
         match sessions.(ordinal) with Some pair -> pair | None -> assert false
       in
-      if opened_now then opened := slot :: !opened;
-      let spent = Vclock.now session.s_clock - start in
+      if tx.tx_opened then opened := slot :: !opened;
+      let spent = tx.tx_stop - tx.tx_start in
       (* ledger the turn for resume replay: injected kills replay as a
          tick, everything else (including real contained crashes, which
          are deterministic) replays as a normal step *)
       let event =
         match status with
         | `Injected -> Snapshot.Crash "injected-crash"
-        | `Stepped | `Failed -> Snapshot.Step { deadline = start + budget; budget }
+        | `Stepped | `Failed ->
+          Snapshot.Step { deadline = tx.tx_start + budget; budget }
       in
       turn_events.(ordinal) <- event :: turn_events.(ordinal);
       slot.Seed_slot.quarantined <-
-        slot.Seed_slot.quarantined + (Quarantine.evicted rt.Runtime.quarantine - ev0);
-      slot.Seed_slot.strikes <-
-        slot.Seed_slot.strikes
-        + (Quarantine.total_strikes rt.Runtime.quarantine - st0);
+        slot.Seed_slot.quarantined + (tx.tx_ev1 - tx.tx_ev0);
+      slot.Seed_slot.strikes <- slot.Seed_slot.strikes + (tx.tx_st1 - tx.tx_st0);
       harvest_bugs slot session;
       let fresh = merge_coverage session in
       let overran =
         match status with
         | `Injected -> false
-        | `Stepped | `Failed -> watchdog_check session ~start ~budget
+        | `Stepped | `Failed ->
+          (* same decision — and the same session fault — the replay's
+             [watchdog_check] reaches right after re-running this step *)
+          if watchdog_overran ~budget ~spent then begin
+            Fault.record (Executor.faults session.s_exec) ~detail:"turn-timeout"
+              ~vtime:tx.tx_stop Fault.Turn_timeout;
+            true
+          end
+          else false
       in
       let struck = overran || status <> `Stepped in
       if struck then begin
@@ -1255,6 +1333,7 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
           @ [
               ("scheduler", scheduler);
               ("jobs", string_of_int jobs);
+              ("lease", string_of_int lease);
               ("deadline", string_of_int deadline);
               ( "telemetry",
                 if Telemetry.Registry.enabled pool_registry then "1" else "0" );
@@ -1315,7 +1394,7 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
       not halt
   in
   let spent =
-    Campaign.run_rounds ~on_round ~after_round ~sched
+    Campaign.run_rounds ~on_round ~after_round ~lease ~pool ~sched
       ~deadline:(deadline - !base_spent) ~jobs:eff_jobs ~run:exec_turn
       ~merge:merge_turn ()
   in
@@ -1339,6 +1418,12 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
         | None -> assert false)
       !opened
   in
+  let steal_count = Domain_pool.steals pool in
+  let pinned_turns = Domain_pool.pinned pool in
+  let id_refills = Expr.id_block_refills () - id_refills0 in
+  Telemetry.add tm_steal_count steal_count;
+  Telemetry.add tm_pinned_turns pinned_turns;
+  Telemetry.add tm_id_refills id_refills;
   {
     runs;
     merged_coverage = Hashtbl.length merged;
@@ -1355,6 +1440,9 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
     pool_merge_registries = !merge_registries;
     pool_faults;
     pool_registry;
+    pool_steal_count = steal_count;
+    pool_pinned_turns = pinned_turns;
+    pool_id_refills = id_refills;
   }
 
 (* Aggregate pool report: pool-level metrics first (merged coverage and
@@ -1437,7 +1525,7 @@ let load_snapshot ~path =
              (Snapshot.error_message fb))
     else Error primary_msg)
 
-let resume_pool ?jobs ?checkpoint ?fallback snapshot prog ~seeds =
+let resume_pool ?jobs ?lease ?checkpoint ?fallback snapshot prog ~seeds =
   let meta = snapshot.Snapshot.sn_meta in
   match config_of_kvs meta with
   | Error e -> Error ("snapshot config: " ^ e)
@@ -1458,8 +1546,19 @@ let resume_pool ?jobs ?checkpoint ?fallback snapshot prog ~seeds =
           | Some j -> j
           | None -> 1)
       in
+      (* a snapshot written under multi-turn leases must resume under the
+         same lease, or the remaining rounds would re-plan with different
+         work units and diverge from the uninterrupted run *)
+      let lease =
+        match lease with
+        | Some l -> l
+        | None -> (
+          match Option.bind (List.assoc_opt "lease" meta) int_of_string_opt with
+          | Some l -> l
+          | None -> 1)
+      in
       Ok
-        (run_pool ~config ~scheduler ~jobs ?checkpoint
+        (run_pool ~config ~scheduler ~jobs ~lease ?checkpoint
            ~resume:(snapshot, fallback) prog ~seeds
            ~deadline:snapshot.Snapshot.sn_deadline))
 

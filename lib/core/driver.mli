@@ -255,6 +255,15 @@ type pool_report = {
   pool_registry : Pbse_telemetry.Telemetry.Registry.t;
       (* campaign-wide instruments: pool counters plus every session
          registry, merged in ordinal order *)
+  pool_steal_count : int;
+      (* turns executed by a non-home pool worker. Wall-clock-side
+         diagnostic: depends on [jobs] and scheduling luck, so it is
+         deliberately absent from the byte-identical pool-report JSON
+         (the bench CSV and CLI surface it) *)
+  pool_pinned_turns : int; (* turns executed by their slot's home worker *)
+  pool_id_refills : int;
+      (* expression id-block refills during the campaign
+         ({!Pbse_smt.Expr.id_block_refills}) *)
 }
 
 type checkpoint
@@ -284,6 +293,7 @@ val run_pool :
   ?scheduler:string ->
   ?runtime:Runtime.t ->
   ?jobs:int ->
+  ?lease:int ->
   ?checkpoint:checkpoint ->
   ?resume:Pbse_campaign.Snapshot.t * string option ->
   ?preload_faults:(Pbse_robust.Fault.kind * string) list ->
@@ -298,17 +308,25 @@ val run_pool :
     {!Pbse_campaign.Pool_scheduler.default}, the paper's equal-share
     smallest-first pass). Each round the policy plans one turn per live
     seed; the turns execute on up to [jobs] domains (default 1) via
-    {!Pbse_campaign.Campaign.run_rounds}, each seed's session under its
-    own private {!Runtime} (registry, RNG, quarantine, arena), and
-    results merge at the round barrier in plan order: coverage into a
-    global block union, bugs deduplicated on (location, kind) and
-    attributed to the seed whose turn first surfaced them. When the
-    campaign ends, per-session registries fold into [runtime]'s
+    {!Pbse_campaign.Campaign.run_rounds} — a persistent, domain-affine
+    worker pool: each slot is homed on one domain for the whole
+    campaign, with work-stealing only when a worker runs dry — each
+    seed's session under its own private {!Runtime} (registry, RNG,
+    quarantine, arena), and results merge at the round barrier in plan
+    order: coverage into a global block union, bugs deduplicated on
+    (location, kind) and attributed to the seed whose turn first
+    surfaced them. [lease] (default 1) grants each planned turn up to
+    that many consecutive same-budget sub-turns, run unbroken on the
+    slot's worker and merged sub-turn by sub-turn at the barrier, so
+    barrier and merge overhead amortises (docs/parallelism.md). When
+    the campaign ends, per-session registries fold into [runtime]'s
     registry (default: a fresh runtime over the process-global
     registry) in ordinal order. Every field of the result — and the
     byte-exact {!pool_run_report} JSON — is identical for every [jobs]
-    value (docs/parallelism.md). Raises [Invalid_argument] on an
-    unknown policy name.
+    value at any fixed [lease] (docs/parallelism.md); the
+    [pool_steal_count]/[pool_pinned_turns]/[pool_id_refills]
+    diagnostics are the deliberate exception. Raises [Invalid_argument]
+    on an unknown policy name.
 
     Robustness (docs/robustness.md): [checkpoint] snapshots the campaign
     at round barriers; [resume] reinstates a snapshot — with an optional
@@ -334,6 +352,7 @@ val load_snapshot :
 
 val resume_pool :
   ?jobs:int ->
+  ?lease:int ->
   ?checkpoint:checkpoint ->
   ?fallback:string ->
   Pbse_campaign.Snapshot.t ->
@@ -345,10 +364,14 @@ val resume_pool :
     malformed or names an unknown policy), then {!run_pool} with the
     snapshot's own deadline, replaying up to the checkpointed barrier
     and running the remainder. [jobs] defaults to the snapshot's
-    recorded width; [fallback] is the failure message of a corrupt
-    primary checkpoint this snapshot replaced ({!load_snapshot}).
-    Telemetry enablement is the caller's responsibility (the snapshot
-    records it in the ["telemetry"] metadata key). *)
+    recorded width and [lease] to its recorded lease — a snapshot
+    written under multi-turn leases must resume under the same lease or
+    the remaining rounds would plan different work units and diverge
+    from the uninterrupted run. [fallback] is the failure message of a
+    corrupt primary checkpoint this snapshot replaced
+    ({!load_snapshot}). Telemetry enablement is the caller's
+    responsibility (the snapshot records it in the ["telemetry"]
+    metadata key). *)
 
 val pool_run_report :
   ?meta:(string * string) list -> pool_report -> Pbse_telemetry.Report.t

@@ -50,13 +50,42 @@ end)
    domain — or how many — executes its turns. The table holds strong
    references: an arena's expressions live exactly as long as the arena
    (a session), which keeps solver caches keyed on ids immune to
-   re-interning nondeterminism. Ids are drawn from one process-wide
-   atomic source, so ids are globally unique and id equality implies
-   physical equality even across arenas (e.g. the shared [zero]/[one]
-   constants interned at module initialisation). *)
+   re-interning nondeterminism. *)
 type arena = { table : t Table.t }
 
-let next_id = Atomic.make 0
+(* Ids are allocated in per-domain blocks: a domain holds a private
+   [next, limit) range and bumps a plain field, so the hot interning
+   path never touches shared memory; only a refill (every [id_block]
+   ids) claims a fresh block from the process-wide cursor. Blocks are
+   disjoint, so ids stay globally unique and id equality still implies
+   physical equality even across arenas (e.g. the shared [zero]/[one]
+   constants interned at module initialisation). Ids are NOT dense or
+   allocation-ordered across domains — which is fine, because every
+   id-keyed structure (solver caches, memo tables) is
+   renaming-invariant: only id {e equality} carries meaning
+   (docs/parallelism.md). *)
+let id_block = 8192
+let next_block = Atomic.make 0
+let block_refills = Atomic.make 0
+
+type id_cell = { mutable next : int; mutable limit : int }
+
+let dls_ids : id_cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { next = 0; limit = 0 })
+
+let fresh_id () =
+  let cell = Domain.DLS.get dls_ids in
+  if cell.next >= cell.limit then begin
+    let b = Atomic.fetch_and_add next_block 1 in
+    Atomic.incr block_refills;
+    cell.next <- b * id_block;
+    cell.limit <- (b + 1) * id_block
+  end;
+  let id = cell.next in
+  cell.next <- id + 1;
+  id
+
+let id_block_refills () = Atomic.get block_refills
 let arena () = { table = Table.create 4096 }
 let dls_arena : arena Domain.DLS.key = Domain.DLS.new_key arena
 let use_arena a = Domain.DLS.set dls_arena a
@@ -133,7 +162,7 @@ let make node =
   | Some interned -> interned
   | None ->
     let interned =
-      { id = Atomic.fetch_and_add next_id 1; hkey = node_hash node land max_int;
+      { id = fresh_id (); hkey = node_hash node land max_int;
         node; max_read; nodes; bits = bits_of node }
     in
     Table.add table node interned;

@@ -70,9 +70,14 @@ val to_string : t -> string
     with a private default arena). A driver session owns one arena and
     re-installs it before every turn, so its interning — and therefore
     every id-keyed solver cache — behaves identically no matter which
-    domain executes the turn. Ids are drawn from a process-wide atomic
-    counter: globally unique, so id equality implies physical equality
-    even for expressions crossing arenas (the module-level constants). *)
+    domain executes the turn. Ids are allocated in per-domain blocks
+    (the hot interning path bumps a domain-local cell; only a block
+    refill touches the process-wide cursor): blocks are disjoint, so
+    ids are globally unique and id equality implies physical equality
+    even for expressions crossing arenas (the module-level constants) —
+    but ids are not dense or allocation-ordered across domains, so
+    id-keyed structures must be renaming-invariant, using only id
+    equality, never id order or contiguity (all solver caches are). *)
 
 type arena
 
@@ -84,3 +89,11 @@ val use_arena : arena -> unit
 
 val table_stats : unit -> int
 (** Number of hash-consed nodes in the current arena (diagnostic). *)
+
+val id_block_refills : unit -> int
+(** Process-wide count of id-block refills since startup: how many times
+    any domain exhausted its private id range and claimed a fresh block
+    from the shared cursor. One refill per [8192] interned nodes per
+    domain — a hot-path contention diagnostic (reported as
+    [smt.id_block_refills]). Monotonic; diff two readings to scope a
+    campaign. *)

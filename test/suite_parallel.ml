@@ -78,13 +78,13 @@ let test_map_clamps_jobs () =
 
 (* --- byte-identical pool reports across --jobs ------------------------------ *)
 
-let pool_json ?config ?(scheduler = Pool_scheduler.default) ~jobs () =
+let pool_json ?config ?(scheduler = Pool_scheduler.default) ?(lease = 1) ~jobs () =
   Telemetry.set_enabled true;
   Fun.protect
     ~finally:(fun () -> Telemetry.set_enabled false)
     (fun () ->
       let pool =
-        Driver.run_pool ?config ~scheduler ~jobs (mini_program ())
+        Driver.run_pool ?config ~scheduler ~jobs ~lease (mini_program ())
           ~seeds:(pool_seeds ()) ~deadline:150_000
       in
       Report.to_json (Driver.pool_run_report ~meta:[ ("target", "mini") ] pool))
@@ -134,6 +134,26 @@ let test_pool_identical_under_fault_injection () =
         0 r.Report.metrics
     in
     Alcotest.(check bool) "faults were injected" true (injected > 0)
+
+let test_pool_identical_across_jobs_with_leases () =
+  (* multi-turn leases coarsen the work units but must not re-introduce
+     width into the report bytes: at any fixed lease, every width merges
+     to the same campaign (docs/parallelism.md) *)
+  List.iter
+    (fun lease ->
+      let baseline = pool_json ~lease ~jobs:1 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "lease=%d: nonempty" lease)
+        true
+        (String.length baseline > 0);
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "lease=%d: jobs=%d matches jobs=1" lease jobs)
+            baseline
+            (pool_json ~lease ~jobs ()))
+        [ 2; 4 ])
+    [ 2; 3 ]
 
 let test_pool_counters_jobs_independent () =
   let metrics json =
@@ -233,6 +253,70 @@ let test_arena_isolation_across_domains () =
   Alcotest.(check bool) "distinct arenas assign distinct ids" true (id1 <> id2);
   Alcotest.(check bool) "same arena hash-conses to the same node" true interned
 
+let test_id_blocks_never_collide () =
+  (* expression ids come from per-domain id blocks carved off one shared
+     cursor: concurrent interning on several domains must never hand out
+     the same id twice *)
+  let refills0 = Expr.id_block_refills () in
+  let per_domain = 3_000 in
+  let ids_of () =
+    Expr.use_arena (Expr.arena ());
+    List.init per_domain (fun i ->
+        (Expr.bin T.Add (Expr.read 0) (Expr.of_int i)).Expr.id)
+  in
+  let per =
+    List.init 4 (fun _ -> Domain.spawn ids_of) |> List.map Domain.join
+  in
+  let seen = Hashtbl.create (8 * per_domain) in
+  List.iter
+    (List.iter (fun id ->
+         if Hashtbl.mem seen id then
+           Alcotest.failf "expression id %d allocated on two domains" id;
+         Hashtbl.add seen id ()))
+    per;
+  Alcotest.(check int) "every interned node got its own id" (4 * per_domain)
+    (Hashtbl.length seen);
+  (* each spawned domain starts with an empty id cell, so at least one
+     block refill per domain must have been counted *)
+  Alcotest.(check bool) "block refills were counted" true
+    (Expr.id_block_refills () - refills0 >= 4)
+
+(* the same query workload, as a tuple of every observable the solver's
+   caches could leak id-sensitivity through *)
+let solver_workload () =
+  Expr.use_arena (Expr.arena ());
+  let s = Solver.create ~prefix_cap:16 () in
+  for k = 0 to 31 do
+    let path = [ Expr.bin T.Eq (Expr.read 0) (Expr.of_int (k land 7)) ] in
+    ignore (Solver.check_assuming s ~path (hard_extra k))
+  done;
+  let st = Solver.stats s in
+  [
+    st.Solver.queries; st.Solver.sat; st.Solver.unsat; st.Solver.unknown;
+    st.Solver.cache_hits; st.Solver.hint_hits; st.Solver.prefix_hits;
+    st.Solver.prefix_builds; st.Solver.prefix_model_hits;
+    st.Solver.prefix_evictions;
+  ]
+
+let test_solver_caches_invariant_across_id_blocks () =
+  (* solver cache keys must be renaming-invariant: re-running the same
+     structural workload with every expression id shifted into different
+     per-domain id blocks has to hit and miss identically *)
+  let plain = Domain.spawn solver_workload |> Domain.join in
+  let shifted =
+    Domain.spawn (fun () ->
+        (* burn through several id blocks first, so the workload's
+           expressions intern under entirely different ids *)
+        Expr.use_arena (Expr.arena ());
+        for i = 0 to 20_000 do
+          ignore (Expr.of_int i)
+        done;
+        solver_workload ())
+    |> Domain.join
+  in
+  Alcotest.(check (list int)) "cache behaviour identical under id renaming"
+    plain shifted
+
 let suite =
   [
     Alcotest.test_case "map keeps input order under skew" `Quick
@@ -244,6 +328,8 @@ let suite =
       test_pool_reports_identical_across_jobs;
     Alcotest.test_case "pool identical under fault injection" `Slow
       test_pool_identical_under_fault_injection;
+    Alcotest.test_case "pool reports byte-identical with leases" `Slow
+      test_pool_identical_across_jobs_with_leases;
     Alcotest.test_case "pool counters independent of jobs" `Slow
       test_pool_counters_jobs_independent;
     Alcotest.test_case "prefix LRU evicts at the cap" `Quick
@@ -254,4 +340,8 @@ let suite =
       test_run_report_has_phase_dwell_histograms;
     Alcotest.test_case "expression arenas are isolated" `Quick
       test_arena_isolation_across_domains;
+    Alcotest.test_case "per-domain id blocks never collide" `Quick
+      test_id_blocks_never_collide;
+    Alcotest.test_case "solver caches invariant across id blocks" `Quick
+      test_solver_caches_invariant_across_id_blocks;
   ]

@@ -173,10 +173,10 @@ let with_telemetry f =
 
 let report_meta = [ ("target", "mini") ]
 
-let uninterrupted_json ?config ~scheduler ~jobs () =
+let uninterrupted_json ?config ?(lease = 1) ~scheduler ~jobs () =
   with_telemetry (fun () ->
       let pool =
-        Driver.run_pool ?config ~scheduler ~jobs (mini_program ())
+        Driver.run_pool ?config ~scheduler ~jobs ~lease (mini_program ())
           ~seeds:(pool_seeds ()) ~deadline:150_000
       in
       Report.to_json (Driver.pool_run_report ~meta:report_meta pool))
@@ -184,7 +184,7 @@ let uninterrupted_json ?config ~scheduler ~jobs () =
 (* Run the same campaign but stop at round [kill_at]'s barrier with a
    checkpoint (a deterministic in-process SIGKILL), then resume from the
    file and render the finished campaign's report. *)
-let killed_and_resumed_json ?config ~scheduler ~jobs ~kill_at () =
+let killed_and_resumed_json ?config ?(lease = 1) ~scheduler ~jobs ~kill_at () =
   let path = Filename.temp_file "pbse_resume" ".json" in
   with_telemetry (fun () ->
       let ck =
@@ -192,8 +192,8 @@ let killed_and_resumed_json ?config ~scheduler ~jobs ~kill_at () =
           ~every:1 ()
       in
       let _killed : Driver.pool_report =
-        Driver.run_pool ?config ~scheduler ~jobs ~checkpoint:ck (mini_program ())
-          ~seeds:(pool_seeds ()) ~deadline:150_000
+        Driver.run_pool ?config ~scheduler ~jobs ~lease ~checkpoint:ck
+          (mini_program ()) ~seeds:(pool_seeds ()) ~deadline:150_000
       in
       match Driver.load_snapshot ~path with
       | Error e -> Alcotest.fail e
@@ -229,6 +229,23 @@ let test_kill_resume_identity_across_jobs_and_rounds () =
         baseline
         (killed_and_resumed_json ~scheduler ~jobs ~kill_at ()))
     [ (1, 1); (2, 2); (4, 3) ]
+
+let test_kill_resume_identity_with_leases () =
+  (* snapshots written under multi-turn leases must resume to the same
+     bytes: the lease is part of the snapshot meta and the resume picks
+     it back up (killed_and_resumed_json never passes it to
+     Driver.resume_pool), so the remaining rounds re-plan with the same
+     work units *)
+  let scheduler = "round-robin" in
+  let baseline = uninterrupted_json ~lease:3 ~scheduler ~jobs:1 () in
+  List.iter
+    (fun (jobs, kill_at) ->
+      Alcotest.(check string)
+        (Printf.sprintf "lease=3 jobs=%d kill@%d matches jobs=1 uninterrupted"
+           jobs kill_at)
+        baseline
+        (killed_and_resumed_json ~lease:3 ~scheduler ~jobs ~kill_at ()))
+    [ (2, 1); (4, 2) ]
 
 let test_kill_resume_identity_under_crash_injection () =
   (* injected turn kills (crash=R) are part of the durable record: the
@@ -452,6 +469,8 @@ let suite =
       test_kill_resume_identity_all_schedulers;
     Alcotest.test_case "kill+resume identity (jobs x rounds)" `Slow
       test_kill_resume_identity_across_jobs_and_rounds;
+    Alcotest.test_case "kill+resume identity under multi-turn leases" `Slow
+      test_kill_resume_identity_with_leases;
     Alcotest.test_case "kill+resume identity under crash injection" `Slow
       test_kill_resume_identity_under_crash_injection;
     Alcotest.test_case "certain crash retires pool gracefully" `Quick
