@@ -69,18 +69,22 @@ let run_csv_metrics =
   ]
 
 (* jobs / lease / wall_ms / speedup_pct / snapshot_ms / resumes /
-   pool_steals / pool_pinned / id_refills close every row: single runs
-   are always jobs=1, lease=1 and unmeasured (0), the pool --jobs sweep
-   fills in the timing and contention columns and the crash-resume drill
-   the durability ones. The contention columns come from the pool-report
-   diagnostics, which are wall-clock-side and deliberately absent from
-   the byte-identical report JSON (docs/parallelism.md). *)
+   pool_steals / pool_pinned / id_refills / session_hits /
+   session_evictions / serve_clients close every row: single runs are
+   always jobs=1, lease=1 and unmeasured (0), the pool --jobs sweep
+   fills in the timing and contention columns, the crash-resume drill
+   the durability ones, and the session-store and serve drills the
+   session-layer ones. The contention and session columns come from the
+   pool-report diagnostics and the store/server stats, which are
+   wall-clock-side and deliberately absent from the byte-identical
+   report JSON (docs/parallelism.md). *)
 let run_csv_header =
   String.concat ","
     ([ "suite"; "target"; "seed_bytes"; "deadline" ]
     @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics
     @ [ "jobs"; "lease"; "wall_ms"; "speedup_pct"; "snapshot_ms"; "resumes";
-        "pool_steals"; "pool_pinned"; "id_refills" ])
+        "pool_steals"; "pool_pinned"; "id_refills"; "session_hits";
+        "session_evictions"; "serve_clients" ])
 
 let run_rows : string list ref = ref []
 
@@ -95,7 +99,7 @@ let note_run ~suite ~name ~deadline report =
          string_of_int deadline;
        ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
-      @ [ "1"; "1"; "0"; "0"; "0"; "0"; "0"; "0"; "0" ])
+      @ [ "1"; "1"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0" ])
   in
   run_rows := row :: !run_rows
 
@@ -103,7 +107,8 @@ let note_run ~suite ~name ~deadline report =
    aggregate Driver.pool_run_report (merged coverage, deduplicated bugs,
    summed engine totals); seed_bytes is the whole pool's size. *)
 let note_pool_run ?(jobs = 1) ?(lease = 1) ?(wall_ms = 0) ?(speedup_pct = 0)
-    ?(snapshot_ms = 0) ?(resumes = 0) ~suite ~name ~deadline pool =
+    ?(snapshot_ms = 0) ?(resumes = 0) ?(session_hits = 0)
+    ?(session_evictions = 0) ?(serve_clients = 0) ~suite ~name ~deadline pool =
   let rr = Driver.pool_run_report pool in
   let pool_bytes =
     List.fold_left
@@ -121,6 +126,9 @@ let note_pool_run ?(jobs = 1) ?(lease = 1) ?(wall_ms = 0) ?(speedup_pct = 0)
           string_of_int pool.Driver.pool_steal_count;
           string_of_int pool.Driver.pool_pinned_turns;
           string_of_int pool.Driver.pool_id_refills;
+          string_of_int session_hits;
+          string_of_int session_evictions;
+          string_of_int serve_clients;
         ])
   in
   run_rows := row :: !run_rows
@@ -857,6 +865,158 @@ let crash_resume_bench ?(jobs = 2) ?(lease = 2) () =
        (%d bytes)\n%!"
       (String.length base_json)
 
+(* --- Session store: cold vs warm campaigns ---------------------------------------- *)
+
+(* The session-layer fast path: the same campaign run twice against one
+   Session_store — the second run must be served from the campaign memo
+   (store hits > 0), produce byte-identical report JSON, and cost less
+   wall-clock than the cold bootstrap (docs/architecture.md). *)
+let session_store_bench () =
+  heading "Session store: cold vs warm campaign (byte-identity and wall-clock)";
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seeds = List.map snd t.Registry.seeds in
+  let deadline = ten_hours in
+  let store = Pbse_session.Session_store.create () in
+  let campaign label =
+    Telemetry.set_enabled true;
+    let t0 = Unix.gettimeofday () in
+    let pool =
+      Driver.run_pool ~store ~target:t.Registry.name prog ~seeds ~deadline
+    in
+    let wall_ms = int_of_float (1000. *. (Unix.gettimeofday () -. t0)) in
+    Telemetry.set_enabled false;
+    Printf.printf "  ... %s campaign done (%d ms, %d store hit(s))\n%!" label
+      wall_ms
+      (Pbse_session.Session_store.hits store);
+    (pool, wall_ms, Report.to_json (Driver.pool_run_report pool))
+  in
+  let cold, cold_ms, cold_json = campaign "cold" in
+  let warm, warm_ms, warm_json = campaign "warm" in
+  if warm_json <> cold_json then begin
+    prerr_endline "warm campaign report diverged from the cold run";
+    exit 1
+  end;
+  let hits = Pbse_session.Session_store.hits store in
+  let evictions = Pbse_session.Session_store.evictions store in
+  if hits = 0 then begin
+    prerr_endline "warm campaign was not served from the session store";
+    exit 1
+  end;
+  note_pool_run ~wall_ms:cold_ms ~suite:"session-store"
+    ~name:(t.Registry.name ^ "/cold") ~deadline cold;
+  note_pool_run ~wall_ms:warm_ms ~session_hits:hits ~session_evictions:evictions
+    ~suite:"session-store" ~name:(t.Registry.name ^ "/warm") ~deadline warm;
+  Printf.printf
+    "  warm reuse: %d -> %d ms (%d session hit(s), %d eviction(s)); reports \
+     byte-identical (%d bytes)\n%!"
+    cold_ms warm_ms hits evictions (String.length cold_json)
+
+(* --- Serve: concurrent socket campaigns ------------------------------------------- *)
+
+(* The server drill the CI serve-smoke job also drives end-to-end with
+   the real binary: here the server runs in-process on a temp socket,
+   two clients request the same campaign concurrently, and both
+   responses must be byte-identical to the CLI `run --pool --report`
+   recipe for the same parameters. A third request measures the warm
+   (store-served) latency. *)
+let serve_bench () =
+  heading "Serve: 2 concurrent socket campaigns + 1 warm reuse";
+  let t = target "gif2tiff" in
+  let deadline = hour / 4 in
+  (* local equivalent of the request, for the identity check and the CSV
+     row's engine metrics *)
+  Telemetry.set_enabled true;
+  let local =
+    Driver.run_pool
+      (Registry.program t)
+      ~seeds:(List.map snd t.Registry.seeds)
+      ~deadline
+  in
+  Telemetry.set_enabled false;
+  let local_json =
+    Report.to_json
+      (Driver.pool_run_report
+         ~meta:
+           [
+             ("target", t.Registry.name);
+             ("seed", "pool");
+             ("deadline", string_of_int deadline);
+           ]
+         local)
+  in
+  (* a fresh path, NOT temp_file: the drill waits for the file to appear
+     as its bind barrier, so it must not exist before the server binds *)
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pbse-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let stop = Atomic.make false in
+  let lookup name =
+    Option.map
+      (fun t -> (Registry.program t, List.map snd t.Registry.seeds))
+      (Registry.by_name name)
+  in
+  let stats_cell = ref None in
+  let server =
+    Thread.create
+      (fun () ->
+        stats_cell := Some (Pbse.Serve.serve ~socket ~jobs:2 ~stop ~lookup ()))
+      ()
+  in
+  (* wait for the socket to come up (serve unlinks the temp file first) *)
+  let rec wait_up n =
+    if n = 0 then failwith "server socket never came up"
+    else if not (Sys.file_exists socket) then begin
+      Thread.delay 0.05;
+      wait_up (n - 1)
+    end
+  in
+  wait_up 100;
+  let line =
+    Printf.sprintf "{\"target\": %S, \"deadline\": %d}" t.Registry.name deadline
+  in
+  let timed_request () =
+    let t0 = Unix.gettimeofday () in
+    let r = Pbse.Serve.request ~socket line in
+    (r, int_of_float (1000. *. (Unix.gettimeofday () -. t0)))
+  in
+  let slot_a = ref (Error "unset", 0) in
+  let client_a = Thread.create (fun () -> slot_a := timed_request ()) () in
+  let b, b_ms = timed_request () in
+  Thread.join client_a;
+  let a, a_ms = !slot_a in
+  let warm, warm_ms = timed_request () in
+  Atomic.set stop true;
+  Thread.join server;
+  let check label = function
+    | Error e ->
+      Printf.eprintf "serve request %s failed: %s\n" label e;
+      exit 1
+    | Ok body ->
+      if body <> local_json then begin
+        Printf.eprintf "serve response %s diverged from the CLI --pool report\n"
+          label;
+        exit 1
+      end
+  in
+  check "A" a;
+  check "B" b;
+  check "warm" warm;
+  let stats = Option.get !stats_cell in
+  note_pool_run ~jobs:2 ~wall_ms:(max a_ms b_ms)
+    ~session_hits:stats.Pbse.Serve.sv_store_hits
+    ~serve_clients:stats.Pbse.Serve.sv_clients ~suite:"serve"
+    ~name:t.Registry.name ~deadline local;
+  Printf.printf
+    "  2 concurrent clients (%d / %d ms) + warm reuse (%d ms): all responses \
+     byte-identical to the CLI report (%d bytes); %d client(s), %d store \
+     hit(s)\n%!"
+    a_ms b_ms warm_ms (String.length local_json) stats.Pbse.Serve.sv_clients
+    stats.Pbse.Serve.sv_store_hits
+
 (* --- Smoke (CI) ----------------------------------------------------------------- *)
 
 (* One tiny end-to-end run with telemetry enabled; used by the CI
@@ -944,6 +1104,8 @@ let () =
    | "pool" -> pool_bench ()
    | "pool-jobs" -> pool_jobs_bench ~lease ()
    | "crash-resume" -> crash_resume_bench ~jobs ()
+   | "session-store" -> session_store_bench ()
+   | "serve" -> serve_bench ()
    | "smoke" -> smoke ~jobs ()
    | "bechamel" -> bechamel ()
    | "all" ->
@@ -958,11 +1120,13 @@ let () =
      pool_bench ();
      pool_jobs_bench ();
      crash_resume_bench ();
+     session_store_bench ();
+     serve_bench ();
      bechamel ()
    | other ->
      Printf.eprintf
        "unknown benchmark %s (try \
-        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|crash-resume|smoke|bechamel|all)\n"
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|crash-resume|session-store|serve|smoke|bechamel|all)\n"
        other;
      exit 1);
   flush_runs ()

@@ -8,6 +8,8 @@
      phases TARGET      concolic execution + phase division only
      bugs TARGET        bug hunt, printing each witness as a hex dump
      report FILE [B]    print a JSON run report, or diff two of them
+     serve              campaign server on a Unix-domain socket
+     request            client for a running `pbse serve'
      compile FILE       compile a MiniC source file and print its IR
      exec FILE          run a MiniC source file concretely on an input *)
 
@@ -238,6 +240,9 @@ let print_pool_campaign (report : Driver.pool_report) =
   Printf.printf "pool workers: %d turn(s) pinned, %d stolen; %d id-block refill(s)\n"
     report.Driver.pool_pinned_turns report.Driver.pool_steal_count
     report.Driver.pool_id_refills;
+  if report.Driver.pool_shared_seedstates > 0 then
+    Printf.printf "seedStates shared across seeds: %d skipped\n"
+      report.Driver.pool_shared_seedstates;
   print_seed_rows report.Driver.seed_rows;
   List.iter
     (fun ((bug : Bug.t), phase) ->
@@ -297,7 +302,18 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "lease" ] ~docv:"K" ~doc)
   in
-  let run name seed_label hours pool pool_scheduler jobs lease ck config report_file =
+  let share_arg =
+    let doc =
+      "With --pool: share seedStates and solver prefix residue across the \
+       campaign's sessions (a fork point another seed already published is \
+       scheduled once campaign-wide). Per-run reports are only \
+       jobs-invariant with sharing off; the merged campaign report stays \
+       deterministic at --jobs 1."
+    in
+    Arg.(value & flag & info [ "share-seedstates" ] ~doc)
+  in
+  let run name seed_label hours pool pool_scheduler jobs lease share ck config
+      report_file =
     match (lookup_target name, config) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -315,6 +331,9 @@ let run_cmd =
     | _, _ when (not pool) && fst ck <> None ->
       prerr_endline "--checkpoint needs --pool (single runs are not checkpointed)";
       1
+    | _, _ when share && not pool ->
+      prerr_endline "--share-seedstates needs --pool (sharing is across a campaign's seeds)";
+      1
     | Ok t, Ok config ->
       if report_file <> None then Telemetry.set_enabled true;
       let deadline = deadline_of_hours hours in
@@ -322,9 +341,17 @@ let run_cmd =
         [ ("target", name); ("seed", seed_label); ("deadline", string_of_int deadline) ]
       in
       if pool then begin
+        let config =
+          if share then
+            Driver.with_search
+              (fun s -> { s with Driver.share_seed_states = true })
+              config
+          else config
+        in
         let report =
           Driver.run_pool ~config ~scheduler:pool_scheduler ~jobs ~lease
             ?checkpoint:(build_checkpoint ~target:name ck)
+            ~target:name
             (Registry.program t)
             ~seeds:(List.map snd t.Registry.seeds)
             ~deadline
@@ -357,8 +384,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Phase-based symbolic execution on a target")
     Term.(
       const run $ target_arg $ seed_arg $ hours_arg $ pool_arg
-      $ pool_scheduler_arg $ jobs_arg $ lease_arg $ checkpoint_args $ config_term
-      $ report_arg)
+      $ pool_scheduler_arg $ jobs_arg $ lease_arg $ share_arg $ checkpoint_args
+      $ config_term $ report_arg)
 
 (* --- resume ---------------------------------------------------------------------- *)
 
@@ -694,6 +721,126 @@ let report_cmd =
        ~doc:"Print a JSON run report, or diff two of them (`report --diff A B')")
     Term.(const run $ file_a $ file_b $ diff_flag $ fail_on_arg)
 
+(* --- serve / request ----------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the campaign server." in
+  Arg.(value & opt string "/tmp/pbse.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker domains in the server's shared campaign pool." in
+    Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let store_cap_arg =
+    let doc = "Live sessions kept in the server's session store (LRU)." in
+    Arg.(value & opt (some int) None & info [ "store-cap" ] ~docv:"N" ~doc)
+  in
+  let run socket jobs store_cap =
+    if jobs < 1 then begin
+      prerr_endline "--jobs must be at least 1";
+      1
+    end
+    else begin
+      let stop = Atomic.make false in
+      let quit = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigterm quit;
+      Sys.set_signal Sys.sigint quit;
+      let lookup name =
+        Option.map
+          (fun t -> (Registry.program t, List.map snd t.Registry.seeds))
+          (Registry.by_name name)
+      in
+      Printf.printf "pbse serve: listening on %s (%d job(s))\n%!" socket jobs;
+      let stats =
+        Pbse.Serve.serve ~socket ~jobs ?store_cap ~stop ~lookup ()
+      in
+      Printf.printf
+        "pbse serve: %d client(s), %d request(s), %d error(s); store: %d \
+         hit(s), %d miss(es), %d eviction(s)\n"
+        stats.Pbse.Serve.sv_clients stats.Pbse.Serve.sv_requests
+        stats.Pbse.Serve.sv_errors stats.Pbse.Serve.sv_store_hits
+        stats.Pbse.Serve.sv_store_misses stats.Pbse.Serve.sv_store_evictions;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Campaign server: line-delimited JSON requests over a Unix-domain \
+          socket, pbse-report/1 responses byte-identical to `run --pool \
+          --report'. Stops cleanly on SIGTERM/SIGINT.")
+    Term.(const run $ socket_arg $ jobs_arg $ store_cap_arg)
+
+let request_cmd =
+  let json_arg =
+    let doc =
+      "Raw request JSON (one object; see docs/architecture.md). Overrides \
+       the individual request flags."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"JSON" ~doc)
+  in
+  let target_arg =
+    let doc = "Target program to request a campaign for." in
+    Arg.(value & opt (some string) None & info [ "target" ] ~docv:"TARGET" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Virtual-time budget of the requested campaign (work units)." in
+    Arg.(value & opt int default_hour & info [ "deadline" ] ~docv:"N" ~doc)
+  in
+  let pool_scheduler_arg =
+    let doc = "Seed-level scheduling policy for the requested campaign." in
+    Arg.(
+      value
+      & opt string Pool_scheduler.default
+      & info [ "pool-scheduler" ] ~docv:"POLICY" ~doc)
+  in
+  let lease_arg =
+    let doc = "Consecutive same-budget turns per campaign dispatch." in
+    Arg.(value & opt int 1 & info [ "lease" ] ~docv:"K" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the report JSON to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run socket json target deadline pool_scheduler lease out =
+    let line =
+      match (json, target) with
+      | Some json, _ -> Ok json
+      | None, Some target ->
+        Ok
+          (Pbse_telemetry.Json.to_string
+             (Pbse_telemetry.Json.Obj
+                [
+                  ("target", Pbse_telemetry.Json.Str target);
+                  ("deadline", Pbse_telemetry.Json.Int deadline);
+                  ("pool_scheduler", Pbse_telemetry.Json.Str pool_scheduler);
+                  ("lease", Pbse_telemetry.Json.Int lease);
+                ]))
+      | None, None -> Error "request needs --target NAME or --json REQUEST"
+    in
+    match line with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok line -> (
+      match Pbse.Serve.request ~socket line with
+      | Error e ->
+        prerr_endline ("request failed: " ^ e);
+        1
+      | Ok body ->
+        (match out with
+         | Some path -> write_report_json ~path body
+         | None -> print_string body);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one campaign request to a running `pbse serve'")
+    Term.(
+      const run $ socket_arg $ json_arg $ target_arg $ deadline_arg
+      $ pool_scheduler_arg $ lease_arg $ out_arg)
+
 (* --- compile / exec ------------------------------------------------------------------ *)
 
 let file_arg =
@@ -764,7 +911,7 @@ let () =
     Cmd.group info
       [
         targets_cmd; run_cmd; resume_cmd; klee_cmd; phases_cmd; bugs_cmd; report_cmd;
-        compile_cmd; exec_cmd;
+        serve_cmd; request_cmd; compile_cmd; exec_cmd;
       ]
   in
   exit (Cmd.eval' group)

@@ -66,9 +66,15 @@ let run ~sched ~deadline turn =
    merge overhead amortises over [lease] engine turns. Slots are homed
    on their ordinal, so a slot's leases land on the same pool worker
    round after round (domain-affine sessions; stealing only when a
-   worker runs dry). *)
+   worker runs dry).
+
+   [round_wrap] brackets each executed round (dispatch through merges):
+   a server multiplexing several campaigns onto one shared pool passes
+   an arbiter here, so pool occupancy is handed over at round
+   granularity — the barriers inside a round stay untouched, keeping
+   per-round determinism. *)
 let run_rounds ?(on_round = fun _ -> ()) ?(after_round = fun () -> true) ?(lease = 1)
-    ?pool ~sched ~deadline ~jobs ~run ~merge () =
+    ?(round_wrap = fun f -> f ()) ?pool ~sched ~deadline ~jobs ~run ~merge () =
   let lease = max 1 lease in
   let owned_pool = ref None in
   let pool =
@@ -110,6 +116,7 @@ let run_rounds ?(on_round = fun _ -> ()) ?(after_round = fun () -> true) ?(lease
             planned
         in
         if runnable <> [] then begin
+          round_wrap (fun () ->
           on_round (List.length runnable);
           let results =
             Domain_pool.run pool ~jobs:(jobs ())
@@ -148,7 +155,7 @@ let run_rounds ?(on_round = fun _ -> ()) ?(after_round = fun () -> true) ?(lease
               else
                 sched.Pool_scheduler.credit slot ~spent:!lease_spent
                   ~new_blocks:!lease_blocks)
-            runnable results;
+            runnable results);
           if after_round () then loop ()
         end
     end

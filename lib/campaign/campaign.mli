@@ -31,6 +31,7 @@ val run_rounds :
   ?on_round:(int -> unit) ->
   ?after_round:(unit -> bool) ->
   ?lease:int ->
+  ?round_wrap:((unit -> unit) -> unit) ->
   ?pool:Domain_pool.t ->
   sched:Pool_scheduler.t ->
   deadline:int ->
@@ -78,4 +79,11 @@ val run_rounds :
     plans and merges, so reports are unaffected. [after_round] fires
     after each executed round's merges; returning [false] stops the
     campaign at that barrier (checkpoint-and-halt), leaving all slot
-    state consistent for a later resume. *)
+    state consistent for a later resume.
+
+    [round_wrap] (default [fun f -> f ()]) brackets each executed round,
+    from dispatch through the last merge — a server multiplexing several
+    campaigns onto one shared pool passes a fair-share arbiter here, so
+    pool occupancy changes hands only at round granularity and the
+    barriers inside a round (hence per-round determinism) are untouched.
+    [after_round] runs outside the wrap. *)

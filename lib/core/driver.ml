@@ -1,53 +1,51 @@
 module Executor = Pbse_exec.Executor
-module Searcher = Pbse_exec.Searcher
 module Coverage = Pbse_exec.Coverage
-module State = Pbse_exec.State
 module Bug = Pbse_exec.Bug
-module Concolic = Pbse_concolic.Concolic
-module Bbv = Pbse_concolic.Bbv
-module Trace = Pbse_concolic.Trace
-module Phase = Pbse_phase.Phase
-module Phase_queue = Pbse_sched.Phase_queue
-module Scheduler = Pbse_sched.Scheduler
 module Seed_slot = Pbse_campaign.Seed_slot
 module Pool_scheduler = Pbse_campaign.Pool_scheduler
 module Campaign = Pbse_campaign.Campaign
 module Snapshot = Pbse_campaign.Snapshot
 module Domain_pool = Pbse_campaign.Domain_pool
-module Vclock = Pbse_util.Vclock
-module Rng = Pbse_util.Rng
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
 module Quarantine = Pbse_robust.Quarantine
-module Solver = Pbse_smt.Solver
 module Expr = Pbse_smt.Expr
 module Telemetry = Pbse_telemetry.Telemetry
 module Report = Pbse_telemetry.Report
+module Session = Pbse_session.Session
+module Session_store = Pbse_session.Session_store
 
-(* --- configuration --------------------------------------------------------- *)
+(* --- session layer re-exports ----------------------------------------------
 
-type concolic_config = {
-  interval_length : int option; (* None: size from a concrete pre-run *)
-  intervals_target : int; (* BBVs aimed for when auto-sizing *)
+   The whole single-run lifecycle — configuration, open/step/finish,
+   run reports — lives in {!Pbse_session.Session}; the driver re-exports
+   it so [Driver.run] / [Driver.open_session] remain the engine-level
+   entry points, and keeps for itself only what is genuinely
+   campaign-shaped: seed pools, round scheduling, checkpoints, resume. *)
+
+type concolic_config = Session.concolic_config = {
+  interval_length : int option;
+  intervals_target : int;
   time_period : int;
-  mode : Phase.mode;
+  mode : Pbse_phase.Phase.mode;
 }
 
-type search_config = {
+type search_config = Session.search_config = {
   phase_searcher : string;
   scheduler : string;
   max_live : int;
   dedup_seed_states : bool;
   max_k : int;
+  share_seed_states : bool;
 }
 
-type solver_config = {
+type solver_config = Session.solver_config = {
   budget : int;
   retry_cap : int;
   prefix_cap : int;
 }
 
-type robust_config = {
+type robust_config = Session.robust_config = {
   confirm_bugs : bool;
   max_strikes : int;
   inject : Inject.plan;
@@ -56,7 +54,7 @@ type robust_config = {
   degrade_after : int;
 }
 
-type config = {
+type config = Session.config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
@@ -64,158 +62,24 @@ type config = {
   rng_seed : int;
 }
 
-let default_config =
-  {
-    concolic =
-      {
-        interval_length = None;
-        intervals_target = 120;
-        time_period = 10_000;
-        mode = Phase.Bbv_with_coverage;
-      };
-    search =
-      {
-        phase_searcher = "default";
-        scheduler = "round-robin";
-        max_live = 8192;
-        dedup_seed_states = true;
-        max_k = 20;
-      };
-    solver = { budget = 60_000; retry_cap = 480_000; prefix_cap = 16_384 };
-    robust =
-      {
-        confirm_bugs = true;
-        max_strikes = 4;
-        inject = Inject.none;
-        watchdog_factor = 4;
-        watchdog_strikes = 3;
-        degrade_after = 4;
-      };
-    rng_seed = 1;
-  }
+let default_config = Session.default_config
+let with_concolic = Session.with_concolic
+let with_search = Session.with_search
+let with_solver = Session.with_solver
+let with_robust = Session.with_robust
+let with_rng_seed = Session.with_rng_seed
+let config_to_kvs = Session.config_to_kvs
+let config_of_kvs = Session.config_of_kvs
+let interval_length_for = Session.interval_length_for
 
-let with_concolic f config = { config with concolic = f config.concolic }
-let with_search f config = { config with search = f config.search }
-let with_solver f config = { config with solver = f config.solver }
-let with_robust f config = { config with robust = f config.robust }
-let with_rng_seed rng_seed config = { config with rng_seed }
-
-(* Flat (key, value) rendering of a config, for campaign snapshots: a
-   resumed process must rebuild the exact config or replay diverges. *)
-let config_to_kvs config =
-  [
-    ( "concolic.interval_length",
-      match config.concolic.interval_length with
-      | Some l -> string_of_int l
-      | None -> "auto" );
-    ("concolic.intervals_target", string_of_int config.concolic.intervals_target);
-    ("concolic.time_period", string_of_int config.concolic.time_period);
-    ( "concolic.mode",
-      match config.concolic.mode with
-      | Phase.Bbv_only -> "bbv"
-      | Phase.Bbv_with_coverage -> "bbv+cov" );
-    ("search.phase_searcher", config.search.phase_searcher);
-    ("search.scheduler", config.search.scheduler);
-    ("search.max_live", string_of_int config.search.max_live);
-    ("search.dedup_seed_states", if config.search.dedup_seed_states then "1" else "0");
-    ("search.max_k", string_of_int config.search.max_k);
-    ("solver.budget", string_of_int config.solver.budget);
-    ("solver.retry_cap", string_of_int config.solver.retry_cap);
-    ("solver.prefix_cap", string_of_int config.solver.prefix_cap);
-    ("robust.confirm_bugs", if config.robust.confirm_bugs then "1" else "0");
-    ("robust.max_strikes", string_of_int config.robust.max_strikes);
-    ("robust.inject", Inject.to_string config.robust.inject);
-    ("robust.watchdog_factor", string_of_int config.robust.watchdog_factor);
-    ("robust.watchdog_strikes", string_of_int config.robust.watchdog_strikes);
-    ("robust.degrade_after", string_of_int config.robust.degrade_after);
-    ("rng_seed", string_of_int config.rng_seed);
-  ]
-
-let config_of_kvs kvs =
-  (* keys that aren't config fields (snapshot meta like the target name
-     or scheduler) pass through untouched; bad values are errors *)
-  let int_field key v k =
-    match int_of_string_opt v with
-    | Some i -> Ok (k i)
-    | None -> Error (Printf.sprintf "bad integer %S for %s" v key)
-  in
-  let bool_field key v k =
-    match v with
-    | "1" | "true" -> Ok (k true)
-    | "0" | "false" -> Ok (k false)
-    | _ -> Error (Printf.sprintf "bad flag %S for %s" v key)
-  in
-  List.fold_left
-    (fun acc (key, v) ->
-      Result.bind acc (fun config ->
-          let concolic f = with_concolic f config in
-          let search f = with_search f config in
-          let solver f = with_solver f config in
-          let robust f = with_robust f config in
-          match key with
-          | "concolic.interval_length" ->
-            if v = "auto" then Ok (concolic (fun c -> { c with interval_length = None }))
-            else
-              int_field key v (fun i ->
-                  concolic (fun c -> { c with interval_length = Some i }))
-          | "concolic.intervals_target" ->
-            int_field key v (fun i -> concolic (fun c -> { c with intervals_target = i }))
-          | "concolic.time_period" ->
-            int_field key v (fun i -> concolic (fun c -> { c with time_period = i }))
-          | "concolic.mode" -> (
-            match v with
-            | "bbv" -> Ok (concolic (fun c -> { c with mode = Phase.Bbv_only }))
-            | "bbv+cov" ->
-              Ok (concolic (fun c -> { c with mode = Phase.Bbv_with_coverage }))
-            | _ -> Error (Printf.sprintf "bad mode %S (want bbv|bbv+cov)" v))
-          | "search.phase_searcher" ->
-            Ok (search (fun s -> { s with phase_searcher = v }))
-          | "search.scheduler" -> Ok (search (fun s -> { s with scheduler = v }))
-          | "search.max_live" ->
-            int_field key v (fun i -> search (fun s -> { s with max_live = i }))
-          | "search.dedup_seed_states" ->
-            bool_field key v (fun b -> search (fun s -> { s with dedup_seed_states = b }))
-          | "search.max_k" ->
-            int_field key v (fun i -> search (fun s -> { s with max_k = i }))
-          | "solver.budget" ->
-            int_field key v (fun i -> solver (fun s -> { s with budget = i }))
-          | "solver.retry_cap" ->
-            int_field key v (fun i -> solver (fun s -> { s with retry_cap = i }))
-          | "solver.prefix_cap" ->
-            int_field key v (fun i -> solver (fun s -> { s with prefix_cap = i }))
-          | "robust.confirm_bugs" ->
-            bool_field key v (fun b -> robust (fun r -> { r with confirm_bugs = b }))
-          | "robust.max_strikes" ->
-            int_field key v (fun i -> robust (fun r -> { r with max_strikes = i }))
-          | "robust.inject" ->
-            Result.map
-              (fun plan -> robust (fun r -> { r with inject = plan }))
-              (Inject.parse v)
-          | "robust.watchdog_factor" ->
-            int_field key v (fun i -> robust (fun r -> { r with watchdog_factor = i }))
-          | "robust.watchdog_strikes" ->
-            int_field key v (fun i -> robust (fun r -> { r with watchdog_strikes = i }))
-          | "robust.degrade_after" ->
-            int_field key v (fun i -> robust (fun r -> { r with degrade_after = i }))
-          | "rng_seed" -> int_field key v (fun i -> with_rng_seed i config)
-          | _ -> Ok config))
-    (Ok default_config) kvs
-
-let interval_length_for config prog ~seed =
-  match config.concolic.interval_length with
-  | Some l -> l
-  | None ->
-    let probe = Pbse_exec.Concrete.run prog ~input:seed ~fuel:20_000_000 in
-    max 50 (probe.Pbse_exec.Concrete.steps / max 1 config.concolic.intervals_target)
-
-type report = {
+type report = Session.report = {
   config : config;
   seed_size : int;
   c_time : int;
   p_time : int;
-  division : Phase.division;
-  bbvs : Bbv.t list;
-  trace : Trace.t;
+  division : Pbse_phase.Phase.division;
+  bbvs : Pbse_concolic.Bbv.t list;
+  trace : Pbse_concolic.Trace.t;
   seed_state_count : int;
   interval_length : int;
   coverage_samples : (int * int) list;
@@ -224,492 +88,26 @@ type report = {
   faults : Fault.log;
   quarantined : int;
   strikes : int;
-  sched_stats : Scheduler.stats;
-  phase_stats : Report.phase_row list; (* scheduling stats, ordinal order *)
-  registry : Telemetry.Registry.t; (* the session's instruments *)
+  sched_stats : Pbse_sched.Scheduler.stats;
+  phase_stats : Report.phase_row list;
+  registry : Telemetry.Registry.t;
 }
 
-let coverage_at report t =
-  let rec scan best = function
-    | [] -> best
-    | (vt, cov) :: rest -> if vt <= t then scan cov rest else best
-  in
-  scan 0 report.coverage_samples
+let coverage_at = Session.coverage_at
+let run = Session.run
 
-let make_phase_searcher config rng exec =
-  match Searcher.by_name config.search.phase_searcher with
-  | Some make -> make (Rng.split rng) (Executor.cfg exec) (Executor.coverage exec)
-  | None ->
-    invalid_arg ("Driver: unknown phase searcher " ^ config.search.phase_searcher)
+type session = Session.t
 
-let make_scheduler config =
-  match Scheduler.by_name config.search.scheduler with
-  | Some make -> make
-  | None -> invalid_arg ("Driver: unknown scheduler " ^ config.search.scheduler)
-
-let map_seed_states config ~interval_length division bbvs
-    (seed_states : Concolic.seed_state list) =
-  (* phase id for each seedState via its fork interval *)
-  let tagged =
-    List.filter_map
-      (fun (ss : Concolic.seed_state) ->
-        let interval = ss.Concolic.fork_vtime / interval_length in
-        match Phase.phase_of_interval division bbvs interval with
-        | Some pid ->
-          ss.Concolic.state.State.phase <- pid;
-          Some ss
-        | None -> None)
-      seed_states
-  in
-  if not config.search.dedup_seed_states then tagged
-  else begin
-    (* keep the earliest seedState per (phase, fork location) *)
-    let seen = Hashtbl.create 256 in
-    List.filter
-      (fun (ss : Concolic.seed_state) ->
-        let key = (ss.Concolic.state.State.phase, ss.Concolic.fork_gid) in
-        if Hashtbl.mem seen key then false
-        else begin
-          Hashtbl.replace seen key ();
-          true
-        end)
-      tagged
-  end
-
-(* The shared engine loop: Algorithm 3 under supervision, generic over
-   the scheduling policy. Which phase runs next, for how long, and when
-   a phase leaves the rotation are all [sched]'s decisions; this loop
-   only executes turns. Executor and solver failures inside a turn are
-   contained and recorded; a faulting state costs at worst itself
-   (quarantine after [max_strikes]) and a broken searcher costs its
-   phase (fail-over via [evict]), never the run. *)
-let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_progress =
-  let faults = Executor.faults exec in
-  let now () = Vclock.now clock in
-  let tm_turn = Telemetry.Registry.span registry "driver.turn" in
-  let rec turns () =
-    if Vclock.now clock >= deadline then ()
-    else
-      match sched.Scheduler.select () with
-      | None -> ()
-      | Some { Scheduler.queue = q; budget = turn_budget } ->
-        let turn_start = Vclock.now clock in
-        let cover_start = q.Phase_queue.new_cover in
-        let searcher = q.Phase_queue.searcher in
-        q.Phase_queue.turns <- q.Phase_queue.turns + 1;
-        let queue_failed = ref false in
-        let quarantine_strike st =
-          if Quarantine.strike quarantine ~site:st.State.fork_gid st.State.id then begin
-            q.Phase_queue.quarantined <- q.Phase_queue.quarantined + 1;
-            searcher.Searcher.remove st
-          end
-        in
-        let contain st exn =
-          (* charge a tick so fault loops always advance toward the deadline *)
-          Vclock.advance clock 1;
-          Fault.record faults ~detail:(Fault.normalize_exn exn)
-            ~vtime:(Vclock.now clock) Fault.Exec_exception;
-          quarantine_strike st
-        in
-        let rec drain () =
-          if Vclock.now clock >= deadline then ()
-          else
-            match
-              try `Selected (searcher.Searcher.select ())
-              with exn -> `Searcher_error exn
-            with
-            | `Searcher_error exn ->
-              (* a broken searcher forfeits its whole phase *)
-              Vclock.advance clock 1;
-              Fault.record faults ~detail:(Fault.normalize_exn exn)
-                ~vtime:(Vclock.now clock) Fault.Exec_exception;
-              queue_failed := true
-            | `Selected None -> ()
-            | `Selected (Some st) when st.State.needs_verify -> (
-              match try `V (Executor.verify exec st) with exn -> `E exn with
-              | `V Executor.Verified -> slice st
-              | `V Executor.Infeasible_state ->
-                (* lazily discovered infeasible seedState *)
-                searcher.Searcher.remove st;
-                drain ()
-              | `V Executor.Undecided ->
-                (* the solver gave up; the state stays schedulable and the
-                   next attempt escalates the query budget — unless it has
-                   struck out *)
-                quarantine_strike st;
-                drain ()
-              | `E exn ->
-                contain st exn;
-                drain ())
-            | `Selected (Some st) -> slice st
-        and slice st =
-          match try `S (Executor.run_slice exec st) with exn -> `E exn with
-          | `E exn ->
-            contain st exn;
-            drain ()
-          | `S slice ->
-            q.Phase_queue.slices <- q.Phase_queue.slices + 1;
-            let covered_new = st.State.fresh_cover in
-            if covered_new then q.Phase_queue.new_cover <- q.Phase_queue.new_cover + 1;
-            (match slice with
-             | Executor.Running -> ()
-             | Executor.Forked children ->
-               List.iter
-                 (fun (child : State.t) ->
-                   child.State.phase <- q.Phase_queue.pid;
-                   searcher.Searcher.fork ~parent:st child)
-                 children
-             | Executor.Finished _ -> searcher.Searcher.remove st);
-            note_progress q.Phase_queue.ordinal;
-            (* stay in the phase while under budget or still covering new code *)
-            if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
-        in
-        Telemetry.with_span tm_turn ~now drain;
-        let elapsed = Vclock.now clock - turn_start in
-        q.Phase_queue.dwell <- q.Phase_queue.dwell + elapsed;
-        Telemetry.observe q.Phase_queue.turn_dwell elapsed;
-        if !queue_failed || Phase_queue.size q = 0 then
-          sched.Scheduler.evict q ~failed:!queue_failed
-        else
-          sched.Scheduler.credit q
-            ~elapsed:(Vclock.now clock - turn_start)
-            ~new_cover:(q.Phase_queue.new_cover - cover_start);
-        turns ()
-  in
-  turns ()
-
-(* --- resumable sessions ---------------------------------------------------- *)
-
-(* A session is one seed's engine with its setup (concolic pass, phase
-   division, seeded queues) done and its scheduling state live, so the
-   campaign layer can grant it turn-granular budget instead of one
-   deadline: open once, step any number of times, finish into the same
-   report [run] produces. *)
-type session = {
-  s_config : config;
-  s_runtime : Runtime.t;
-  s_seed : bytes;
-  s_clock : Vclock.t;
-  s_exec : Executor.t;
-  s_sched : Scheduler.t;
-  s_quarantine : Quarantine.t;
-  s_evicted0 : int;
-  s_strikes0 : int;
-  s_c_time : int;
-  s_p_time : int;
-  s_division : Phase.division;
-  s_bbvs : Bbv.t list;
-  s_trace : Trace.t;
-  s_seed_state_count : int;
-  s_interval_length : int;
-  s_queues : Phase_queue.t list;
-  s_samples : (int * int) list ref;
-  s_bug_phases : (int * string, int) Hashtbl.t;
-  s_note_progress : int -> unit;
-}
-
-let open_session ?(config = default_config) ?quarantine ?runtime
-    ?(reset_telemetry = true) prog ~seed ~deadline =
-  (* validate the policy name before the expensive concolic step *)
-  let scheduler_factory = make_scheduler config in
-  (* a caller-supplied quarantine persists across runs: per-state strikes
-     reset with the epoch, site records and totals carry over *)
-  (match quarantine with Some q -> Quarantine.epoch q | None -> ());
-  let rt =
-    match runtime with
-    | Some rt -> (
-      match quarantine with
-      | Some q -> { rt with Runtime.quarantine = q }
-      | None -> rt)
-    | None ->
-      Runtime.create ~rng_seed:config.rng_seed ~inject:config.robust.inject
-        ?quarantine ~max_strikes:config.robust.max_strikes
-        ~prefix_cap:config.solver.prefix_cap ()
-  in
-  (* the session's expressions intern into its own arena from here on *)
-  Runtime.activate rt;
-  let registry = rt.Runtime.registry in
-  (* instrumented runs snapshot the registry into their report, so start
-     each run from zero; uninstrumented runs skip the reset too. A pool
-     campaign resets once for the whole campaign instead
-     ([reset_telemetry = false] here). *)
-  if reset_telemetry && Telemetry.Registry.enabled registry then
-    Telemetry.Registry.reset registry;
-  let tm_concolic = Telemetry.Registry.span registry "driver.concolic" in
-  let tm_phase_analysis = Telemetry.Registry.span registry "driver.phase_analysis" in
-  let clock = Vclock.create () in
-  let exec =
-    Executor.create ~max_live:config.search.max_live ~solver_budget:config.solver.budget
-      ~solver_retry_cap:config.solver.retry_cap
-      ~solver_prefix_cap:config.solver.prefix_cap
-      ~confirm_bugs:config.robust.confirm_bugs ~inject:rt.Runtime.inject ~registry
-      ~clock prog ~input:seed
-  in
-  (* every stochastic choice below (k-means restarts, searcher splits)
-     derives from the runtime's RNG, itself seeded from config.rng_seed *)
-  let rng = rt.Runtime.rng in
-  (* step 1: concolic execution. The BBV interval is sized from a cheap
-     concrete pre-run so every seed yields a comparable number of BBVs
-     (the paper gathers over wall-clock intervals; runs lasting longer
-     simply produce more vectors). *)
-  let interval_length = interval_length_for config prog ~seed in
-  let indexer = Trace.indexer () in
-  let now () = Vclock.now clock in
-  let concolic =
-    Telemetry.with_span tm_concolic ~now (fun () ->
-        Concolic.run ~interval_length ~deadline exec indexer)
-  in
-  let c_time = concolic.Concolic.c_time in
-  (* step 2: phase analysis; charge virtual time proportional to the work *)
-  let p_start = Vclock.now clock in
-  let division =
-    Telemetry.with_span tm_phase_analysis ~now (fun () ->
-        let d =
-          Phase.divide ~registry ~mode:config.concolic.mode ~max_k:config.search.max_k
-            (Rng.split rng) concolic.Concolic.bbvs
-        in
-        Vclock.advance clock
-          (50 * List.length concolic.Concolic.bbvs * config.search.max_k / 20);
-        d)
-  in
-  let p_time = Vclock.now clock - p_start + 1 in
-  (match concolic.Concolic.bbvs with
-   | [] ->
-     Fault.record (Executor.faults exec) ~detail:"no BBVs; one-phase fallback"
-       ~vtime:(Vclock.now clock) Fault.Degenerate_phase
-   | _ :: _ -> ());
-  (* step 3: map seedStates into phases. Feasibility is checked lazily,
-     when a seedState is first scheduled — exactly the paper's "lazy pass
-     through": the concolic step recorded fork points without exploring
-     or deciding them. *)
-  let seed_states =
-    map_seed_states config ~interval_length division concolic.Concolic.bbvs
-      concolic.Concolic.seed_states
-  in
-  (* build phase queues in first-appearance order *)
-  let queue_list =
-    List.mapi
-      (fun i (p : Phase.phase) ->
-        Phase_queue.create ~registry ~ordinal:(i + 1) ~pid:p.Phase.pid
-          ~trap:p.Phase.trap
-          (make_phase_searcher config rng exec))
-      division.Phase.phases
-  in
-  List.iter
-    (fun (ss : Concolic.seed_state) ->
-      match
-        List.find_opt
-          (fun q -> q.Phase_queue.pid = ss.Concolic.state.State.phase)
-          queue_list
-      with
-      | Some q -> Phase_queue.seed q ss.Concolic.state
-      | None -> ())
-    seed_states;
-  let sched =
-    scheduler_factory ~registry ~time_period:config.concolic.time_period
-      (List.filter (fun q -> Phase_queue.size q > 0) queue_list)
-  in
-  Executor.set_live_counter exec (fun () ->
-      List.fold_left
-        (fun acc q -> acc + Phase_queue.size q)
-        0
-        (sched.Scheduler.remaining ()));
-  (* bookkeeping for coverage samples and bug-to-phase attribution *)
-  let samples = ref [ (Vclock.now clock, Coverage.count (Executor.coverage exec)) ] in
-  let last_cov = ref (Coverage.count (Executor.coverage exec)) in
-  let bug_phases : (int * string, int) Hashtbl.t = Hashtbl.create 16 in
-  let known_bugs = ref 0 in
-  let note_progress current_ordinal =
-    let cov = Coverage.count (Executor.coverage exec) in
-    if cov <> !last_cov then begin
-      last_cov := cov;
-      samples := (Vclock.now clock, cov) :: !samples
-    end;
-    let bugs = Executor.bugs exec in
-    let n = List.length bugs in
-    if n > !known_bugs then begin
-      (* attribute by dedup key, not list position: only bugs whose key is
-         genuinely new belong to the current phase *)
-      List.iter
-        (fun bug ->
-          let key = Bug.dedup_key bug in
-          if not (Hashtbl.mem bug_phases key) then
-            Hashtbl.replace bug_phases key current_ordinal)
-        bugs;
-      known_bugs := n
-    end
-  in
-  note_progress 0;
-  let quarantine = rt.Runtime.quarantine in
-  {
-    s_config = config;
-    s_runtime = rt;
-    s_seed = seed;
-    s_clock = clock;
-    s_exec = exec;
-    s_sched = sched;
-    s_quarantine = quarantine;
-    s_evicted0 = Quarantine.evicted quarantine;
-    s_strikes0 = Quarantine.total_strikes quarantine;
-    s_c_time = c_time;
-    s_p_time = p_time;
-    s_division = division;
-    s_bbvs = concolic.Concolic.bbvs;
-    s_trace = concolic.Concolic.trace;
-    s_seed_state_count = List.length seed_states;
-    s_interval_length = interval_length;
-    s_queues = queue_list;
-    s_samples = samples;
-    s_bug_phases = bug_phases;
-    s_note_progress = note_progress;
-  }
-
-let step_session s ~deadline =
-  (* step 4: phase-scheduled symbolic execution, up to [deadline] on the
-     session's own clock; resumable — the scheduling policy keeps its
-     rotation state between steps. Re-activate the session's arena: the
-     campaign layer may step the same session from a different domain on
-     every round. *)
-  Runtime.activate s.s_runtime;
-  schedule_phases ~registry:s.s_runtime.Runtime.registry ~clock:s.s_clock ~deadline
-    ~sched:s.s_sched ~quarantine:s.s_quarantine s.s_exec s.s_note_progress
-
-let session_runtime s = s.s_runtime
-
-let session_time s = Vclock.now s.s_clock
-let session_drained s = s.s_sched.Scheduler.drained ()
-let session_executor s = s.s_exec
-
-let session_bug_phase s bug =
-  match Hashtbl.find_opt s.s_bug_phases (Bug.dedup_key bug) with
-  | Some o -> o
-  | None -> 0
-
-let finish_session s =
-  let bugs =
-    List.map (fun bug -> (bug, session_bug_phase s bug)) (Executor.bugs s.s_exec)
-  in
-  {
-    config = s.s_config;
-    seed_size = Bytes.length s.s_seed;
-    c_time = s.s_c_time;
-    p_time = s.s_p_time;
-    division = s.s_division;
-    bbvs = s.s_bbvs;
-    trace = s.s_trace;
-    seed_state_count = s.s_seed_state_count;
-    interval_length = s.s_interval_length;
-    coverage_samples = List.rev !(s.s_samples);
-    bugs;
-    executor = s.s_exec;
-    faults = Executor.faults s.s_exec;
-    quarantined = Quarantine.evicted s.s_quarantine - s.s_evicted0;
-    strikes = Quarantine.total_strikes s.s_quarantine - s.s_strikes0;
-    sched_stats = s.s_sched.Scheduler.stats;
-    phase_stats = List.map Phase_queue.stat_row s.s_queues;
-    registry = s.s_runtime.Runtime.registry;
-  }
-
-let run ?(config = default_config) ?quarantine ?runtime prog ~seed ~deadline =
-  let s = open_session ~config ?quarantine ?runtime prog ~seed ~deadline in
-  step_session s ~deadline;
-  finish_session s
-
-(* --- run reports ---------------------------------------------------------- *)
-
-(* The scalar metric families of a run report, harvested from the
-   per-run stats structs — authoritative whether or not the registry was
-   enabled. Construction order is fixed, so two identical seeded runs
-   serialise byte-identically; the aggregate pool report sums these same
-   families across runs. *)
-let scalar_metrics report =
-  let exec = report.executor in
-  let sst = Solver.stats (Executor.solver exec) in
-  let est = Executor.stats exec in
-  let scs = report.sched_stats in
-  let confirmed =
-    List.length (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) report.bugs)
-  in
-  let trap_dwell =
-    List.fold_left
-      (fun acc (p : Report.phase_row) -> if p.Report.trap then acc + p.Report.dwell else acc)
-      0 report.phase_stats
-  in
-  let sum f = List.fold_left (fun acc p -> acc + f p) 0 report.phase_stats in
-  [
-    ("seed.bytes", report.seed_size);
-    ("run.c_time", report.c_time);
-    ("run.p_time", report.p_time);
-    ("run.interval_length", report.interval_length);
-    ("run.seed_states", report.seed_state_count);
-    ("phase.count", report.division.Phase.k);
-    ("phase.traps", report.division.Phase.trap_count);
-    ("phase.turns", sum (fun p -> p.Report.turns));
-    ("phase.slices", sum (fun p -> p.Report.slices));
-    ("phase.new_cover", sum (fun p -> p.Report.new_cover));
-    ("phase.dwell", sum (fun p -> p.Report.dwell));
-    ("phase.trap_dwell", trap_dwell);
-    ("sched.turns", scs.Scheduler.turns);
-    ("sched.rotations", scs.Scheduler.rotations);
-    ("sched.evictions", scs.Scheduler.evictions);
-    ("sched.failovers", scs.Scheduler.failovers);
-    ("coverage.blocks", Coverage.count (Executor.coverage exec));
-    ("bugs.total", List.length report.bugs);
-    ("bugs.confirmed", confirmed);
-    ("exec.states", Executor.state_count exec);
-    ("exec.instructions", est.Executor.instructions);
-    ("exec.slices", est.Executor.slices);
-    ("exec.forks", est.Executor.forks);
-    ("exec.dropped_forks", est.Executor.dropped_forks);
-    ("exec.cow_copies", est.Executor.cow_copies);
-    ("exec.term_exit", est.Executor.term_exit);
-    ("exec.term_bug", est.Executor.term_bug);
-    ("exec.term_abort", est.Executor.term_abort);
-    ("exec.term_infeasible", est.Executor.term_infeasible);
-    ("exec.concretized_addrs", est.Executor.concretized_addrs);
-    ("verify.verified", est.Executor.verify_verified);
-    ("verify.infeasible", est.Executor.verify_infeasible);
-    ("verify.undecided", est.Executor.verify_undecided);
-    ("solver.queries", sst.Solver.queries);
-    ("solver.sat", sst.Solver.sat);
-    ("solver.unsat", sst.Solver.unsat);
-    ("solver.unknown", sst.Solver.unknown);
-    ("solver.cache_hits", sst.Solver.cache_hits);
-    ("solver.hint_hits", sst.Solver.hint_hits);
-    ("solver.prefix_hits", sst.Solver.prefix_hits);
-    ("solver.prefix_builds", sst.Solver.prefix_builds);
-    ("solver.prefix_model_hits", sst.Solver.prefix_model_hits);
-    ("solver.search_nodes", sst.Solver.search_nodes);
-    ("solver.work", sst.Solver.work);
-    ("solver.retries", sst.Solver.retries);
-    ("solver.escalations", sst.Solver.escalations);
-    ("solver.retry_resolved", sst.Solver.retry_resolved);
-    ("solver.prefix_evictions", sst.Solver.prefix_evictions);
-    ("quarantine.evicted", report.quarantined);
-    ("quarantine.strikes", report.strikes);
-  ]
-  @ List.map
-      (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
-      Fault.all
-
-let span_metrics registry =
-  List.concat_map
-    (fun (name, count, total) ->
-      [ ("span." ^ name ^ ".count", count); ("span." ^ name ^ ".total", total) ])
-    (Telemetry.Registry.snapshot_spans registry)
-
-(* Assemble the structured run report (docs/telemetry.md). The scalar
-   metrics are authoritative whether or not the registry was enabled,
-   while spans and histograms come from the registry snapshot and are
-   only populated on instrumented runs. *)
-let run_report ?(meta = []) report =
-  {
-    Report.meta;
-    metrics = scalar_metrics report @ span_metrics report.registry;
-    phases = report.phase_stats;
-    seeds = [];
-    histograms = Telemetry.Registry.snapshot_histograms report.registry;
-  }
+let open_session = Session.open_session
+let step_session = Session.step_session
+let session_time = Session.session_time
+let session_drained = Session.session_drained
+let session_executor = Session.session_executor
+let session_runtime = Session.session_runtime
+let finish_session = Session.finish_session
+let run_report = Session.run_report
+let scalar_metrics = Session.scalar_metrics
+let span_metrics = Session.span_metrics
 
 (* --- seed pools ------------------------------------------------------------ *)
 
@@ -738,6 +136,11 @@ type pool_report = {
   pool_steal_count : int; (* turns run by a non-home pool worker *)
   pool_pinned_turns : int; (* turns run by their slot's home worker *)
   pool_id_refills : int; (* expr id-block refills during the campaign *)
+  pool_shared_seedstates : int;
+      (* seedStates skipped because another session of this campaign
+         already published their fork point (share hits). Diagnostic
+         like the above: the sharing feature itself is config-gated, and
+         at [jobs > 1] which session publishes first is timing-dependent *)
 }
 
 type checkpoint = {
@@ -796,654 +199,753 @@ type turn_exec = {
    turns (spent > factor x budget), injected turn kills and contained
    turn exceptions all strike their seed toward forced retirement and
    step the effective [--jobs] and prefix cap down (graceful
-   degradation) without ever aborting the campaign. *)
+   degradation) without ever aborting the campaign.
+
+   On top sits the session-store fast path: with [store] (and no
+   checkpointing, resume or preloaded faults — durability features
+   describe one concrete execution, not a cacheable one), a finished
+   campaign memoises its sessions and pool report under a campaign
+   fingerprint, and an identical later call recalls them — re-finishing
+   the live sessions instead of re-running concolic bootstrap — with
+   byte-identical report JSON. *)
 let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
     ?runtime ?(jobs = 1) ?(lease = 1) ?checkpoint ?resume ?(preload_faults = [])
-    prog ~seeds ~deadline =
+    ?pool:ext_pool ?store ?target ?round_wrap prog ~seeds ~deadline =
   let factory =
     match Pool_scheduler.by_name scheduler with
     | Some f -> f
     | None -> invalid_arg ("Driver: unknown pool scheduler " ^ scheduler)
   in
   let lease = max 1 lease in
-  (* Per-domain minor heaps below ~8 MB thrash the stop-the-world minor
-     collection once several domains allocate at engine rates (every
-     domain must reach the barrier for every collection); widen once,
-     process-wide, and never shrink a user-tuned size. *)
-  let g = Gc.get () in
-  if g.Gc.minor_heap_size < 1 lsl 20 then
-    Gc.set { g with Gc.minor_heap_size = 1 lsl 20 };
-  (* One persistent worker pool for the whole campaign — replay and every
-     round reuse its domains; sessions are homed on their slot ordinal. *)
-  let pool = Domain_pool.create ~jobs in
-  let id_refills0 = Expr.id_block_refills () in
-  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
-  let pool_rt =
-    match runtime with
-    | Some rt -> rt
-    | None ->
-      Runtime.create ~rng_seed:config.rng_seed ~inject:config.robust.inject
-        ~max_strikes:config.robust.max_strikes
-        ~prefix_cap:config.solver.prefix_cap ()
-  in
-  let pool_registry = pool_rt.Runtime.registry in
-  if Telemetry.Registry.enabled pool_registry then Telemetry.Registry.reset pool_registry;
-  let tm_rounds = Telemetry.Registry.counter pool_registry "pool.rounds" in
-  let tm_parallel_turns =
-    Telemetry.Registry.counter pool_registry "pool.parallel_turns"
-  in
-  let tm_merge_blocks = Telemetry.Registry.counter pool_registry "pool.merge_blocks" in
-  let tm_merge_bugs = Telemetry.Registry.counter pool_registry "pool.merge_bugs" in
-  let tm_merge_registries =
-    Telemetry.Registry.counter pool_registry "pool.merge_registries"
-  in
-  (* contention diagnostics (width-dependent; excluded from report JSON) *)
-  let tm_steal_count = Telemetry.Registry.counter pool_registry "pool.steal_count" in
-  let tm_pinned_turns = Telemetry.Registry.counter pool_registry "pool.pinned_turns" in
-  let tm_id_refills = Telemetry.Registry.counter pool_registry "smt.id_block_refills" in
-  let pool_faults = Fault.log_create ~registry:pool_registry () in
   let ordered =
     List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
   in
-  let slots = List.mapi (fun i seed -> Seed_slot.create ~ordinal:(i + 1) seed) ordered in
-  let nslots = List.length slots in
-  let slot_arr = Array.of_list slots in
-  let merged = Hashtbl.create 1024 in
-  let bug_keys = Hashtbl.create 32 in
-  let merged_bugs = ref [] in
-  let bug_refs = ref [] in
-  (* Sessions indexed by slot ordinal. A cell is written once, by the
-     worker domain running its slot's first turn, and only ever touched
-     by that slot's turns afterwards; distinct slots use distinct cells
-     and [Domain_pool.map]'s join publishes the writes before the
-     barrier reads them, so the array needs no lock. *)
-  let sessions : (Runtime.t * session) option array = Array.make (nslots + 1) None in
-  (* Turn-crash injection draws from a per-slot stream (plan seed +
-     ordinal) so a draw's position never depends on which domain ran
-     which turn; the snapshot-corruption channel draws once per
-     checkpoint write, on the coordinating domain. *)
-  let slot_plan ordinal =
-    { config.robust.inject with Inject.seed = config.robust.inject.Inject.seed + ordinal }
+  let registry_enabled =
+    match runtime with
+    | Some rt -> Telemetry.Registry.enabled rt.Runtime.registry
+    | None -> Telemetry.Registry.enabled (Telemetry.Registry.default ())
   in
-  let crash_injects = Array.init (nslots + 1) (fun i -> Inject.create (slot_plan i)) in
-  let pool_inject = Inject.create config.robust.inject in
-  (* Per-ordinal durability records: RNG draws to re-burn on resume, the
-     granted-turn ledger (newest first) and the prefix cap each session
-     opened under (-1 = unbounded). *)
-  let crash_draws = Array.make (nslots + 1) 0 in
-  let turn_events : Snapshot.turn_event list array = Array.make (nslots + 1) [] in
-  let opened_caps = Array.make (nslots + 1) (-1) in
-  let opened = ref [] in
-  let rounds = ref 0 in
-  let parallel_turns = ref 0 in
-  let merge_blocks = ref 0 in
-  let merge_bug_count = ref 0 in
-  let merge_registries = ref 0 in
-  let base_spent = ref 0 in
-  let spent_acc = ref 0 in
-  let turns_since_ck = ref 0 in
-  let checkpoints_written = ref 0 in
-  let degrade_faults = ref 0 in
-  (* Graceful degradation: every watchdog strike, crashed turn or
-     pool-level fault widens [degrade_faults]; each [degrade_after]
-     faults halve the domain-pool width and the solver prefix cap.
-     Neither knob is visible to plans or merges, so reports are
-     unaffected. *)
-  let degrade_steps () =
-    if config.robust.degrade_after <= 0 then 0
-    else !degrade_faults / config.robust.degrade_after
+  (* The campaign-wide share table consulted by every [open_session]
+     (config-gated). A store-backed share outlives this campaign, so
+     repeated campaigns against one store share across campaigns too. *)
+  let share =
+    if config.search.share_seed_states then
+      Some
+        (match store with
+         | Some st -> Session_store.share st
+         | None -> Session.share_create ())
+    else None
   in
-  let eff_jobs () = max 1 (jobs asr degrade_steps ()) in
-  let eff_prefix_cap () =
-    match pool_rt.Runtime.prefix_cap with
-    | None -> None
-    | Some cap -> Some (max 16 (cap asr degrade_steps ()))
+  let share_hits0 =
+    match share with Some sh -> snd (Session.share_stats sh) | None -> 0
   in
-  let watchdog_overran ~budget ~spent =
-    config.robust.watchdog_factor > 0 && spent > config.robust.watchdog_factor * budget
+  let target_name = match target with Some t -> t | None -> "" in
+  let config_fp = Session.config_fingerprint config in
+  (* Everything a later identical call must agree on to be served the
+     memoised campaign. [jobs] is deliberately absent: reports are
+     jobs-invariant, so any width may reuse any width's campaign. *)
+  let campaign_fingerprint () =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun part ->
+        Buffer.add_string buf part;
+        Buffer.add_char buf '\n')
+      ([
+         target_name;
+         config_fp;
+         scheduler;
+         string_of_int lease;
+         string_of_int deadline;
+         (if registry_enabled then "1" else "0");
+       ]
+      @ List.map (fun seed -> Digest.to_hex (Digest.bytes seed)) ordered);
+    Digest.to_hex (Digest.string (Buffer.contents buf))
   in
-  (* Contain a real exception escaping the engine: the engine is
-     deterministic in virtual time, so replaying the same turn after a
-     resume re-raises and re-contains the same fault. *)
-  let step_contained s ~deadline =
-    try
-      step_session s ~deadline;
-      `Stepped
-    with exn ->
-      Fault.record (Executor.faults s.s_exec) ~detail:(Fault.normalize_exn exn)
-        ~vtime:(Vclock.now s.s_clock) Fault.Exec_exception;
-      `Failed
-  in
-  (* The watchdog fires at the merge barrier (and identically during
-     resume replay): a turn that ran past factor x budget records a
-     session-level fault and strikes its seed. *)
-  let watchdog_check s ~start ~budget =
-    let spent = Vclock.now s.s_clock - start in
-    if watchdog_overran ~budget ~spent then begin
-      Fault.record (Executor.faults s.s_exec) ~detail:"turn-timeout"
-        ~vtime:(Vclock.now s.s_clock) Fault.Turn_timeout;
-      true
-    end
-    else false
-  in
-  let replay_crash s detail =
-    (* an injected kill charged one tick and touched nothing else *)
-    Vclock.advance s.s_clock 1;
-    Fault.record (Executor.faults s.s_exec) ~detail ~vtime:(Vclock.now s.s_clock)
-      Fault.Exec_exception
-  in
-  let derive_session_rt ~prefix_cap =
-    let registry =
-      Telemetry.Registry.create ~enabled:(Telemetry.Registry.enabled pool_registry) ()
+  let run_cold () =
+    (* Per-domain minor heaps below ~8 MB thrash the stop-the-world minor
+       collection once several domains allocate at engine rates (every
+       domain must reach the barrier for every collection); widen once,
+       process-wide, and never shrink a user-tuned size. *)
+    let g = Gc.get () in
+    if g.Gc.minor_heap_size < 1 lsl 20 then
+      Gc.set { g with Gc.minor_heap_size = 1 lsl 20 };
+    (* One persistent worker pool for the whole campaign — replay and every
+       round reuse its domains; sessions are homed on their slot ordinal.
+       A caller-supplied pool (the serve layer's) is reused as-is and left
+       running; steal/pinned diagnostics are deltas either way. *)
+    let own_pool = Option.is_none ext_pool in
+    let pool =
+      match ext_pool with Some p -> p | None -> Domain_pool.create ~jobs
     in
-    match prefix_cap with
-    | Some cap -> Runtime.derive ~registry ~rng_seed:config.rng_seed ~prefix_cap:cap pool_rt
-    | None -> Runtime.derive ~registry ~rng_seed:config.rng_seed pool_rt
-  in
-  (* Re-execute one opened session's ledger from scratch: open under the
-     recorded prefix cap, then grant exactly the recorded turns. Runs on
-     a worker domain (the session is slot-private). *)
-  let replay_slot (slot : Seed_slot.t) (st : Snapshot.slot_state) =
-    match st.Snapshot.sl_events with
-    | [] -> None
-    | Snapshot.Crash _ :: _ -> None (* the opening turn is always a Step *)
-    | Snapshot.Step { deadline = first_deadline; budget = first_budget } :: rest ->
-      let prefix_cap = if st.Snapshot.sl_prefix_cap >= 0 then Some st.Snapshot.sl_prefix_cap else None in
-      let rt = derive_session_rt ~prefix_cap in
-      let s =
-        open_session ~config ~runtime:rt ~reset_telemetry:false prog
-          ~seed:slot.Seed_slot.seed ~deadline:first_deadline
-      in
-      ignore (step_contained s ~deadline:first_deadline);
-      ignore (watchdog_check s ~start:0 ~budget:first_budget);
-      List.iter
-        (fun ev ->
-          match ev with
-          | Snapshot.Crash detail -> replay_crash s detail
-          | Snapshot.Step { deadline; budget } ->
-            let start = Vclock.now s.s_clock in
-            ignore (step_contained s ~deadline);
-            ignore (watchdog_check s ~start ~budget))
-        rest;
-      Some (rt, s)
-  in
-  (* --- resume: reinstate the snapshot, then replay the ledgers ------- *)
-  let apply_resume (sn : Snapshot.t) fallback =
-    let compatible =
-      List.length sn.Snapshot.sn_slots = nslots
-      && List.for_all2
-           (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
-             st.Snapshot.sl_ordinal = slot.Seed_slot.ordinal
-             && st.Snapshot.sl_bytes = slot.Seed_slot.size)
-           sn.Snapshot.sn_slots slots
+    let steals0 = Domain_pool.steals pool in
+    let pinned0 = Domain_pool.pinned pool in
+    let id_refills0 = Expr.id_block_refills () in
+    Fun.protect ~finally:(fun () -> if own_pool then Domain_pool.shutdown pool)
+    @@ fun () ->
+    let pool_rt =
+      match runtime with
+      | Some rt -> rt
+      | None ->
+        Runtime.create ~rng_seed:config.rng_seed ~inject:config.robust.inject
+          ~max_strikes:config.robust.max_strikes
+          ~prefix_cap:config.solver.prefix_cap ()
     in
-    if not compatible then begin
-      (* the snapshot describes a different pool: degrade to a fresh
-         start with the mismatch on record, never a crash *)
-      Fault.record pool_faults ~detail:"pool-shape" ~vtime:0 Fault.Resume_mismatch;
-      incr degrade_faults
-    end
-    else begin
-      Fault.restore_counts pool_faults sn.Snapshot.sn_pool_faults;
-      Telemetry.Registry.restore_counters pool_registry sn.Snapshot.sn_counters;
-      base_spent := sn.Snapshot.sn_spent;
-      spent_acc := sn.Snapshot.sn_spent;
-      rounds := sn.Snapshot.sn_rounds;
-      parallel_turns := sn.Snapshot.sn_parallel_turns;
-      merge_blocks := sn.Snapshot.sn_merge_blocks;
-      merge_bug_count := sn.Snapshot.sn_merge_bugs;
-      checkpoints_written := sn.Snapshot.sn_checkpoints;
-      degrade_faults := sn.Snapshot.sn_degrade_faults;
-      (match fallback with
-       | Some detail ->
-         (* the primary checkpoint was bad; we are running from [.bak] *)
-         Fault.record pool_faults ~detail ~vtime:sn.Snapshot.sn_spent
-           Fault.Snapshot_corrupt;
-         incr degrade_faults
-       | None -> ());
-      (* reposition the injection streams where the original left them *)
-      for _ = 1 to sn.Snapshot.sn_checkpoints do
-        ignore (Inject.fire_snapshot_corrupt pool_inject)
-      done;
-      List.iter2
-        (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
-          let ordinal = slot.Seed_slot.ordinal in
-          slot.Seed_slot.turns <- st.Snapshot.sl_turns;
-          slot.Seed_slot.granted <- st.Snapshot.sl_granted;
-          slot.Seed_slot.dwell <- st.Snapshot.sl_dwell;
-          slot.Seed_slot.new_blocks <- st.Snapshot.sl_new_blocks;
-          slot.Seed_slot.bugs <- st.Snapshot.sl_bugs;
-          slot.Seed_slot.quarantined <- st.Snapshot.sl_quarantined;
-          slot.Seed_slot.strikes <- st.Snapshot.sl_strikes;
-          slot.Seed_slot.timeouts <- st.Snapshot.sl_timeouts;
-          slot.Seed_slot.retired <- st.Snapshot.sl_retired;
-          opened_caps.(ordinal) <- st.Snapshot.sl_prefix_cap;
-          crash_draws.(ordinal) <- st.Snapshot.sl_crash_draws;
-          turn_events.(ordinal) <- List.rev st.Snapshot.sl_events;
-          for _ = 1 to st.Snapshot.sl_crash_draws do
-            ignore (Inject.fire_turn_crash crash_injects.(ordinal))
-          done)
-        sn.Snapshot.sn_slots slots;
-      let by_ordinal = Array.make (nslots + 1) None in
-      List.iter
-        (fun (st : Snapshot.slot_state) -> by_ordinal.(st.Snapshot.sl_ordinal) <- Some st)
-        sn.Snapshot.sn_slots;
-      (* replay opened sessions concurrently, like the turns they rerun —
-         homed on their ordinal so each lands on its campaign-long home
-         domain straight away *)
-      let replayed =
-        Domain_pool.run pool ~jobs:(eff_jobs ())
-          ~home:(fun ordinal -> ordinal - 1)
-          (fun ordinal ->
-            match by_ordinal.(ordinal) with
-            | Some st when ordinal >= 1 && ordinal <= nslots ->
-              (ordinal, replay_slot slot_arr.(ordinal - 1) st)
-            | _ -> (ordinal, None))
-          sn.Snapshot.sn_opened
+    let pool_registry = pool_rt.Runtime.registry in
+    if Telemetry.Registry.enabled pool_registry then
+      Telemetry.Registry.reset pool_registry;
+    let tm_rounds = Telemetry.Registry.counter pool_registry "pool.rounds" in
+    let tm_parallel_turns =
+      Telemetry.Registry.counter pool_registry "pool.parallel_turns"
+    in
+    let tm_merge_blocks = Telemetry.Registry.counter pool_registry "pool.merge_blocks" in
+    let tm_merge_bugs = Telemetry.Registry.counter pool_registry "pool.merge_bugs" in
+    let tm_merge_registries =
+      Telemetry.Registry.counter pool_registry "pool.merge_registries"
+    in
+    (* contention diagnostics (width-dependent; excluded from report JSON) *)
+    let tm_steal_count = Telemetry.Registry.counter pool_registry "pool.steal_count" in
+    let tm_pinned_turns = Telemetry.Registry.counter pool_registry "pool.pinned_turns" in
+    let tm_id_refills = Telemetry.Registry.counter pool_registry "smt.id_block_refills" in
+    let pool_faults = Fault.log_create ~registry:pool_registry () in
+    let slots =
+      List.mapi (fun i seed -> Seed_slot.create ~ordinal:(i + 1) seed) ordered
+    in
+    let nslots = List.length slots in
+    let slot_arr = Array.of_list slots in
+    let merged = Hashtbl.create 1024 in
+    let bug_keys = Hashtbl.create 32 in
+    let merged_bugs = ref [] in
+    let bug_refs = ref [] in
+    (* Sessions indexed by slot ordinal. A cell is written once, by the
+       worker domain running its slot's first turn, and only ever touched
+       by that slot's turns afterwards; distinct slots use distinct cells
+       and [Domain_pool.map]'s join publishes the writes before the
+       barrier reads them, so the array needs no lock. *)
+    let sessions : (Runtime.t * Session.t) option array = Array.make (nslots + 1) None in
+    (* Turn-crash injection draws from a per-slot stream (plan seed +
+       ordinal) so a draw's position never depends on which domain ran
+       which turn; the snapshot-corruption channel draws once per
+       checkpoint write, on the coordinating domain. *)
+    let slot_plan ordinal =
+      { config.robust.inject with Inject.seed = config.robust.inject.Inject.seed + ordinal }
+    in
+    let crash_injects = Array.init (nslots + 1) (fun i -> Inject.create (slot_plan i)) in
+    let pool_inject = Inject.create config.robust.inject in
+    (* Per-ordinal durability records: RNG draws to re-burn on resume, the
+       granted-turn ledger (newest first) and the prefix cap each session
+       opened under (-1 = unbounded). *)
+    let crash_draws = Array.make (nslots + 1) 0 in
+    let turn_events : Snapshot.turn_event list array = Array.make (nslots + 1) [] in
+    let opened_caps = Array.make (nslots + 1) (-1) in
+    let opened = ref [] in
+    let rounds = ref 0 in
+    let parallel_turns = ref 0 in
+    let merge_blocks = ref 0 in
+    let merge_bug_count = ref 0 in
+    let merge_registries = ref 0 in
+    let base_spent = ref 0 in
+    let spent_acc = ref 0 in
+    let turns_since_ck = ref 0 in
+    let checkpoints_written = ref 0 in
+    let degrade_faults = ref 0 in
+    (* Graceful degradation: every watchdog strike, crashed turn or
+       pool-level fault widens [degrade_faults]; each [degrade_after]
+       faults halve the domain-pool width and the solver prefix cap.
+       Neither knob is visible to plans or merges, so reports are
+       unaffected. *)
+    let degrade_steps () =
+      if config.robust.degrade_after <= 0 then 0
+      else !degrade_faults / config.robust.degrade_after
+    in
+    let eff_jobs () = max 1 (jobs asr degrade_steps ()) in
+    let eff_prefix_cap () =
+      match pool_rt.Runtime.prefix_cap with
+      | None -> None
+      | Some cap -> Some (max 16 (cap asr degrade_steps ()))
+    in
+    let watchdog_overran ~budget ~spent =
+      config.robust.watchdog_factor > 0 && spent > config.robust.watchdog_factor * budget
+    in
+    (* The watchdog fires at the merge barrier (and identically during
+       resume replay): a turn that ran past factor x budget records a
+       session-level fault and strikes its seed. *)
+    let watchdog_check s ~start ~budget =
+      let spent = Session.session_time s - start in
+      if watchdog_overran ~budget ~spent then begin
+        Fault.record
+          (Executor.faults (Session.session_executor s))
+          ~detail:"turn-timeout" ~vtime:(Session.session_time s) Fault.Turn_timeout;
+        true
+      end
+      else false
+    in
+    let derive_session_rt ~prefix_cap =
+      let registry =
+        Telemetry.Registry.create ~enabled:(Telemetry.Registry.enabled pool_registry) ()
       in
-      List.iter
-        (fun (ordinal, result) ->
-          match result with
-          | None ->
-            Fault.record pool_faults ~detail:"missing-session" ~vtime:!base_spent
-              Fault.Resume_mismatch;
-            incr degrade_faults
-          | Some (rt, s) ->
-            sessions.(ordinal) <- Some (rt, s);
-            opened := slot_arr.(ordinal - 1) :: !opened;
-            (* the replayed engine must land exactly where the snapshot
-               recorded it; divergence is survivable but on record *)
-            let st = Option.get by_ordinal.(ordinal) in
-            if Vclock.now s.s_clock <> st.Snapshot.sl_clock then begin
-              Fault.record pool_faults ~detail:"clock" ~vtime:!base_spent
+      match prefix_cap with
+      | Some cap -> Runtime.derive ~registry ~rng_seed:config.rng_seed ~prefix_cap:cap pool_rt
+      | None -> Runtime.derive ~registry ~rng_seed:config.rng_seed pool_rt
+    in
+    (* Re-execute one opened session's ledger from scratch: open under the
+       recorded prefix cap, then grant exactly the recorded turns. Runs on
+       a worker domain (the session is slot-private). *)
+    let replay_slot (slot : Seed_slot.t) (st : Snapshot.slot_state) =
+      match st.Snapshot.sl_events with
+      | [] -> None
+      | Snapshot.Crash _ :: _ -> None (* the opening turn is always a Step *)
+      | Snapshot.Step { deadline = first_deadline; budget = first_budget } :: rest ->
+        let prefix_cap =
+          if st.Snapshot.sl_prefix_cap >= 0 then Some st.Snapshot.sl_prefix_cap else None
+        in
+        let rt = derive_session_rt ~prefix_cap in
+        let s =
+          Session.open_session ~config ~runtime:rt ~reset_telemetry:false ?share prog
+            ~seed:slot.Seed_slot.seed ~deadline:first_deadline
+        in
+        ignore (Session.step_contained s ~deadline:first_deadline);
+        ignore (watchdog_check s ~start:0 ~budget:first_budget);
+        List.iter
+          (fun ev ->
+            match ev with
+            | Snapshot.Crash detail -> Session.record_crash s ~detail
+            | Snapshot.Step { deadline; budget } ->
+              let start = Session.session_time s in
+              ignore (Session.step_contained s ~deadline);
+              ignore (watchdog_check s ~start ~budget))
+          rest;
+        Some (rt, s)
+    in
+    (* --- resume: reinstate the snapshot, then replay the ledgers ------- *)
+    let apply_resume (sn : Snapshot.t) fallback =
+      let compatible =
+        List.length sn.Snapshot.sn_slots = nslots
+        && List.for_all2
+             (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
+               st.Snapshot.sl_ordinal = slot.Seed_slot.ordinal
+               && st.Snapshot.sl_bytes = slot.Seed_slot.size)
+             sn.Snapshot.sn_slots slots
+      in
+      if not compatible then begin
+        (* the snapshot describes a different pool: degrade to a fresh
+           start with the mismatch on record, never a crash *)
+        Fault.record pool_faults ~detail:"pool-shape" ~vtime:0 Fault.Resume_mismatch;
+        incr degrade_faults
+      end
+      else begin
+        Fault.restore_counts pool_faults sn.Snapshot.sn_pool_faults;
+        Telemetry.Registry.restore_counters pool_registry sn.Snapshot.sn_counters;
+        base_spent := sn.Snapshot.sn_spent;
+        spent_acc := sn.Snapshot.sn_spent;
+        rounds := sn.Snapshot.sn_rounds;
+        parallel_turns := sn.Snapshot.sn_parallel_turns;
+        merge_blocks := sn.Snapshot.sn_merge_blocks;
+        merge_bug_count := sn.Snapshot.sn_merge_bugs;
+        checkpoints_written := sn.Snapshot.sn_checkpoints;
+        degrade_faults := sn.Snapshot.sn_degrade_faults;
+        (match fallback with
+         | Some detail ->
+           (* the primary checkpoint was bad; we are running from [.bak] *)
+           Fault.record pool_faults ~detail ~vtime:sn.Snapshot.sn_spent
+             Fault.Snapshot_corrupt;
+           incr degrade_faults
+         | None -> ());
+        (* reposition the injection streams where the original left them *)
+        for _ = 1 to sn.Snapshot.sn_checkpoints do
+          ignore (Inject.fire_snapshot_corrupt pool_inject)
+        done;
+        List.iter2
+          (fun (st : Snapshot.slot_state) (slot : Seed_slot.t) ->
+            let ordinal = slot.Seed_slot.ordinal in
+            slot.Seed_slot.turns <- st.Snapshot.sl_turns;
+            slot.Seed_slot.granted <- st.Snapshot.sl_granted;
+            slot.Seed_slot.dwell <- st.Snapshot.sl_dwell;
+            slot.Seed_slot.new_blocks <- st.Snapshot.sl_new_blocks;
+            slot.Seed_slot.bugs <- st.Snapshot.sl_bugs;
+            slot.Seed_slot.quarantined <- st.Snapshot.sl_quarantined;
+            slot.Seed_slot.strikes <- st.Snapshot.sl_strikes;
+            slot.Seed_slot.timeouts <- st.Snapshot.sl_timeouts;
+            slot.Seed_slot.retired <- st.Snapshot.sl_retired;
+            opened_caps.(ordinal) <- st.Snapshot.sl_prefix_cap;
+            crash_draws.(ordinal) <- st.Snapshot.sl_crash_draws;
+            turn_events.(ordinal) <- List.rev st.Snapshot.sl_events;
+            for _ = 1 to st.Snapshot.sl_crash_draws do
+              ignore (Inject.fire_turn_crash crash_injects.(ordinal))
+            done)
+          sn.Snapshot.sn_slots slots;
+        let by_ordinal = Array.make (nslots + 1) None in
+        List.iter
+          (fun (st : Snapshot.slot_state) -> by_ordinal.(st.Snapshot.sl_ordinal) <- Some st)
+          sn.Snapshot.sn_slots;
+        (* replay opened sessions concurrently, like the turns they rerun —
+           homed on their ordinal so each lands on its campaign-long home
+           domain straight away *)
+        let replayed =
+          Domain_pool.run pool ~jobs:(eff_jobs ())
+            ~home:(fun ordinal -> ordinal - 1)
+            (fun ordinal ->
+              match by_ordinal.(ordinal) with
+              | Some st when ordinal >= 1 && ordinal <= nslots ->
+                (ordinal, replay_slot slot_arr.(ordinal - 1) st)
+              | _ -> (ordinal, None))
+            sn.Snapshot.sn_opened
+        in
+        List.iter
+          (fun (ordinal, result) ->
+            match result with
+            | None ->
+              Fault.record pool_faults ~detail:"missing-session" ~vtime:!base_spent
                 Fault.Resume_mismatch;
               incr degrade_faults
-            end;
-            if Coverage.count (Executor.coverage s.s_exec) <> st.Snapshot.sl_coverage
-            then begin
-              Fault.record pool_faults ~detail:"coverage" ~vtime:!base_spent
+            | Some (rt, s) ->
+              sessions.(ordinal) <- Some (rt, s);
+              opened := slot_arr.(ordinal - 1) :: !opened;
+              (* the replayed engine must land exactly where the snapshot
+                 recorded it; divergence is survivable but on record *)
+              let st = Option.get by_ordinal.(ordinal) in
+              if Session.session_time s <> st.Snapshot.sl_clock then begin
+                Fault.record pool_faults ~detail:"clock" ~vtime:!base_spent
+                  Fault.Resume_mismatch;
+                incr degrade_faults
+              end;
+              if
+                Coverage.count (Executor.coverage (Session.session_executor s))
+                <> st.Snapshot.sl_coverage
+              then begin
+                Fault.record pool_faults ~detail:"coverage" ~vtime:!base_spent
+                  Fault.Resume_mismatch;
+                incr degrade_faults
+              end)
+          replayed;
+        (* the merged coverage set is the union over the replayed sessions
+           (membership is order-insensitive; the fresh-block counters were
+           restored above, so later merges count against the same set) *)
+        List.iter
+          (fun (ordinal, _) ->
+            match sessions.(ordinal) with
+            | Some (_, s) ->
+              List.iter
+                (fun gid -> Hashtbl.replace merged gid ())
+                (Coverage.covered_ids (Executor.coverage (Session.session_executor s)))
+            | None -> ())
+          replayed;
+        (* merged bugs, reattached in recorded harvest order *)
+        List.iter
+          (fun (br : Snapshot.bug_ref) ->
+            let key = (br.Snapshot.br_gid, br.Snapshot.br_kind) in
+            Hashtbl.replace bug_keys key ();
+            bug_refs := (br.Snapshot.br_slot, br.Snapshot.br_gid, br.Snapshot.br_kind) :: !bug_refs;
+            let reattached =
+              match sessions.(br.Snapshot.br_slot) with
+              | Some (_, s) -> (
+                match
+                  List.find_opt
+                    (fun b -> Bug.dedup_key b = key)
+                    (Executor.bugs (Session.session_executor s))
+                with
+                | Some bug ->
+                  merged_bugs := (bug, Session.session_bug_phase s bug) :: !merged_bugs;
+                  true
+                | None -> false)
+              | None -> false
+            in
+            if not reattached then begin
+              Fault.record pool_faults ~detail:"bug" ~vtime:!base_spent
                 Fault.Resume_mismatch;
               incr degrade_faults
             end)
-        replayed;
-      (* the merged coverage set is the union over the replayed sessions
-         (membership is order-insensitive; the fresh-block counters were
-         restored above, so later merges count against the same set) *)
-      List.iter
-        (fun (ordinal, _) ->
-          match sessions.(ordinal) with
-          | Some (_, s) ->
-            List.iter
-              (fun gid -> Hashtbl.replace merged gid ())
-              (Coverage.covered_ids (Executor.coverage s.s_exec))
-          | None -> ())
-        replayed;
-      (* merged bugs, reattached in recorded harvest order *)
-      List.iter
-        (fun (br : Snapshot.bug_ref) ->
-          let key = (br.Snapshot.br_gid, br.Snapshot.br_kind) in
-          Hashtbl.replace bug_keys key ();
-          bug_refs := (br.Snapshot.br_slot, br.Snapshot.br_gid, br.Snapshot.br_kind) :: !bug_refs;
-          let reattached =
-            match sessions.(br.Snapshot.br_slot) with
-            | Some (_, s) -> (
-              match
-                List.find_opt
-                  (fun b -> Bug.dedup_key b = key)
-                  (Executor.bugs s.s_exec)
-              with
-              | Some bug ->
-                merged_bugs := (bug, session_bug_phase s bug) :: !merged_bugs;
-                true
-              | None -> false)
-            | None -> false
-          in
-          if not reattached then begin
-            Fault.record pool_faults ~detail:"bug" ~vtime:!base_spent
-              Fault.Resume_mismatch;
-            incr degrade_faults
-          end)
-        sn.Snapshot.sn_bugs
-    end
-  in
-  (match resume with Some (sn, fallback) -> apply_resume sn fallback | None -> ());
-  List.iter
-    (fun (kind, detail) ->
-      Fault.record pool_faults ~detail ~vtime:0 kind;
-      incr degrade_faults)
-    preload_faults;
-  let merge_coverage session =
-    let fresh =
-      List.fold_left
-        (fun fresh gid ->
-          if Hashtbl.mem merged gid then fresh
-          else begin
-            Hashtbl.replace merged gid ();
-            fresh + 1
-          end)
-        0
-        (Coverage.covered_ids (Executor.coverage session.s_exec))
+          sn.Snapshot.sn_bugs
+      end
     in
-    merge_blocks := !merge_blocks + fresh;
-    Telemetry.add tm_merge_blocks fresh;
-    fresh
-  in
-  let harvest_bugs (slot : Seed_slot.t) session =
+    (match resume with Some (sn, fallback) -> apply_resume sn fallback | None -> ());
     List.iter
-      (fun bug ->
-        let ((gid, bkind) as key) = Bug.dedup_key bug in
-        if not (Hashtbl.mem bug_keys key) then begin
-          Hashtbl.replace bug_keys key ();
-          slot.Seed_slot.bugs <- slot.Seed_slot.bugs + 1;
-          incr merge_bug_count;
-          Telemetry.incr tm_merge_bugs;
-          merged_bugs := (bug, session_bug_phase session bug) :: !merged_bugs;
-          bug_refs := (slot.Seed_slot.ordinal, gid, bkind) :: !bug_refs
-        end)
-      (Executor.bugs session.s_exec)
-  in
-  (* The worker half of a turn: everything here touches only the slot's
-     own session, its private runtime and its own cells of the
-     per-ordinal arrays, so it is safe on any domain. *)
-  let exec_turn (slot : Seed_slot.t) ~budget =
-    let ordinal = slot.Seed_slot.ordinal in
-    crash_draws.(ordinal) <- crash_draws.(ordinal) + 1;
-    let crashed = Inject.fire_turn_crash crash_injects.(ordinal) in
-    match sessions.(ordinal) with
-    | Some (rt, s) ->
-      let start = Vclock.now s.s_clock in
-      let ev0 = Quarantine.evicted rt.Runtime.quarantine in
-      let st0 = Quarantine.total_strikes rt.Runtime.quarantine in
-      let status =
-        if crashed then begin
-          replay_crash s "injected-crash";
-          `Injected
-        end
-        else step_contained s ~deadline:(start + budget)
+      (fun (kind, detail) ->
+        Fault.record pool_faults ~detail ~vtime:0 kind;
+        incr degrade_faults)
+      preload_faults;
+    let merge_coverage session =
+      let fresh =
+        List.fold_left
+          (fun fresh gid ->
+            if Hashtbl.mem merged gid then fresh
+            else begin
+              Hashtbl.replace merged gid ();
+              fresh + 1
+            end)
+          0
+          (Coverage.covered_ids (Executor.coverage (Session.session_executor session)))
       in
-      {
-        tx_start = start;
-        tx_stop = Vclock.now s.s_clock;
-        tx_ev0 = ev0;
-        tx_ev1 = Quarantine.evicted rt.Runtime.quarantine;
-        tx_st0 = st0;
-        tx_st1 = Quarantine.total_strikes rt.Runtime.quarantine;
-        tx_opened = false;
-        tx_status = status;
-      }
-    | None ->
-      if crashed then
-        (* killed before the session ever opened: nothing to ledger *)
-        { tx_start = 0; tx_stop = 0; tx_ev0 = 0; tx_ev1 = 0; tx_st0 = 0;
-          tx_st1 = 0; tx_opened = false; tx_status = `Entry_crash }
-      else begin
-        (* first turn: the session's setup (concolic pass, phase
-           division, seeding) is charged against this turn's budget. The
-           session's runtime is private — fresh registry, RNG reseeded
-           from the config so every seed's run is reproducible in
-           isolation, fresh quarantine, fresh arena — and its prefix cap
-           is the pool's current (possibly degraded) one, recorded for
-           replay. *)
-        let cap = eff_prefix_cap () in
-        opened_caps.(ordinal) <- (match cap with Some c -> c | None -> -1);
-        let rt = derive_session_rt ~prefix_cap:cap in
-        let s =
-          open_session ~config ~runtime:rt ~reset_telemetry:false prog
-            ~seed:slot.Seed_slot.seed ~deadline:budget
+      merge_blocks := !merge_blocks + fresh;
+      Telemetry.add tm_merge_blocks fresh;
+      fresh
+    in
+    let harvest_bugs (slot : Seed_slot.t) session =
+      List.iter
+        (fun bug ->
+          let ((gid, bkind) as key) = Bug.dedup_key bug in
+          if not (Hashtbl.mem bug_keys key) then begin
+            Hashtbl.replace bug_keys key ();
+            slot.Seed_slot.bugs <- slot.Seed_slot.bugs + 1;
+            incr merge_bug_count;
+            Telemetry.incr tm_merge_bugs;
+            merged_bugs := (bug, Session.session_bug_phase session bug) :: !merged_bugs;
+            bug_refs := (slot.Seed_slot.ordinal, gid, bkind) :: !bug_refs
+          end)
+        (Executor.bugs (Session.session_executor session))
+    in
+    (* The worker half of a turn: everything here touches only the slot's
+       own session, its private runtime and its own cells of the
+       per-ordinal arrays, so it is safe on any domain. *)
+    let exec_turn (slot : Seed_slot.t) ~budget =
+      let ordinal = slot.Seed_slot.ordinal in
+      crash_draws.(ordinal) <- crash_draws.(ordinal) + 1;
+      let crashed = Inject.fire_turn_crash crash_injects.(ordinal) in
+      match sessions.(ordinal) with
+      | Some (rt, s) ->
+        let start = Session.session_time s in
+        let ev0 = Quarantine.evicted rt.Runtime.quarantine in
+        let st0 = Quarantine.total_strikes rt.Runtime.quarantine in
+        let status =
+          if crashed then begin
+            Session.record_crash s ~detail:"injected-crash";
+            `Injected
+          end
+          else (Session.step_contained s ~deadline:(start + budget) :> [ `Stepped | `Failed | `Injected | `Entry_crash ])
         in
-        sessions.(ordinal) <- Some (rt, s);
-        let status = step_contained s ~deadline:budget in
         {
-          tx_start = 0;
-          tx_stop = Vclock.now s.s_clock;
-          tx_ev0 = 0;
+          tx_start = start;
+          tx_stop = Session.session_time s;
+          tx_ev0 = ev0;
           tx_ev1 = Quarantine.evicted rt.Runtime.quarantine;
-          tx_st0 = 0;
+          tx_st0 = st0;
           tx_st1 = Quarantine.total_strikes rt.Runtime.quarantine;
-          tx_opened = true;
+          tx_opened = false;
           tx_status = status;
         }
-      end
-  in
-  (* The barrier half: runs on the coordinating domain, in plan order,
-     after every turn of the round has been joined. Works only from the
-     [turn_exec] capture — by merge time, later sub-turns of the same
-     lease have already advanced the session. *)
-  let merge_turn (slot : Seed_slot.t) ~budget tx =
-    let ordinal = slot.Seed_slot.ordinal in
-    incr turns_since_ck;
-    match tx.tx_status with
-    | `Entry_crash ->
-      (* charge one tick (a zero-spent turn would silently retire the
-         seed; this way it retries opening next round) and record the
-         kill at pool level — there is no session to carry the fault *)
-      spent_acc := !spent_acc + 1;
-      Fault.record pool_faults ~detail:"injected-crash" ~vtime:!spent_acc
-        Fault.Exec_exception;
-      slot.Seed_slot.timeouts <- slot.Seed_slot.timeouts + 1;
-      incr degrade_faults;
-      let force_retire =
-        config.robust.watchdog_strikes > 0
-        && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
-      in
-      { Campaign.spent = 1; new_blocks = 0; finished = force_retire }
-    | (`Stepped | `Failed | `Injected) as status ->
-      let _rt, session =
-        match sessions.(ordinal) with Some pair -> pair | None -> assert false
-      in
-      if tx.tx_opened then opened := slot :: !opened;
-      let spent = tx.tx_stop - tx.tx_start in
-      (* ledger the turn for resume replay: injected kills replay as a
-         tick, everything else (including real contained crashes, which
-         are deterministic) replays as a normal step *)
-      let event =
-        match status with
-        | `Injected -> Snapshot.Crash "injected-crash"
-        | `Stepped | `Failed ->
-          Snapshot.Step { deadline = tx.tx_start + budget; budget }
-      in
-      turn_events.(ordinal) <- event :: turn_events.(ordinal);
-      slot.Seed_slot.quarantined <-
-        slot.Seed_slot.quarantined + (tx.tx_ev1 - tx.tx_ev0);
-      slot.Seed_slot.strikes <- slot.Seed_slot.strikes + (tx.tx_st1 - tx.tx_st0);
-      harvest_bugs slot session;
-      let fresh = merge_coverage session in
-      let overran =
-        match status with
-        | `Injected -> false
-        | `Stepped | `Failed ->
-          (* same decision — and the same session fault — the replay's
-             [watchdog_check] reaches right after re-running this step *)
-          if watchdog_overran ~budget ~spent then begin
-            Fault.record (Executor.faults session.s_exec) ~detail:"turn-timeout"
-              ~vtime:tx.tx_stop Fault.Turn_timeout;
-            true
-          end
-          else false
-      in
-      let struck = overran || status <> `Stepped in
-      if struck then begin
+      | None ->
+        if crashed then
+          (* killed before the session ever opened: nothing to ledger *)
+          { tx_start = 0; tx_stop = 0; tx_ev0 = 0; tx_ev1 = 0; tx_st0 = 0;
+            tx_st1 = 0; tx_opened = false; tx_status = `Entry_crash }
+        else begin
+          (* first turn: the session's setup (concolic pass, phase
+             division, seeding) is charged against this turn's budget. The
+             session's runtime is private — fresh registry, RNG reseeded
+             from the config so every seed's run is reproducible in
+             isolation, fresh quarantine, fresh arena — and its prefix cap
+             is the pool's current (possibly degraded) one, recorded for
+             replay. *)
+          let cap = eff_prefix_cap () in
+          opened_caps.(ordinal) <- (match cap with Some c -> c | None -> -1);
+          let rt = derive_session_rt ~prefix_cap:cap in
+          let s =
+            Session.open_session ~config ~runtime:rt ~reset_telemetry:false ?share prog
+              ~seed:slot.Seed_slot.seed ~deadline:budget
+          in
+          sessions.(ordinal) <- Some (rt, s);
+          let status =
+            (Session.step_contained s ~deadline:budget
+              :> [ `Stepped | `Failed | `Injected | `Entry_crash ])
+          in
+          {
+            tx_start = 0;
+            tx_stop = Session.session_time s;
+            tx_ev0 = 0;
+            tx_ev1 = Quarantine.evicted rt.Runtime.quarantine;
+            tx_st0 = 0;
+            tx_st1 = Quarantine.total_strikes rt.Runtime.quarantine;
+            tx_opened = true;
+            tx_status = status;
+          }
+        end
+    in
+    (* The barrier half: runs on the coordinating domain, in plan order,
+       after every turn of the round has been joined. Works only from the
+       [turn_exec] capture — by merge time, later sub-turns of the same
+       lease have already advanced the session. *)
+    let merge_turn (slot : Seed_slot.t) ~budget tx =
+      let ordinal = slot.Seed_slot.ordinal in
+      incr turns_since_ck;
+      match tx.tx_status with
+      | `Entry_crash ->
+        (* charge one tick (a zero-spent turn would silently retire the
+           seed; this way it retries opening next round) and record the
+           kill at pool level — there is no session to carry the fault *)
+        spent_acc := !spent_acc + 1;
+        Fault.record pool_faults ~detail:"injected-crash" ~vtime:!spent_acc
+          Fault.Exec_exception;
         slot.Seed_slot.timeouts <- slot.Seed_slot.timeouts + 1;
-        incr degrade_faults
-      end;
-      spent_acc := !spent_acc + spent;
-      let force_retire =
-        config.robust.watchdog_strikes > 0
-        && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
-      in
-      {
-        Campaign.spent;
-        new_blocks = fresh;
-        finished = session_drained session || force_retire;
-      }
-  in
-  let on_round n =
-    incr rounds;
-    Telemetry.incr tm_rounds;
-    if n >= 2 then begin
-      parallel_turns := !parallel_turns + n;
-      Telemetry.add tm_parallel_turns n
-    end
-  in
-  let sched =
-    factory ~registry:pool_registry ~time_period:config.concolic.time_period
-      (List.filter (fun (sl : Seed_slot.t) -> not sl.Seed_slot.retired) slots)
-  in
-  (match resume with
-   | Some (sn, _) ->
-     sched.Pool_scheduler.stats.Pool_scheduler.turns <- sn.Snapshot.sn_sched_turns;
-     sched.Pool_scheduler.stats.Pool_scheduler.rotations <- sn.Snapshot.sn_sched_rotations;
-     sched.Pool_scheduler.stats.Pool_scheduler.retirements <-
-       sn.Snapshot.sn_sched_retirements;
-     sched.Pool_scheduler.restore_state sn.Snapshot.sn_sched_state
-   | None -> ());
-  let slot_state (slot : Seed_slot.t) =
-    let ordinal = slot.Seed_slot.ordinal in
-    let clock, coverage =
-      match sessions.(ordinal) with
-      | Some (_, s) ->
-        (Vclock.now s.s_clock, Coverage.count (Executor.coverage s.s_exec))
-      | None -> (0, 0)
+        incr degrade_faults;
+        let force_retire =
+          config.robust.watchdog_strikes > 0
+          && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
+        in
+        { Campaign.spent = 1; new_blocks = 0; finished = force_retire }
+      | (`Stepped | `Failed | `Injected) as status ->
+        let _rt, session =
+          match sessions.(ordinal) with Some pair -> pair | None -> assert false
+        in
+        if tx.tx_opened then opened := slot :: !opened;
+        let spent = tx.tx_stop - tx.tx_start in
+        (* ledger the turn for resume replay: injected kills replay as a
+           tick, everything else (including real contained crashes, which
+           are deterministic) replays as a normal step *)
+        let event =
+          match status with
+          | `Injected -> Snapshot.Crash "injected-crash"
+          | `Stepped | `Failed ->
+            Snapshot.Step { deadline = tx.tx_start + budget; budget }
+        in
+        turn_events.(ordinal) <- event :: turn_events.(ordinal);
+        slot.Seed_slot.quarantined <-
+          slot.Seed_slot.quarantined + (tx.tx_ev1 - tx.tx_ev0);
+        slot.Seed_slot.strikes <- slot.Seed_slot.strikes + (tx.tx_st1 - tx.tx_st0);
+        harvest_bugs slot session;
+        let fresh = merge_coverage session in
+        let overran =
+          match status with
+          | `Injected -> false
+          | `Stepped | `Failed ->
+            (* same decision — and the same session fault — the replay's
+               [watchdog_check] reaches right after re-running this step *)
+            if watchdog_overran ~budget ~spent then begin
+              Fault.record
+                (Executor.faults (Session.session_executor session))
+                ~detail:"turn-timeout" ~vtime:tx.tx_stop Fault.Turn_timeout;
+              true
+            end
+            else false
+        in
+        let struck = overran || status <> `Stepped in
+        if struck then begin
+          slot.Seed_slot.timeouts <- slot.Seed_slot.timeouts + 1;
+          incr degrade_faults
+        end;
+        spent_acc := !spent_acc + spent;
+        let force_retire =
+          config.robust.watchdog_strikes > 0
+          && slot.Seed_slot.timeouts >= config.robust.watchdog_strikes
+        in
+        {
+          Campaign.spent;
+          new_blocks = fresh;
+          finished = Session.session_drained session || force_retire;
+        }
     in
-    {
-      Snapshot.sl_ordinal = ordinal;
-      sl_bytes = slot.Seed_slot.size;
-      sl_turns = slot.Seed_slot.turns;
-      sl_granted = slot.Seed_slot.granted;
-      sl_dwell = slot.Seed_slot.dwell;
-      sl_new_blocks = slot.Seed_slot.new_blocks;
-      sl_bugs = slot.Seed_slot.bugs;
-      sl_quarantined = slot.Seed_slot.quarantined;
-      sl_strikes = slot.Seed_slot.strikes;
-      sl_timeouts = slot.Seed_slot.timeouts;
-      sl_retired = slot.Seed_slot.retired;
-      sl_clock = clock;
-      sl_coverage = coverage;
-      sl_prefix_cap = opened_caps.(ordinal);
-      sl_crash_draws = crash_draws.(ordinal);
-      sl_events = List.rev turn_events.(ordinal);
-    }
-  in
-  let write_checkpoint ck =
-    let t0 = Sys.time () in
-    let sn =
-      {
-        Snapshot.sn_meta =
-          ck.ck_meta
-          @ [
-              ("scheduler", scheduler);
-              ("jobs", string_of_int jobs);
-              ("lease", string_of_int lease);
-              ("deadline", string_of_int deadline);
-              ( "telemetry",
-                if Telemetry.Registry.enabled pool_registry then "1" else "0" );
-            ]
-          @ config_to_kvs config;
-        sn_deadline = deadline;
-        sn_spent = !spent_acc;
-        sn_rounds = !rounds;
-        sn_parallel_turns = !parallel_turns;
-        sn_merge_blocks = !merge_blocks;
-        sn_merge_bugs = !merge_bug_count;
-        (* count this write too: resume burns one snapshot-channel draw
-           per write, including the one just below *)
-        sn_checkpoints = !checkpoints_written + 1;
-        sn_degrade_faults = !degrade_faults;
-        sn_sched_turns = sched.Pool_scheduler.stats.Pool_scheduler.turns;
-        sn_sched_rotations = sched.Pool_scheduler.stats.Pool_scheduler.rotations;
-        sn_sched_retirements = sched.Pool_scheduler.stats.Pool_scheduler.retirements;
-        sn_sched_state = sched.Pool_scheduler.state ();
-        sn_pool_faults =
-          List.map (fun k -> (Fault.label k, Fault.count pool_faults k)) Fault.all;
-        sn_opened =
-          List.rev_map (fun (sl : Seed_slot.t) -> sl.Seed_slot.ordinal) !opened;
-        sn_counters = Telemetry.Registry.snapshot_counters pool_registry;
-        sn_slots = List.map slot_state slots;
-        sn_bugs =
-          List.rev_map
-            (fun (ordinal, gid, kind) ->
-              { Snapshot.br_slot = ordinal; br_gid = gid; br_kind = kind })
-            !bug_refs;
-      }
-    in
-    let doc = Snapshot.to_string sn in
-    let doc =
-      if Inject.fire_snapshot_corrupt pool_inject then begin
-        (* flip one byte mid-document; the checksum catches it on load *)
-        let b = Bytes.of_string doc in
-        Bytes.set b (Bytes.length b / 2) '#';
-        Bytes.to_string b
+    let on_round n =
+      incr rounds;
+      Telemetry.incr tm_rounds;
+      if n >= 2 then begin
+        parallel_turns := !parallel_turns + n;
+        Telemetry.add tm_parallel_turns n
       end
-      else doc
     in
-    Snapshot.save_string ~path:ck.ck_path doc;
-    incr checkpoints_written;
-    turns_since_ck := 0;
-    match ck.ck_note_ms with
-    | Some note -> note (int_of_float ((Sys.time () -. t0) *. 1000.0))
-    | None -> ()
-  in
-  let after_round () =
-    match checkpoint with
-    | None -> true
-    | Some ck ->
-      let halt =
-        match ck.ck_halt_after with Some n -> !rounds >= n | None -> false
+    let sched =
+      factory ~registry:pool_registry ~time_period:config.concolic.time_period
+        (List.filter (fun (sl : Seed_slot.t) -> not sl.Seed_slot.retired) slots)
+    in
+    (match resume with
+     | Some (sn, _) ->
+       sched.Pool_scheduler.stats.Pool_scheduler.turns <- sn.Snapshot.sn_sched_turns;
+       sched.Pool_scheduler.stats.Pool_scheduler.rotations <- sn.Snapshot.sn_sched_rotations;
+       sched.Pool_scheduler.stats.Pool_scheduler.retirements <-
+         sn.Snapshot.sn_sched_retirements;
+       sched.Pool_scheduler.restore_state sn.Snapshot.sn_sched_state
+     | None -> ());
+    let slot_state (slot : Seed_slot.t) =
+      let ordinal = slot.Seed_slot.ordinal in
+      let clock, coverage =
+        match sessions.(ordinal) with
+        | Some (_, s) ->
+          ( Session.session_time s,
+            Coverage.count (Executor.coverage (Session.session_executor s)) )
+        | None -> (0, 0)
       in
-      if halt || !turns_since_ck >= ck.ck_every then write_checkpoint ck;
-      not halt
-  in
-  let spent =
-    Campaign.run_rounds ~on_round ~after_round ~lease ~pool ~sched
-      ~deadline:(deadline - !base_spent) ~jobs:eff_jobs ~run:exec_turn
-      ~merge:merge_turn ()
-  in
-  List.iter
-    (fun (slot : Seed_slot.t) ->
-      match sessions.(slot.Seed_slot.ordinal) with
-      | Some (rt, s) ->
-        slot.Seed_slot.faults <- Fault.total (Executor.faults s.s_exec);
-        (* fold the session's instruments into the pool registry, in
-           ordinal order — the aggregate report covers the campaign *)
-        Telemetry.Registry.merge_into ~into:pool_registry rt.Runtime.registry;
-        incr merge_registries;
-        Telemetry.incr tm_merge_registries
-      | None -> ())
-    slots;
-  let runs =
-    List.rev_map
+      {
+        Snapshot.sl_ordinal = ordinal;
+        sl_bytes = slot.Seed_slot.size;
+        sl_turns = slot.Seed_slot.turns;
+        sl_granted = slot.Seed_slot.granted;
+        sl_dwell = slot.Seed_slot.dwell;
+        sl_new_blocks = slot.Seed_slot.new_blocks;
+        sl_bugs = slot.Seed_slot.bugs;
+        sl_quarantined = slot.Seed_slot.quarantined;
+        sl_strikes = slot.Seed_slot.strikes;
+        sl_timeouts = slot.Seed_slot.timeouts;
+        sl_retired = slot.Seed_slot.retired;
+        sl_clock = clock;
+        sl_coverage = coverage;
+        sl_prefix_cap = opened_caps.(ordinal);
+        sl_crash_draws = crash_draws.(ordinal);
+        sl_events = List.rev turn_events.(ordinal);
+      }
+    in
+    let write_checkpoint ck =
+      let t0 = Sys.time () in
+      let sn =
+        {
+          Snapshot.sn_meta =
+            ck.ck_meta
+            @ [
+                ("scheduler", scheduler);
+                ("jobs", string_of_int jobs);
+                ("lease", string_of_int lease);
+                ("deadline", string_of_int deadline);
+                ( "telemetry",
+                  if Telemetry.Registry.enabled pool_registry then "1" else "0" );
+              ]
+            @ config_to_kvs config;
+          sn_deadline = deadline;
+          sn_spent = !spent_acc;
+          sn_rounds = !rounds;
+          sn_parallel_turns = !parallel_turns;
+          sn_merge_blocks = !merge_blocks;
+          sn_merge_bugs = !merge_bug_count;
+          (* count this write too: resume burns one snapshot-channel draw
+             per write, including the one just below *)
+          sn_checkpoints = !checkpoints_written + 1;
+          sn_degrade_faults = !degrade_faults;
+          sn_sched_turns = sched.Pool_scheduler.stats.Pool_scheduler.turns;
+          sn_sched_rotations = sched.Pool_scheduler.stats.Pool_scheduler.rotations;
+          sn_sched_retirements = sched.Pool_scheduler.stats.Pool_scheduler.retirements;
+          sn_sched_state = sched.Pool_scheduler.state ();
+          sn_pool_faults =
+            List.map (fun k -> (Fault.label k, Fault.count pool_faults k)) Fault.all;
+          sn_opened =
+            List.rev_map (fun (sl : Seed_slot.t) -> sl.Seed_slot.ordinal) !opened;
+          sn_counters = Telemetry.Registry.snapshot_counters pool_registry;
+          sn_slots = List.map slot_state slots;
+          sn_bugs =
+            List.rev_map
+              (fun (ordinal, gid, kind) ->
+                { Snapshot.br_slot = ordinal; br_gid = gid; br_kind = kind })
+              !bug_refs;
+        }
+      in
+      let doc = Snapshot.to_string sn in
+      let doc =
+        if Inject.fire_snapshot_corrupt pool_inject then begin
+          (* flip one byte mid-document; the checksum catches it on load *)
+          let b = Bytes.of_string doc in
+          Bytes.set b (Bytes.length b / 2) '#';
+          Bytes.to_string b
+        end
+        else doc
+      in
+      Snapshot.save_string ~path:ck.ck_path doc;
+      incr checkpoints_written;
+      turns_since_ck := 0;
+      match ck.ck_note_ms with
+      | Some note -> note (int_of_float ((Sys.time () -. t0) *. 1000.0))
+      | None -> ()
+    in
+    let after_round () =
+      match checkpoint with
+      | None -> true
+      | Some ck ->
+        let halt =
+          match ck.ck_halt_after with Some n -> !rounds >= n | None -> false
+        in
+        if halt || !turns_since_ck >= ck.ck_every then write_checkpoint ck;
+        not halt
+    in
+    let spent =
+      Campaign.run_rounds ~on_round ~after_round ~lease ?round_wrap ~pool ~sched
+        ~deadline:(deadline - !base_spent) ~jobs:eff_jobs ~run:exec_turn
+        ~merge:merge_turn ()
+    in
+    List.iter
       (fun (slot : Seed_slot.t) ->
         match sessions.(slot.Seed_slot.ordinal) with
-        | Some (_, s) -> (slot.Seed_slot.seed, finish_session s)
-        | None -> assert false)
-      !opened
+        | Some (rt, s) ->
+          slot.Seed_slot.faults <-
+            Fault.total (Executor.faults (Session.session_executor s));
+          (* publish the session's solver residue for future sessions of
+             this share (ordinal order, first writer per prefix wins) *)
+          (match share with
+           | Some sh -> Session.share_publish_hints sh (Session.export_prefix_hints s)
+           | None -> ());
+          (* fold the session's instruments into the pool registry, in
+             ordinal order — the aggregate report covers the campaign *)
+          Telemetry.Registry.merge_into ~into:pool_registry rt.Runtime.registry;
+          incr merge_registries;
+          Telemetry.incr tm_merge_registries
+        | None -> ())
+      slots;
+    let runs =
+      List.rev_map
+        (fun (slot : Seed_slot.t) ->
+          match sessions.(slot.Seed_slot.ordinal) with
+          | Some (_, s) -> (slot.Seed_slot.seed, Session.finish_session s)
+          | None -> assert false)
+        !opened
+    in
+    (* store members, in the same first-turn order as [runs] *)
+    let members =
+      List.rev_map
+        (fun (slot : Seed_slot.t) ->
+          match sessions.(slot.Seed_slot.ordinal) with
+          | Some (_, s) ->
+            ( Session_store.session_key ~target:target_name ~seed:slot.Seed_slot.seed
+                ~config_fp,
+              slot.Seed_slot.seed,
+              s )
+          | None -> assert false)
+        !opened
+    in
+    let steal_count = Domain_pool.steals pool - steals0 in
+    let pinned_turns = Domain_pool.pinned pool - pinned0 in
+    let id_refills = Expr.id_block_refills () - id_refills0 in
+    Telemetry.add tm_steal_count steal_count;
+    Telemetry.add tm_pinned_turns pinned_turns;
+    Telemetry.add tm_id_refills id_refills;
+    ( {
+        runs;
+        merged_coverage = Hashtbl.length merged;
+        merged_bugs = List.rev !merged_bugs;
+        pool_scheduler = sched.Pool_scheduler.name;
+        seed_rows = List.map Seed_slot.stat_row slots;
+        pool_stats = sched.Pool_scheduler.stats;
+        pool_deadline = deadline;
+        pool_spent = !base_spent + spent;
+        pool_rounds = !rounds;
+        pool_parallel_turns = !parallel_turns;
+        pool_merge_blocks = !merge_blocks;
+        pool_merge_bugs = !merge_bug_count;
+        pool_merge_registries = !merge_registries;
+        pool_faults;
+        pool_registry;
+        pool_steal_count = steal_count;
+        pool_pinned_turns = pinned_turns;
+        pool_id_refills = id_refills;
+        pool_shared_seedstates =
+          (match share with
+           | Some sh -> snd (Session.share_stats sh) - share_hits0
+           | None -> 0);
+      },
+      members )
   in
-  let steal_count = Domain_pool.steals pool in
-  let pinned_turns = Domain_pool.pinned pool in
-  let id_refills = Expr.id_block_refills () - id_refills0 in
-  Telemetry.add tm_steal_count steal_count;
-  Telemetry.add tm_pinned_turns pinned_turns;
-  Telemetry.add tm_id_refills id_refills;
-  {
-    runs;
-    merged_coverage = Hashtbl.length merged;
-    merged_bugs = List.rev !merged_bugs;
-    pool_scheduler = sched.Pool_scheduler.name;
-    seed_rows = List.map Seed_slot.stat_row slots;
-    pool_stats = sched.Pool_scheduler.stats;
-    pool_deadline = deadline;
-    pool_spent = !base_spent + spent;
-    pool_rounds = !rounds;
-    pool_parallel_turns = !parallel_turns;
-    pool_merge_blocks = !merge_blocks;
-    pool_merge_bugs = !merge_bug_count;
-    pool_merge_registries = !merge_registries;
-    pool_faults;
-    pool_registry;
-    pool_steal_count = steal_count;
-    pool_pinned_turns = pinned_turns;
-    pool_id_refills = id_refills;
-  }
+  (* The warm path: only a plain campaign is cacheable — checkpointing,
+     resume and preloaded faults describe one concrete execution. On a
+     hit the memoised sessions are re-finished (valid at any time; no
+     engine work) into runs byte-identical to the cold campaign's. *)
+  let cacheable =
+    Option.is_none checkpoint && Option.is_none resume && preload_faults = []
+  in
+  match store with
+  | Some st when cacheable -> (
+    let fingerprint = campaign_fingerprint () in
+    match Session_store.find_campaign st ~fingerprint with
+    | Some (members, residue) ->
+      {
+        residue with
+        runs = List.map (fun (seed, s) -> (seed, Session.finish_session s)) members;
+      }
+    | None ->
+      let result, members = run_cold () in
+      Session_store.put_campaign st ~fingerprint ~sessions:members result;
+      result)
+  | _ -> fst (run_cold ())
 
 (* Aggregate pool report: pool-level metrics first (merged coverage and
    deduplicated bugs replace the per-run values, which would double

@@ -1,44 +1,31 @@
 (** The pbSE driver — the paper's contribution (Algorithms 1 and 3).
 
-    Pipeline: concolic execution of the seed (gathering BBVs and
-    seedStates), phase division with trap identification, then
-    phase-scheduled symbolic execution:
-
-    - seedStates are mapped to the phase of the interval in which their
-      fork point was reached, deduplicated per fork location (keeping the
-      earliest, §III-B3);
-    - phase turns are granted by a pluggable scheduling policy
-      ({!Pbse_sched.Scheduler}); the default is the paper's round-robin
-      in order of first appearance, with the turn budget growing by one
-      [time_period] per full rotation;
-    - a phase's turn ends when it exhausts its budget and its latest
-      slice covered no new code; empty phases leave the rotation.
-
-    Scheduling is supervised: executor and solver failures inside a turn
-    are contained, recorded in a {!Pbse_robust.Fault.log}, and charged a
-    clock tick so fault loops still converge on the deadline. A state
-    that faults repeatedly is quarantined (removed from its searcher)
-    after [max_strikes]; a searcher that raises forfeits its whole phase
-    (the rotation fails over to the remaining queues). Degenerate phase
-    division (no BBVs) falls back to a single phase instead of raising.
-
-    Above single runs sits the campaign layer: {!run_pool} drives a seed
-    pool through seed-level scheduling policies
+    The single-run lifecycle (configuration, [run], resumable sessions,
+    run reports) lives in the session layer ({!Pbse_session.Session})
+    and is re-exported here verbatim, so [Driver.run] /
+    [Driver.open_session] remain the engine-level entry points. What the
+    driver owns is the campaign layer: {!run_pool} drives a seed pool
+    through seed-level scheduling policies
     ({!Pbse_campaign.Pool_scheduler}) built on resumable
-    {!type:session}s, and {!pool_run_report} renders the aggregate into
-    the same [pbse-report/1] document single runs use. *)
+    {!type:session}s — checkpointed, resumable, optionally warmed by a
+    {!Session_store} and shared-seedState-aware — and
+    {!pool_run_report} renders the aggregate into the same
+    [pbse-report/1] document single runs use. *)
+
+module Session = Pbse_session.Session
+module Session_store = Pbse_session.Session_store
 
 (** {1 Configuration}
 
-    The configuration is grouped by concern. Build one from
-    {!default_config} with the [with_*] helpers:
+    Re-exported from {!Session}. Build one from {!default_config} with
+    the [with_*] helpers:
     {[
       Driver.default_config
       |> Driver.with_concolic (fun c -> { c with time_period = 500 })
       |> Driver.with_search (fun s -> { s with scheduler = "sequential" })
     ]} *)
 
-type concolic_config = {
+type concolic_config = Session.concolic_config = {
   interval_length : int option; (* BBV interval; None sizes it from a
                                    concrete pre-run of the seed *)
   intervals_target : int; (* BBVs aimed for when auto-sizing (default 120) *)
@@ -48,7 +35,7 @@ type concolic_config = {
 }
 (** The concolic pass and phase-division inputs. *)
 
-type search_config = {
+type search_config = Session.search_config = {
   phase_searcher : string; (* searcher used inside each phase *)
   scheduler : string; (* scheduling policy (Pbse_sched.Scheduler.names);
                          "round-robin" is the paper's Algorithm 3,
@@ -58,16 +45,18 @@ type search_config = {
   max_live : int;
   dedup_seed_states : bool; (* keep earliest per fork point (paper) *)
   max_k : int; (* k-means upper bound (paper: 20) *)
+  share_seed_states : bool; (* campaign-wide seedState dedup across
+                               seeds (Session.share); default false *)
 }
 (** State search and phase scheduling. *)
 
-type solver_config = {
+type solver_config = Session.solver_config = {
   budget : int; (* work units per query *)
   retry_cap : int; (* upper bound for escalating solver retries *)
   prefix_cap : int; (* prefix-context LRU bound (Pbse_smt.Prefix_ctx) *)
 }
 
-type robust_config = {
+type robust_config = Session.robust_config = {
   confirm_bugs : bool;
   max_strikes : int; (* faults a state survives before quarantine *)
   inject : Pbse_robust.Inject.plan; (* deterministic fault injection *)
@@ -81,7 +70,7 @@ type robust_config = {
                           solver prefix cap; 0 disables degradation *)
 }
 
-type config = {
+type config = Session.config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
@@ -115,7 +104,7 @@ val interval_length_for :
 
 (** {1 Single runs} *)
 
-type report = {
+type report = Session.report = {
   config : config;
   seed_size : int;
   c_time : int; (* virtual time of the concolic step *)
@@ -153,16 +142,7 @@ val run :
   seed:bytes ->
   deadline:int ->
   report
-(** End-to-end pbSE on one seed. The deadline is in virtual time and
-    includes the concolic and analysis steps. [runtime] is the explicit
-    context the run executes in ({!Runtime}); by default one is built
-    from the config over the process-global registry, so when telemetry
-    is enabled ({!Pbse_telemetry.Telemetry.set_enabled}) the registry is
-    reset at the start of the run and {!run_report} snapshots this run
-    only. [quarantine] lets a caller persist quarantine records across
-    runs (a new {!Pbse_robust.Quarantine.epoch} is started); by default
-    each run gets a fresh quarantine. The report's
-    [quarantined]/[strikes] are this run's deltas either way. *)
+(** End-to-end pbSE on one seed ({!Session.run}). *)
 
 (** {1 Resumable sessions}
 
@@ -172,7 +152,7 @@ val run :
     rotation state survives between steps, so a resumed session
     continues exactly where it paused. *)
 
-type session
+type session = Session.t
 (** One seed's engine with setup done (concolic pass, phase division,
     seeded queues) and scheduling state live. *)
 
@@ -181,19 +161,16 @@ val open_session :
   ?quarantine:Pbse_robust.Quarantine.t ->
   ?runtime:Runtime.t ->
   ?reset_telemetry:bool ->
+  ?share:Session.share ->
   Pbse_ir.Types.program ->
   seed:bytes ->
   deadline:int ->
   session
-(** Runs the concolic and phase-analysis steps (charged to the
-    session's clock) and seeds the phase queues; [deadline] bounds the
-    concolic pass only. [runtime] is the session's context — registry,
-    RNG, inject plan, quarantine, expression arena ({!Runtime.activate}
-    is called on the opening domain); omitted, one is built from the
-    config ([quarantine], when given, overrides the runtime's).
-    [reset_telemetry] (default [true]) resets the session's registry
-    when telemetry is enabled — pool campaigns pass [false] and reset
-    the pool registry once for the whole campaign. *)
+(** {!Session.open_session}: runs the concolic and phase-analysis steps
+    (charged to the session's clock) and seeds the phase queues;
+    [deadline] bounds the concolic pass only. [share] is the
+    campaign-wide seedState/solver-residue table, consulted only when
+    [config.search.share_seed_states] is on. *)
 
 val step_session : session -> deadline:int -> unit
 (** Phase-scheduled symbolic execution until [deadline] on the
@@ -264,6 +241,11 @@ type pool_report = {
   pool_id_refills : int;
       (* expression id-block refills during the campaign
          ({!Pbse_smt.Expr.id_block_refills}) *)
+  pool_shared_seedstates : int;
+      (* seedStates skipped because another session of this campaign
+         already published their fork point ({!Session.share_stats}
+         hits, as a delta over this campaign). Diagnostic like the
+         above: 0 unless [search.share_seed_states] is on *)
 }
 
 type checkpoint
@@ -297,6 +279,10 @@ val run_pool :
   ?checkpoint:checkpoint ->
   ?resume:Pbse_campaign.Snapshot.t * string option ->
   ?preload_faults:(Pbse_robust.Fault.kind * string) list ->
+  ?pool:Pbse_campaign.Domain_pool.t ->
+  ?store:pool_report Session_store.t ->
+  ?target:string ->
+  ?round_wrap:((unit -> unit) -> unit) ->
   Pbse_ir.Types.program ->
   seeds:bytes list ->
   deadline:int ->
@@ -324,9 +310,9 @@ val run_pool :
     registry) in ordinal order. Every field of the result — and the
     byte-exact {!pool_run_report} JSON — is identical for every [jobs]
     value at any fixed [lease] (docs/parallelism.md); the
-    [pool_steal_count]/[pool_pinned_turns]/[pool_id_refills]
-    diagnostics are the deliberate exception. Raises [Invalid_argument]
-    on an unknown policy name.
+    [pool_steal_count]/[pool_pinned_turns]/[pool_id_refills]/
+    [pool_shared_seedstates] diagnostics are the deliberate exception.
+    Raises [Invalid_argument] on an unknown policy name.
 
     Robustness (docs/robustness.md): [checkpoint] snapshots the campaign
     at round barriers; [resume] reinstates a snapshot — with an optional
@@ -340,7 +326,28 @@ val run_pool :
     the effective [jobs] and prefix cap down without aborting the
     campaign. [preload_faults] enters faults on the pool record before
     the first round — the CLI uses it when a campaign restarts fresh
-    because every checkpoint was unusable. *)
+    because every checkpoint was unusable.
+
+    Session layer (docs/architecture.md): [pool] runs the campaign on a
+    caller-owned {!Pbse_campaign.Domain_pool} (left running afterwards;
+    by default the campaign creates and shuts down its own), and
+    [round_wrap] brackets each executed round (dispatch through merges)
+    — together they let a server multiplex several campaigns onto one
+    shared pool with round-granular fair sharing. [store] memoises the
+    finished campaign's sessions and pool report under a campaign
+    fingerprint ([target], config fingerprint, policy, lease, deadline,
+    telemetry enablement and the seed digests; [jobs] deliberately
+    excluded — reports are jobs-invariant), and an identical later call
+    is served from the store: live sessions are re-finished instead of
+    re-running concolic bootstrap, with byte-identical report JSON.
+    Checkpointing, resuming or preloading faults disables the memo for
+    that call (durability features describe one concrete execution).
+    With [config.search.share_seed_states] on, every session of the
+    campaign publishes and consults a shared seedState table (the
+    store's campaign-spanning one when [store] is given): fork points
+    already published by another session are scheduled once
+    campaign-wide, and finished sessions' solver prefix residue seeds
+    fresh ones. *)
 
 val load_snapshot :
   path:string -> (Pbse_campaign.Snapshot.t * string option, string) result

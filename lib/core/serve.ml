@@ -1,0 +1,274 @@
+module Pool_scheduler = Pbse_campaign.Pool_scheduler
+module Domain_pool = Pbse_campaign.Domain_pool
+module Telemetry = Pbse_telemetry.Telemetry
+module Report = Pbse_telemetry.Report
+module Json = Pbse_telemetry.Json
+module Session_store = Pbse_session.Session_store
+
+type stats = {
+  sv_clients : int;
+  sv_requests : int;
+  sv_errors : int;
+  sv_store_hits : int;
+  sv_store_misses : int;
+  sv_store_evictions : int;
+}
+
+(* --- fair-share round arbiter ----------------------------------------------
+
+   One shared domain pool, many concurrent campaigns: each campaign
+   wraps every round (dispatch through merges) in [wrap], which grants
+   pool occupancy in strict ticket order. Campaigns therefore interleave
+   at round granularity — a long campaign cannot starve a short one for
+   more than one round — while the barriers inside a round stay
+   untouched, keeping per-round determinism. *)
+
+type arbiter = {
+  arb_mutex : Mutex.t;
+  arb_cond : Condition.t;
+  mutable arb_next : int; (* next ticket to hand out *)
+  mutable arb_serving : int; (* ticket currently allowed to run *)
+}
+
+let arbiter_create () =
+  {
+    arb_mutex = Mutex.create ();
+    arb_cond = Condition.create ();
+    arb_next = 0;
+    arb_serving = 0;
+  }
+
+let arbiter_wrap arb f =
+  let ticket =
+    Mutex.protect arb.arb_mutex (fun () ->
+        let t = arb.arb_next in
+        arb.arb_next <- t + 1;
+        t)
+  in
+  Mutex.lock arb.arb_mutex;
+  while arb.arb_serving <> ticket do
+    Condition.wait arb.arb_cond arb.arb_mutex
+  done;
+  Mutex.unlock arb.arb_mutex;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect arb.arb_mutex (fun () ->
+          arb.arb_serving <- arb.arb_serving + 1;
+          Condition.broadcast arb.arb_cond))
+    f
+
+(* --- request protocol ------------------------------------------------------
+
+   One request per connection: a single line of JSON in, one framed
+   response out. The response header is one line — "pbse-serve/1 ok
+   NBYTES" or "pbse-serve/1 error MESSAGE" — followed (ok only) by
+   exactly NBYTES of pbse-report/1 JSON, byte-identical to what `pbse
+   run TARGET --pool --report` writes for the same request. *)
+
+type request = {
+  rq_target : string;
+  rq_deadline : int;
+  rq_pool_scheduler : string;
+  rq_scheduler : string option; (* phase-scheduling policy override *)
+  rq_jobs : int option; (* per-request width, clamped to the pool's *)
+  rq_lease : int;
+  rq_share : bool; (* search.share_seed_states for this campaign *)
+}
+
+let default_deadline = 120_000 (* one paper-hour of virtual time *)
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Error ("bad request JSON: " ^ e)
+  | Ok json -> (
+    let str k = Option.bind (Json.member k json) Json.to_str in
+    let int k = Option.bind (Json.member k json) Json.to_int in
+    let bool k = Option.bind (Json.member k json) Json.to_bool in
+    match str "target" with
+    | None -> Error "request needs a \"target\" field"
+    | Some target ->
+      Ok
+        {
+          rq_target = target;
+          rq_deadline = Option.value (int "deadline") ~default:default_deadline;
+          rq_pool_scheduler =
+            Option.value (str "pool_scheduler") ~default:Pool_scheduler.default;
+          rq_scheduler = str "scheduler";
+          rq_jobs = int "jobs";
+          rq_lease = max 1 (Option.value (int "lease") ~default:1);
+          rq_share = Option.value (bool "share") ~default:false;
+        })
+
+(* The CLI's exact `run --pool --report` recipe, against the server's
+   shared pool and store: default config (plus the request's phase
+   scheduler and sharing switch), a fresh runtime per request over a
+   private telemetry-enabled registry — concurrent requests share no
+   registry — and the same report metadata the CLI writes. *)
+let run_request ~pool ~store ~arb ~jobs req prog seeds =
+  if not (List.mem req.rq_pool_scheduler Pool_scheduler.names) then
+    Error
+      (Printf.sprintf "unknown pool scheduler %s (available: %s)"
+         req.rq_pool_scheduler
+         (String.concat ", " Pool_scheduler.names))
+  else if
+    match req.rq_scheduler with
+    | Some s -> not (List.mem s Pbse_sched.Scheduler.names)
+    | None -> false
+  then
+    Error
+      (Printf.sprintf "unknown scheduler %s (available: %s)"
+         (Option.get req.rq_scheduler)
+         (String.concat ", " Pbse_sched.Scheduler.names))
+  else begin
+    let config =
+      Driver.default_config
+      |> Driver.with_search (fun s ->
+             {
+               s with
+               Driver.scheduler =
+                 Option.value req.rq_scheduler
+                   ~default:s.Driver.scheduler;
+               share_seed_states = req.rq_share;
+             })
+    in
+    let runtime =
+      Runtime.create
+        ~registry:(Telemetry.Registry.create ~enabled:true ())
+        ~rng_seed:config.Driver.rng_seed ~inject:config.Driver.robust.Driver.inject
+        ~max_strikes:config.Driver.robust.Driver.max_strikes
+        ~prefix_cap:config.Driver.solver.Driver.prefix_cap ()
+    in
+    match
+      Driver.run_pool ~config ~scheduler:req.rq_pool_scheduler ~runtime
+        ~jobs:(Option.value req.rq_jobs ~default:jobs)
+        ~lease:req.rq_lease ~pool ~store ~target:req.rq_target
+        ~round_wrap:(arbiter_wrap arb) prog ~seeds ~deadline:req.rq_deadline
+    with
+    | report ->
+      let meta =
+        [
+          ("target", req.rq_target);
+          ("seed", "pool");
+          ("deadline", string_of_int req.rq_deadline);
+        ]
+      in
+      Ok (Report.to_json (Driver.pool_run_report ~meta report))
+    | exception e -> Error (Printexc.to_string e)
+  end
+
+let sanitize msg =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+
+let serve ~socket ?(jobs = 2) ?store_cap ?(stop = Atomic.make false) ~lookup () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 16;
+  let registry = Telemetry.Registry.create ~enabled:true () in
+  let ctr_clients = Telemetry.Registry.counter registry "serve.clients" in
+  let ctr_requests = Telemetry.Registry.counter registry "serve.requests" in
+  let ctr_errors = Telemetry.Registry.counter registry "serve.errors" in
+  let clients = Atomic.make 0 in
+  let requests = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let store = Session_store.create ?cap:store_cap ~registry () in
+  let pool = Domain_pool.create ~jobs in
+  let arb = arbiter_create () in
+  let handle_client fd =
+    Atomic.incr clients;
+    Telemetry.incr ctr_clients;
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let respond_error msg =
+      Atomic.incr errors;
+      Telemetry.incr ctr_errors;
+      output_string oc ("pbse-serve/1 error " ^ sanitize msg ^ "\n")
+    in
+    (try
+       (match input_line ic with
+        | exception End_of_file -> () (* client connected and hung up *)
+        | line -> (
+          match parse_request line with
+          | Error e -> respond_error e
+          | Ok req -> (
+            match lookup req.rq_target with
+            | None -> respond_error ("unknown target " ^ req.rq_target)
+            | Some (prog, seeds) -> (
+              match run_request ~pool ~store ~arb ~jobs req prog seeds with
+              | Error e -> respond_error e
+              | Ok body ->
+                Atomic.incr requests;
+                Telemetry.incr ctr_requests;
+                output_string oc
+                  (Printf.sprintf "pbse-serve/1 ok %d\n" (String.length body));
+                output_string oc body))));
+       flush oc
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    try close_out oc with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (* poll so a SIGTERM-set [stop] flag is honoured within ~200ms *)
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept listen_fd with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | fd, _ -> threads := Thread.create handle_client fd :: !threads);
+        accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (* drain in-flight requests before releasing their domain pool *)
+      List.iter Thread.join !threads;
+      Domain_pool.shutdown pool;
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    accept_loop;
+  {
+    sv_clients = Atomic.get clients;
+    sv_requests = Atomic.get requests;
+    sv_errors = Atomic.get errors;
+    sv_store_hits = Session_store.hits store;
+    sv_store_misses = Session_store.misses store;
+    sv_store_evictions = Session_store.evictions store;
+  }
+
+(* --- client ---------------------------------------------------------------- *)
+
+let request ~socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
+  | () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let finish r =
+      (try close_out oc with Sys_error _ | Unix.Unix_error _ -> ());
+      r
+    in
+    (try
+       output_string oc line;
+       if not (String.length line > 0 && line.[String.length line - 1] = '\n')
+       then output_string oc "\n";
+       flush oc;
+       match input_line ic with
+       | exception End_of_file -> finish (Error "server closed the connection")
+       | header -> (
+         match String.split_on_char ' ' header with
+         | "pbse-serve/1" :: "ok" :: n :: _ -> (
+           match int_of_string_opt n with
+           | None -> finish (Error ("bad response header: " ^ header))
+           | Some n -> finish (Ok (really_input_string ic n)))
+         | "pbse-serve/1" :: "error" :: rest ->
+           finish (Error (String.concat " " rest))
+         | _ -> finish (Error ("bad response header: " ^ header)))
+     with
+    | End_of_file -> finish (Error "truncated response")
+    | Sys_error e -> finish (Error e)
+    | Unix.Unix_error (err, _, _) -> finish (Error (Unix.error_message err)))

@@ -1,0 +1,67 @@
+(** [pbse serve] — a long-running campaign server over a Unix-domain
+    socket (docs/architecture.md).
+
+    One process holds one persistent {!Pbse_campaign.Domain_pool} and
+    one {!Pbse_session.Session_store}; each client connection carries
+    one line-delimited JSON campaign request, runs as a
+    {!Driver.run_pool} campaign multiplexed onto the shared pool with
+    fair-share round scheduling (a ticket arbiter passed as
+    [round_wrap], so concurrent campaigns interleave at round
+    granularity), and streams back a [pbse-report/1] document
+    byte-identical to what [pbse run TARGET --pool --report] writes for
+    the same parameters. Repeated requests hit the store's campaign
+    memo and are served from live sessions.
+
+    {2 Protocol}
+
+    Request — one JSON object on one line:
+    {v
+    {"target": "grep-like", "deadline": 120000, "lease": 2}
+    v}
+    Fields: [target] (required), [deadline] (virtual time, default
+    120000 = one paper-hour), [pool_scheduler], [scheduler] (the
+    phase-level policy), [jobs] (clamped to the server's pool width),
+    [lease], [share] (bool, campaign-wide seedState sharing).
+
+    Response — one header line, then (on success) exactly NBYTES of
+    report JSON:
+    {v
+    pbse-serve/1 ok NBYTES
+    {"schema":"pbse-report/1",...}
+    v}
+    or [pbse-serve/1 error MESSAGE]. *)
+
+type stats = {
+  sv_clients : int; (* connections accepted *)
+  sv_requests : int; (* campaigns served successfully *)
+  sv_errors : int; (* error responses written *)
+  sv_store_hits : int; (* session-store hits over the server's life *)
+  sv_store_misses : int;
+  sv_store_evictions : int;
+}
+
+val serve :
+  socket:string ->
+  ?jobs:int ->
+  ?store_cap:int ->
+  ?stop:bool Atomic.t ->
+  lookup:(string -> (Pbse_ir.Types.program * bytes list) option) ->
+  unit ->
+  stats
+(** Bind [socket] (an existing file there is replaced), accept clients
+    until [stop] becomes true — the accept loop polls it every ~200ms,
+    so a signal handler setting it shuts the server down cleanly — then
+    drain in-flight requests, release the domain pool, unlink the
+    socket and return the lifetime {!stats}. [jobs] (default 2) sizes
+    the shared domain pool; [store_cap] bounds the session store.
+    [lookup] resolves a request's target name to its program and benign
+    seed pool (the CLI passes the target registry). Each client is
+    handled on its own thread; every campaign runs under a private
+    runtime and telemetry registry, so requests share only the domain
+    pool (arbitrated per round) and the mutex-guarded store. *)
+
+val request : socket:string -> string -> (string, string) result
+(** One client exchange: send [line] (a newline is appended if missing)
+    to the server at [socket], return the report JSON on success or the
+    server's error message. Used by [pbse request] and the serve smoke
+    tests. *)

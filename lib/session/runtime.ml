@@ -1,0 +1,43 @@
+module Telemetry = Pbse_telemetry.Telemetry
+module Rng = Pbse_util.Rng
+module Inject = Pbse_robust.Inject
+module Quarantine = Pbse_robust.Quarantine
+module Expr = Pbse_smt.Expr
+
+type t = {
+  registry : Telemetry.Registry.t;
+  rng : Rng.t;
+  inject : Inject.plan;
+  quarantine : Quarantine.t;
+  arena : Expr.arena;
+  prefix_cap : int option;
+}
+
+let create ?registry ?(rng_seed = 1) ?(inject = Inject.none) ?quarantine
+    ?(max_strikes = 4) ?prefix_cap () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  let quarantine =
+    match quarantine with
+    | Some q -> q
+    | None -> Quarantine.create ~registry ~max_strikes ()
+  in
+  { registry; rng = Rng.create rng_seed; inject; quarantine; arena = Expr.arena (); prefix_cap }
+
+let activate t = Expr.use_arena t.arena
+
+let derive ?registry ?rng_seed ?prefix_cap t =
+  let registry = match registry with Some r -> r | None -> t.registry in
+  let rng = match rng_seed with Some s -> Rng.create s | None -> Rng.split t.rng in
+  let prefix_cap =
+    match prefix_cap with Some c -> Some c | None -> t.prefix_cap
+  in
+  {
+    registry;
+    rng;
+    inject = t.inject;
+    quarantine = Quarantine.create ~registry ~max_strikes:(Quarantine.max_strikes t.quarantine) ();
+    arena = Expr.arena ();
+    prefix_cap;
+  }

@@ -1,0 +1,179 @@
+module Telemetry = Pbse_telemetry.Telemetry
+
+(* Live sessions are cached under (target, seed digest, config
+   fingerprint); whole campaigns additionally memoise their residue (the
+   caller's aggregate result) under a campaign fingerprint whose members
+   point back into the session table. Eviction is strictly LRU over
+   sessions; a campaign residue is only servable while every member
+   session is still live, so evicting a session invalidates the
+   campaigns that used it. All operations are mutex-guarded — the serve
+   layer hits one store from many client threads. *)
+
+type entry = {
+  e_session : Session.t;
+  mutable e_last : int; (* LRU tick of the last find/put *)
+}
+
+type 'r campaign = {
+  c_members : (string * bytes) list; (* (session key, seed) in run order *)
+  c_residue : 'r;
+}
+
+type 'r t = {
+  mutex : Mutex.t;
+  sessions : (string, entry) Hashtbl.t;
+  campaigns : (string, 'r campaign) Hashtbl.t;
+  cap : int;
+  share : Session.share; (* campaign-spanning seedState/hint share *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  ctr_hits : Telemetry.counter;
+  ctr_misses : Telemetry.counter;
+  ctr_evictions : Telemetry.counter;
+}
+
+let default_cap = 32
+
+let create ?(cap = default_cap) ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Telemetry.Registry.default ()
+  in
+  {
+    mutex = Mutex.create ();
+    sessions = Hashtbl.create 64;
+    campaigns = Hashtbl.create 16;
+    cap = max 1 cap;
+    share = Session.share_create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    ctr_hits = Telemetry.Registry.counter registry "session.store_hits";
+    ctr_misses = Telemetry.Registry.counter registry "session.store_misses";
+    ctr_evictions = Telemetry.Registry.counter registry "session.store_evictions";
+  }
+
+let session_key ~target ~seed ~config_fp =
+  target ^ "|" ^ Digest.to_hex (Digest.bytes seed) ^ "|" ^ config_fp
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_last <- t.tick
+
+let note_hit t =
+  t.hits <- t.hits + 1;
+  Telemetry.incr t.ctr_hits
+
+let note_miss t =
+  t.misses <- t.misses + 1;
+  Telemetry.incr t.ctr_misses
+
+(* Evict strictly least-recently-used sessions until under cap, and drop
+   every campaign residue that referenced an evicted member (it can no
+   longer be served whole). O(n) scans — the store caps at tens of
+   sessions, not thousands. *)
+let enforce_cap t =
+  while Hashtbl.length t.sessions > t.cap do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, last) when last <= e.e_last -> acc
+          | _ -> Some (key, e.e_last))
+        t.sessions None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+      Hashtbl.remove t.sessions key;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr t.ctr_evictions;
+      let stale =
+        Hashtbl.fold
+          (fun fp c acc ->
+            if List.exists (fun (k, _) -> k = key) c.c_members then fp :: acc else acc)
+          t.campaigns []
+      in
+      List.iter (Hashtbl.remove t.campaigns) stale
+  done
+
+let find_session t key =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.sessions key with
+      | Some e ->
+        touch t e;
+        note_hit t;
+        Some e.e_session
+      | None ->
+        note_miss t;
+        None)
+
+let put_session_locked t key session =
+  (match Hashtbl.find_opt t.sessions key with
+   | Some e -> touch t e
+   | None ->
+     let e = { e_session = session; e_last = 0 } in
+     touch t e;
+     Hashtbl.replace t.sessions key e);
+  enforce_cap t
+
+let put_session t key session =
+  Mutex.protect t.mutex (fun () -> put_session_locked t key session)
+
+let find_campaign t ~fingerprint =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.campaigns fingerprint with
+      | None ->
+        note_miss t;
+        None
+      | Some c ->
+        let live =
+          List.map
+            (fun (key, seed) ->
+              match Hashtbl.find_opt t.sessions key with
+              | Some e -> Some (seed, e)
+              | None -> None)
+            c.c_members
+        in
+        if List.for_all Option.is_some live then begin
+          let members =
+            List.map
+              (function
+                | Some (seed, e) ->
+                  touch t e;
+                  note_hit t;
+                  (seed, e.e_session)
+                | None -> assert false)
+              live
+          in
+          Some (members, c.c_residue)
+        end
+        else begin
+          (* a member was evicted since; the memo can't be served whole *)
+          Hashtbl.remove t.campaigns fingerprint;
+          note_miss t;
+          None
+        end)
+
+let put_campaign t ~fingerprint ~sessions residue =
+  Mutex.protect t.mutex (fun () ->
+      List.iter (fun (key, _, session) -> put_session_locked t key session) sessions;
+      Hashtbl.replace t.campaigns fingerprint
+        {
+          c_members = List.map (fun (key, seed, _) -> (key, seed)) sessions;
+          c_residue = residue;
+        };
+      (* members evicted while inserting (cap smaller than the campaign)
+         make the memo unservable; drop it rather than cache a stub *)
+      let whole =
+        List.for_all (fun (key, _, _) -> Hashtbl.mem t.sessions key) sessions
+      in
+      if not whole then Hashtbl.remove t.campaigns fingerprint)
+
+let share t = t.share
+let hits t = Mutex.protect t.mutex (fun () -> t.hits)
+let misses t = Mutex.protect t.mutex (fun () -> t.misses)
+let evictions t = Mutex.protect t.mutex (fun () -> t.evictions)
+let size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.sessions)

@@ -1,0 +1,57 @@
+(** A cache of live {!Session.t}s keyed by (target, seed digest, config
+    fingerprint), with strict LRU eviction — so repeated campaigns over
+    the same seeds resume warm sessions instead of re-running concolic
+    bootstrap — plus a campaign-level memo: a whole campaign's sessions
+    and residue (the caller's aggregate result, ['r] — the driver stores
+    its pool report) can be recalled in one lookup while every member
+    session is still live.
+
+    Telemetry: hit/miss/evict totals are exposed directly and mirrored
+    into the [session.store_hits] / [session.store_misses] /
+    [session.store_evictions] counters of the registry given at
+    {!create}. All operations are mutex-guarded; one store may be shared
+    by concurrent server clients. *)
+
+type 'r t
+
+val create : ?cap:int -> ?registry:Pbse_telemetry.Telemetry.Registry.t -> unit -> 'r t
+(** [cap] (default 32, clamped to at least 1) bounds the number of live
+    sessions; the least-recently-used session beyond it is evicted, and
+    any campaign memo referencing an evicted session is dropped with it.
+    [registry] (default the process-global one) receives the
+    [session.store_*] counters. *)
+
+val session_key : target:string -> seed:bytes -> config_fp:string -> string
+(** The cache key of one session: target name, seed digest and
+    {!Session.config_fingerprint} — a config change can never alias a
+    cached session. *)
+
+val find_session : 'r t -> string -> Session.t option
+(** Lookup (counts a hit or miss, touches LRU order). *)
+
+val put_session : 'r t -> string -> Session.t -> unit
+(** Insert or refresh; may evict the least-recently-used session. *)
+
+val find_campaign : 'r t -> fingerprint:string -> ((bytes * Session.t) list * 'r) option
+(** Recall a memoised campaign: its sessions in run order (each counted
+    as a hit and LRU-touched) and its residue — served only while every
+    member session is live; a partially-evicted memo is dropped and
+    counted as one miss. *)
+
+val put_campaign :
+  'r t -> fingerprint:string -> sessions:(string * bytes * Session.t) list -> 'r -> unit
+(** Memoise a finished campaign: [(session key, seed, session)] members
+    in run order plus the residue. If inserting the members itself
+    evicts one of them (cap smaller than the campaign), the memo is not
+    kept. *)
+
+val share : 'r t -> Session.share
+(** The store's seedState/prefix-hint share table, spanning every
+    campaign run against this store. *)
+
+val hits : _ t -> int
+val misses : _ t -> int
+val evictions : _ t -> int
+
+val size : _ t -> int
+(** Live sessions currently cached. *)

@@ -282,3 +282,6 @@ let sat t ?hint exprs =
   match check t ?hint exprs with
   | Sat _, _ -> true
   | (Unsat | Unknown), _ -> false
+
+let export_prefix_hints t = Prefix_ctx.export t.prefixes
+let import_prefix_hints t hints = Prefix_ctx.import t.prefixes hints

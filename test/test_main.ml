@@ -13,6 +13,7 @@ let () =
       ("sched", Suite_sched.suite);
       ("telemetry", Suite_telemetry.suite);
       ("core", Suite_core.suite);
+      ("session", Suite_session.suite);
       ("campaign", Suite_campaign.suite);
       ("parallel", Suite_parallel.suite);
       ("robust", Suite_robust.suite);
