@@ -70,21 +70,23 @@ let run_csv_metrics =
 
 (* jobs / lease / wall_ms / speedup_pct / snapshot_ms / resumes /
    pool_steals / pool_pinned / id_refills / session_hits /
-   session_evictions / serve_clients close every row: single runs are
-   always jobs=1, lease=1 and unmeasured (0), the pool --jobs sweep
-   fills in the timing and contention columns, the crash-resume drill
-   the durability ones, and the session-store and serve drills the
-   session-layer ones. The contention and session columns come from the
-   pool-report diagnostics and the store/server stats, which are
-   wall-clock-side and deliberately absent from the byte-identical
-   report JSON (docs/parallelism.md). *)
+   session_evictions / serve_clients / serve_rejections / store_reloads
+   close every row: single runs are always jobs=1, lease=1 and
+   unmeasured (0), the pool --jobs sweep fills in the timing and
+   contention columns, the crash-resume drill the durability ones, and
+   the session-store and serve drills the session-layer ones (including
+   admission rejections and warm-restart store reloads). The contention
+   and session columns come from the pool-report diagnostics and the
+   store/server stats, which are wall-clock-side and deliberately absent
+   from the byte-identical report JSON (docs/parallelism.md). *)
 let run_csv_header =
   String.concat ","
     ([ "suite"; "target"; "seed_bytes"; "deadline" ]
     @ List.map (fun m -> String.map (function '.' -> '_' | c -> c) m) run_csv_metrics
     @ [ "jobs"; "lease"; "wall_ms"; "speedup_pct"; "snapshot_ms"; "resumes";
         "pool_steals"; "pool_pinned"; "id_refills"; "session_hits";
-        "session_evictions"; "serve_clients" ])
+        "session_evictions"; "serve_clients"; "serve_rejections";
+        "store_reloads" ])
 
 let run_rows : string list ref = ref []
 
@@ -99,7 +101,7 @@ let note_run ~suite ~name ~deadline report =
          string_of_int deadline;
        ]
       @ List.map (fun m -> string_of_int (Report.metric rr m)) run_csv_metrics
-      @ [ "1"; "1"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0" ])
+      @ [ "1"; "1"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0"; "0" ])
   in
   run_rows := row :: !run_rows
 
@@ -108,7 +110,8 @@ let note_run ~suite ~name ~deadline report =
    summed engine totals); seed_bytes is the whole pool's size. *)
 let note_pool_run ?(jobs = 1) ?(lease = 1) ?(wall_ms = 0) ?(speedup_pct = 0)
     ?(snapshot_ms = 0) ?(resumes = 0) ?(session_hits = 0)
-    ?(session_evictions = 0) ?(serve_clients = 0) ~suite ~name ~deadline pool =
+    ?(session_evictions = 0) ?(serve_clients = 0) ?(serve_rejections = 0)
+    ?(store_reloads = 0) ~suite ~name ~deadline pool =
   let rr = Driver.pool_run_report pool in
   let pool_bytes =
     List.fold_left
@@ -129,6 +132,8 @@ let note_pool_run ?(jobs = 1) ?(lease = 1) ?(wall_ms = 0) ?(speedup_pct = 0)
           string_of_int session_hits;
           string_of_int session_evictions;
           string_of_int serve_clients;
+          string_of_int serve_rejections;
+          string_of_int store_reloads;
         ])
   in
   run_rows := row :: !run_rows
@@ -916,12 +921,16 @@ let session_store_bench () =
 
 (* The server drill the CI serve-smoke job also drives end-to-end with
    the real binary: here the server runs in-process on a temp socket,
-   two clients request the same campaign concurrently, and both
-   responses must be byte-identical to the CLI `run --pool --report`
-   recipe for the same parameters. A third request measures the warm
-   (store-served) latency. *)
+   two clients request the same campaign concurrently over pbse-serve/2,
+   and both responses must be byte-identical to the CLI `run --pool
+   --report` recipe for the same parameters. A third (v1 one-liner)
+   request measures the warm (store-served) latency and keeps the
+   deprecated framing exercised. Two further legs mirror the new CI
+   gates: a quota-capped server must reject a burst with a structured
+   over-capacity error, and a --store-file restart must serve the warm
+   body from the reloaded residue cache. *)
 let serve_bench () =
-  heading "Serve: 2 concurrent socket campaigns + 1 warm reuse";
+  heading "Serve: 2 concurrent socket campaigns + warm reuse + quota + restart";
   let t = target "gif2tiff" in
   let deadline = hour / 4 in
   (* local equivalent of the request, for the identity check and the CSV
@@ -945,55 +954,75 @@ let serve_bench () =
            ]
          local)
   in
-  (* a fresh path, NOT temp_file: the drill waits for the file to appear
-     as its bind barrier, so it must not exist before the server binds *)
   let socket =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "pbse-bench-%d.sock" (Unix.getpid ()))
   in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  let stop = Atomic.make false in
+  let endpoint = Pbse_serve.Transport.Unix_socket socket in
   let lookup name =
     Option.map
       (fun t -> (Registry.program t, List.map snd t.Registry.seeds))
       (Registry.by_name name)
   in
-  let stats_cell = ref None in
-  let server =
-    Thread.create
-      (fun () ->
-        stats_cell := Some (Pbse.Serve.serve ~socket ~jobs:2 ~stop ~lookup ()))
-      ()
+  (* boot a server configuration, run [drive] against it, return its
+     lifetime stats *)
+  let with_server ?store_file ?(quota_burst = 0) drive =
+    let control = Pbse_serve.Transport.control_create () in
+    let stats_cell = ref None in
+    let server =
+      Thread.create
+        (fun () ->
+          stats_cell :=
+            Some
+              (Pbse.Serve.serve ~endpoints:[ endpoint ] ~jobs:2 ?store_file
+                 ~quota_burst ~control ~lookup ()))
+        ()
+    in
+    (* wait for the socket to come up (listen unlinks any old file first) *)
+    let rec wait_up n =
+      if n = 0 then failwith "server socket never came up"
+      else if not (Sys.file_exists socket) then begin
+        Thread.delay 0.05;
+        wait_up (n - 1)
+      end
+    in
+    wait_up 100;
+    Fun.protect
+      ~finally:(fun () ->
+        Pbse_serve.Transport.request_stop control;
+        Thread.join server)
+      drive
+    |> fun result -> (result, Option.get !stats_cell)
   in
-  (* wait for the socket to come up (serve unlinks the temp file first) *)
-  let rec wait_up n =
-    if n = 0 then failwith "server socket never came up"
-    else if not (Sys.file_exists socket) then begin
-      Thread.delay 0.05;
-      wait_up (n - 1)
-    end
+  let v2_line =
+    Pbse_serve.Protocol.render_request
+      {
+        Pbse_serve.Protocol.rq_id = Some "bench";
+        rq_client = Some "bench";
+        rq_progress = false;
+        rq_target = t.Registry.name;
+        rq_deadline = deadline;
+        rq_pool_scheduler = "";
+        rq_scheduler = None;
+        rq_jobs = None;
+        rq_lease = 1;
+        rq_share = false;
+      }
   in
-  wait_up 100;
-  let line =
+  let v1_line =
     Printf.sprintf "{\"target\": %S, \"deadline\": %d}" t.Registry.name deadline
   in
-  let timed_request () =
+  let timed_request line =
     let t0 = Unix.gettimeofday () in
-    let r = Pbse.Serve.request ~socket line in
+    let r = Pbse.Serve.request ~connect:endpoint line in
     (r, int_of_float (1000. *. (Unix.gettimeofday () -. t0)))
   in
-  let slot_a = ref (Error "unset", 0) in
-  let client_a = Thread.create (fun () -> slot_a := timed_request ()) () in
-  let b, b_ms = timed_request () in
-  Thread.join client_a;
-  let a, a_ms = !slot_a in
-  let warm, warm_ms = timed_request () in
-  Atomic.set stop true;
-  Thread.join server;
   let check label = function
     | Error e ->
-      Printf.eprintf "serve request %s failed: %s\n" label e;
+      Printf.eprintf "serve request %s failed: %s: %s\n" label
+        e.Pbse.Serve.err_code e.Pbse.Serve.err_message;
       exit 1
     | Ok body ->
       if body <> local_json then begin
@@ -1002,20 +1031,93 @@ let serve_bench () =
         exit 1
       end
   in
-  check "A" a;
-  check "B" b;
-  check "warm" warm;
-  let stats = Option.get !stats_cell in
+  (* leg 1: two concurrent v2 clients + one warm v1 one-liner *)
+  let (timings, stats) =
+    with_server (fun () ->
+        let unset =
+          {
+            Pbse.Serve.err_code = "unset";
+            err_message = "unset";
+            err_retry_after = None;
+          }
+        in
+        let slot_a = ref (Error unset, 0) in
+        let client_a = Thread.create (fun () -> slot_a := timed_request v2_line) () in
+        let b, b_ms = timed_request v2_line in
+        Thread.join client_a;
+        let a, a_ms = !slot_a in
+        let warm, warm_ms = timed_request v1_line in
+        check "A" a;
+        check "B" b;
+        check "warm-v1" warm;
+        (a_ms, b_ms, warm_ms))
+  in
+  let a_ms, b_ms, warm_ms = timings in
+  (* leg 2: a burst-of-1 quota rejects the second request, structured *)
+  let (retry_after, quota_stats) =
+    with_server ~quota_burst:1 (fun () ->
+        check "quota-first" (fst (timed_request v2_line));
+        match fst (timed_request v2_line) with
+        | Ok _ ->
+          prerr_endline "quota-capped server admitted a burst of 2";
+          exit 1
+        | Error e ->
+          if e.Pbse.Serve.err_code <> "over-capacity" then begin
+            Printf.eprintf "quota rejection had code %s (want over-capacity)\n"
+              e.Pbse.Serve.err_code;
+            exit 1
+          end;
+          Option.value e.Pbse.Serve.err_retry_after ~default:0)
+  in
+  if quota_stats.Pbse.Serve.sv_rejections < 1 then begin
+    prerr_endline "quota leg recorded no rejections";
+    exit 1
+  end;
+  (* leg 3: kill + reboot with --store-file; the rebooted server must
+     serve the warm body from the reloaded residue cache *)
+  let store_file =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pbse-bench-%d.store" (Unix.getpid ()))
+  in
+  (try Sys.remove store_file with Sys_error _ -> ());
+  let ((), _cold_stats) =
+    with_server ~store_file (fun () -> check "store-cold" (fst (timed_request v2_line)))
+  in
+  let (reload_ms, warm_stats) =
+    with_server ~store_file (fun () ->
+        let r, ms = timed_request v2_line in
+        check "store-warm" r;
+        ms)
+  in
+  (try Sys.remove store_file with Sys_error _ -> ());
+  (try Sys.remove (store_file ^ ".bak") with Sys_error _ -> ());
+  if warm_stats.Pbse.Serve.sv_store_reloads < 1 then begin
+    prerr_endline "restarted server reloaded nothing from the store file";
+    exit 1
+  end;
+  if warm_stats.Pbse.Serve.sv_store_hits < 1 then begin
+    prerr_endline "restarted server served no store hit";
+    exit 1
+  end;
   note_pool_run ~jobs:2 ~wall_ms:(max a_ms b_ms)
     ~session_hits:stats.Pbse.Serve.sv_store_hits
-    ~serve_clients:stats.Pbse.Serve.sv_clients ~suite:"serve"
+    ~serve_clients:stats.Pbse.Serve.sv_clients
+    ~serve_rejections:quota_stats.Pbse.Serve.sv_rejections
+    ~store_reloads:warm_stats.Pbse.Serve.sv_store_reloads ~suite:"serve"
     ~name:t.Registry.name ~deadline local;
   Printf.printf
-    "  2 concurrent clients (%d / %d ms) + warm reuse (%d ms): all responses \
-     byte-identical to the CLI report (%d bytes); %d client(s), %d store \
-     hit(s)\n%!"
+    "  2 concurrent v2 clients (%d / %d ms) + warm v1 reuse (%d ms): all \
+     responses byte-identical to the CLI report (%d bytes); %d client(s), %d \
+     store hit(s)\n%!"
     a_ms b_ms warm_ms (String.length local_json) stats.Pbse.Serve.sv_clients
-    stats.Pbse.Serve.sv_store_hits
+    stats.Pbse.Serve.sv_store_hits;
+  Printf.printf
+    "  quota burst=1: second request rejected over-capacity (retry_after \
+     %ds, %d rejection(s)); restart with --store-file: %d reload(s), warm \
+     response in %d ms\n%!"
+    retry_after quota_stats.Pbse.Serve.sv_rejections
+    warm_stats.Pbse.Serve.sv_store_reloads reload_ms
 
 (* --- Smoke (CI) ----------------------------------------------------------------- *)
 

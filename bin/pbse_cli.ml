@@ -736,41 +736,96 @@ let serve_cmd =
     let doc = "Live sessions kept in the server's session store (LRU)." in
     Arg.(value & opt (some int) None & info [ "store-cap" ] ~docv:"N" ~doc)
   in
-  let run socket jobs store_cap =
+  let listen_arg =
+    let doc = "Also listen on TCP $(docv) (e.g. 127.0.0.1:7199)." in
+    Arg.(
+      value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let store_file_arg =
+    let doc =
+      "Persist rendered responses to $(docv) (pbse-store/1): reloaded at \
+       boot, checkpointed after each request and at shutdown, so the warm \
+       cache survives a restart."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "store-file" ] ~docv:"FILE" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Concurrently admitted campaigns across all clients (0 = unlimited)." in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let quota_arg =
+    let doc =
+      "Per-client token-bucket quota: burst of $(docv) requests, refilling \
+       at $(docv) per minute (0 = no quotas). Clients are keyed by the \
+       request envelope's \"client\" identity."
+    in
+    Arg.(value & opt int 0 & info [ "quota" ] ~docv:"N" ~doc)
+  in
+  let run socket listen jobs store_cap store_file max_inflight quota =
     if jobs < 1 then begin
       prerr_endline "--jobs must be at least 1";
       1
     end
     else begin
-      let stop = Atomic.make false in
-      let quit = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
-      Sys.set_signal Sys.sigterm quit;
-      Sys.set_signal Sys.sigint quit;
-      let lookup name =
-        Option.map
-          (fun t -> (Registry.program t, List.map snd t.Registry.seeds))
-          (Registry.by_name name)
+      let endpoints =
+        match listen with
+        | None -> Ok [ Pbse_serve.Transport.Unix_socket socket ]
+        | Some spec -> (
+          match Pbse_serve.Transport.endpoint_of_string spec with
+          | Ok tcp -> Ok [ Pbse_serve.Transport.Unix_socket socket; tcp ]
+          | Error e -> Error e)
       in
-      Printf.printf "pbse serve: listening on %s (%d job(s))\n%!" socket jobs;
-      let stats =
-        Pbse.Serve.serve ~socket ~jobs ?store_cap ~stop ~lookup ()
-      in
-      Printf.printf
-        "pbse serve: %d client(s), %d request(s), %d error(s); store: %d \
-         hit(s), %d miss(es), %d eviction(s)\n"
-        stats.Pbse.Serve.sv_clients stats.Pbse.Serve.sv_requests
-        stats.Pbse.Serve.sv_errors stats.Pbse.Serve.sv_store_hits
-        stats.Pbse.Serve.sv_store_misses stats.Pbse.Serve.sv_store_evictions;
-      0
+      match endpoints with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok endpoints ->
+        let control = Pbse_serve.Transport.control_create () in
+        let quit =
+          Sys.Signal_handle
+            (fun _ -> Pbse_serve.Transport.request_stop control)
+        in
+        Sys.set_signal Sys.sigterm quit;
+        Sys.set_signal Sys.sigint quit;
+        let lookup name =
+          Option.map
+            (fun t -> (Registry.program t, List.map snd t.Registry.seeds))
+            (Registry.by_name name)
+        in
+        Printf.printf "pbse serve: listening on %s (%d job(s))\n%!"
+          (String.concat ", "
+             (List.map Pbse_serve.Transport.endpoint_to_string endpoints))
+          jobs;
+        let stats =
+          Pbse.Serve.serve ~endpoints ~jobs ?store_cap ?store_file
+            ~max_inflight ~quota_burst:quota
+            ~quota_refill:(float_of_int quota /. 60.0)
+            ~control ~lookup ()
+        in
+        Printf.printf
+          "pbse serve: %d client(s), %d request(s), %d error(s), %d \
+           rejection(s); store: %d hit(s), %d miss(es), %d eviction(s), %d \
+           reload(s)\n"
+          stats.Pbse.Serve.sv_clients stats.Pbse.Serve.sv_requests
+          stats.Pbse.Serve.sv_errors stats.Pbse.Serve.sv_rejections
+          stats.Pbse.Serve.sv_store_hits stats.Pbse.Serve.sv_store_misses
+          stats.Pbse.Serve.sv_store_evictions stats.Pbse.Serve.sv_store_reloads;
+        0
     end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Campaign server: line-delimited JSON requests over a Unix-domain \
-          socket, pbse-report/1 responses byte-identical to `run --pool \
-          --report'. Stops cleanly on SIGTERM/SIGINT.")
-    Term.(const run $ socket_arg $ jobs_arg $ store_cap_arg)
+         "Campaign server speaking pbse-serve/2 (and the deprecated v1 \
+          one-liner) over a Unix-domain socket and optionally TCP \
+          (--listen). pbse-report/1 responses byte-identical to `run --pool \
+          --report' on every transport; admission control via \
+          --max-inflight/--quota; --store-file keeps the response cache warm \
+          across restarts. Stops immediately on SIGTERM/SIGINT.")
+    Term.(
+      const run $ socket_arg $ listen_arg $ jobs_arg $ store_cap_arg
+      $ store_file_arg $ max_inflight_arg $ quota_arg)
 
 let request_cmd =
   let json_arg =
@@ -803,30 +858,71 @@ let request_cmd =
     let doc = "Write the report JSON to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
-  let run socket json target deadline pool_scheduler lease out =
+  let connect_arg =
+    let doc = "Connect over TCP to $(docv) instead of the Unix socket." in
+    Arg.(
+      value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Bound the connect and every read by $(docv) seconds." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let id_arg =
+    let doc = "Request id, echoed in every response frame." in
+    Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let client_arg =
+    let doc = "Client identity for the server's per-client quotas." in
+    Arg.(value & opt (some string) None & info [ "client" ] ~docv:"NAME" ~doc)
+  in
+  let progress_arg =
+    let doc = "Print a progress line to stderr at each campaign round." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run socket connect json target deadline pool_scheduler lease id client
+      progress timeout out =
     let line =
       match (json, target) with
       | Some json, _ -> Ok json
       | None, Some target ->
         Ok
-          (Pbse_telemetry.Json.to_string
-             (Pbse_telemetry.Json.Obj
-                [
-                  ("target", Pbse_telemetry.Json.Str target);
-                  ("deadline", Pbse_telemetry.Json.Int deadline);
-                  ("pool_scheduler", Pbse_telemetry.Json.Str pool_scheduler);
-                  ("lease", Pbse_telemetry.Json.Int lease);
-                ]))
+          (Pbse_serve.Protocol.render_request
+             {
+               Pbse_serve.Protocol.rq_id = id;
+               rq_client = client;
+               rq_progress = progress;
+               rq_target = target;
+               rq_deadline = deadline;
+               rq_pool_scheduler = pool_scheduler;
+               rq_scheduler = None;
+               rq_jobs = None;
+               rq_lease = lease;
+               rq_share = false;
+             })
       | None, None -> Error "request needs --target NAME or --json REQUEST"
     in
-    match line with
-    | Error e ->
+    let endpoint =
+      match connect with
+      | None -> Ok (Pbse_serve.Transport.Unix_socket socket)
+      | Some spec -> Pbse_serve.Transport.endpoint_of_string spec
+    in
+    match (line, endpoint) with
+    | Error e, _ | _, Error e ->
       prerr_endline e;
       1
-    | Ok line -> (
-      match Pbse.Serve.request ~socket line with
+    | Ok line, Ok endpoint -> (
+      let on_progress round =
+        if progress then Printf.eprintf "pbse request: round %d\n%!" round
+      in
+      match Pbse.Serve.request ?timeout ~on_progress ~connect:endpoint line with
       | Error e ->
-        prerr_endline ("request failed: " ^ e);
+        let retry =
+          match e.Pbse.Serve.err_retry_after with
+          | Some s -> Printf.sprintf " (retry after %ds)" s
+          | None -> ""
+        in
+        Printf.eprintf "pbse request: error %s: %s%s\n" e.Pbse.Serve.err_code
+          e.Pbse.Serve.err_message retry;
         1
       | Ok body ->
         (match out with
@@ -836,10 +932,14 @@ let request_cmd =
   in
   Cmd.v
     (Cmd.info "request"
-       ~doc:"Send one campaign request to a running `pbse serve'")
+       ~doc:
+         "Send one campaign request to a running `pbse serve' (pbse-serve/2 \
+          envelope; falls back to v1 against an old server). Errors are \
+          structured `code: message' lines on stderr with a non-zero exit.")
     Term.(
-      const run $ socket_arg $ json_arg $ target_arg $ deadline_arg
-      $ pool_scheduler_arg $ lease_arg $ out_arg)
+      const run $ socket_arg $ connect_arg $ json_arg $ target_arg
+      $ deadline_arg $ pool_scheduler_arg $ lease_arg $ id_arg $ client_arg
+      $ progress_arg $ timeout_arg $ out_arg)
 
 (* --- compile / exec ------------------------------------------------------------------ *)
 

@@ -208,6 +208,33 @@ type turn_exec = {
    fingerprint, and an identical later call recalls them — re-finishing
    the live sessions instead of re-running concolic bootstrap — with
    byte-identical report JSON. *)
+(* Everything a later identical call must agree on to be served the
+   memoised campaign. [jobs] is deliberately absent: reports are
+   jobs-invariant, so any width may reuse any width's campaign. The
+   serve layer computes the same digest up front to key its
+   restart-persistent residue cache. *)
+let campaign_fingerprint ?(config = default_config)
+    ?(scheduler = Pool_scheduler.default) ?(lease = 1) ?(registry_enabled = true)
+    ~target ~seeds ~deadline () =
+  let ordered =
+    List.sort (fun a b -> Int.compare (Bytes.length a) (Bytes.length b)) seeds
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun part ->
+      Buffer.add_string buf part;
+      Buffer.add_char buf '\n')
+    ([
+       target;
+       Session.config_fingerprint config;
+       scheduler;
+       string_of_int (max 1 lease);
+       string_of_int deadline;
+       (if registry_enabled then "1" else "0");
+     ]
+    @ List.map (fun seed -> Digest.to_hex (Digest.bytes seed)) ordered);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
     ?runtime ?(jobs = 1) ?(lease = 1) ?checkpoint ?resume ?(preload_faults = [])
     ?pool:ext_pool ?store ?target ?round_wrap prog ~seeds ~deadline =
@@ -241,26 +268,6 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
   in
   let target_name = match target with Some t -> t | None -> "" in
   let config_fp = Session.config_fingerprint config in
-  (* Everything a later identical call must agree on to be served the
-     memoised campaign. [jobs] is deliberately absent: reports are
-     jobs-invariant, so any width may reuse any width's campaign. *)
-  let campaign_fingerprint () =
-    let buf = Buffer.create 256 in
-    List.iter
-      (fun part ->
-        Buffer.add_string buf part;
-        Buffer.add_char buf '\n')
-      ([
-         target_name;
-         config_fp;
-         scheduler;
-         string_of_int lease;
-         string_of_int deadline;
-         (if registry_enabled then "1" else "0");
-       ]
-      @ List.map (fun seed -> Digest.to_hex (Digest.bytes seed)) ordered);
-    Digest.to_hex (Digest.string (Buffer.contents buf))
-  in
   let run_cold () =
     (* Per-domain minor heaps below ~8 MB thrash the stop-the-world minor
        collection once several domains allocate at engine rates (every
@@ -934,7 +941,10 @@ let run_pool ?(config = default_config) ?(scheduler = Pool_scheduler.default)
   in
   match store with
   | Some st when cacheable -> (
-    let fingerprint = campaign_fingerprint () in
+    let fingerprint =
+      campaign_fingerprint ~config ~scheduler ~lease ~registry_enabled
+        ~target:target_name ~seeds ~deadline ()
+    in
     match Session_store.find_campaign st ~fingerprint with
     | Some (members, residue) ->
       {

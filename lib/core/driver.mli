@@ -270,6 +270,25 @@ val checkpoint :
     crash-resume bench. [note_ms] receives each write's serialisation
     cost in milliseconds. *)
 
+val campaign_fingerprint :
+  ?config:config ->
+  ?scheduler:string ->
+  ?lease:int ->
+  ?registry_enabled:bool ->
+  target:string ->
+  seeds:bytes list ->
+  deadline:int ->
+  unit ->
+  string
+(** The digest under which {!run_pool} memoises (and the serve layer
+    persists) a campaign: target, config fingerprint, pool policy,
+    lease, deadline, telemetry enablement and the seed digests
+    (size-ordered). [jobs] is deliberately excluded — reports are
+    jobs-invariant, so any width may reuse any width's campaign.
+    Defaults mirror {!run_pool}'s ([registry_enabled] — whether the
+    campaign's runtime registry records telemetry — defaults to true,
+    the serve layer's case). *)
+
 val run_pool :
   ?config:config ->
   ?scheduler:string ->

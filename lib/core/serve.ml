@@ -2,16 +2,20 @@ module Pool_scheduler = Pbse_campaign.Pool_scheduler
 module Domain_pool = Pbse_campaign.Domain_pool
 module Telemetry = Pbse_telemetry.Telemetry
 module Report = Pbse_telemetry.Report
-module Json = Pbse_telemetry.Json
 module Session_store = Pbse_session.Session_store
+module Protocol = Pbse_serve.Protocol
+module Transport = Pbse_serve.Transport
+module Admission = Pbse_serve.Admission
 
 type stats = {
   sv_clients : int;
   sv_requests : int;
   sv_errors : int;
+  sv_rejections : int;
   sv_store_hits : int;
   sv_store_misses : int;
   sv_store_evictions : int;
+  sv_store_reloads : int;
 }
 
 (* --- fair-share round arbiter ----------------------------------------------
@@ -21,7 +25,9 @@ type stats = {
    pool occupancy in strict ticket order. Campaigns therefore interleave
    at round granularity — a long campaign cannot starve a short one for
    more than one round — while the barriers inside a round stay
-   untouched, keeping per-round determinism. *)
+   untouched, keeping per-round determinism. Admission control sits in
+   front of this arbiter: the arbiter shares fairly among admitted
+   campaigns, admission decides who gets to queue at all. *)
 
 type arbiter = {
   arb_mutex : Mutex.t;
@@ -57,218 +63,389 @@ let arbiter_wrap arb f =
           Condition.broadcast arb.arb_cond))
     f
 
-(* --- request protocol ------------------------------------------------------
+(* --- campaign execution ----------------------------------------------------
 
-   One request per connection: a single line of JSON in, one framed
-   response out. The response header is one line — "pbse-serve/1 ok
-   NBYTES" or "pbse-serve/1 error MESSAGE" — followed (ok only) by
-   exactly NBYTES of pbse-report/1 JSON, byte-identical to what `pbse
-   run TARGET --pool --report` writes for the same request. *)
-
-type request = {
-  rq_target : string;
-  rq_deadline : int;
-  rq_pool_scheduler : string;
-  rq_scheduler : string option; (* phase-scheduling policy override *)
-  rq_jobs : int option; (* per-request width, clamped to the pool's *)
-  rq_lease : int;
-  rq_share : bool; (* search.share_seed_states for this campaign *)
-}
-
-let default_deadline = 120_000 (* one paper-hour of virtual time *)
-
-let parse_request line =
-  match Json.parse line with
-  | Error e -> Error ("bad request JSON: " ^ e)
-  | Ok json -> (
-    let str k = Option.bind (Json.member k json) Json.to_str in
-    let int k = Option.bind (Json.member k json) Json.to_int in
-    let bool k = Option.bind (Json.member k json) Json.to_bool in
-    match str "target" with
-    | None -> Error "request needs a \"target\" field"
-    | Some target ->
-      Ok
-        {
-          rq_target = target;
-          rq_deadline = Option.value (int "deadline") ~default:default_deadline;
-          rq_pool_scheduler =
-            Option.value (str "pool_scheduler") ~default:Pool_scheduler.default;
-          rq_scheduler = str "scheduler";
-          rq_jobs = int "jobs";
-          rq_lease = max 1 (Option.value (int "lease") ~default:1);
-          rq_share = Option.value (bool "share") ~default:false;
-        })
-
-(* The CLI's exact `run --pool --report` recipe, against the server's
+   The CLI's exact `run --pool --report` recipe, against the server's
    shared pool and store: default config (plus the request's phase
    scheduler and sharing switch), a fresh runtime per request over a
    private telemetry-enabled registry — concurrent requests share no
    registry — and the same report metadata the CLI writes. *)
-let run_request ~pool ~store ~arb ~jobs req prog seeds =
-  if not (List.mem req.rq_pool_scheduler Pool_scheduler.names) then
-    Error
-      (Printf.sprintf "unknown pool scheduler %s (available: %s)"
-         req.rq_pool_scheduler
-         (String.concat ", " Pool_scheduler.names))
-  else if
-    match req.rq_scheduler with
-    | Some s -> not (List.mem s Pbse_sched.Scheduler.names)
-    | None -> false
-  then
-    Error
-      (Printf.sprintf "unknown scheduler %s (available: %s)"
-         (Option.get req.rq_scheduler)
-         (String.concat ", " Pbse_sched.Scheduler.names))
-  else begin
-    let config =
-      Driver.default_config
-      |> Driver.with_search (fun s ->
-             {
-               s with
-               Driver.scheduler =
-                 Option.value req.rq_scheduler
-                   ~default:s.Driver.scheduler;
-               share_seed_states = req.rq_share;
-             })
-    in
-    let runtime =
-      Runtime.create
-        ~registry:(Telemetry.Registry.create ~enabled:true ())
-        ~rng_seed:config.Driver.rng_seed ~inject:config.Driver.robust.Driver.inject
-        ~max_strikes:config.Driver.robust.Driver.max_strikes
-        ~prefix_cap:config.Driver.solver.Driver.prefix_cap ()
-    in
-    match
-      Driver.run_pool ~config ~scheduler:req.rq_pool_scheduler ~runtime
-        ~jobs:(Option.value req.rq_jobs ~default:jobs)
-        ~lease:req.rq_lease ~pool ~store ~target:req.rq_target
-        ~round_wrap:(arbiter_wrap arb) prog ~seeds ~deadline:req.rq_deadline
-    with
-    | report ->
-      let meta =
-        [
-          ("target", req.rq_target);
-          ("seed", "pool");
-          ("deadline", string_of_int req.rq_deadline);
-        ]
-      in
-      Ok (Report.to_json (Driver.pool_run_report ~meta report))
-    | exception e -> Error (Printexc.to_string e)
-  end
 
-let sanitize msg =
-  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) msg
+let config_of_request (req : Protocol.request) =
+  Driver.default_config
+  |> Driver.with_search (fun s ->
+         {
+           s with
+           Driver.scheduler =
+             Option.value req.Protocol.rq_scheduler ~default:s.Driver.scheduler;
+           share_seed_states = req.Protocol.rq_share;
+         })
 
-let serve ~socket ?(jobs = 2) ?store_cap ?(stop = Atomic.make false) ~lookup () =
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-  Unix.listen listen_fd 16;
-  let registry = Telemetry.Registry.create ~enabled:true () in
-  let ctr_clients = Telemetry.Registry.counter registry "serve.clients" in
-  let ctr_requests = Telemetry.Registry.counter registry "serve.requests" in
-  let ctr_errors = Telemetry.Registry.counter registry "serve.errors" in
-  let clients = Atomic.make 0 in
-  let requests = Atomic.make 0 in
-  let errors = Atomic.make 0 in
-  let store = Session_store.create ?cap:store_cap ~registry () in
-  let pool = Domain_pool.create ~jobs in
-  let arb = arbiter_create () in
-  let handle_client fd =
-    Atomic.incr clients;
-    Telemetry.incr ctr_clients;
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    let respond_error msg =
-      Atomic.incr errors;
-      Telemetry.incr ctr_errors;
-      output_string oc ("pbse-serve/1 error " ^ sanitize msg ^ "\n")
-    in
-    (try
-       (match input_line ic with
-        | exception End_of_file -> () (* client connected and hung up *)
-        | line -> (
-          match parse_request line with
-          | Error e -> respond_error e
-          | Ok req -> (
-            match lookup req.rq_target with
-            | None -> respond_error ("unknown target " ^ req.rq_target)
-            | Some (prog, seeds) -> (
-              match run_request ~pool ~store ~arb ~jobs req prog seeds with
-              | Error e -> respond_error e
-              | Ok body ->
-                Atomic.incr requests;
-                Telemetry.incr ctr_requests;
-                output_string oc
-                  (Printf.sprintf "pbse-serve/1 ok %d\n" (String.length body));
-                output_string oc body))));
-       flush oc
-     with Sys_error _ | Unix.Unix_error _ -> ());
-    try close_out oc with Sys_error _ | Unix.Unix_error _ -> ()
+let pool_scheduler_of (req : Protocol.request) =
+  if req.Protocol.rq_pool_scheduler = "" then Pool_scheduler.default
+  else req.Protocol.rq_pool_scheduler
+
+let validate (req : Protocol.request) =
+  let sched = pool_scheduler_of req in
+  if not (List.mem sched Pool_scheduler.names) then
+    Error
+      ( Protocol.Unknown_scheduler,
+        Printf.sprintf "unknown pool scheduler %s (available: %s)" sched
+          (String.concat ", " Pool_scheduler.names) )
+  else
+    match req.Protocol.rq_scheduler with
+    | Some s when not (List.mem s Pbse_sched.Scheduler.names) ->
+      Error
+        ( Protocol.Unknown_scheduler,
+          Printf.sprintf "unknown scheduler %s (available: %s)" s
+            (String.concat ", " Pbse_sched.Scheduler.names) )
+    | _ -> Ok ()
+
+let run_request ~pool ~store ~arb ~jobs ?on_round (req : Protocol.request) prog
+    seeds =
+  let config = config_of_request req in
+  let runtime =
+    Runtime.create
+      ~registry:(Telemetry.Registry.create ~enabled:true ())
+      ~rng_seed:config.Driver.rng_seed ~inject:config.Driver.robust.Driver.inject
+      ~max_strikes:config.Driver.robust.Driver.max_strikes
+      ~prefix_cap:config.Driver.solver.Driver.prefix_cap ()
   in
+  let round_wrap f =
+    arbiter_wrap arb f;
+    match on_round with Some g -> g () | None -> ()
+  in
+  match
+    Driver.run_pool ~config ~scheduler:(pool_scheduler_of req) ~runtime
+      ~jobs:(Option.value req.Protocol.rq_jobs ~default:jobs)
+      ~lease:req.Protocol.rq_lease ~pool ~store ~target:req.Protocol.rq_target
+      ~round_wrap prog ~seeds ~deadline:req.Protocol.rq_deadline
+  with
+  | report ->
+    let meta =
+      [
+        ("target", req.Protocol.rq_target);
+        ("seed", "pool");
+        ("deadline", string_of_int req.Protocol.rq_deadline);
+      ]
+    in
+    Ok (Report.to_json (Driver.pool_run_report ~meta report))
+  | exception e -> Error (Protocol.Internal, Printexc.to_string e)
+
+(* --- connection handling ---------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+type server = {
+  srv_pool : Domain_pool.t;
+  srv_store : Driver.pool_report Session_store.t;
+  srv_arb : arbiter;
+  srv_admission : Admission.t;
+  srv_jobs : int;
+  srv_store_file : string option;
+  srv_save_mutex : Mutex.t; (* one store-file writer at a time *)
+  srv_lookup : string -> (Pbse_ir.Types.program * bytes list) option;
+  srv_clients : int Atomic.t;
+  srv_requests : int Atomic.t;
+  srv_errors : int Atomic.t;
+  ctr_clients : Telemetry.counter;
+  ctr_requests : Telemetry.counter;
+  ctr_errors : Telemetry.counter;
+  ctr_rejections : Telemetry.counter;
+}
+
+let save_store srv =
+  match srv.srv_store_file with
+  | None -> ()
+  | Some path -> (
+    Mutex.protect srv.srv_save_mutex (fun () ->
+        try Session_store.save srv.srv_store ~path
+        with Sys_error _ -> () (* an unwritable store file degrades to none *)))
+
+(* One request per connection. Everything the client can get wrong is
+   answered in its own dialect: a v1 request (or a broken line that was
+   recognisably v1) gets the one-line v1 error, everything else gets a
+   v2 error frame with a structured code. A client that disconnects
+   mid-campaign only marks its connection dead — the campaign runs to
+   completion so the shared pool, arbiter and store stay healthy. *)
+let handle srv fd =
+  Atomic.incr srv.srv_clients;
+  Telemetry.incr srv.ctr_clients;
+  let rd = Transport.reader fd in
+  let respond_error ~version ~id code message retry_after =
+    Atomic.incr srv.srv_errors;
+    Telemetry.incr srv.ctr_errors;
+    match version with
+    | Protocol.V1 -> write_all fd (Protocol.render_v1_error message)
+    | Protocol.V2 ->
+      write_all fd
+        (Protocol.render_frame
+           (Protocol.Error_frame { id; code; message; retry_after }))
+  in
+  let respond_body ~version ~id body =
+    Atomic.incr srv.srv_requests;
+    Telemetry.incr srv.ctr_requests;
+    (match version with
+     | Protocol.V1 ->
+       write_all fd (Protocol.render_v1_ok_header (String.length body))
+     | Protocol.V2 ->
+       write_all fd
+         (Protocol.render_frame
+            (Protocol.Report { id; bytes = String.length body })));
+    write_all fd body
+  in
+  let serve_request version (req : Protocol.request) =
+    let id = req.Protocol.rq_id in
+    let fail (code, message) = respond_error ~version ~id code message None in
+    match
+      Admission.admit srv.srv_admission
+        ~client:(Option.value req.Protocol.rq_client ~default:"")
+    with
+    | Admission.Reject { retry_after } ->
+      Telemetry.incr srv.ctr_rejections;
+      (* the retry hint travels in the structured retry_after field; v1
+         clients only see the message, so spell it out for them *)
+      let message =
+        match version with
+        | Protocol.V2 -> "over capacity"
+        | Protocol.V1 ->
+          Printf.sprintf "over capacity: retry after %ds" retry_after
+      in
+      respond_error ~version ~id Protocol.Over_capacity message
+        (Some retry_after)
+    | Admission.Admit ticket ->
+      Fun.protect ~finally:(fun () -> Admission.release ticket) @@ fun () -> (
+      match validate req with
+      | Error e -> fail e
+      | Ok () -> (
+        match srv.srv_lookup req.Protocol.rq_target with
+        | None ->
+          fail
+            ( Protocol.Unknown_target,
+              "unknown target " ^ req.Protocol.rq_target )
+        | Some (prog, seeds) -> (
+          let fingerprint =
+            Driver.campaign_fingerprint ~config:(config_of_request req)
+              ~scheduler:(pool_scheduler_of req) ~lease:req.Protocol.rq_lease
+              ~target:req.Protocol.rq_target ~seeds
+              ~deadline:req.Protocol.rq_deadline ()
+          in
+          match Session_store.find_residue srv.srv_store ~fingerprint with
+          | Some body -> respond_body ~version ~id body
+          | None ->
+            (* progress frames ride the handler thread: [round_wrap]
+               brackets each round on this thread, so frame writes never
+               race the final report. A failed write (client gone) stops
+               the frames, never the campaign. *)
+            let dead = ref false in
+            let round = ref 0 in
+            let on_round () =
+              if (not !dead) && version = Protocol.V2 && req.Protocol.rq_progress
+              then begin
+                incr round;
+                try
+                  write_all fd
+                    (Protocol.render_frame
+                       (Protocol.Progress { id; round = !round }))
+                with Unix.Unix_error _ | Sys_error _ -> dead := true
+              end
+            in
+            (match
+               run_request ~pool:srv.srv_pool ~store:srv.srv_store
+                 ~arb:srv.srv_arb ~jobs:srv.srv_jobs ~on_round req prog seeds
+             with
+             | Error e -> fail e
+             | Ok body ->
+               Session_store.put_residue srv.srv_store ~fingerprint body;
+               save_store srv;
+               if not !dead then respond_body ~version ~id body))))
+  in
+  (try
+     (match Transport.read_line rd with
+      | Error Transport.Eof | Error (Transport.Fail _) ->
+        () (* client connected and hung up (or the read timed out) *)
+      | Error Transport.Overflow ->
+        (* consume the rest of the line first: closing with unread bytes
+           pending resets the peer and can discard the error frame *)
+        Transport.drain_line rd;
+        respond_error ~version:Protocol.V2 ~id:None Protocol.Oversized_request
+          (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line)
+          None
+      | Ok line -> (
+        match Protocol.parse_request line with
+        | Error (version, code, message) ->
+          respond_error
+            ~version:(Option.value version ~default:Protocol.V2)
+            ~id:None code message None
+        | Ok (version, req) -> serve_request version req))
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* --- server ------------------------------------------------------------------ *)
+
+let serve ~endpoints ?(jobs = 2) ?store_cap ?store_file ?(max_inflight = 0)
+    ?(quota_burst = 0) ?(quota_refill = 0.0) ?control ~lookup () =
+  if endpoints = [] then invalid_arg "Serve.serve: no endpoints";
+  (* progress frames are written to clients that may be gone; a SIGPIPE
+     must surface as EPIPE on the write, not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let control =
+    match control with Some c -> c | None -> Transport.control_create ()
+  in
+  let listeners =
+    List.fold_left
+      (fun acc ep ->
+        match Transport.listen ep with
+        | fd -> (ep, fd) :: acc
+        | exception e ->
+          List.iter (fun (ep, fd) -> Transport.close_listener ep fd) acc;
+          raise e)
+      [] endpoints
+    |> List.rev
+  in
+  let registry = Telemetry.Registry.create ~enabled:true () in
+  let store = Session_store.create ?cap:store_cap ~registry () in
+  (match store_file with
+   | Some path when Sys.file_exists path ->
+     (* a corrupt or unreadable store file degrades to a cold boot *)
+     ignore (Session_store.load store ~path)
+   | _ -> ());
+  let srv =
+    {
+      srv_pool = Domain_pool.create ~jobs;
+      srv_store = store;
+      srv_arb = arbiter_create ();
+      srv_admission =
+        Admission.create ~max_inflight ~quota_burst ~quota_refill ();
+      srv_jobs = jobs;
+      srv_store_file = store_file;
+      srv_save_mutex = Mutex.create ();
+      srv_lookup = lookup;
+      srv_clients = Atomic.make 0;
+      srv_requests = Atomic.make 0;
+      srv_errors = Atomic.make 0;
+      ctr_clients = Telemetry.Registry.counter registry "serve.clients";
+      ctr_requests = Telemetry.Registry.counter registry "serve.requests";
+      ctr_errors = Telemetry.Registry.counter registry "serve.errors";
+      ctr_rejections = Telemetry.Registry.counter registry "serve.rejections";
+    }
+  in
+  let threads_mutex = Mutex.create () in
   let threads = ref [] in
-  let rec accept_loop () =
-    if not (Atomic.get stop) then begin
-      (* poll so a SIGTERM-set [stop] flag is honoured within ~200ms *)
-      match Unix.select [ listen_fd ] [] [] 0.2 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | [], _, _ -> accept_loop ()
-      | _ :: _, _, _ ->
-        (match Unix.accept listen_fd with
-         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-         | fd, _ -> threads := Thread.create handle_client fd :: !threads);
-        accept_loop ()
-    end
+  let dispatch fd =
+    let t = Thread.create (handle srv) fd in
+    Mutex.protect threads_mutex (fun () -> threads := t :: !threads)
   in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter (fun (ep, fd) -> Transport.close_listener ep fd) listeners;
       (* drain in-flight requests before releasing their domain pool *)
-      List.iter Thread.join !threads;
-      Domain_pool.shutdown pool;
-      try Unix.unlink socket with Unix.Unix_error _ -> ())
-    accept_loop;
+      List.iter Thread.join
+        (Mutex.protect threads_mutex (fun () -> !threads));
+      save_store srv;
+      Domain_pool.shutdown srv.srv_pool)
+    (fun () ->
+      Transport.accept_loop control (List.map snd listeners) dispatch);
   {
-    sv_clients = Atomic.get clients;
-    sv_requests = Atomic.get requests;
-    sv_errors = Atomic.get errors;
+    sv_clients = Atomic.get srv.srv_clients;
+    sv_requests = Atomic.get srv.srv_requests;
+    sv_errors = Atomic.get srv.srv_errors;
+    sv_rejections = Admission.rejections srv.srv_admission;
     sv_store_hits = Session_store.hits store;
     sv_store_misses = Session_store.misses store;
     sv_store_evictions = Session_store.evictions store;
+    sv_store_reloads = Session_store.reloads store;
   }
 
 (* --- client ---------------------------------------------------------------- *)
 
-let request ~socket line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
-  | () ->
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    let finish r =
-      (try close_out oc with Sys_error _ | Unix.Unix_error _ -> ());
-      r
-    in
-    (try
-       output_string oc line;
-       if not (String.length line > 0 && line.[String.length line - 1] = '\n')
-       then output_string oc "\n";
-       flush oc;
-       match input_line ic with
-       | exception End_of_file -> finish (Error "server closed the connection")
-       | header -> (
-         match String.split_on_char ' ' header with
-         | "pbse-serve/1" :: "ok" :: n :: _ -> (
-           match int_of_string_opt n with
-           | None -> finish (Error ("bad response header: " ^ header))
-           | Some n -> finish (Ok (really_input_string ic n)))
-         | "pbse-serve/1" :: "error" :: rest ->
-           finish (Error (String.concat " " rest))
-         | _ -> finish (Error ("bad response header: " ^ header)))
-     with
-    | End_of_file -> finish (Error "truncated response")
-    | Sys_error e -> finish (Error e)
-    | Unix.Unix_error (err, _, _) -> finish (Error (Unix.error_message err)))
+type error_info = {
+  err_code : string;
+  err_message : string;
+  err_retry_after : int option;
+}
+
+let transport_error message = { err_code = "transport"; err_message = message; err_retry_after = None }
+
+let read_failure = function
+  | Transport.Eof -> transport_error "server closed the connection"
+  | Transport.Overflow -> transport_error "oversized response frame"
+  | Transport.Fail e -> transport_error e
+
+(* One exchange. The response dialect is detected from the first line:
+   a [pbse-serve/1] header is the legacy framing, anything else must
+   parse as v2 frames (progress frames invoke [on_progress] and keep
+   reading). When a v2 envelope meets a pre-v2 server the server answers
+   with a v1 error — the line is downgraded to the v1 one-liner and
+   retried once on a fresh connection. *)
+let request ?timeout ?on_progress ~connect line =
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\n' then line
+    else line ^ "\n"
+  in
+  let exchange line =
+    match Transport.connect ?timeout connect with
+    | Error e -> Error { err_code = "connect"; err_message = e; err_retry_after = None }
+    | Ok fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Sys_error _ | Unix.Unix_error _ -> ())
+        (fun () ->
+          match write_all fd line with
+          | exception Unix.Unix_error (err, _, _) ->
+            Error (transport_error (Unix.error_message err))
+          | () ->
+            let rd = Transport.reader fd in
+            let rec next_frame () =
+              match Transport.read_line rd with
+              | Error e -> Error (read_failure e)
+              | Ok header -> (
+                match Protocol.parse_v1_header header with
+                | Some (Protocol.V1_ok n) -> (
+                  match Transport.read_exact rd n with
+                  | Ok body -> Ok (`Body body)
+                  | Error e -> Error (read_failure e))
+                | Some (Protocol.V1_error msg) -> Ok (`V1_error msg)
+                | None -> (
+                  match Protocol.parse_frame header with
+                  | Error e -> Error (transport_error e)
+                  | Ok (Protocol.Progress { round; _ }) ->
+                    (match on_progress with Some f -> f round | None -> ());
+                    next_frame ()
+                  | Ok (Protocol.Report { bytes; _ }) -> (
+                    match Transport.read_exact rd bytes with
+                    | Ok body -> Ok (`Body body)
+                    | Error e -> Error (read_failure e))
+                  | Ok (Protocol.Error_frame { code; message; retry_after; _ })
+                    ->
+                    Error
+                      {
+                        err_code = Protocol.error_label code;
+                        err_message = message;
+                        err_retry_after = retry_after;
+                      }))
+            in
+            next_frame ())
+  in
+  match exchange line with
+  | Ok (`Body body) -> Ok body
+  | Ok (`V1_error msg) -> (
+    (* a v1 error to a v2 envelope: the server predates v2 — fall back *)
+    match Protocol.downgrade_request line with
+    | Some v1_line -> (
+      match exchange (v1_line ^ "\n") with
+      | Ok (`Body body) -> Ok body
+      | Ok (`V1_error msg) ->
+        Error { err_code = "error"; err_message = msg; err_retry_after = None }
+      | Error e -> Error e)
+    | None ->
+      Error { err_code = "error"; err_message = msg; err_retry_after = None })
+  | Error e -> Error e

@@ -1,0 +1,104 @@
+(** The [pbse-serve/2] wire protocol: typed request envelopes, framed
+    responses, structured error codes, and the deprecated-but-served v1
+    one-liner (docs/serve.md has the full grammar).
+
+    Every v2 message is one JSON object on one line. A request envelope
+    is [{"pbse": 2, "id": ..., "client": ..., "progress": ...,
+    "params": {...}}] and is parsed {e strictly}: unknown fields,
+    duplicated fields and mistyped values are structured errors, never
+    silently ignored. A request without a ["pbse"] member takes the
+    lenient v1 parse. Responses are framed events ([report] /
+    [progress] / [error]); the report frame is followed by exactly
+    [bytes] raw bytes of [pbse-report/1] JSON — raw rather than
+    embedded, so the payload stays byte-identical to the CLI's. *)
+
+val version : int
+(** The protocol version this library speaks: 2. *)
+
+val max_line : int
+(** Longest request or frame line either side will read (65536 bytes
+    including the newline); longer lines are an [Oversized_request]. *)
+
+val default_deadline : int
+(** Virtual-time budget when a request names none: 120000, one
+    paper-hour. *)
+
+(** Structured error codes, rendered in kebab-case on the wire (see
+    {!error_label}). *)
+type error_code =
+  | Bad_json  (** request line is not JSON *)
+  | Bad_request  (** structurally invalid envelope or params *)
+  | Unsupported_version  (** ["pbse"] names a version we don't speak *)
+  | Unknown_target
+  | Unknown_scheduler
+  | Over_capacity  (** admission rejection; carries [retry_after] *)
+  | Oversized_request  (** request line exceeded {!max_line} *)
+  | Internal  (** campaign raised; message carries the exception *)
+
+val error_label : error_code -> string
+val error_code_of_label : string -> error_code option
+
+type wire_version = V1 | V2
+
+type request = {
+  rq_id : string option;  (** echoed verbatim in every response frame *)
+  rq_client : string option;  (** admission (quota) identity *)
+  rq_progress : bool;  (** stream progress frames at round barriers *)
+  rq_target : string;
+  rq_deadline : int;
+  rq_pool_scheduler : string;  (** [""] means the server's default *)
+  rq_scheduler : string option;
+  rq_jobs : int option;
+  rq_lease : int;
+  rq_share : bool;
+}
+
+val parse_request :
+  string ->
+  (wire_version * request, wire_version option * error_code * string) result
+(** Parse one request line, dispatching on the ["pbse"] member: absent
+    → lenient v1, [2] → strict v2, anything else →
+    [Unsupported_version] / [Bad_request]. A parse error carries the
+    request's wire version when determinable (so a server can answer a
+    broken v1 request in v1 framing); [None] when the line was not
+    attributable to either version. *)
+
+val render_request : request -> string
+(** The canonical v2 envelope for [r] (no trailing newline); omitted
+    optional members are left out, not rendered as null. *)
+
+val downgrade_request : string -> string option
+(** Rewrite a v2 request line as the equivalent v1 one-liner, for
+    client-side fallback against a pre-v2 server. [None] if the line is
+    not a valid v2 request or asks for progress streaming (which v1
+    cannot express). *)
+
+(** One v2 response frame. [id] echoes the request's id (null on the
+    wire when the request carried none). *)
+type frame =
+  | Report of { id : string option; bytes : int }
+      (** followed by exactly [bytes] raw bytes of report JSON *)
+  | Progress of { id : string option; round : int }
+  | Error_frame of {
+      id : string option;
+      code : error_code;
+      message : string;
+      retry_after : int option;  (** whole seconds; [Over_capacity] only *)
+    }
+
+val render_frame : frame -> string
+(** One JSON line, newline-terminated. *)
+
+val parse_frame : string -> (frame, string) result
+
+(** {2 v1 framing — deprecated, still served} *)
+
+val sanitize : string -> string
+(** Newlines flattened to spaces, for single-line v1 error messages. *)
+
+val render_v1_ok_header : int -> string
+val render_v1_error : string -> string
+
+type v1_header = V1_ok of int | V1_error of string
+
+val parse_v1_header : string -> v1_header option

@@ -1,4 +1,5 @@
 module Telemetry = Pbse_telemetry.Telemetry
+module Json = Pbse_telemetry.Json
 
 (* Live sessions are cached under (target, seed digest, config
    fingerprint); whole campaigns additionally memoise their residue (the
@@ -19,40 +20,58 @@ type 'r campaign = {
   c_residue : 'r;
 }
 
+(* A rendered residue: the final response bytes of a finished campaign,
+   keyed by its campaign fingerprint. Unlike live sessions these are
+   plain strings, so they survive save/load across a server restart. *)
+type rendered = {
+  r_body : string;
+  mutable r_last : int; (* shares the store's LRU tick *)
+}
+
 type 'r t = {
   mutex : Mutex.t;
   sessions : (string, entry) Hashtbl.t;
   campaigns : (string, 'r campaign) Hashtbl.t;
+  residues : (string, rendered) Hashtbl.t;
   cap : int;
+  residue_cap : int;
   share : Session.share; (* campaign-spanning seedState/hint share *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable reloads : int; (* residues reloaded from a store file *)
   ctr_hits : Telemetry.counter;
   ctr_misses : Telemetry.counter;
   ctr_evictions : Telemetry.counter;
+  ctr_reloads : Telemetry.counter;
 }
 
 let default_cap = 32
 
-let create ?(cap = default_cap) ?registry () =
+let create ?(cap = default_cap) ?residue_cap ?registry () =
   let registry =
     match registry with Some r -> r | None -> Telemetry.Registry.default ()
   in
+  let cap = max 1 cap in
   {
     mutex = Mutex.create ();
     sessions = Hashtbl.create 64;
     campaigns = Hashtbl.create 16;
-    cap = max 1 cap;
+    residues = Hashtbl.create 16;
+    cap;
+    residue_cap =
+      (match residue_cap with Some c -> max 1 c | None -> max 64 (2 * cap));
     share = Session.share_create ();
     tick = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    reloads = 0;
     ctr_hits = Telemetry.Registry.counter registry "session.store_hits";
     ctr_misses = Telemetry.Registry.counter registry "session.store_misses";
     ctr_evictions = Telemetry.Registry.counter registry "session.store_evictions";
+    ctr_reloads = Telemetry.Registry.counter registry "session.store_reloads";
   }
 
 let session_key ~target ~seed ~config_fp =
@@ -172,8 +191,177 @@ let put_campaign t ~fingerprint ~sessions residue =
       in
       if not whole then Hashtbl.remove t.campaigns fingerprint)
 
+(* --- rendered residues (restart-persistent) --------------------------------
+
+   The serve layer records every successful response body here under its
+   campaign fingerprint. Lookups count through the same hit/miss
+   counters as sessions — a residue hit after a restart is exactly the
+   "warm cache survived the deploy" signal the CI drill gates on. *)
+
+let enforce_residue_cap t =
+  while Hashtbl.length t.residues > t.residue_cap do
+    let victim =
+      Hashtbl.fold
+        (fun fp r acc ->
+          match acc with
+          | Some (_, last) when last <= r.r_last -> acc
+          | _ -> Some (fp, r.r_last))
+        t.residues None
+    in
+    match victim with
+    | None -> ()
+    | Some (fp, _) ->
+      Hashtbl.remove t.residues fp;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr t.ctr_evictions
+  done
+
+let find_residue t ~fingerprint =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.residues fingerprint with
+      | Some r ->
+        t.tick <- t.tick + 1;
+        r.r_last <- t.tick;
+        note_hit t;
+        Some r.r_body
+      | None ->
+        note_miss t;
+        None)
+
+let put_residue_locked t fingerprint body =
+  (match Hashtbl.find_opt t.residues fingerprint with
+   | Some r ->
+     t.tick <- t.tick + 1;
+     r.r_last <- t.tick
+   | None ->
+     t.tick <- t.tick + 1;
+     Hashtbl.replace t.residues fingerprint { r_body = body; r_last = t.tick });
+  enforce_residue_cap t
+
+let put_residue t ~fingerprint body =
+  Mutex.protect t.mutex (fun () -> put_residue_locked t fingerprint body)
+
+(* --- store files (pbse-store/1) --------------------------------------------
+
+   Same file discipline as Pbse_campaign.Snapshot (which lib/session
+   cannot depend on): a versioned JSON document carrying an FNV-1a-64
+   checksum over the rendered payload, written atomically via tmp +
+   rename with the previous file rotated to [path].bak. *)
+
+let store_schema = "pbse-store/1"
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "fnv1a64:%016Lx" !h
+
+let residues_snapshot t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold (fun fp r acc -> (fp, r.r_last, r.r_body) :: acc) t.residues [])
+  |> List.sort (fun (a, la, _) (b, lb, _) ->
+         match Int.compare la lb with 0 -> String.compare a b | c -> c)
+
+let save t ~path =
+  let entries =
+    List.map
+      (fun (fp, _, body) ->
+        Json.Obj [ ("fingerprint", Json.Str fp); ("body", Json.Str body) ])
+      (residues_snapshot t)
+  in
+  let payload = Json.Obj [ ("entries", Json.List entries) ] in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str store_schema);
+        ("checksum", Json.Str (fnv1a64 (Json.to_string payload)));
+        ("payload", payload);
+      ]
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  if Sys.file_exists path then begin
+    let bak = path ^ ".bak" in
+    if Sys.file_exists bak then Sys.remove bak;
+    Sys.rename path bak
+  end;
+  Sys.rename tmp path
+
+let parse_store text =
+  match Json.parse text with
+  | Error e -> Error ("corrupt store file: " ^ e)
+  | Ok json -> (
+    match Option.bind (Json.member "schema" json) Json.to_str with
+    | None -> Error "store file missing \"schema\" field"
+    | Some s when s <> store_schema ->
+      Error (Printf.sprintf "store schema %S (want %S)" s store_schema)
+    | Some _ -> (
+      match
+        ( Option.bind (Json.member "checksum" json) Json.to_str,
+          Json.member "payload" json )
+      with
+      | None, _ -> Error "store file missing \"checksum\" field"
+      | _, None -> Error "store file missing \"payload\" field"
+      | Some recorded, Some payload ->
+        let actual = fnv1a64 (Json.to_string payload) in
+        if recorded <> actual then
+          Error
+            (Printf.sprintf "store checksum mismatch (recorded %s, computed %s)"
+               recorded actual)
+        else
+          let entries =
+            Option.bind (Json.member "entries" payload) Json.to_list
+            |> Option.value ~default:[]
+          in
+          let parsed =
+            List.filter_map
+              (fun e ->
+                match
+                  ( Option.bind (Json.member "fingerprint" e) Json.to_str,
+                    Option.bind (Json.member "body" e) Json.to_str )
+                with
+                | Some fp, Some body -> Some (fp, body)
+                | _ -> None)
+              entries
+          in
+          if List.length parsed <> List.length entries then
+            Error "store file has a malformed entry"
+          else Ok parsed))
+
+let load t ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match parse_store text with
+    | Error e -> Error e
+    | Ok entries ->
+      Mutex.protect t.mutex (fun () ->
+          List.iter
+            (fun (fp, body) ->
+              put_residue_locked t fp body;
+              t.reloads <- t.reloads + 1;
+              Telemetry.incr t.ctr_reloads)
+            entries);
+      Ok (List.length entries))
+
 let share t = t.share
 let hits t = Mutex.protect t.mutex (fun () -> t.hits)
 let misses t = Mutex.protect t.mutex (fun () -> t.misses)
 let evictions t = Mutex.protect t.mutex (fun () -> t.evictions)
+let reloads t = Mutex.protect t.mutex (fun () -> t.reloads)
 let size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.sessions)
+let residue_size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.residues)

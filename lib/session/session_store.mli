@@ -6,20 +6,32 @@
     its pool report) can be recalled in one lookup while every member
     session is still live.
 
-    Telemetry: hit/miss/evict totals are exposed directly and mirrored
-    into the [session.store_hits] / [session.store_misses] /
-    [session.store_evictions] counters of the registry given at
-    {!create}. All operations are mutex-guarded; one store may be shared
-    by concurrent server clients. *)
+    Alongside the live caches sits a restart-persistent layer: rendered
+    campaign {e residues} (final response bodies as plain strings, keyed
+    by campaign fingerprint) that {!save}/{!load} carry across a server
+    restart as a checksummed [pbse-store/1] document — so a deploy does
+    not flush the warm cache.
+
+    Telemetry: hit/miss/evict/reload totals are exposed directly and
+    mirrored into the [session.store_hits] / [session.store_misses] /
+    [session.store_evictions] / [session.store_reloads] counters of the
+    registry given at {!create}. All operations are mutex-guarded; one
+    store may be shared by concurrent server clients. *)
 
 type 'r t
 
-val create : ?cap:int -> ?registry:Pbse_telemetry.Telemetry.Registry.t -> unit -> 'r t
+val create :
+  ?cap:int ->
+  ?residue_cap:int ->
+  ?registry:Pbse_telemetry.Telemetry.Registry.t ->
+  unit ->
+  'r t
 (** [cap] (default 32, clamped to at least 1) bounds the number of live
     sessions; the least-recently-used session beyond it is evicted, and
     any campaign memo referencing an evicted session is dropped with it.
-    [registry] (default the process-global one) receives the
-    [session.store_*] counters. *)
+    [residue_cap] (default [max 64 (2 * cap)]) separately bounds the
+    rendered-residue cache, LRU likewise. [registry] (default the
+    process-global one) receives the [session.store_*] counters. *)
 
 val session_key : target:string -> seed:bytes -> config_fp:string -> string
 (** The cache key of one session: target name, seed digest and
@@ -45,6 +57,27 @@ val put_campaign :
     evicts one of them (cap smaller than the campaign), the memo is not
     kept. *)
 
+val find_residue : _ t -> fingerprint:string -> string option
+(** Recall a rendered residue (a hit counts into [session.store_hits],
+    exactly like a live-session hit — the serve layer's warm-restart
+    gate reads that counter). *)
+
+val put_residue : _ t -> fingerprint:string -> string -> unit
+(** Record the rendered response body of a finished campaign; may evict
+    the least-recently-used residue beyond [residue_cap]. *)
+
+val save : _ t -> path:string -> unit
+(** Write every rendered residue to [path] as a [pbse-store/1] document
+    (FNV-1a-64 checksum over the payload; atomic tmp + rename, previous
+    file rotated to [path].bak), in LRU order so a capped reload keeps
+    the most recently useful entries. *)
+
+val load : _ t -> path:string -> (int, string) result
+(** Reload residues saved by {!save} into the store, returning how many
+    were loaded (each also counts into [reloads] and
+    [session.store_reloads]). A missing, corrupt or checksum-mismatched
+    file is an [Error] and leaves the store unchanged. *)
+
 val share : 'r t -> Session.share
 (** The store's seedState/prefix-hint share table, spanning every
     campaign run against this store. *)
@@ -53,5 +86,11 @@ val hits : _ t -> int
 val misses : _ t -> int
 val evictions : _ t -> int
 
+val reloads : _ t -> int
+(** Residues reloaded from store files over this store's lifetime. *)
+
 val size : _ t -> int
 (** Live sessions currently cached. *)
+
+val residue_size : _ t -> int
+(** Rendered residues currently cached. *)

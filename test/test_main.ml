@@ -14,6 +14,7 @@ let () =
       ("telemetry", Suite_telemetry.suite);
       ("core", Suite_core.suite);
       ("session", Suite_session.suite);
+      ("serve", Suite_serve.suite);
       ("campaign", Suite_campaign.suite);
       ("parallel", Suite_parallel.suite);
       ("robust", Suite_robust.suite);
