@@ -62,11 +62,23 @@ let run_csv_metrics =
   [
     "coverage.blocks"; "bugs.total"; "bugs.confirmed"; "solver.queries";
     "solver.unknown"; "solver.retries"; "solver.escalations"; "solver.retry_resolved";
-    "solver.work"; "solver.prefix_hits"; "fault.solver-unknown"; "fault.exec-abort";
+    "solver.work"; "solver.prefix_hits"; "smt.subsumed_states"; "smt.interpolant_hits";
+    "smt.interpolant_misses"; "pathcond.loop_summaries"; "pathcond.summary_fallbacks";
+    "fault.solver-unknown"; "fault.exec-abort";
     "fault.mem-pressure"; "quarantine.evicted"; "quarantine.strikes"; "phase.turns";
     "phase.new_cover"; "phase.dwell"; "phase.trap_dwell"; "sched.turns";
     "exec.cow_copies";
   ]
+
+(* every CSV column must name a family in the session layer's counter
+   manifest (Session.scalar_metric_names) — a typo or a renamed metric
+   is a startup failure here, not a silently-zero column *)
+let () =
+  List.iter
+    (fun m ->
+      if not (List.mem m Driver.Session.scalar_metric_names) then
+        failwith ("runs.csv column not in the counter manifest: " ^ m))
+    run_csv_metrics
 
 (* jobs / lease / wall_ms / speedup_pct / snapshot_ms / resumes /
    pool_steals / pool_pinned / id_refills / session_hits /
@@ -715,7 +727,133 @@ let pool_bench () =
   let cov name = try List.assoc name !merged with Not_found -> 0 in
   Printf.printf "  coverage-greedy vs smallest-first: %d vs %d (%s)\n%!"
     (cov "coverage-greedy") (cov "smallest-first")
-    (if cov "coverage-greedy" >= cov "smallest-first" then "OK" else "BEHIND")
+    (if cov "coverage-greedy" >= cov "smallest-first" then "OK" else "BEHIND");
+  (* A-B leg: the same campaign with the path-condition layer off. The
+     merged bug count must match and merged coverage must not regress
+     with the features on (docs/subsumption.md). *)
+  let off_config =
+    Driver.(
+      with_pathcond
+        (fun _ -> { subsumption = false; loop_summaries = false })
+        default_config)
+  in
+  let scheduler = List.hd Pbse_campaign.Pool_scheduler.names in
+  let off_pool =
+    Driver.run_pool ~config:off_config ~scheduler prog ~seeds ~deadline
+  in
+  note_pool_run ~suite:"pool" ~name:(t.Registry.name ^ "/pathcond-off") ~deadline
+    off_pool;
+  let on_pool = Driver.run_pool ~scheduler prog ~seeds ~deadline in
+  let on_bugs = List.length on_pool.Driver.merged_bugs
+  and off_bugs = List.length off_pool.Driver.merged_bugs in
+  if on_bugs <> off_bugs then begin
+    Printf.eprintf
+      "pathcond A-B (pool): merged bug sets diverged (on %d, off %d)\n" on_bugs
+      off_bugs;
+    exit 1
+  end;
+  (* Bug-set identity is hard; coverage gets a 1% band. At a fixed
+     virtual-time deadline the work subsumption saves is reinvested in
+     *different* exploration, so final pool coverage can move a block
+     either way from scheduling alone — the strict outcome gate is
+     pathcond-ab's work-to-outcome parity scan above. *)
+  let slack = off_pool.Driver.merged_coverage / 100 in
+  if on_pool.Driver.merged_coverage < off_pool.Driver.merged_coverage - slack
+  then begin
+    Printf.eprintf
+      "pathcond A-B (pool): merged coverage regressed with features on (%d < \
+       %d - %d)\n"
+      on_pool.Driver.merged_coverage off_pool.Driver.merged_coverage slack;
+    exit 1
+  end;
+  Printf.printf
+    "  pathcond A-B (%s): merged cov %d (on) vs %d (off, 1%% band), %d bug(s) \
+     both ways\n%!"
+    scheduler on_pool.Driver.merged_coverage off_pool.Driver.merged_coverage
+    on_bugs
+
+(* --- Pathcond A-B: subsumption + loop summaries on vs off ------------------------ *)
+
+(* The path-condition layer's acceptance gate (docs/subsumption.md): on
+   dwarfdump, the engine with subsumption + summaries on must reach the
+   baseline run's final coverage and bug set with at least 15% less
+   solver work. No seeded target drains — every run fills its
+   virtual-time deadline, so *total* work at a fixed deadline is
+   deadline-bound by construction and cannot drop. The honest
+   comparison is work-to-outcome: the solver work the ON run had spent
+   when it first covered everything the OFF run ever covered (and had
+   found every bug), interpolated from the coverage samples. Work
+   accrues linearly in virtual time on deadline-filled runs, so work at
+   virtual time t is w_total * t / deadline. *)
+let pathcond_ab () =
+  heading "Pathcond A-B: dwarfdump with and without subsumption + summaries";
+  let t = target "dwarfdump" in
+  let prog = Registry.program t in
+  let seed = Registry.default_seed t in
+  let deadline = ten_hours in
+  let off_config =
+    Driver.(
+      with_pathcond
+        (fun _ -> { subsumption = false; loop_summaries = false })
+        default_config)
+  in
+  let on_r = Driver.run prog ~seed ~deadline in
+  note_run ~suite:"pathcond-ab" ~name:(t.Registry.name ^ "/on") ~deadline on_r;
+  let off_r = Driver.run ~config:off_config prog ~seed ~deadline in
+  note_run ~suite:"pathcond-ab" ~name:(t.Registry.name ^ "/off") ~deadline off_r;
+  let bug_set r =
+    List.sort_uniq compare
+      (List.map (fun ((b : Bug.t), _) -> (b.Bug.gid, b.Bug.kind)) r.Driver.bugs)
+  in
+  if bug_set on_r <> bug_set off_r then begin
+    prerr_endline "pathcond A-B: bug sets diverged between on and off";
+    exit 1
+  end;
+  let cov r = Coverage.count (Executor.coverage r.Driver.executor) in
+  let cov_on = cov on_r and cov_off = cov off_r in
+  if cov_on < cov_off then begin
+    Printf.eprintf "pathcond A-B: coverage regressed with features on (%d < %d)\n"
+      cov_on cov_off;
+    exit 1
+  end;
+  (* earliest virtual time at which the ON run had matched the OFF run's
+     outcome: its whole final coverage and its own last bug *)
+  let cov_parity_t =
+    let rec scan = function
+      | [] -> deadline
+      | (vt, c) :: rest -> if c >= cov_off then vt else scan rest
+    in
+    scan (List.sort compare on_r.Driver.coverage_samples)
+  in
+  let last_bug_t =
+    List.fold_left
+      (fun acc ((b : Bug.t), _) -> max acc b.Bug.vtime)
+      0 on_r.Driver.bugs
+  in
+  let parity_t = max cov_parity_t last_bug_t in
+  let work r = Report.metric (Driver.run_report r) "solver.work" in
+  let w_on = work on_r and w_off = work off_r in
+  let w_parity = w_on * parity_t / deadline in
+  let reduction_pct =
+    if w_off = 0 then 0 else 100 * (w_off - w_parity) / w_off
+  in
+  let est = Executor.stats on_r.Driver.executor in
+  Printf.printf
+    "  off: cov %d, %d bug(s), %d work to deadline\n\
+    \  on:  cov %d at deadline; outcome parity at t=%d/%d -> %d work\n\
+    \  interpolant hits %d / misses %d, %d state(s) subsumed, %d summar(ies), \
+     %d fallback(s)\n\
+    \  solver work to the off run's outcome: -%d%% (gate: >=15%%)\n%!"
+    cov_off (List.length (bug_set off_r)) w_off cov_on parity_t deadline w_parity
+    est.Executor.interpolant_hits est.Executor.interpolant_misses
+    est.Executor.subsumed_states est.Executor.loop_summaries
+    est.Executor.summary_fallbacks reduction_pct;
+  if reduction_pct < 15 then begin
+    Printf.eprintf
+      "pathcond A-B: work-to-outcome reduction %d%% is below the 15%% gate\n"
+      reduction_pct;
+    exit 1
+  end
 
 (* --- Pool --jobs sweep ------------------------------------------------------------- *)
 
@@ -1150,6 +1288,50 @@ let smoke ?(jobs = 1) () =
   write_file "smoke_report.json" (Report.to_json rr);
   Printf.printf "smoke report -> results/smoke_report.json (%d metrics)\n%!"
     (List.length rr.Report.metrics);
+  (* A-B leg: the same run with the path-condition layer off; the bug
+     sets must match, and the off-side report is written for the CI
+     solver.work gate (docs/subsumption.md) *)
+  let off_config =
+    Driver.(
+      with_pathcond
+        (fun _ -> { subsumption = false; loop_summaries = false })
+        default_config)
+  in
+  Telemetry.set_enabled true;
+  let off_report =
+    Driver.run ~config:off_config (Registry.program t)
+      ~seed:(Registry.default_seed t) ~deadline:small
+  in
+  Telemetry.set_enabled false;
+  note_run ~suite:"smoke" ~name:(t.Registry.name ^ "/pathcond-off")
+    ~deadline:small off_report;
+  let bug_set r =
+    List.sort_uniq compare
+      (List.map
+         (fun ((b : Pbse_exec.Bug.t), _) -> (b.Pbse_exec.Bug.gid, b.Pbse_exec.Bug.kind))
+         r.Driver.bugs)
+  in
+  if bug_set report <> bug_set off_report then begin
+    prerr_endline "smoke pathcond A-B: bug sets diverged between on and off";
+    exit 1
+  end;
+  let orr =
+    Driver.run_report
+      ~meta:
+        [
+          ("target", t.Registry.name);
+          ("suite", "smoke-pathcond-off");
+          ("deadline", string_of_int small);
+        ]
+      off_report
+  in
+  write_file "smoke_report_off.json" (Report.to_json orr);
+  Printf.printf
+    "smoke pathcond A-B -> results/smoke_report_off.json (queries %d on vs %d \
+     off, %d interpolant hit(s))\n%!"
+    (Report.metric rr "solver.queries")
+    (Report.metric orr "solver.queries")
+    (Report.metric rr "smt.interpolant_hits");
   (* and one tiny pool campaign, so the aggregate-report path is gated
      in CI too *)
   Telemetry.set_enabled true;
@@ -1204,6 +1386,7 @@ let () =
    | "ablate" -> ablate ()
    | "robust" -> robust ()
    | "pool" -> pool_bench ()
+   | "pathcond-ab" -> pathcond_ab ()
    | "pool-jobs" -> pool_jobs_bench ~lease ()
    | "crash-resume" -> crash_resume_bench ~jobs ()
    | "session-store" -> session_store_bench ()
@@ -1220,6 +1403,7 @@ let () =
      ablate ();
      robust ();
      pool_bench ();
+     pathcond_ab ();
      pool_jobs_bench ();
      crash_resume_bench ();
      session_store_bench ();
@@ -1228,7 +1412,7 @@ let () =
    | other ->
      Printf.eprintf
        "unknown benchmark %s (try \
-        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pool-jobs|crash-resume|session-store|serve|smoke|bechamel|all)\n"
+        table1|table2|table3|fig1|fig4|fig5|ablate|robust|pool|pathcond-ab|pool-jobs|crash-resume|session-store|serve|smoke|bechamel|all)\n"
        other;
      exit 1);
   flush_runs ()

@@ -104,6 +104,21 @@ let prefix_cap_arg =
     & opt int Driver.default_config.Driver.solver.Driver.prefix_cap
     & info [ "prefix-cap" ] ~docv:"N" ~doc)
 
+let no_subsumption_arg =
+  let doc =
+    "Disable the block-boundary subsumption cache (unsat-core \
+     interpolants; see docs/subsumption.md). Coverage and bugs are \
+     unchanged either way; use for solver-work A-B comparisons."
+  in
+  Arg.(value & flag & info [ "no-subsumption" ] ~doc)
+
+let no_loop_summaries_arg =
+  let doc =
+    "Disable closed-form loop summaries (counting-loop templates; see \
+     docs/subsumption.md). Coverage and bugs are unchanged either way."
+  in
+  Arg.(value & flag & info [ "no-loop-summaries" ] ~doc)
+
 let report_arg =
   let doc =
     "Enable telemetry and write the JSON run report to $(docv) \
@@ -124,7 +139,8 @@ let write_report_json ~path json =
    everywhere and new ones are added in exactly one place. Evaluates to
    a [(Driver.config, string) result]. *)
 let config_term =
-  let combine inject max_strikes scheduler intervals_target prefix_cap =
+  let combine inject max_strikes scheduler intervals_target prefix_cap
+      no_subsumption no_loop_summaries =
     if not (List.mem scheduler Pbse_sched.Scheduler.names) then
       Error
         (Printf.sprintf "unknown scheduler %s (available: %s)" scheduler
@@ -136,6 +152,11 @@ let config_term =
         |> Driver.with_robust (fun r -> { r with Driver.max_strikes })
         |> Driver.with_concolic (fun c -> { c with Driver.intervals_target })
         |> Driver.with_solver (fun s -> { s with Driver.prefix_cap })
+        |> Driver.with_pathcond (fun p ->
+               {
+                 Driver.subsumption = p.Driver.subsumption && not no_subsumption;
+                 loop_summaries = p.Driver.loop_summaries && not no_loop_summaries;
+               })
       in
       match inject with
       | None -> Ok config
@@ -147,7 +168,8 @@ let config_term =
   in
   Term.(
     const combine $ inject_arg $ max_strikes_arg $ scheduler_arg
-    $ intervals_target_arg $ prefix_cap_arg)
+    $ intervals_target_arg $ prefix_cap_arg $ no_subsumption_arg
+    $ no_loop_summaries_arg)
 
 (* --- targets ------------------------------------------------------------------ *)
 
@@ -641,7 +663,10 @@ let print_report_summary (r : Report.t) =
   | phases ->
     let table =
       Pbse_util.Tablefmt.create
-        [ "phase"; "pid"; "trap"; "seeded"; "turns"; "slices"; "new-cover"; "dwell"; "evicted" ]
+        [
+          "phase"; "pid"; "trap"; "seeded"; "turns"; "slices"; "new-cover";
+          "dwell"; "evicted"; "subsumed"; "summarized";
+        ]
     in
     List.iter
       (fun (p : Report.phase_row) ->
@@ -656,6 +681,8 @@ let print_report_summary (r : Report.t) =
             string_of_int p.Report.new_cover;
             string_of_int p.Report.dwell;
             string_of_int p.Report.quarantined;
+            string_of_int p.Report.subsumed;
+            string_of_int p.Report.summarized;
           ])
       phases;
     Pbse_util.Tablefmt.print table

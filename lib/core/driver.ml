@@ -54,11 +54,17 @@ type robust_config = Session.robust_config = {
   degrade_after : int;
 }
 
+type pathcond_config = Session.pathcond_config = {
+  subsumption : bool;
+  loop_summaries : bool;
+}
+
 type config = Session.config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
   robust : robust_config;
+  pathcond : pathcond_config;
   rng_seed : int;
 }
 
@@ -67,6 +73,7 @@ let with_concolic = Session.with_concolic
 let with_search = Session.with_search
 let with_solver = Session.with_solver
 let with_robust = Session.with_robust
+let with_pathcond = Session.with_pathcond
 let with_rng_seed = Session.with_rng_seed
 let config_to_kvs = Session.config_to_kvs
 let config_of_kvs = Session.config_of_kvs

@@ -70,11 +70,19 @@ type robust_config = Session.robust_config = {
                           solver prefix cap; 0 disables degradation *)
 }
 
+type pathcond_config = Session.pathcond_config = {
+  subsumption : bool; (* block-boundary unsat-core subsumption cache *)
+  loop_summaries : bool; (* closed-form counting-loop summaries *)
+}
+(** Path-condition layer pruning (docs/subsumption.md). Both on by
+    default; both are coverage- and bug-transparent. *)
+
 type config = Session.config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
   robust : robust_config;
+  pathcond : pathcond_config;
   rng_seed : int;
 }
 
@@ -84,6 +92,7 @@ val with_concolic : (concolic_config -> concolic_config) -> config -> config
 val with_search : (search_config -> search_config) -> config -> config
 val with_solver : (solver_config -> solver_config) -> config -> config
 val with_robust : (robust_config -> robust_config) -> config -> config
+val with_pathcond : (pathcond_config -> pathcond_config) -> config -> config
 val with_rng_seed : int -> config -> config
 
 val config_to_kvs : config -> (string * string) list

@@ -4,6 +4,9 @@ module Expr = Pbse_smt.Expr
 module Model = Pbse_smt.Model
 module Solver = Pbse_smt.Solver
 module Semantics = Pbse_smt.Semantics
+module Pathcond = Pbse_pathcond.Pathcond
+module Subsume = Pbse_pathcond.Subsume
+module Loop_summary = Pbse_pathcond.Loop_summary
 module Vclock = Pbse_util.Vclock
 module Fault = Pbse_robust.Fault
 module Inject = Pbse_robust.Inject
@@ -34,6 +37,11 @@ type stats = {
   mutable verify_verified : int;
   mutable verify_infeasible : int;
   mutable verify_undecided : int;
+  mutable subsumed_states : int; (* would-be states pruned by the subsumption cache *)
+  mutable interpolant_hits : int; (* queries answered Unsat from recorded cores *)
+  mutable interpolant_misses : int; (* consults that scanned a non-empty bucket in vain *)
+  mutable loop_summaries : int; (* loops leapt over via a summarized transition *)
+  mutable summary_fallbacks : int; (* loops downgraded to plain unrolling *)
 }
 
 type t = {
@@ -56,6 +64,9 @@ type t = {
   mutable lazy_fork : bool;
   mutable record_testcases : bool;
   mutable testcases : (bytes * string) list; (* newest first, capped *)
+  subsumption : bool;
+  subsume : Subsume.t; (* per-block unsat cores; session-local (arena ids) *)
+  summaries : (int * int, Loop_summary.summary) Hashtbl.t; (* (fidx, header) *)
   inj : Inject.t option; (* fault injection, None when inactive *)
   faults : Fault.log;
   registry : Telemetry.Registry.t;
@@ -78,12 +89,18 @@ let max_call_depth = 512
 
 let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
     ?solver_prefix_cap ?(confirm_bugs = true) ?rng_seed:_ ?(inject = Inject.none)
-    ?registry ~clock prog ~input =
+    ?(subsumption = true) ?(loop_summaries = true) ?registry ~clock prog ~input =
   Pbse_ir.Validate.check_exn prog;
   let registry =
     match registry with Some r -> r | None -> Telemetry.Registry.default ()
   in
   let cfg = Cfg.build prog in
+  (* static loop-summary pass: template matches become one-step
+     transitions, mismatches are fault-free downgrades counted up front *)
+  let summary_analysis =
+    if loop_summaries then Loop_summary.analyze prog
+    else { Loop_summary.summaries = Hashtbl.create 1; fallbacks = 0 }
+  in
   {
     prog;
     cfg;
@@ -115,7 +132,15 @@ let create ?(max_live = 8192) ?(solver_budget = 60_000) ?solver_retry_cap
         verify_verified = 0;
         verify_infeasible = 0;
         verify_undecided = 0;
+        subsumed_states = 0;
+        interpolant_hits = 0;
+        interpolant_misses = 0;
+        loop_summaries = 0;
+        summary_fallbacks = summary_analysis.Loop_summary.fallbacks;
       };
+    subsumption;
+    subsume = Subsume.create ();
+    summaries = summary_analysis.Loop_summary.summaries;
     trace = None;
     live = (fun () -> 0);
     lazy_fork = false;
@@ -174,14 +199,48 @@ let inject_solver_unknown t =
     true
   | Some _ | None -> false
 
+(* Consult the subsumption cache before solving: if the query's id set —
+   the state's path condition plus the extra constraints — covers some
+   unsat core recorded at this block boundary, the query is Unsat by
+   entailment (a superset of an unsatisfiable set is unsatisfiable) and
+   the solver is skipped entirely for one clock tick. [prune] marks
+   consults whose Unsat answer discards a would-be state (fork sides,
+   pending verifications) for the [subsumed_states] accounting. *)
+let subsume_consult t st ~extra ~prune =
+  t.subsumption
+  &&
+  let sg =
+    Pathcond.signature st.State.path
+    lor Pathcond.signature_of_ids (List.map (fun (e : Expr.t) -> e.Expr.id) extra)
+  in
+  let mem id =
+    Pathcond.mem st.State.path id
+    || List.exists (fun (e : Expr.t) -> e.Expr.id = id) extra
+  in
+  match Subsume.consult t.subsume ~block:st.State.cur_gid ~sg ~mem with
+  | `Hit ->
+    t.st.interpolant_hits <- t.st.interpolant_hits + 1;
+    if prune then t.st.subsumed_states <- t.st.subsumed_states + 1;
+    Vclock.tick t.clock;
+    true
+  | `Miss ->
+    t.st.interpolant_misses <- t.st.interpolant_misses + 1;
+    false
+  | `Empty -> false
+
+let record_core t st core =
+  if t.subsumption then Subsume.record t.subsume ~block:st.State.cur_gid core
+
 (* Invariant: a state's model satisfies its path (lazy-forked states are
    quarantined behind [verify] before they are ever sliced), so queries
    go through the incremental entry point. *)
-let feasible t st extra =
+let feasible ?(prune = false) t st extra =
   if inject_solver_unknown t then Solver.Unknown
+  else if subsume_consult t st ~extra ~prune then Solver.Unsat
   else begin
     let result, work =
-      Solver.check_assuming t.solver ~hint:st.State.model ~path:st.State.path extra
+      Solver.check_assuming t.solver ~hint:st.State.model
+        ~on_unsat_core:(record_core t st) ~path:(State.path_spine st) extra
     in
     charge_solver t work;
     (match result with
@@ -204,15 +263,19 @@ type verdict =
    retries the query, escalating its budget each time. *)
 let verify_pending t st =
   begin
-    match st.State.path with
+    match State.path_spine st with
     | [] ->
       st.State.needs_verify <- false;
       Verified
     | newest :: older ->
       if inject_solver_unknown t then Undecided
+        (* the full path (newest included) is the query: a recorded core
+           it covers discards the pending state without a query *)
+      else if subsume_consult t st ~extra:[] ~prune:true then Infeasible_state
       else begin
         let result, work =
-          Solver.check_assuming t.solver ~hint:st.State.model ~path:older [ newest ]
+          Solver.check_assuming t.solver ~hint:st.State.model
+            ~on_unsat_core:(record_core t st) ~path:older [ newest ]
         in
         charge_solver t work;
         match result with
@@ -243,6 +306,7 @@ let verify t st =
 
 let enter_block t st fidx bidx =
   let gid = Cfg.id t.cfg fidx bidx in
+  st.State.cur_gid <- gid;
   if Coverage.cover t.coverage gid then st.State.fresh_cover <- true;
   match t.trace with Some hook -> hook gid | None -> ()
 
@@ -619,7 +683,7 @@ let exec_br t st cond then_b else_b =
       end
       else if fork_suppressed t ~pending:0 then []
       else
-        match feasible t st [ other_c ] with
+        match feasible ~prune:true t st [ other_c ] with
         | Solver.Sat model -> [ fork_state t st ~constraint_:other_c ~model ~target:other_b ]
         | Solver.Unsat | Solver.Unknown -> []
     in
@@ -657,7 +721,7 @@ let exec_switch t st scrut cases default =
         end
       end
       else if not (fork_suppressed t ~pending:(List.length !children)) then
-        match feasible t st [ constraint_ ] with
+        match feasible ~prune:true t st [ constraint_ ] with
         | Solver.Sat model ->
           children := fork_state t st ~constraint_ ~model ~target :: !children
         | Solver.Unsat | Solver.Unknown -> ()
@@ -685,7 +749,7 @@ let exec_switch t st scrut cases default =
          end
        end
        else if not (fork_suppressed t ~pending:(List.length !children)) then begin
-         match feasible t st default_cs with
+         match feasible ~prune:true t st default_cs with
          | Solver.Sat model ->
            let child = fork_state t st ~constraint_:conj ~model ~target:default in
            (* keep the precise per-case constraints too *)
@@ -709,6 +773,97 @@ let exec_term t st term =
     do_ret t st v;
     Running
   | Halt message -> raise (Finish (Aborted message))
+
+(* --- loop summaries ---------------------------------------------------------- *)
+
+(* Apply a matched loop summary at its header (instruction 0): replace
+   running the loop to completion with its closed form over the entry
+   register values. [niter] is [bound - i] when the entry test holds and
+   [0] otherwise, each self-add register advances by [step * niter], and
+   the loop's exit condition register is identically zero afterwards —
+   all exact modulo 2^64 for {e every} input on this path (the [Ite]
+   covers the zero-iteration inputs), so no path constraint is added and
+   no fork is needed. The model invariant is untouched. Applied only
+   when the entry test holds under the state's model: on the other side
+   the header runs normally for one test (zero iterations concretely),
+   and a forked taken-side child re-enters the header with a model that
+   does satisfy the test, getting summarized then — so body coverage and
+   bug accounting match plain unrolling. *)
+let apply_summary t st (s : Loop_summary.summary) =
+  let regs = State.current_regs st in
+  let e_i = regs.(s.Loop_summary.counter) in
+  let e_b =
+    match s.Loop_summary.bound with
+    | Const c -> Expr.const c
+    | Reg r -> regs.(r)
+  in
+  let cmp_e = Expr.bin s.Loop_summary.cmp e_i e_b in
+  let truthy =
+    match Expr.is_const cmp_e with
+    | Some c -> Semantics.truthy c
+    | None -> Semantics.truthy (Model.eval st.State.model cmp_e)
+  in
+  if not truthy then false (* zero iterations on this model: run the header *)
+  else if
+    s.Loop_summary.cmp = Slt
+    && not (e_i.Expr.bits >= 0L && e_b.Expr.bits >= 0L)
+  then begin
+    (* conservative guard: only summarize signed loops whose operands are
+       provably non-negative (top bit clear makes [bits] an unsigned
+       upper bound), where Slt coincides with Ult *)
+    t.st.summary_fallbacks <- t.st.summary_fallbacks + 1;
+    false
+  end
+  else begin
+    let niter = Expr.ite cmp_e (Expr.bin Sub e_b e_i) Expr.zero in
+    set_reg t st s.Loop_summary.counter (Expr.ite cmp_e e_b e_i);
+    (* a pair temporary ends holding the final pre-copy value, which
+       equals the destination's final value whenever at least one
+       iteration ran; on zero iterations it keeps its entry value *)
+    (match s.Loop_summary.counter_tmp with
+    | Some tm ->
+      let regs = State.current_regs st in
+      set_reg t st tm (Expr.ite cmp_e e_b regs.(tm))
+    | None -> ());
+    List.iter
+      (fun { Loop_summary.dst; step; tmp } ->
+        let regs = State.current_regs st in
+        let final =
+          Expr.bin Add regs.(dst) (Expr.bin Mul (Expr.const step) niter)
+        in
+        set_reg t st dst final;
+        match tmp with
+        | Some tm ->
+          let regs = State.current_regs st in
+          set_reg t st tm (Expr.ite cmp_e final regs.(tm))
+        | None -> ())
+      s.Loop_summary.updates;
+    (* after the loop the header test is false on every input: if it held
+       on entry the counter now equals the bound; if it did not, it is
+       false by assumption — so the condition register is exactly zero *)
+    set_reg t st s.Loop_summary.cond_reg Expr.zero;
+    (* the body ran at least once under the model: cover and trace it *)
+    let body_gid = Cfg.id t.cfg st.State.fidx s.Loop_summary.body in
+    if Coverage.cover t.coverage body_gid then st.State.fresh_cover <- true;
+    (match t.trace with Some hook -> hook body_gid | None -> ());
+    (* charge roughly one header+body traversal instead of [niter] *)
+    Vclock.advance t.clock 4;
+    t.st.loop_summaries <- t.st.loop_summaries + 1;
+    goto t st s.Loop_summary.exit_;
+    true
+  end
+
+(* Summaries fire at header entry during symbolic stepping only; the
+   concolic (lazy-fork) pass must replay the concrete trace faithfully
+   to collect BBVs and fork points. *)
+let try_loop_summary t st =
+  (not t.lazy_fork)
+  && Hashtbl.length t.summaries > 0
+  && st.State.iidx = 0
+  &&
+  match Hashtbl.find_opt t.summaries (st.State.fidx, st.State.bidx) with
+  | Some s -> apply_summary t st s
+  | None -> false
 
 (* --- slices ------------------------------------------------------------------ *)
 
@@ -744,7 +899,8 @@ let run_slice_inner t st =
     while !continue do
       let f = t.prog.funcs.(st.State.fidx) in
       let block = f.blocks.(st.State.bidx) in
-      if st.State.iidx < Array.length block.insts then begin
+      if try_loop_summary t st then () (* leapt to the loop exit *)
+      else if st.State.iidx < Array.length block.insts then begin
         spend t st;
         exec_inst t st block.insts.(st.State.iidx)
       end

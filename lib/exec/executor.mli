@@ -47,6 +47,18 @@ type stats = {
   mutable verify_verified : int; (* {!verify} verdicts on pending states *)
   mutable verify_infeasible : int;
   mutable verify_undecided : int;
+  mutable subsumed_states : int;
+  (* would-be states pruned because their path condition covered a
+     recorded unsat core: suppressed fork sides plus pending states
+     discarded at verification *)
+  mutable interpolant_hits : int; (* queries answered Unsat from recorded cores *)
+  mutable interpolant_misses : int;
+  (* consults that scanned a non-empty core bucket without a match *)
+  mutable loop_summaries : int; (* loops leapt over via a summarized transition *)
+  mutable summary_fallbacks : int;
+  (* loops executed by plain unrolling: static template mismatches
+     (counted once at creation) plus runtime signed-compare guard
+     failures — fault-free downgrades *)
 }
 
 type t
@@ -59,6 +71,8 @@ val create :
   ?confirm_bugs:bool ->
   ?rng_seed:int ->
   ?inject:Pbse_robust.Inject.plan ->
+  ?subsumption:bool ->
+  ?loop_summaries:bool ->
   ?registry:Pbse_telemetry.Telemetry.Registry.t ->
   clock:Pbse_util.Vclock.t ->
   Pbse_ir.Types.program ->
@@ -69,8 +83,12 @@ val create :
     (forks beyond it continue on the taken side only; default 8192).
     [solver_retry_cap] bounds the solver's escalating retry budget;
     [solver_prefix_cap] bounds its prefix-context LRU. [inject] activates
-    deterministic fault injection (default: none). [registry] owns the
-    engine's telemetry instruments (default
+    deterministic fault injection (default: none). [subsumption]
+    (default true) enables the per-block-boundary unsat-core cache that
+    prunes subsumed states; [loop_summaries] (default true) enables the
+    static loop-summary pass and its one-step summarized transitions.
+    Both caches are engine-local, so pool determinism is unaffected.
+    [registry] owns the engine's telemetry instruments (default
     {!Pbse_telemetry.Telemetry.Registry.default}). *)
 
 val cfg : t -> Pbse_ir.Cfg.t

@@ -1,3 +1,5 @@
+module Pathcond = Pbse_pathcond.Pathcond
+
 type frame = {
   mutable regs : Pbse_smt.Expr.t array;
   mutable shared : bool; (* regs may be visible from another state *)
@@ -9,11 +11,12 @@ type t = {
   id : int;
   mutable frames : frame list;
   mutable mem : Mem.t;
-  mutable path : Pbse_smt.Expr.t list;
+  mutable path : Pathcond.t;
   mutable model : Pbse_smt.Model.t;
   mutable fidx : int;
   mutable bidx : int;
   mutable iidx : int;
+  mutable cur_gid : int;
   mutable depth : int;
   mutable steps : int;
   mutable fresh_cover : bool;
@@ -37,11 +40,12 @@ let create ~id ~nregs ~mem ~model ~fidx ~born =
         };
       ];
     mem;
-    path = [];
+    path = Pathcond.empty;
     model;
     fidx;
     bidx = 0;
     iidx = 0;
+    cur_gid = -1;
     depth = 0;
     steps = 0;
     fresh_cover = false;
@@ -68,6 +72,7 @@ let fork t ~id ~born ~fork_gid =
     fidx = t.fidx;
     bidx = t.bidx;
     iidx = t.iidx;
+    cur_gid = t.cur_gid;
     depth = t.depth + 1;
     steps = t.steps;
     fresh_cover = false;
@@ -99,6 +104,8 @@ let write_reg t r v =
     copied
   | [] -> invalid_arg "State.write_reg: no frames"
 
-let assume t c = t.path <- c :: t.path
+let assume t c = t.path <- Pathcond.assume t.path ~block:t.cur_gid c
 
-let path_conditions t = List.rev t.path
+let path_conditions t = Pathcond.conditions t.path
+
+let path_spine t = Pathcond.spine t.path

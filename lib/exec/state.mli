@@ -4,7 +4,12 @@
     frames, a persistent symbolic heap, the path condition collected so
     far, and a concrete model witnessing that condition (KLEE keeps the
     same invariant implicitly via its solver; we keep the witness inline
-    so taken-branch queries are free). *)
+    so taken-branch queries are free).
+
+    The path condition is a structured {!Pbse_pathcond.Pathcond.t}:
+    forks share it persistently, each assumed constraint is tagged with
+    the basic block (global id) it was assumed in, and the id-set view
+    feeds the block-boundary subsumption cache. *)
 
 type frame = {
   mutable regs : Pbse_smt.Expr.t array;
@@ -19,11 +24,15 @@ type t = {
   id : int;
   mutable frames : frame list; (* innermost first; never empty while live *)
   mutable mem : Mem.t;
-  mutable path : Pbse_smt.Expr.t list; (* newest first *)
+  mutable path : Pbse_pathcond.Pathcond.t; (* structured path condition *)
   mutable model : Pbse_smt.Model.t; (* always satisfies [path] *)
   mutable fidx : int;
   mutable bidx : int;
   mutable iidx : int;
+  mutable cur_gid : int;
+  (* global id of the block being executed, maintained by the executor at
+     block entry; -1 before the first block. New path conditions are
+     tagged with it. *)
   mutable depth : int; (* number of forks on this path *)
   mutable steps : int;
   mutable fresh_cover : bool; (* covered new code on its last slice *)
@@ -64,8 +73,13 @@ val current_regs : t -> Pbse_smt.Expr.t array
     {!own_frame}. Raises [Invalid_argument] on a state with no frames. *)
 
 val assume : t -> Pbse_smt.Expr.t -> unit
-(** Appends a constraint to the path condition (no feasibility check;
-    callers are responsible for keeping [model] consistent). *)
+(** Appends a constraint to the path condition, tagged with the current
+    block ([cur_gid]); no feasibility check — callers are responsible
+    for keeping [model] consistent. *)
 
 val path_conditions : t -> Pbse_smt.Expr.t list
 (** Oldest first. *)
+
+val path_spine : t -> Pbse_smt.Expr.t list
+(** Newest first — the physically shared spine handed to the solver
+    ({!Pbse_pathcond.Pathcond.spine}). *)

@@ -8,6 +8,11 @@
 
 type t
 
+val term_successors : Types.terminator -> int list
+(** Intra-function successor block indices of a terminator — the raw
+    edges, without the call edges [build] adds. Loop analysis
+    ({!Loop}) works on these. *)
+
 val build : Types.program -> t
 
 val program : t -> Types.program

@@ -1,0 +1,131 @@
+open Types
+
+type loop = {
+  header : int;
+  latches : int list;
+  body : bool array;
+}
+
+type analysis = {
+  loops : loop list;
+  irreducible : int list;
+}
+
+(* Intra-procedural successors: terminator edges only. Call edges never
+   participate in loop structure. *)
+let block_succs f =
+  Array.map (fun b -> Cfg.term_successors b.term) f.blocks
+
+let preds_of succs n =
+  let preds = Array.make n [] in
+  Array.iteri (fun u -> List.iter (fun v -> preds.(v) <- u :: preds.(v))) succs;
+  preds
+
+(* Reverse post-order over blocks reachable from the entry (block 0).
+   Returns the order (entry first) and each block's position in it
+   (max_int for unreachable blocks). *)
+let reverse_postorder succs n =
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter dfs succs.(u);
+      order := u :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  let order = !order in
+  let pos = Array.make n max_int in
+  List.iteri (fun i u -> pos.(u) <- i) order;
+  (order, pos)
+
+(* Cooper–Harvey–Kennedy iterative immediate dominators. *)
+let idoms f =
+  let n = Array.length f.blocks in
+  let succs = block_succs f in
+  let preds = preds_of succs n in
+  let order, pos = reverse_postorder succs n in
+  let idom = Array.make n (-1) in
+  let rec intersect a b =
+    if a = b then a
+    else if pos.(a) > pos.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  if n > 0 then idom.(0) <- 0;
+  let changed = ref (n > 0) in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) < 0 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None preds.(b)
+          in
+          match new_idom with
+          | Some d when idom.(b) <> d ->
+            idom.(b) <- d;
+            changed := true
+          | _ -> ()
+        end)
+      order
+  done;
+  if n > 0 then idom.(0) <- -1;
+  idom
+
+let dominates idom a b =
+  let rec walk b = b = a || (idom.(b) >= 0 && walk idom.(b)) in
+  walk b
+
+let analyze f =
+  let n = Array.length f.blocks in
+  let succs = block_succs f in
+  let preds = preds_of succs n in
+  let _, pos = reverse_postorder succs n in
+  let idom = idoms f in
+  let reachable b = b = 0 || idom.(b) >= 0 in
+  (* classify edges: a retreating edge u -> v (pos v <= pos u) is a back
+     edge when v dominates u, otherwise it witnesses irreducibility *)
+  let back_edges = ref [] in
+  let irreducible = ref [] in
+  Array.iteri
+    (fun u vs ->
+      if reachable u then
+        List.iter
+          (fun v ->
+            if pos.(v) <= pos.(u) then
+              if dominates idom v u then back_edges := (u, v) :: !back_edges
+              else if not (List.mem v !irreducible) then irreducible := v :: !irreducible)
+          vs)
+    succs;
+  (* natural loop of header h: h plus reverse reachability from each
+     latch, never crossing h *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, h) ->
+      let latches = try Hashtbl.find by_header h with Not_found -> [] in
+      Hashtbl.replace by_header h (u :: latches))
+    !back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun h latches acc ->
+        let body = Array.make n false in
+        body.(h) <- true;
+        let rec pull u =
+          if not body.(u) then begin
+            body.(u) <- true;
+            List.iter pull preds.(u)
+          end
+        in
+        List.iter pull latches;
+        { header = h; latches = List.sort_uniq compare latches; body } :: acc)
+      by_header []
+  in
+  {
+    loops = List.sort (fun a b -> compare a.header b.header) loops;
+    irreducible = List.sort_uniq compare !irreducible;
+  }

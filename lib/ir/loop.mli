@@ -1,0 +1,35 @@
+(** Natural-loop detection over a single function's intra-procedural CFG.
+
+    Works on terminator successor edges only — call edges (which
+    {!Cfg.build} adds for the distance heuristics) are not loop edges.
+    Loops are discovered via dominators: a back edge is an edge [u -> h]
+    where [h] dominates [u]; the natural loop of [h] is [h] plus every
+    block that can reach some latch [u] without passing through [h].
+    Back edges sharing a header are merged into one loop.
+
+    Irreducible control flow — a retreating edge in reverse post-order
+    whose target does {e not} dominate its source — has no unique header
+    and is reported separately; consumers (the loop-summary pass) must
+    refuse to summarize any loop touching an irreducible region. *)
+
+type loop = {
+  header : int; (* block index within the function *)
+  latches : int list; (* sources of back edges into [header], ascending *)
+  body : bool array; (* block index -> member (includes the header) *)
+}
+
+type analysis = {
+  loops : loop list; (* ascending header index *)
+  irreducible : int list; (* targets of retreating non-back edges, ascending *)
+}
+
+val analyze : Types.func -> analysis
+
+val idoms : Types.func -> int array
+(** Immediate dominators: [idoms f].(b) is the immediate dominator of
+    block [b], [-1] for the entry block and for blocks unreachable from
+    it. Exposed for tests. *)
+
+val dominates : int array -> int -> int -> bool
+(** [dominates idoms a b]: does [a] dominate [b] (reflexively), under
+    the immediate-dominator array from {!idoms}? *)

@@ -1,0 +1,124 @@
+open Pbse_ir.Types
+module Loop = Pbse_ir.Loop
+
+type update = { dst : int; step : int64; tmp : int option }
+
+type summary = {
+  fidx : int;
+  header : int;
+  body : int;
+  exit_ : int;
+  cmp : binop;
+  counter : int;
+  counter_tmp : int option;
+  cond_reg : int;
+  bound : operand;
+  updates : update list;
+}
+
+type analysis = {
+  summaries : (int * int, summary) Hashtbl.t;
+  fallbacks : int;
+}
+
+(* Match one natural loop against the template; None is a fallback. *)
+let match_loop f fidx (l : Loop.loop) ~tainted ~preds =
+  let loop_size = Array.fold_left (fun n m -> if m then n + 1 else n) 0 l.Loop.body in
+  if Array.exists2 (fun t b -> t && b) tainted l.Loop.body then None
+  else
+    match l.Loop.latches with
+    | [ latch ] when loop_size = 2 && latch <> l.Loop.header -> (
+      let header_b = f.blocks.(l.Loop.header) in
+      let body_b = f.blocks.(latch) in
+      match (header_b.insts, header_b.term, body_b.term) with
+      | ( [| Bin (t, ((Ult | Slt) as cmp), Reg i, bound) |],
+          Br (Reg t', th, el),
+          Jmp back )
+        when t = t' && th = latch && back = l.Loop.header
+             && (not l.Loop.body.(el))
+             && List.for_all (fun p -> p = l.Loop.header) preds.(latch) -> (
+        (* body: constant advances over distinct registers, counter
+           stepping by exactly 1. Two lowering shapes are accepted: a
+           plain self-add [r := r + c], and the frontend's materialised
+           pair [tmp := r + c; r := tmp + 0] (MiniC assignments lower
+           through a temporary). Each update reads only its own
+           register, so the updates are order-independent and the whole
+           body has a closed form. *)
+        let insts = body_b.insts in
+        let n = Array.length insts in
+        let rec scan acc written k =
+          if k = n then Some (List.rev acc, written)
+          else
+            match insts.(k) with
+            | Bin (r, Add, Reg r', Const c)
+              when r = r' && not (List.mem r written) ->
+              scan ({ dst = r; step = c; tmp = None } :: acc) (r :: written)
+                (k + 1)
+            | Bin (tm, Add, Reg r, Const c)
+              when tm <> r
+                   && (not (List.mem tm written))
+                   && (not (List.mem r written))
+                   && k + 1 < n -> (
+              match insts.(k + 1) with
+              | Bin (r2, Add, Reg tm2, Const 0L) when r2 = r && tm2 = tm ->
+                scan
+                  ({ dst = r; step = c; tmp = Some tm } :: acc)
+                  (tm :: r :: written) (k + 2)
+              | _ -> None)
+            | _ -> None
+        in
+        match scan [] [] 0 with
+        | Some (ups, written) -> (
+          match List.find_opt (fun u -> u.dst = i) ups with
+          | Some cu when cu.step = 1L && not (List.mem t written) ->
+            let bound_ok =
+              match bound with
+              | Const _ -> true
+              | Reg b -> b <> t && not (List.mem b written)
+            in
+            if bound_ok then
+              Some
+                {
+                  fidx;
+                  header = l.Loop.header;
+                  body = latch;
+                  exit_ = el;
+                  cmp;
+                  counter = i;
+                  counter_tmp = cu.tmp;
+                  cond_reg = t;
+                  bound;
+                  updates = List.filter (fun u -> u.dst <> i) ups;
+                }
+            else None
+          | _ -> None)
+        | None -> None)
+      | _ -> None)
+    | _ -> None
+
+let analyze prog =
+  let summaries = Hashtbl.create 16 in
+  let fallbacks = ref 0 in
+  Array.iteri
+    (fun fidx f ->
+      let n = Array.length f.blocks in
+      if n > 0 then begin
+        let { Loop.loops; irreducible } = Loop.analyze f in
+        let tainted = Array.make n false in
+        List.iter (fun b -> tainted.(b) <- true) irreducible;
+        let preds = Array.make n [] in
+        Array.iteri
+          (fun u blk ->
+            List.iter
+              (fun v -> preds.(v) <- u :: preds.(v))
+              (Pbse_ir.Cfg.term_successors blk.term))
+          f.blocks;
+        List.iter
+          (fun l ->
+            match match_loop f fidx l ~tainted ~preds with
+            | Some s -> Hashtbl.replace summaries (fidx, s.header) s
+            | None -> incr fallbacks)
+          loops
+      end)
+    prog.funcs;
+  { summaries; fallbacks = !fallbacks }

@@ -15,6 +15,8 @@ type t = {
   mutable new_cover : int;
   mutable dwell : int;
   mutable quarantined : int;
+  mutable subsumed : int;
+  mutable summarized : int;
 }
 
 let create ?registry ~ordinal ~pid ~trap searcher =
@@ -35,6 +37,8 @@ let create ?registry ~ordinal ~pid ~trap searcher =
     new_cover = 0;
     dwell = 0;
     quarantined = 0;
+    subsumed = 0;
+    summarized = 0;
   }
 
 let seed q st =
@@ -54,4 +58,6 @@ let stat_row q =
     new_cover = q.new_cover;
     dwell = q.dwell;
     quarantined = q.quarantined;
+    subsumed = q.subsumed;
+    summarized = q.summarized;
   }

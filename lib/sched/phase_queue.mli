@@ -18,6 +18,8 @@ type t = {
   mutable new_cover : int; (* slices that covered a new block *)
   mutable dwell : int; (* virtual time spent in this phase's turns *)
   mutable quarantined : int; (* states evicted while this phase ran *)
+  mutable subsumed : int; (* states pruned by subsumption in its turns *)
+  mutable summarized : int; (* loop summaries applied in its turns *)
 }
 
 val create :

@@ -51,11 +51,17 @@ type robust_config = {
   degrade_after : int;
 }
 
+type pathcond_config = {
+  subsumption : bool; (* block-boundary unsat-core pruning *)
+  loop_summaries : bool; (* template loop summaries *)
+}
+
 type config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
   robust : robust_config;
+  pathcond : pathcond_config;
   rng_seed : int;
 }
 
@@ -87,6 +93,7 @@ let default_config =
         watchdog_strikes = 3;
         degrade_after = 4;
       };
+    pathcond = { subsumption = true; loop_summaries = true };
     rng_seed = 1;
   }
 
@@ -94,6 +101,7 @@ let with_concolic f config = { config with concolic = f config.concolic }
 let with_search f config = { config with search = f config.search }
 let with_solver f config = { config with solver = f config.solver }
 let with_robust f config = { config with robust = f config.robust }
+let with_pathcond f config = { config with pathcond = f config.pathcond }
 let with_rng_seed rng_seed config = { config with rng_seed }
 
 (* Flat (key, value) rendering of a config, for campaign snapshots: a
@@ -125,6 +133,10 @@ let config_to_kvs config =
     ("robust.watchdog_factor", string_of_int config.robust.watchdog_factor);
     ("robust.watchdog_strikes", string_of_int config.robust.watchdog_strikes);
     ("robust.degrade_after", string_of_int config.robust.degrade_after);
+    (* snapshots from before the pathcond layer lack these keys and
+       resume with the defaults (both enabled) *)
+    ("pathcond.subsumption", if config.pathcond.subsumption then "1" else "0");
+    ("pathcond.loop_summaries", if config.pathcond.loop_summaries then "1" else "0");
     ("rng_seed", string_of_int config.rng_seed);
   ]
 
@@ -149,6 +161,7 @@ let config_of_kvs kvs =
           let search f = with_search f config in
           let solver f = with_solver f config in
           let robust f = with_robust f config in
+          let pathcond f = with_pathcond f config in
           match key with
           | "concolic.interval_length" ->
             if v = "auto" then Ok (concolic (fun c -> { c with interval_length = None }))
@@ -196,6 +209,10 @@ let config_of_kvs kvs =
             int_field key v (fun i -> robust (fun r -> { r with watchdog_strikes = i }))
           | "robust.degrade_after" ->
             int_field key v (fun i -> robust (fun r -> { r with degrade_after = i }))
+          | "pathcond.subsumption" ->
+            bool_field key v (fun b -> pathcond (fun p -> { p with subsumption = b }))
+          | "pathcond.loop_summaries" ->
+            bool_field key v (fun b -> pathcond (fun p -> { p with loop_summaries = b }))
           | "rng_seed" -> int_field key v (fun i -> with_rng_seed i config)
           | _ -> Ok config))
     (Ok default_config) kvs
@@ -373,6 +390,7 @@ let map_seed_states config ~interval_length ?share ?shared_hits ~trace division 
    phase (fail-over via [evict]), never the run. *)
 let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_progress =
   let faults = Executor.faults exec in
+  let est = Executor.stats exec in
   let now () = Vclock.now clock in
   let tm_turn = Telemetry.Registry.span registry "driver.turn" in
   let rec turns () =
@@ -383,6 +401,10 @@ let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_prog
       | Some { Scheduler.queue = q; budget = turn_budget } ->
         let turn_start = Vclock.now clock in
         let cover_start = q.Phase_queue.new_cover in
+        (* executor-stat marks: the deltas over this turn are attributed
+           to the phase's report row *)
+        let subsumed_start = est.Executor.subsumed_states in
+        let summarized_start = est.Executor.loop_summaries in
         let searcher = q.Phase_queue.searcher in
         q.Phase_queue.turns <- q.Phase_queue.turns + 1;
         let queue_failed = ref false in
@@ -431,6 +453,7 @@ let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_prog
                 drain ())
             | `Selected (Some st) -> slice st
         and slice st =
+          let slice_summaries = est.Executor.loop_summaries in
           match try `S (Executor.run_slice exec st) with exn -> `E exn with
           | `E exn ->
             contain st exn;
@@ -449,10 +472,20 @@ let schedule_phases ~registry ~clock ~deadline ~sched ~quarantine exec note_prog
                  children
              | Executor.Finished _ -> searcher.Searcher.remove st);
             note_progress q.Phase_queue.ordinal;
-            (* stay in the phase while under budget or still covering new code *)
-            if Vclock.now clock - turn_start <= turn_budget || covered_new then drain ()
+            (* stay in the phase while under budget or still progressing:
+               new coverage always counts, and a trap phase that just
+               leapt a loop via a summary consults that before retreating *)
+            let progressed =
+              Phase.turn_progress ~trap:q.Phase_queue.trap ~fresh_cover:covered_new
+                ~summaries_applied:(est.Executor.loop_summaries - slice_summaries)
+            in
+            if Vclock.now clock - turn_start <= turn_budget || progressed then drain ()
         in
         Telemetry.with_span tm_turn ~now drain;
+        q.Phase_queue.subsumed <-
+          q.Phase_queue.subsumed + (est.Executor.subsumed_states - subsumed_start);
+        q.Phase_queue.summarized <-
+          q.Phase_queue.summarized + (est.Executor.loop_summaries - summarized_start);
         let elapsed = Vclock.now clock - turn_start in
         q.Phase_queue.dwell <- q.Phase_queue.dwell + elapsed;
         Telemetry.observe q.Phase_queue.turn_dwell elapsed;
@@ -531,8 +564,9 @@ let open_session ?(config = default_config) ?quarantine ?runtime
     Executor.create ~max_live:config.search.max_live ~solver_budget:config.solver.budget
       ~solver_retry_cap:config.solver.retry_cap
       ~solver_prefix_cap:config.solver.prefix_cap
-      ~confirm_bugs:config.robust.confirm_bugs ~inject:rt.Runtime.inject ~registry
-      ~clock prog ~input:seed
+      ~confirm_bugs:config.robust.confirm_bugs ~inject:rt.Runtime.inject
+      ~subsumption:config.pathcond.subsumption
+      ~loop_summaries:config.pathcond.loop_summaries ~registry ~clock prog ~input:seed
   in
   (* prefix-context residue published by finished sessions: arena-free
      model hints, installed before any query is issued *)
@@ -736,80 +770,87 @@ let run ?(config = default_config) ?quarantine ?runtime prog ~seed ~deadline =
   step_session s ~deadline;
   finish_session s
 
-(* The scalar metric families of a run report, harvested from the
-   per-run stats structs — authoritative whether or not the registry was
-   enabled. Construction order is fixed, so two identical seeded runs
-   serialise byte-identically; the aggregate pool report sums these same
-   families across runs. *)
-let scalar_metrics report =
-  let exec = report.executor in
-  let sst = Solver.stats (Executor.solver exec) in
-  let est = Executor.stats exec in
-  let scs = report.sched_stats in
-  let confirmed =
-    List.length (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) report.bugs)
-  in
-  let trap_dwell =
-    List.fold_left
-      (fun acc (p : Report.phase_row) -> if p.Report.trap then acc + p.Report.dwell else acc)
-      0 report.phase_stats
-  in
-  let sum f = List.fold_left (fun acc p -> acc + f p) 0 report.phase_stats in
+(* The counter manifest: the single authoritative list of every scalar
+   metric family a run report carries — name plus how to harvest it from
+   the per-run stats structs. CLI reports, serve frames (which flow
+   through [run_report]) and the bench runs.csv columns all derive from
+   this one list, so a metric added here cannot drift between surfaces.
+   Construction order is fixed, so two identical seeded runs serialise
+   byte-identically; the aggregate pool report sums these same families
+   across runs. *)
+let scalar_metric_specs : (string * (report -> int)) list =
+  let sst r = Solver.stats (Executor.solver r.executor) in
+  let est r = Executor.stats r.executor in
+  let sum f r = List.fold_left (fun acc p -> acc + f p) 0 r.phase_stats in
   [
-    ("seed.bytes", report.seed_size);
-    ("run.c_time", report.c_time);
-    ("run.p_time", report.p_time);
-    ("run.interval_length", report.interval_length);
-    ("run.seed_states", report.seed_state_count);
-    ("phase.count", report.division.Phase.k);
-    ("phase.traps", report.division.Phase.trap_count);
+    ("seed.bytes", fun r -> r.seed_size);
+    ("run.c_time", fun r -> r.c_time);
+    ("run.p_time", fun r -> r.p_time);
+    ("run.interval_length", fun r -> r.interval_length);
+    ("run.seed_states", fun r -> r.seed_state_count);
+    ("phase.count", fun r -> r.division.Phase.k);
+    ("phase.traps", fun r -> r.division.Phase.trap_count);
     ("phase.turns", sum (fun p -> p.Report.turns));
     ("phase.slices", sum (fun p -> p.Report.slices));
     ("phase.new_cover", sum (fun p -> p.Report.new_cover));
     ("phase.dwell", sum (fun p -> p.Report.dwell));
-    ("phase.trap_dwell", trap_dwell);
-    ("sched.turns", scs.Scheduler.turns);
-    ("sched.rotations", scs.Scheduler.rotations);
-    ("sched.evictions", scs.Scheduler.evictions);
-    ("sched.failovers", scs.Scheduler.failovers);
-    ("coverage.blocks", Coverage.count (Executor.coverage exec));
-    ("bugs.total", List.length report.bugs);
-    ("bugs.confirmed", confirmed);
-    ("exec.states", Executor.state_count exec);
-    ("exec.instructions", est.Executor.instructions);
-    ("exec.slices", est.Executor.slices);
-    ("exec.forks", est.Executor.forks);
-    ("exec.dropped_forks", est.Executor.dropped_forks);
-    ("exec.cow_copies", est.Executor.cow_copies);
-    ("exec.term_exit", est.Executor.term_exit);
-    ("exec.term_bug", est.Executor.term_bug);
-    ("exec.term_abort", est.Executor.term_abort);
-    ("exec.term_infeasible", est.Executor.term_infeasible);
-    ("exec.concretized_addrs", est.Executor.concretized_addrs);
-    ("verify.verified", est.Executor.verify_verified);
-    ("verify.infeasible", est.Executor.verify_infeasible);
-    ("verify.undecided", est.Executor.verify_undecided);
-    ("solver.queries", sst.Solver.queries);
-    ("solver.sat", sst.Solver.sat);
-    ("solver.unsat", sst.Solver.unsat);
-    ("solver.unknown", sst.Solver.unknown);
-    ("solver.cache_hits", sst.Solver.cache_hits);
-    ("solver.hint_hits", sst.Solver.hint_hits);
-    ("solver.prefix_hits", sst.Solver.prefix_hits);
-    ("solver.prefix_builds", sst.Solver.prefix_builds);
-    ("solver.prefix_model_hits", sst.Solver.prefix_model_hits);
-    ("solver.search_nodes", sst.Solver.search_nodes);
-    ("solver.work", sst.Solver.work);
-    ("solver.retries", sst.Solver.retries);
-    ("solver.escalations", sst.Solver.escalations);
-    ("solver.retry_resolved", sst.Solver.retry_resolved);
-    ("solver.prefix_evictions", sst.Solver.prefix_evictions);
-    ("quarantine.evicted", report.quarantined);
-    ("quarantine.strikes", report.strikes);
+    ( "phase.trap_dwell",
+      sum (fun p -> if p.Report.trap then p.Report.dwell else 0) );
+    ("sched.turns", fun r -> r.sched_stats.Scheduler.turns);
+    ("sched.rotations", fun r -> r.sched_stats.Scheduler.rotations);
+    ("sched.evictions", fun r -> r.sched_stats.Scheduler.evictions);
+    ("sched.failovers", fun r -> r.sched_stats.Scheduler.failovers);
+    ("coverage.blocks", fun r -> Coverage.count (Executor.coverage r.executor));
+    ("bugs.total", fun r -> List.length r.bugs);
+    ( "bugs.confirmed",
+      fun r ->
+        List.length (List.filter (fun ((b : Bug.t), _) -> b.Bug.confirmed) r.bugs) );
+    ("exec.states", fun r -> Executor.state_count r.executor);
+    ("exec.instructions", fun r -> (est r).Executor.instructions);
+    ("exec.slices", fun r -> (est r).Executor.slices);
+    ("exec.forks", fun r -> (est r).Executor.forks);
+    ("exec.dropped_forks", fun r -> (est r).Executor.dropped_forks);
+    ("exec.cow_copies", fun r -> (est r).Executor.cow_copies);
+    ("exec.term_exit", fun r -> (est r).Executor.term_exit);
+    ("exec.term_bug", fun r -> (est r).Executor.term_bug);
+    ("exec.term_abort", fun r -> (est r).Executor.term_abort);
+    ("exec.term_infeasible", fun r -> (est r).Executor.term_infeasible);
+    ("exec.concretized_addrs", fun r -> (est r).Executor.concretized_addrs);
+    ("verify.verified", fun r -> (est r).Executor.verify_verified);
+    ("verify.infeasible", fun r -> (est r).Executor.verify_infeasible);
+    ("verify.undecided", fun r -> (est r).Executor.verify_undecided);
+    ("solver.queries", fun r -> (sst r).Solver.queries);
+    ("solver.sat", fun r -> (sst r).Solver.sat);
+    ("solver.unsat", fun r -> (sst r).Solver.unsat);
+    ("solver.unknown", fun r -> (sst r).Solver.unknown);
+    ("solver.cache_hits", fun r -> (sst r).Solver.cache_hits);
+    ("solver.hint_hits", fun r -> (sst r).Solver.hint_hits);
+    ("solver.prefix_hits", fun r -> (sst r).Solver.prefix_hits);
+    ("solver.prefix_builds", fun r -> (sst r).Solver.prefix_builds);
+    ("solver.prefix_model_hits", fun r -> (sst r).Solver.prefix_model_hits);
+    ("solver.search_nodes", fun r -> (sst r).Solver.search_nodes);
+    ("solver.work", fun r -> (sst r).Solver.work);
+    ("solver.retries", fun r -> (sst r).Solver.retries);
+    ("solver.escalations", fun r -> (sst r).Solver.escalations);
+    ("solver.retry_resolved", fun r -> (sst r).Solver.retry_resolved);
+    ("solver.prefix_evictions", fun r -> (sst r).Solver.prefix_evictions);
+    ("smt.subsumed_states", fun r -> (est r).Executor.subsumed_states);
+    ("smt.interpolant_hits", fun r -> (est r).Executor.interpolant_hits);
+    ("smt.interpolant_misses", fun r -> (est r).Executor.interpolant_misses);
+    ("pathcond.loop_summaries", fun r -> (est r).Executor.loop_summaries);
+    ("pathcond.summary_fallbacks", fun r -> (est r).Executor.summary_fallbacks);
+    ("quarantine.evicted", fun r -> r.quarantined);
+    ("quarantine.strikes", fun r -> r.strikes);
   ]
   @ List.map
-      (fun kind -> ("fault." ^ Fault.label kind, Fault.count report.faults kind))
+      (fun kind ->
+        ("fault." ^ Fault.label kind, fun r -> Fault.count r.faults kind))
       Fault.all
+
+let scalar_metric_names = List.map fst scalar_metric_specs
+
+let scalar_metrics report =
+  List.map (fun (name, harvest) -> (name, harvest report)) scalar_metric_specs
 
 let span_metrics registry =
   List.concat_map

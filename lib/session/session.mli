@@ -87,11 +87,22 @@ type robust_config = {
                           solver prefix cap; 0 disables degradation *)
 }
 
+type pathcond_config = {
+  subsumption : bool; (* block-boundary unsat-core subsumption cache *)
+  loop_summaries : bool; (* closed-form counting-loop summaries *)
+}
+(** The path-condition layer's pruning features (docs/subsumption.md).
+    Both default on; [pbse --no-subsumption] / [--no-loop-summaries]
+    turn them off for A-B runs. Both are semantically transparent —
+    merged coverage and bug sets are unchanged — so they only trade
+    solver work. *)
+
 type config = {
   concolic : concolic_config;
   search : search_config;
   solver : solver_config;
   robust : robust_config;
+  pathcond : pathcond_config;
   rng_seed : int;
 }
 
@@ -101,6 +112,7 @@ val with_concolic : (concolic_config -> concolic_config) -> config -> config
 val with_search : (search_config -> search_config) -> config -> config
 val with_solver : (solver_config -> solver_config) -> config -> config
 val with_robust : (robust_config -> robust_config) -> config -> config
+val with_pathcond : (pathcond_config -> pathcond_config) -> config -> config
 val with_rng_seed : int -> config -> config
 
 val config_to_kvs : config -> (string * string) list
@@ -296,7 +308,14 @@ val run_report :
 
 val scalar_metrics : report -> (string * int) list
 (** The fixed-order scalar metric families of a run report — the
-    aggregate pool report sums these same families across runs. *)
+    aggregate pool report sums these same families across runs. Derived
+    from {!scalar_metric_names}'s manifest, so every consumer (CLI
+    reports, serve frames, bench runs.csv) sees the same families. *)
+
+val scalar_metric_names : string list
+(** The names of {!scalar_metrics}'s families in emission order — the
+    counter manifest. Bench and tests validate their column lists
+    against it so metrics cannot drift between surfaces. *)
 
 val span_metrics : Pbse_telemetry.Telemetry.Registry.t -> (string * int) list
 (** [span.NAME.count] / [span.NAME.total] pairs from a registry

@@ -104,7 +104,7 @@ let reads_of t (e : Expr.t) =
 
 let max_group_vars = 48
 
-let solve_groups t meter ~hint ~focus ~bounds groups =
+let solve_groups t meter ~hint ~focus ~bounds ?on_unsat_core groups =
   let model = ref hint in
   let unknown = ref false in
   let unsat = ref false in
@@ -137,7 +137,12 @@ let solve_groups t meter ~hint ~focus ~bounds groups =
       match outcome with
       | Search_core.Gsat bindings ->
         model := List.fold_left (fun m (i, v) -> Model.set m i v) !model bindings
-      | Search_core.Gunsat -> unsat := true
+      | Search_core.Gunsat ->
+        unsat := true;
+        (* the failing group is a genuine unsat core: grouping is closed
+           under shared bytes, so every constraint justifying the
+           search's learned bounds is in [exprs] (see docs/subsumption.md) *)
+        (match on_unsat_core with Some f -> f exprs | None -> ())
       | Search_core.Gunknown -> unknown := true
     end
   in
@@ -213,7 +218,7 @@ let check t ?(hint = Model.empty) exprs =
           solve_groups t meter ~hint ~focus:[] ~bounds:no_bounds
             (Simplify.group_constraints ~reads:(reads_of t) symbolic))
 
-let check_assuming t ?(hint = Model.empty) ~path extra =
+let check_assuming t ?(hint = Model.empty) ?on_unsat_core ~path extra =
   (* the key identifies the query by its [extra] constraints only: cheap
      to compute on the hot path, and a collision across states merely
      shares the (harmless) budget escalation for that branch *)
@@ -270,6 +275,7 @@ let check_assuming t ?(hint = Model.empty) ~path extra =
             let focus = List.concat_map (reads_of t) extra in
             let result =
               solve_groups t meter ~hint ~focus ~bounds:(Prefix_ctx.bound entry)
+                ?on_unsat_core
                 (Simplify.group_constraints ~reads:(reads_of t) selected)
             in
             (match result with

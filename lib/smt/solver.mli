@@ -80,7 +80,12 @@ val check : t -> ?hint:Model.t -> Expr.t list -> result * int
     mentioned in [cs] and inherits [hint] elsewhere. *)
 
 val check_assuming :
-  t -> ?hint:Model.t -> path:Expr.t list -> Expr.t list -> result * int
+  t ->
+  ?hint:Model.t ->
+  ?on_unsat_core:(Expr.t list -> unit) ->
+  path:Expr.t list ->
+  Expr.t list ->
+  result * int
 (** [check_assuming t ~hint ~path extra] decides [path @ extra] under the
     caller-guaranteed invariant that [hint] already satisfies every
     constraint in [path]. Only the constraints transitively sharing input
@@ -89,7 +94,17 @@ val check_assuming :
     result is as definitive as [check]'s: disjoint path constraints stay
     satisfied because the returned model only rebinds component bytes.
     Repeated queries against the same prefix reuse its context (counted
-    in [prefix_hits]). *)
+    in [prefix_hits]).
+
+    On an [Unsat] answer decided by the group search, [on_unsat_core] is
+    called with the failing independence group's constraints — a genuine
+    unsat core drawn from [path @ extra] (constraint groups are closed
+    under shared input bytes, so the bounds used to refute the group are
+    all justified inside it). The callback is {e not} invoked when the
+    refutation came from a constant-false constraint in [extra]; such
+    queries never reach the search. The path-condition layer
+    ({!Pbse_pathcond}-side subsumption) records these cores per block
+    boundary and answers superset queries without solving. *)
 
 val sat : t -> ?hint:Model.t -> Expr.t list -> bool
 (** [sat t cs] is true only on a definitive [Sat] answer ([Unknown]

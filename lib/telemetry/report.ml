@@ -8,6 +8,8 @@ type phase_row = {
   new_cover : int;
   dwell : int;
   quarantined : int;
+  subsumed : int; (* states pruned by the subsumption cache during this phase *)
+  summarized : int; (* loop summaries applied during this phase *)
 }
 
 type seed_row = {
@@ -48,6 +50,8 @@ let phase_to_json (p : phase_row) =
       ("new_cover", Json.Int p.new_cover);
       ("dwell", Json.Int p.dwell);
       ("quarantined", Json.Int p.quarantined);
+      ("subsumed", Json.Int p.subsumed);
+      ("summarized", Json.Int p.summarized);
     ]
 
 let seed_to_json (s : seed_row) =
@@ -119,6 +123,9 @@ let phase_of_json json =
     new_cover = get_int "new_cover" json;
     dwell = get_int "dwell" json;
     quarantined = get_int "quarantined" json;
+    (* absent in pre-pathcond documents: [get_int] defaults to 0 *)
+    subsumed = get_int "subsumed" json;
+    summarized = get_int "summarized" json;
   }
 
 let seed_of_json json =

@@ -20,7 +20,11 @@ type phase_row = {
   new_cover : int; (* slices that covered a new block *)
   dwell : int; (* virtual time spent inside the phase's turns *)
   quarantined : int; (* states evicted while this phase ran *)
+  subsumed : int; (* states pruned by the subsumption cache in its turns *)
+  summarized : int; (* loop summaries applied in its turns *)
 }
+(** [subsumed]/[summarized] default to 0 when parsing pre-pathcond
+    documents, so old reports stay readable. *)
 
 type seed_row = {
   ordinal : int; (* 1-based pool order (smallest seed first) *)

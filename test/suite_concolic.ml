@@ -150,7 +150,7 @@ let test_concolic_seed_states_verify () =
     (fun (ss : Concolic.seed_state) ->
       Alcotest.(check bool) "verified state has consistent model" true
         (Pbse_smt.Model.satisfies ss.Concolic.state.Pbse_exec.State.model
-           ss.Concolic.state.Pbse_exec.State.path))
+           (Pbse_exec.State.path_conditions ss.Concolic.state)))
     verified
 
 let suite =

@@ -173,18 +173,23 @@ let with_telemetry f =
 
 let report_meta = [ ("target", "mini") ]
 
-let uninterrupted_json ?config ?(lease = 1) ~scheduler ~jobs () =
+let uninterrupted_json ?config ?(lease = 1) ?prog ?seeds ?(deadline = 150_000)
+    ~scheduler ~jobs () =
+  let prog = match prog with Some p -> p | None -> mini_program () in
+  let seeds = match seeds with Some s -> s | None -> pool_seeds () in
   with_telemetry (fun () ->
       let pool =
-        Driver.run_pool ?config ~scheduler ~jobs ~lease (mini_program ())
-          ~seeds:(pool_seeds ()) ~deadline:150_000
+        Driver.run_pool ?config ~scheduler ~jobs ~lease prog ~seeds ~deadline
       in
       Report.to_json (Driver.pool_run_report ~meta:report_meta pool))
 
 (* Run the same campaign but stop at round [kill_at]'s barrier with a
    checkpoint (a deterministic in-process SIGKILL), then resume from the
    file and render the finished campaign's report. *)
-let killed_and_resumed_json ?config ?(lease = 1) ~scheduler ~jobs ~kill_at () =
+let killed_and_resumed_json ?config ?(lease = 1) ?prog ?seeds
+    ?(deadline = 150_000) ~scheduler ~jobs ~kill_at () =
+  let prog = match prog with Some p -> p | None -> mini_program () in
+  let seeds = match seeds with Some s -> s | None -> pool_seeds () in
   let path = Filename.temp_file "pbse_resume" ".json" in
   with_telemetry (fun () ->
       let ck =
@@ -192,16 +197,14 @@ let killed_and_resumed_json ?config ?(lease = 1) ~scheduler ~jobs ~kill_at () =
           ~every:1 ()
       in
       let _killed : Driver.pool_report =
-        Driver.run_pool ?config ~scheduler ~jobs ~lease ~checkpoint:ck
-          (mini_program ()) ~seeds:(pool_seeds ()) ~deadline:150_000
+        Driver.run_pool ?config ~scheduler ~jobs ~lease ~checkpoint:ck prog
+          ~seeds ~deadline
       in
       match Driver.load_snapshot ~path with
       | Error e -> Alcotest.fail e
       | Ok (sn, fallback) -> (
         Alcotest.(check bool) "no fallback needed" true (fallback = None);
-        match
-          Driver.resume_pool ~jobs sn (mini_program ()) ~seeds:(pool_seeds ())
-        with
+        match Driver.resume_pool ~jobs sn prog ~seeds with
         | Error e -> Alcotest.fail e
         | Ok pool ->
           Report.to_json (Driver.pool_run_report ~meta:report_meta pool)))
@@ -272,6 +275,40 @@ let test_kill_resume_identity_under_crash_injection () =
         0 r.Report.seeds
     in
     Alcotest.(check bool) "injected crashes struck seeds" true (struck > 0)
+
+let test_kill_resume_rebuilds_interpolant_caches () =
+  (* interpolant caches are deliberately not serialized: a resumed
+     campaign rebuilds them deterministically by replaying turns. The
+     mini program is too small to repeat unsat cores, so this runs a
+     registry target. The resumed report must (a) match the
+     uninterrupted bytes exactly and (b) show the subsumption layer
+     actually at work after the resume — otherwise this proves identity
+     of an idle feature *)
+  let t =
+    match Pbse_targets.Registry.by_name "gif2tiff" with
+    | Some t -> t
+    | None -> Alcotest.fail "gif2tiff not registered"
+  in
+  let prog = Pbse_targets.Registry.program t in
+  let seeds = List.map snd t.Pbse_targets.Registry.seeds in
+  let deadline = 25_000 in
+  let scheduler = "round-robin" in
+  let baseline =
+    uninterrupted_json ~prog ~seeds ~deadline ~scheduler ~jobs:2 ()
+  in
+  let resumed =
+    killed_and_resumed_json ~prog ~seeds ~deadline ~scheduler ~jobs:2 ~kill_at:1
+      ()
+  in
+  Alcotest.(check string) "resume under subsumption is byte-identical" baseline
+    resumed;
+  match Report.of_json resumed with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check bool) "interpolant cache answered queries" true
+      (Report.metric r "smt.interpolant_hits" > 0);
+    Alcotest.(check bool) "states were subsumed" true
+      (Report.metric r "smt.subsumed_states" > 0)
 
 (* --- graceful degradation --------------------------------------------------- *)
 
@@ -473,6 +510,8 @@ let suite =
       test_kill_resume_identity_with_leases;
     Alcotest.test_case "kill+resume identity under crash injection" `Slow
       test_kill_resume_identity_under_crash_injection;
+    Alcotest.test_case "kill+resume rebuilds interpolant caches" `Slow
+      test_kill_resume_rebuilds_interpolant_caches;
     Alcotest.test_case "certain crash retires pool gracefully" `Quick
       test_certain_crash_retires_pool_without_aborting;
     Alcotest.test_case "watchdog flags overrunning turns" `Slow

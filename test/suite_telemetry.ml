@@ -138,6 +138,8 @@ let sample_report () =
           new_cover = 2;
           dwell = 1000;
           quarantined = 0;
+          subsumed = 3;
+          summarized = 1;
         };
       ];
     seeds = [];

@@ -9,6 +9,7 @@ let () =
       ("searcher", Suite_searcher.suite);
       ("exec", Suite_exec.suite);
       ("concolic", Suite_concolic.suite);
+      ("pathcond", Suite_pathcond.suite);
       ("phase", Suite_phase.suite);
       ("sched", Suite_sched.suite);
       ("telemetry", Suite_telemetry.suite);
